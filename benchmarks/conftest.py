@@ -1,0 +1,30 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark runs its experiment exactly once (the measured
+quantity is *simulated* time; wall time of the simulation itself is
+what pytest-benchmark records), prints the regenerated paper table,
+and archives the rows under ``bench_results/`` for EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.bench import render_rows, save_results, scale
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _announce_scale():
+    print(f"\n[repro] workload scale factor: 1/{scale()} of the paper's sizes "
+          f"(set REPRO_SCALE to change)")
+    yield
+
+
+def report(name: str, rows: list[dict], title: str) -> None:
+    print()
+    print(render_rows(rows, title))
+    path = save_results(name, rows, meta={"scale": scale()})
+    print(f"[saved {path}]")

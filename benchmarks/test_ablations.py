@@ -1,0 +1,204 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* pBuffer batching: insert-heapify count per key versus insert
+  granularity — the buffer's whole point (§4.1).
+* TARGET/MARKED collaboration on/off under mixed load (§4.3).
+* Batched-A* batch-size sweep: amortisation vs speculative waste.
+* SprayList's relaxation: how far from the minimum its deletions land.
+"""
+
+import numpy as np
+
+from repro.bench import make_keys, render_rows, save_results
+from repro.core import BGPQ
+from repro.device import GpuContext
+from repro.sim import Engine
+
+from conftest import run_once
+
+
+def _drive(pq, batches, n_threads=32, seed=0, mixed=False):
+    eng = Engine(seed=seed)
+
+    def worker(i):
+        r = np.random.default_rng(seed * 31 + i)
+        for j in range(i, len(batches), n_threads):
+            yield from pq.insert_op(batches[j])
+            if mixed and r.random() < 0.5:
+                yield from pq.deletemin_op(pq.k)
+
+    for i in range(n_threads):
+        eng.spawn(worker(i))
+    return eng.run()
+
+
+def test_pbuffer_amortizes_insert_heapify(benchmark):
+    """Finer insert granularity => *fewer* heapifies per key thanks to
+    the partial buffer accumulating sub-batch inserts."""
+    k = 256
+    n_keys = k * 256
+    keys = make_keys(n_keys, "random", 0)
+
+    def run():
+        rows = []
+        for granularity in (k, k // 4, k // 16):
+            pq = BGPQ(GpuContext.default(), node_capacity=k, max_keys=n_keys * 2)
+            batches = [keys[i : i + granularity] for i in range(0, n_keys, granularity)]
+            ms = _drive(pq, batches) / 1e6
+            rows.append(
+                {
+                    "insert_granularity": granularity,
+                    "time_ms": ms,
+                    "heapifies": pq.stats["insert_heapify"],
+                    "heapify_per_1k_keys": 1000 * pq.stats["insert_heapify"] / n_keys,
+                    "buffer_absorbed": pq.stats["partial_insert"],
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(render_rows(rows, "ablation: pBuffer insert batching"))
+    save_results("ablation_pbuffer", rows)
+    # one full-batch heapify per k keys regardless of granularity: the
+    # buffer coalesces sub-batch inserts into full nodes
+    per_key = [r["heapify_per_1k_keys"] for r in rows]
+    assert max(per_key) <= 1.15 * min(per_key)
+    # and sub-batch inserts hit the buffer fast path
+    assert rows[-1]["buffer_absorbed"] > rows[0]["buffer_absorbed"]
+
+
+def test_collaboration_ablation(benchmark):
+    """TARGET/MARKED stealing must fire and not hurt (usually help)
+    under mixed insert/delete contention."""
+    k = 128
+    keys = make_keys(k * 128, "random", 1)
+    batches = [keys[i : i + k] for i in range(0, keys.size, k)]
+
+    def run():
+        out = {}
+        for collab in (True, False):
+            pq = BGPQ(
+                GpuContext.default(),
+                node_capacity=k,
+                max_keys=keys.size * 2,
+                collaboration=collab,
+            )
+            ms = _drive(pq, batches, mixed=True, seed=3) / 1e6
+            out[collab] = {"time_ms": ms, "steals": pq.stats["collab_steals"]}
+        return out
+
+    out = run_once(benchmark, run)
+    print(f"\nablation: collaboration on={out[True]} off={out[False]}")
+    save_results(
+        "ablation_collaboration",
+        [{"collaboration": c, **v} for c, v in out.items()],
+    )
+    assert out[True]["steals"] > 0
+    assert out[False]["steals"] == 0
+    # collaboration must not be a significant regression
+    assert out[True]["time_ms"] <= 1.25 * out[False]["time_ms"]
+
+
+def test_astar_batch_size_sweep(benchmark):
+    """Bigger batches amortise queue costs but expand speculatively;
+    simulated time stays within a small factor across the sweep."""
+    from repro.apps.astar import astar_batched, generate_grid
+
+    grid = generate_grid(160, 0.10, seed=0)
+
+    def run():
+        rows = []
+        for batch in (64, 256, 1024):
+            r = astar_batched(grid, "manhattan", batch=batch)
+            rows.append(
+                {
+                    "batch": batch,
+                    "time_ms": r.sim_time_ms,
+                    "expanded": r.expanded,
+                    "cost": r.cost,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(render_rows(rows, "ablation: batched A* batch size"))
+    save_results("ablation_astar_batch", rows)
+    assert len({r["cost"] for r in rows}) == 1  # same path quality
+    # speculative work grows with batch...
+    assert rows[-1]["expanded"] >= rows[0]["expanded"]
+    # ...but amortisation keeps the time in a narrow band
+    times = [r["time_ms"] for r in rows]
+    assert max(times) <= 3 * min(times)
+
+
+def test_spraylist_relaxation_quality(benchmark):
+    """Quantify the relaxation: sprayed deletions come from the first
+    O(p log^3 p) keys, not the exact minimum."""
+    from repro.baselines import SprayListPQ
+
+    def run():
+        pq = SprayListPQ(n_threads=80, seed=5)
+        n = 20_000
+        eng = Engine(seed=1)
+
+        def filler():
+            keys = np.arange(n)
+            for i in range(0, n, 64):
+                yield from pq.insert_op(keys[i : i + 64])
+
+        eng.spawn(filler())
+        eng.run()
+
+        got = []
+        eng2 = Engine(seed=2)
+
+        def deleter(i):
+            for _ in range(4):
+                g = yield from pq.deletemin_op(8)
+                got.append(g)
+
+        for i in range(8):
+            eng2.spawn(deleter(i))
+        eng2.run()
+        return np.sort(np.concatenate(got))
+
+    taken = run_once(benchmark, run)
+    rank_bound = 80 * int(np.log2(80)) ** 3  # p log^3 p
+    print(f"\nspray relaxation: worst rank {taken.max()} (bound {rank_bound})")
+    save_results(
+        "ablation_spray_relaxation",
+        [{"deleted": int(taken.size), "worst_rank": int(taken.max()), "bound": rank_bound}],
+    )
+    assert taken.max() < rank_bound
+
+
+def test_insert_direction_ablation(benchmark):
+    """§3.3: the Hunt-style bottom-up insertion variant performs
+    similarly to the default top-down approach."""
+    from repro.core import BGPQBottomUp
+
+    k = 256
+    keys = make_keys(k * 128, "random", 7)
+    batches = [keys[i : i + k] for i in range(0, keys.size, k)]
+
+    def run():
+        out = {}
+        for label, cls in (("top_down", BGPQ), ("bottom_up", BGPQBottomUp)):
+            pq = cls(GpuContext.default(), node_capacity=k, max_keys=keys.size * 2)
+            ms = _drive(pq, batches, n_threads=32, seed=5) / 1e6
+            out[label] = {
+                "time_ms": ms,
+                "heapifies": pq.stats["insert_heapify"],
+            }
+        return out
+
+    out = run_once(benchmark, run)
+    print(f"\nablation: insert direction {out}")
+    save_results(
+        "ablation_insert_direction",
+        [{"variant": v, **d} for v, d in out.items()],
+    )
+    ratio = out["bottom_up"]["time_ms"] / out["top_down"]["time_ms"]
+    assert 0.4 <= ratio <= 2.5, f"§3.3 'similar performance' violated: {ratio:.2f}x"

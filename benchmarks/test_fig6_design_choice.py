@@ -1,0 +1,62 @@
+"""Figure 6: BGPQ design-choice sweeps.
+
+6a/6b: insert / deletemin time versus node capacity and thread-block
+size.  6c: time versus number of thread blocks.  The paper's findings
+to reproduce:
+
+* larger node capacity helps both operations (more intra-node
+  parallelism);
+* ever-larger thread blocks stop helping (intra-block sync overhead);
+* more thread blocks help until root contention saturates the gain.
+"""
+
+from repro.bench import ascii_chart, fig6_blocks_sweep, fig6_capacity_sweep
+
+from conftest import report, run_once
+
+
+def _by(rows, **filters):
+    out = [r for r in rows if all(r[k] == v for k, v in filters.items())]
+    assert out, f"no rows matching {filters}"
+    return out
+
+
+def test_fig6a_insert_and_6b_delete(benchmark):
+    rows = run_once(benchmark, fig6_capacity_sweep)
+    report("fig6ab_capacity", rows, "Fig 6a/6b: time (ms) vs node capacity x block size")
+    at512 = {r["capacity"]: r["insert_ms"] for r in rows if r["block_size"] == 512}
+    print()
+    print(ascii_chart(at512, label="Fig 6a (block=512): insert ms vs node capacity"))
+
+    # (6a/6b) at the paper's block size, bigger batches beat small ones
+    for metric in ("insert_ms", "delete_ms"):
+        at512 = {r["capacity"]: r[metric] for r in _by(rows, block_size=512)}
+        assert at512[1024] < at512[64], (
+            f"{metric}: capacity 1024 should beat 64 at block size 512"
+        )
+
+    # block-size sweet spot: 1024-wide blocks gain little or regress
+    # versus 512 at the largest capacity (sync overhead, §6.2)
+    ins512 = _by(rows, block_size=512, capacity=1024)[0]["insert_ms"]
+    ins1024 = _by(rows, block_size=1024, capacity=1024)[0]["insert_ms"]
+    assert ins1024 > 0.8 * ins512  # no large win from doubling the block
+
+
+def test_fig6c_thread_blocks(benchmark):
+    rows = run_once(benchmark, fig6_blocks_sweep)
+    report("fig6c_blocks", rows, "Fig 6c: time (ms) vs number of thread blocks")
+    print()
+    print(ascii_chart(
+        {r["blocks"]: r["insert_ms"] + r["delete_ms"] for r in rows},
+        label="Fig 6c: ins+del ms vs thread blocks",
+    ))
+
+    times = {r["blocks"]: r["insert_ms"] + r["delete_ms"] for r in rows}
+    # more blocks help at the low end...
+    assert times[8] < times[1]
+    # ...but the return diminishes: the 32->64 step gains far less
+    # than the 1->2 step (root contention, §6.2; axis compressed at
+    # scaled heap depth — see the sweep's docstring)
+    gain_low = times[1] / times[2]
+    gain_high = times[32] / times[64]
+    assert gain_high < gain_low

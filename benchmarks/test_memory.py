@@ -1,0 +1,67 @@
+"""Memory-footprint study backing Table 1's "memory efficient" column.
+
+The paper argues (§2.1, conclusion) that heap designs use k + O(1)
+memory per stored key while skip lists pay ~2x in tower pointers (at
+p = 1/2) plus tombstones, and that GPU memory scarcity makes this
+decisive.  This bench fills every queue with the same keys and reports
+bytes per stored key.
+"""
+
+import numpy as np
+
+from repro.baselines import CBPQ, LJSkipListPQ, SprayListPQ, TbbHeapPQ
+from repro.bench import make_keys, render_rows, save_results
+from repro.core import BGPQ
+from repro.sim import Engine
+
+from conftest import run_once
+
+
+def _fill(pq, keys, batch):
+    eng = Engine(seed=0)
+
+    def filler():
+        for i in range(0, keys.size, batch):
+            yield from pq.insert_op(keys[i : i + batch])
+
+    eng.spawn(filler())
+    eng.run()
+
+
+def test_memory_per_key(benchmark):
+    n = 1 << 15
+    keys = make_keys(n, "random", 0)
+
+    def run():
+        rows = []
+        queues = [
+            ("BGPQ", BGPQ(node_capacity=1024, max_keys=2 * n), 1024),
+            ("TBB", TbbHeapPQ(), 1024),
+            ("CBPQ", CBPQ(), 1024),
+            ("LJSL", LJSkipListPQ(), 1024),
+            ("SprayList", SprayListPQ(), 1024),
+        ]
+        for name, pq, batch in queues:
+            _fill(pq, keys, batch)
+            rows.append(
+                {
+                    "queue": name,
+                    "keys": len(pq),
+                    "bytes": pq.memory_bytes(),
+                    "bytes_per_key": pq.memory_bytes() / max(1, len(pq)),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(render_rows(rows, "memory footprint at equal occupancy"))
+    save_results("memory_per_key", rows)
+
+    per_key = {r["queue"]: r["bytes_per_key"] for r in rows}
+    # heap designs: k + O(1) per key (8-byte keys + small control)
+    assert per_key["BGPQ"] < 16
+    assert per_key["TBB"] < 16
+    # skip lists pay the tower-pointer overhead (~2x at p = 1/2)
+    assert per_key["LJSL"] > 1.5 * per_key["TBB"]
+    assert per_key["SprayList"] > 1.5 * per_key["TBB"]

@@ -1,0 +1,29 @@
+"""Table 1: the design-choice feature matrix (regenerated from code)."""
+
+from repro.bench import render_table1, save_results, table1_features
+
+from conftest import run_once
+
+
+def test_table1_features(benchmark):
+    rows = run_once(benchmark, lambda: [f.row() for f in table1_features()])
+    print()
+    print(render_table1())
+    save_results("table1_features", rows)
+
+    by_name = {r["Implementation"]: r for r in rows}
+    # the paper's claims, row by row
+    assert by_name["BGPQ"]["Data Parallelism"] == "yes"
+    assert by_name["BGPQ"]["Thread Collaboration"] == "yes"
+    assert by_name["BGPQ"]["Memory Efficient"] == "yes"
+    assert by_name["BGPQ"]["Linearizable"] == "yes"
+    assert by_name["BGPQ"]["Data Structure"] == "Heap"
+    assert by_name["Hunt"]["Data Parallelism"] == "no"
+    assert by_name["CBPQ"]["Thread Collaboration"] == "yes"
+    assert by_name["P-Sync"]["Data Parallelism"] == "yes"
+    assert by_name["P-Sync"]["Thread Collaboration"] == "no"
+    assert by_name["GFSL"]["Data Parallelism"] == "yes"
+    assert by_name["STSL"]["Linearizable"] == "yes"
+    # only the two heap GPU designs + Hunt are memory efficient
+    efficient = [n for n, r in by_name.items() if r["Memory Efficient"] == "yes"]
+    assert sorted(efficient) == ["BGPQ", "Hunt", "P-Sync"]

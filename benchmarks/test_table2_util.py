@@ -1,0 +1,34 @@
+"""Table 2, "Util.": performance under different heap utilization.
+
+Pre-fill to empty/1M/8M occupancy, then run insert+deletemin pairs
+that keep occupancy constant (§6.4).  Shapes to reproduce: BGPQ stays
+flat across occupancy and beats every CPU baseline; SprayList is at
+its worst on an empty queue (spray collisions); TBB degrades as depth
+grows; LJSL stays roughly flat but slow.
+"""
+
+from repro.bench import table2_util
+
+from conftest import report, run_once
+
+
+def test_table2_util(benchmark):
+    rows = run_once(benchmark, table2_util)
+    report("table2_util", rows, "Table 2 'Util.' (simulated ms, scaled sizes)")
+
+    by_init = {r["init"]: r for r in rows}
+    for r in rows:
+        for ratio in ("B/T", "B/S", "B/L"):
+            assert r[ratio] > 1.0, f"init={r['init']}: BGPQ not fastest ({ratio})"
+
+    # BGPQ flat across utilization (paper: "maintains at the same level")
+    bgpq = [r["BGPQ"] for r in rows]
+    assert max(bgpq) <= 1.5 * min(bgpq)
+
+    # SprayList suffers most when the queue is empty (paper §6.4)
+    assert by_init["empty"]["SprayList"] > 1.2 * by_init["1M"]["SprayList"]
+    assert by_init["empty"]["SprayList"] > 1.2 * by_init["8M"]["SprayList"]
+
+    # LJSL roughly flat (paper: ~5% slowdown; allow slack)
+    ljsl = [r["LJSL"] for r in rows]
+    assert max(ljsl) <= 1.5 * min(ljsl)

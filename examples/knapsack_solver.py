@@ -1,0 +1,47 @@
+"""Branch-and-bound 0-1 knapsack with the batched priority queue (§6.5).
+
+Generates a strongly-correlated instance (the classic hard family),
+solves it three ways — DP oracle, sequential best-first, GPU-style
+batched best-first — and reports agreement plus simulated device time.
+
+Run:  python examples/knapsack_solver.py [n_items]
+"""
+
+import sys
+import time
+
+from repro.apps.knapsack import (
+    generate,
+    solve_batched,
+    solve_dp,
+    solve_sequential,
+)
+
+
+def main(n_items: int = 28) -> None:
+    inst = generate(n_items, family="strongly_correlated", R=50, seed=402)
+    print(f"instance: {inst.n_items} items, capacity {inst.capacity}, "
+          f"family {inst.family}")
+
+    t0 = time.perf_counter()
+    optimal = solve_dp(inst)
+    print(f"DP oracle:  optimum {optimal}  ({time.perf_counter() - t0:.2f}s host)")
+
+    t0 = time.perf_counter()
+    seq = solve_sequential(inst)
+    print(f"sequential: optimum {seq.best_profit}, {seq.nodes_expanded} nodes, "
+          f"{seq.nodes_pruned} pruned  ({time.perf_counter() - t0:.2f}s host)")
+
+    t0 = time.perf_counter()
+    gpu = solve_batched(inst, batch=1024)
+    print(f"batched:    optimum {gpu.best_profit}, {gpu.nodes_expanded} nodes "
+          f"(speculative batch work), {gpu.sim_time_ms:.3f} simulated GPU ms  "
+          f"({time.perf_counter() - t0:.2f}s host)")
+
+    assert seq.best_profit == optimal
+    assert gpu.best_profit == optimal
+    print("all three solvers agree on the optimum")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 28)

@@ -1,0 +1,37 @@
+"""Mini Table 2: all six priority queues on one synthetic workload.
+
+Inserts N random 30-bit keys and deletes them all, for each of the six
+designs the paper benchmarks, on the simulated TITAN X / 4x Xeon
+E7-4870 machines, then prints the paper-style comparison row.
+
+Run:  python examples/queue_shootout.py [n_keys]
+"""
+
+import sys
+import time
+
+from repro.bench import make_keys, make_queue, render_rows, run_insert_then_delete
+
+QUEUES = ("TBB", "SprayList", "CBPQ", "LJSL", "P-Sync", "BGPQ")
+
+
+def main(n_keys: int = 16384) -> None:
+    keys = make_keys(n_keys, "random", seed=0)
+    row = {"n_keys": n_keys}
+    for name in QUEUES:
+        pq, n_threads, batch = make_queue(name)
+        t0 = time.perf_counter()
+        times = run_insert_then_delete(pq, keys, n_threads, batch, verify=True)
+        row[name] = times.total_ms
+        print(f"{name:>10}: {times.total_ms:10.2f} simulated ms "
+              f"(ins {times.insert_ms:.2f} + del {times.delete_ms:.2f}; "
+              f"{time.perf_counter() - t0:.1f}s host; keys verified)")
+    for name in QUEUES:
+        if name != "BGPQ":
+            row[f"B/{name[0]}"] = row[name] / row["BGPQ"]
+    print()
+    print(render_rows([row], "paper-style row (simulated ms and BGPQ speedups)"))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 16384)

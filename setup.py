@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so `pip install -e .` works on
+environments without the `wheel` package (legacy editable install).
+"""
+
+from setuptools import setup
+
+setup()

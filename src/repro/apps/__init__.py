@@ -1,0 +1,7 @@
+"""The paper's applications, built on the public priority-queue API.
+
+* :mod:`repro.apps.knapsack` — branch-and-bound 0-1 knapsack (§6.5).
+* :mod:`repro.apps.astar` — A* route planning on obstacle grids (§6.5).
+* :mod:`repro.apps.sssp` — Dijkstra SSSP (extension: the workload the
+  related GPU priority queues [7, 15] target).
+"""

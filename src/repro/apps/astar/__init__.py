@@ -1,0 +1,19 @@
+"""A* route planning on obstacle grids (§6.5)."""
+
+from .grid import DIRECTIONS, Grid, generate_grid
+from .heuristics import HEURISTICS, chebyshev, manhattan, octile
+from .search import PathResult, astar_batched, astar_concurrent, astar_sequential
+
+__all__ = [
+    "DIRECTIONS",
+    "Grid",
+    "HEURISTICS",
+    "PathResult",
+    "astar_batched",
+    "astar_concurrent",
+    "astar_sequential",
+    "chebyshev",
+    "generate_grid",
+    "manhattan",
+    "octile",
+]

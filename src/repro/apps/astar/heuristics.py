@@ -1,0 +1,36 @@
+"""Admissibility-agnostic heuristics for grid A*.
+
+The paper uses the Manhattan distance on an 8-connected grid; with
+diagonal moves of cost 1 Manhattan is *inadmissible* (it can
+overestimate), so A* behaves greedily and may return a slightly
+non-minimal path — we follow the paper exactly, and also provide the
+admissible Chebyshev/octile alternatives so tests can quantify the
+difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["manhattan", "chebyshev", "octile", "HEURISTICS"]
+
+
+def manhattan(y, x, ty, tx):
+    """|dy| + |dx| — the paper's choice (§6.5)."""
+    return np.abs(y - ty) + np.abs(x - tx)
+
+
+def chebyshev(y, x, ty, tx):
+    """max(|dy|, |dx|) — admissible for unit-cost 8-way movement."""
+    return np.maximum(np.abs(y - ty), np.abs(x - tx))
+
+
+def octile(y, x, ty, tx, diag_cost: float = 1.0):
+    """Octile distance; equals Chebyshev when diagonals cost 1."""
+    dy = np.abs(y - ty)
+    dx = np.abs(x - tx)
+    mn = np.minimum(dy, dx)
+    return (dy + dx) - (2.0 - diag_cost) * mn
+
+
+HEURISTICS = {"manhattan": manhattan, "chebyshev": chebyshev, "octile": octile}

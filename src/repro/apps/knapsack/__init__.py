@@ -1,0 +1,25 @@
+"""Branch-and-bound 0-1 knapsack on the priority-queue API (§6.5)."""
+
+from .bounds import dantzig_upper_bound, dantzig_upper_bound_batch, greedy_completion
+from .branch_bound import (
+    KnapsackResult,
+    solve_batched,
+    solve_concurrent,
+    solve_sequential,
+)
+from .dp import solve_dp
+from .instance import FAMILIES, KnapsackInstance, generate
+
+__all__ = [
+    "FAMILIES",
+    "KnapsackInstance",
+    "KnapsackResult",
+    "dantzig_upper_bound",
+    "dantzig_upper_bound_batch",
+    "generate",
+    "greedy_completion",
+    "solve_batched",
+    "solve_concurrent",
+    "solve_dp",
+    "solve_sequential",
+]

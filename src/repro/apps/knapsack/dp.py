@@ -1,0 +1,23 @@
+"""Exact dynamic-programming solver — the knapsack oracle.
+
+O(n * capacity) table; used by the tests to validate every
+branch-and-bound variant on small instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .instance import KnapsackInstance
+
+__all__ = ["solve_dp"]
+
+
+def solve_dp(inst: KnapsackInstance) -> int:
+    """Optimal profit by DP over remaining capacity (vectorised rows)."""
+    best = np.zeros(inst.capacity + 1, dtype=np.int64)
+    for p, w in zip(inst.profits.tolist(), inst.weights.tolist()):
+        if w <= inst.capacity:
+            cand = best[: inst.capacity + 1 - w] + p
+            best[w:] = np.maximum(best[w:], cand)
+    return int(best[-1])

@@ -1,0 +1,40 @@
+"""Comparator priority queues from the paper's evaluation (Table 2).
+
+CPU designs (run with the Xeon cost model, 80 simulated threads):
+
+* :class:`~repro.baselines.tbb.TbbHeapPQ` — mutex-protected binary
+  heap in the style of TBB's ``concurrent_priority_queue``.
+* :class:`~repro.baselines.hunt.HuntHeapPQ` — Hunt et al.'s
+  fine-grained-lock heap with bottom-up insertions.
+* :class:`~repro.baselines.cbpq.CBPQ` — Braginsky et al.'s chunk-based
+  lock-free priority queue.
+* :class:`~repro.baselines.ljsl.LJSkipListPQ` — Lindén & Jonsson's
+  skip list with batched logical deletions.
+* :class:`~repro.baselines.spraylist.SprayListPQ` — Alistarh et al.'s
+  relaxed spray-walk skip list.
+
+GPU design:
+
+* :class:`~repro.baselines.psync.PSyncHeapPQ` — He et al.'s pipelined
+  batched heap with a grid barrier between pipeline stages (P-Sync).
+"""
+
+from .cbpq import CBPQ
+from .hunt import HuntHeapPQ
+from .interface import ConcurrentPQ, PQFeatures, recorded_op
+from .ljsl import LJSkipListPQ
+from .psync import PSyncHeapPQ
+from .spraylist import SprayListPQ
+from .tbb import TbbHeapPQ
+
+__all__ = [
+    "CBPQ",
+    "ConcurrentPQ",
+    "HuntHeapPQ",
+    "LJSkipListPQ",
+    "PQFeatures",
+    "PSyncHeapPQ",
+    "SprayListPQ",
+    "TbbHeapPQ",
+    "recorded_op",
+]

@@ -1,0 +1,113 @@
+"""Common interface for every concurrent priority queue in the study.
+
+All implementations — BGPQ and the six comparators — expose the same
+two generator-based operations so the benchmark harness and the
+linearizability tests can drive them interchangeably:
+
+* ``insert_op(keys)`` — insert a batch of 1..k keys (CPU designs accept
+  any batch and loop key-by-key, as their real counterparts would).
+* ``deletemin_op(count)`` — remove and return up to ``count`` smallest
+  keys as a NumPy array (per-key designs loop; relaxed designs like
+  SprayList may return near-minimal keys, reflected in their
+  ``features()``).
+
+``features()`` declares the design-choice matrix of the paper's
+Table 1; :mod:`repro.bench.table1` renders it from these declarations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Iterable
+
+import numpy as np
+
+from ..sim import INVOKE, RESPOND, HistoryRecorder, Label
+
+__all__ = ["PQFeatures", "ConcurrentPQ", "recorded_op"]
+
+
+@dataclass(frozen=True)
+class PQFeatures:
+    """One row of the paper's Table 1."""
+
+    name: str
+    data_parallelism: bool
+    task_parallelism: bool
+    thread_collaboration: bool
+    memory_efficient: bool
+    #: True / False / None (paper marks N/A where no proof is given)
+    linearizable: bool | None
+    data_structure: str
+    #: "relaxed" designs may return non-minimal keys from deletemin
+    exact_deletemin: bool = True
+
+    def row(self) -> dict:
+        def mark(v):
+            if v is None:
+                return "N/A"
+            return "yes" if v else "no"
+
+        return {
+            "Implementation": self.name,
+            "Data Parallelism": mark(self.data_parallelism),
+            "Task Parallelism": mark(self.task_parallelism),
+            "Thread Collaboration": mark(self.thread_collaboration),
+            "Memory Efficient": mark(self.memory_efficient),
+            "Linearizable": mark(self.linearizable),
+            "Data Structure": self.data_structure,
+        }
+
+
+class ConcurrentPQ:
+    """Abstract base for simulated concurrent priority queues."""
+
+    #: short display name used in benchmark tables
+    name: str = "pq"
+
+    @classmethod
+    def features(cls) -> PQFeatures:
+        raise NotImplementedError
+
+    # -- operations (generators yielding sim effects) -------------------
+    def insert_op(self, keys: np.ndarray) -> Generator:
+        """Generator inserting ``keys``; returns None."""
+        raise NotImplementedError
+
+    def deletemin_op(self, count: int) -> Generator:
+        """Generator removing up to ``count`` smallest keys; returns
+        a NumPy array of the removed keys (possibly shorter when the
+        queue drains)."""
+        raise NotImplementedError
+
+    # -- introspection (not part of the concurrent API; test-only) ------
+    def snapshot_keys(self) -> np.ndarray:
+        """All keys currently stored, unordered (quiescent use only)."""
+        raise NotImplementedError
+
+    def memory_bytes(self) -> int:
+        """Bytes of device/host storage the structure occupies now.
+
+        Backs the paper's Table 1 "memory efficient" column (k + O(1)
+        bytes per stored key for the heap designs) and the conclusion's
+        memory-footprint claim; see ``benchmarks/test_memory.py``.
+        """
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return int(self.snapshot_keys().size)
+
+
+def recorded_op(recorder: HistoryRecorder, kind: str, args: Iterable, gen: Generator):
+    """Wrap an operation generator with invoke/respond trace labels.
+
+    The labels carry the inserted keys / returned keys so
+    :func:`repro.sim.collect_history` can reconstruct a complete
+    concurrent history for the linearizability checker.
+    """
+    op = recorder.begin(kind, tuple(args))
+    yield Label(INVOKE, op)
+    result = yield from gen
+    out = () if result is None else tuple(np.asarray(result).tolist())
+    yield Label(RESPOND, HistoryRecorder.end(op, out))
+    return result

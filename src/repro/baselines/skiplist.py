@@ -1,0 +1,252 @@
+"""Skip-list substrate for the LJSL and SprayList baselines.
+
+A classic Pugh skip list [23]: towers of forward pointers with
+geometric height distribution.  Duplicate keys are allowed (they sit
+adjacent at the bottom level).  Nodes carry a ``deleted`` flag so the
+Lindén–Jonsson design can delete *logically* at the head and unlink in
+batches, and the spray walk can land on (and skip) logically deleted
+nodes, as in the respective papers.
+
+The structure itself is sequential Python — the simulated baselines
+mutate it inside atomic effect boundaries and charge traversal costs
+from the hop counts returned by each operation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+__all__ = ["SkipList", "SkipNode"]
+
+
+class SkipNode:
+    __slots__ = ("key", "forward", "deleted")
+
+    def __init__(self, key, height: int):
+        self.key = key
+        self.forward: list = [None] * height
+        self.deleted = False
+
+    @property
+    def height(self) -> int:
+        return len(self.forward)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SkipNode {self.key}{' D' if self.deleted else ''} h={self.height}>"
+
+
+class SkipList:
+    """Sorted skip list with logical deletion support.
+
+    Every public operation returns the number of pointer hops it
+    performed so callers can charge memory-latency costs.
+    """
+
+    def __init__(self, max_level: int = 24, p: float = 0.5, seed: int = 0):
+        if not 0 < p < 1:
+            raise ValueError("p must be in (0, 1)")
+        self.max_level = max_level
+        self.p = p
+        self._rng = random.Random(seed)
+        self.head = SkipNode(None, max_level)  # sentinel, key None
+        self.size = 0  # live (non-deleted) keys
+        self.logically_deleted = 0
+        # exact allocation accounting (for memory-footprint studies)
+        self.allocated_nodes = 0
+        self.allocated_pointers = 0
+
+    def _random_height(self) -> int:
+        h = 1
+        while h < self.max_level and self._rng.random() < self.p:
+            h += 1
+        return h
+
+    # -- core operations -------------------------------------------------
+    def insert(self, key) -> int:
+        """Insert ``key``; returns pointer hops performed."""
+        update = [self.head] * self.max_level
+        node = self.head
+        hops = 0
+        for lvl in range(self.max_level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[lvl]
+                hops += 1
+            update[lvl] = node
+            hops += 1
+        h = self._random_height()
+        new = SkipNode(key, h)
+        for lvl in range(h):
+            new.forward[lvl] = update[lvl].forward[lvl]
+            update[lvl].forward[lvl] = new
+        self.size += 1
+        self.allocated_nodes += 1
+        self.allocated_pointers += h
+        return hops
+
+    def first_live(self) -> tuple[SkipNode | None, int]:
+        """First non-deleted node at the bottom level, plus hops."""
+        node = self.head.forward[0]
+        hops = 1
+        while node is not None and node.deleted:
+            node = node.forward[0]
+            hops += 1
+        return node, hops
+
+    def logical_delete_min(self) -> tuple[object, int]:
+        """Mark the smallest live key deleted; returns (key, hops).
+
+        Returns (None, hops) when the list is empty.  This is LJSL's
+        two-phase delete: the physical unlink happens later in batches
+        via :meth:`physical_cleanup`.
+        """
+        node, hops = self.first_live()
+        if node is None:
+            return None, hops
+        node.deleted = True
+        self.size -= 1
+        self.logically_deleted += 1
+        return node.key, hops
+
+    def physical_cleanup(self) -> tuple[int, int]:
+        """Unlink every logically deleted node; returns (removed, hops).
+
+        Lindén–Jonsson's restructure: deleted nodes cluster at the head
+        (they were minima when marked), so the walk is short — but they
+        are *not* always a strict bottom-level prefix, because a later
+        insert of a key smaller than an existing tombstone lands before
+        it.  The bounded sweep handles both layouts.
+        """
+        return self.sweep_deleted()
+
+    def sweep_deleted(self) -> tuple[int, int]:
+        """Unlink every logically deleted node; returns (removed, hops).
+
+        Used by SprayList, whose marks are scattered near the head
+        rather than forming a strict prefix — but still confined to the
+        spray region, so the walk stops once past the largest marked
+        key instead of traversing the whole list.
+        """
+        removed = self.logically_deleted
+        if removed == 0:
+            return 0, 0
+        hops = 0
+        # bound the dirty region: walk the bottom level until all
+        # marked nodes have been seen
+        node = self.head.forward[0]
+        seen = 0
+        max_del_key = None
+        while node is not None and seen < removed:
+            hops += 1
+            if node.deleted:
+                seen += 1
+                max_del_key = node.key
+                self.allocated_nodes -= 1
+                self.allocated_pointers -= node.height
+            node = node.forward[0]
+        for lvl in range(self.max_level):
+            node = self.head
+            nxt = node.forward[lvl]
+            while nxt is not None and (nxt.deleted or nxt.key <= max_del_key):
+                hops += 1
+                if nxt.deleted:
+                    node.forward[lvl] = nxt.forward[lvl]
+                else:
+                    node = nxt
+                nxt = node.forward[lvl]
+        self.logically_deleted = 0
+        return removed, hops
+
+    # -- spray (Alistarh et al.) -----------------------------------------
+    def spray(self, n_threads: int, rng: random.Random) -> tuple[SkipNode | None, int]:
+        """SprayList's random descending walk; returns (node, hops).
+
+        Starting height ``log2(p) + K`` and per-level jump lengths
+        uniform in ``[0, M*log2(p)]`` land the walk on one of the first
+        O(p log^3 p) live keys with high probability.
+        """
+        import math
+
+        p = max(2, n_threads)
+        logp = max(1, int(math.log2(p)))
+        height = min(self.max_level - 1, logp + 1)
+        max_jump = max(1, logp)
+        node = self.head
+        hops = 0
+        for lvl in range(height, -1, -1):
+            jump = rng.randint(0, max_jump)
+            while jump > 0:
+                nxt = node.forward[lvl] if lvl < node.height else None
+                if nxt is None:
+                    break
+                node = nxt
+                hops += 1
+                jump -= 1
+        # walk forward at the bottom to a live node
+        if node is self.head:
+            node = self.head.forward[0]
+            hops += 1
+        while node is not None and node.deleted:
+            node = node.forward[0]
+            hops += 1
+        return node, hops
+
+    def mark(self, node: SkipNode) -> bool:
+        """CAS-like claim of a sprayed node; False if already deleted."""
+        if node.deleted:
+            return False
+        node.deleted = True
+        self.size -= 1
+        self.logically_deleted += 1
+        return True
+
+    def memory_bytes(self, key_bytes: int = 8, pointer_bytes: int = 8) -> int:
+        """Allocated footprint: every tower pointer counts, and
+        logically deleted nodes occupy memory until unlinked — the
+        overhead the paper's Table 1 marks skip lists down for."""
+        return self.allocated_nodes * key_bytes + self.allocated_pointers * pointer_bytes
+
+    # -- introspection -----------------------------------------------------
+    def live_keys(self) -> np.ndarray:
+        out = []
+        node = self.head.forward[0]
+        while node is not None:
+            if not node.deleted:
+                out.append(node.key)
+            node = node.forward[0]
+        return np.array(out)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def check_invariants(self) -> list[str]:
+        """Structural checks for tests."""
+        problems = []
+        node = self.head.forward[0]
+        prev_key = None
+        count = 0
+        while node is not None:
+            if prev_key is not None and node.key < prev_key:
+                problems.append(f"bottom level out of order at {node.key}")
+            prev_key = node.key
+            if not node.deleted:
+                count += 1
+            node = node.forward[0]
+        if count != self.size:
+            problems.append(f"size {self.size} != live count {count}")
+        # every upper-level node must appear at the level below
+        for lvl in range(1, self.max_level):
+            node = self.head.forward[lvl]
+            below = set()
+            b = self.head.forward[lvl - 1]
+            while b is not None:
+                below.add(id(b))
+                b = b.forward[lvl - 1]
+            while node is not None:
+                if id(node) not in below:
+                    problems.append(f"node {node.key} at level {lvl} missing below")
+                node = node.forward[lvl]
+        return problems

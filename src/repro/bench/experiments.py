@@ -1,0 +1,304 @@
+"""Experiment registry: one function per paper table/figure section.
+
+Every entry point returns plain dict rows so the pytest benchmarks can
+print them, assert shape invariants, and archive them for
+EXPERIMENTS.md.  Workloads are scaled (see
+:mod:`repro.bench.workloads`); queue configurations follow §6.1:
+128 thread blocks x 512 threads for GPU designs, 80 hardware threads
+for CPU designs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..apps.astar import astar_batched, astar_concurrent, astar_sequential, generate_grid
+from ..apps.knapsack import generate as gen_knapsack
+from ..apps.knapsack import solve_batched, solve_concurrent
+from ..baselines import CBPQ, LJSkipListPQ, PSyncHeapPQ, SprayListPQ, TbbHeapPQ
+from ..core import BGPQ
+from ..device import GpuContext
+from .runner import run_insert_then_delete, run_utilization
+from .workloads import gpu_batch, make_keys, scale, scaled_size
+
+__all__ = [
+    "CPU_THREADS",
+    "GPU_BLOCKS",
+    "make_queue",
+    "fig6_capacity_sweep",
+    "fig6_blocks_sweep",
+    "table2_insdel",
+    "table2_util",
+    "table2_knapsack",
+    "table2_astar",
+]
+
+CPU_THREADS = 80  # 4 x E7-4870 x SMT2 (§6.1)
+GPU_BLOCKS = 128  # thread blocks per kernel (§6.1)
+GPU_THREADS_PER_BLOCK = 512
+
+
+def make_queue(name: str, batch: int | None = None, blocks: int = GPU_BLOCKS):
+    """Factory for a fresh benchmark-configured queue.
+
+    Returns (pq, n_threads, op_batch): the queue, how many simulated
+    threads drive it, and the batch size per operation.
+    """
+    k = batch if batch is not None else gpu_batch()
+    if name == "BGPQ":
+        ctx = GpuContext.default(blocks=blocks, threads_per_block=GPU_THREADS_PER_BLOCK)
+        return BGPQ(ctx, node_capacity=k, max_keys=1 << 27 if scale() == 1 else 1 << 22), blocks, k
+    if name == "P-Sync":
+        ctx = GpuContext.default(blocks=blocks, threads_per_block=GPU_THREADS_PER_BLOCK)
+        return PSyncHeapPQ(ctx, node_capacity=k), blocks, k
+    if name == "TBB":
+        return TbbHeapPQ(), CPU_THREADS, k
+    if name == "SprayList":
+        return SprayListPQ(n_threads=CPU_THREADS), CPU_THREADS, k
+    if name == "CBPQ":
+        return CBPQ(), CPU_THREADS, k
+    if name == "LJSL":
+        return LJSkipListPQ(), CPU_THREADS, k
+    raise ValueError(f"unknown queue {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Figure 6: BGPQ design-choice sweeps
+# ----------------------------------------------------------------------
+def fig6_capacity_sweep(
+    capacities=(64, 128, 256, 512, 1024),
+    block_sizes=(128, 256, 512, 1024),
+    n_keys: int | None = None,
+    seed: int = 0,
+) -> list[dict]:
+    """Fig. 6a/6b: insert and deletemin time vs node capacity and
+    thread-block size (inserting N random keys, then deleting all)."""
+    n = n_keys if n_keys is not None else scaled_size("64M") // 4
+    rows = []
+    for tpb in block_sizes:
+        for cap in capacities:
+            ctx = GpuContext.default(blocks=GPU_BLOCKS, threads_per_block=tpb)
+            pq = BGPQ(ctx, node_capacity=cap, max_keys=max(n * 2, 1 << 16))
+            keys = make_keys(n, "random", seed)
+            times = run_insert_then_delete(pq, keys, GPU_BLOCKS, cap, seed=seed)
+            rows.append(
+                {
+                    "block_size": tpb,
+                    "capacity": cap,
+                    "n_keys": n,
+                    "insert_ms": times.insert_ms,
+                    "delete_ms": times.delete_ms,
+                }
+            )
+    return rows
+
+
+def fig6_blocks_sweep(
+    blocks_list=(1, 2, 4, 8, 16, 32, 64),
+    n_keys: int | None = None,
+    seed: int = 0,
+) -> list[dict]:
+    """Fig. 6c: throughput vs number of thread blocks (512 threads per
+    block).
+
+    Scaling note: the crossover where root contention eats the gain
+    sits at roughly (heapify depth x per-level cost) / root critical
+    section blocks.  The paper's full-size heap (depth 17) saturates
+    around 128 blocks; the scaled heap is shallower, so the same curve
+    appears compressed to lower block counts — the sweep starts at one
+    block to keep the whole shape visible."""
+    n = n_keys if n_keys is not None else 2 * scaled_size("64M")
+    cap = max(64, gpu_batch() // 4)
+    rows = []
+    for blocks in blocks_list:
+        ctx = GpuContext.default(blocks=blocks, threads_per_block=GPU_THREADS_PER_BLOCK)
+        pq = BGPQ(ctx, node_capacity=cap, max_keys=max(n * 2, 1 << 16))
+        keys = make_keys(n, "random", seed)
+        times = run_insert_then_delete(pq, keys, blocks, cap, seed=seed)
+        rows.append(
+            {
+                "blocks": blocks,
+                "capacity": cap,
+                "n_keys": n,
+                "insert_ms": times.insert_ms,
+                "delete_ms": times.delete_ms,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 2, "Ins & Del" section
+# ----------------------------------------------------------------------
+INSDEL_QUEUES = ("TBB", "SprayList", "CBPQ", "LJSL", "P-Sync", "BGPQ")
+
+
+def table2_insdel(
+    sizes=("1M", "8M", "64M"),
+    orders=("random", "ascend", "descend"),
+    queues=INSDEL_QUEUES,
+    seed: int = 0,
+    verify: bool = False,
+) -> list[dict]:
+    """The paper's headline synthetic comparison: insert N keys, delete
+    all, for three sizes x three key orders x six queues."""
+    rows = []
+    for size in sizes:
+        n = scaled_size(size)
+        for order in orders:
+            keys = make_keys(n, order, seed)
+            cell = {"size": size, "order": order, "n_keys": n}
+            for qname in queues:
+                pq, n_threads, batch = make_queue(qname)
+                times = run_insert_then_delete(
+                    pq, keys, n_threads, batch, seed=seed, verify=verify
+                )
+                cell[qname] = times.total_ms
+            for qname in queues:
+                if qname != "BGPQ":
+                    cell[f"B/{qname[0]}"] = cell[qname] / cell["BGPQ"]
+            rows.append(cell)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 2, "Util." section
+# ----------------------------------------------------------------------
+UTIL_QUEUES = ("TBB", "SprayList", "LJSL", "BGPQ")  # CBPQ/P-Sync N/A in the paper
+
+
+#: fewer CPU threads for the utilization study: SprayList's spray
+#: region spans ~p*log^3(p) keys, which must be comparable to the
+#: *scaled* occupancies for the paper's empty-queue collapse to show
+UTIL_CPU_THREADS = 8
+
+
+def table2_util(
+    inits=("empty", "1M", "8M"),
+    queues=UTIL_QUEUES,
+    seed: int = 0,
+) -> list[dict]:
+    """§6.4: throughput under different occupancy, via insert+delete
+    pairs that keep the occupancy constant.
+
+    CPU designs perform single-key pairs (their natural operation);
+    BGPQ performs batch pairs (its natural operation) over the same
+    total key traffic.
+    """
+    total_keys = scaled_size("64M")
+    rows = []
+    for init in inits:
+        n_init = 0 if init == "empty" else scaled_size(init)
+        cell = {"init": init, "n_init": n_init, "key_pairs": total_keys}
+        for qname in queues:
+            gpu = qname in ("BGPQ", "P-Sync")
+            if gpu:
+                pq, n_threads, batch = make_queue(qname)
+                pairs = total_keys // batch
+            else:
+                pq, _, _ = make_queue(qname)
+                if qname == "SprayList":
+                    pq = SprayListPQ(n_threads=UTIL_CPU_THREADS)
+                n_threads, batch, pairs = UTIL_CPU_THREADS, 1, total_keys
+            init_keys = make_keys(n_init, "random", seed) if n_init else np.empty(0, np.int64)
+            cell[qname] = run_utilization(
+                pq, init_keys, pairs, n_threads, batch, seed=seed
+            )
+        for qname in queues:
+            if qname != "BGPQ":
+                cell[f"B/{qname[0]}"] = cell[qname] / cell["BGPQ"]
+        rows.append(cell)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 2, "0-1 KS" section
+# ----------------------------------------------------------------------
+#: paper item counts -> scaled counts (search trees of 2^n nodes are
+#: far beyond any hardware; the paper's B&B visits a pruned fraction —
+#: these scaled strongly-correlated instances keep the *explored* tree
+#: in the thousands-to-tens-of-thousands regime, zig-zagging with size
+#: exactly as the paper's own times do)
+KNAPSACK_SIZES = {200: 24, 400: 28, 600: 32, 800: 36, 1000: 48}
+#: per-size generator seeds chosen so the explored tree is non-trivial
+#: (8K-60K nodes) — strongly-correlated hardness is seed-sensitive at
+#: scaled item counts
+KNAPSACK_SEEDS = {24: 412, 28: 402, 32: 409, 36: 401, 48: 401}
+KS_QUEUES = ("TBB", "SprayList", "LJSL")  # + BGPQ; CBPQ can't store nodes
+
+
+def table2_knapsack(
+    paper_sizes=(200, 400, 600, 800, 1000),
+    family: str = "strongly_correlated",
+    cpu_threads: int = CPU_THREADS,
+    seed: int = 0,
+) -> list[dict]:
+    """§6.5 branch-and-bound knapsack across queue implementations."""
+    rows = []
+    for n_paper in paper_sizes:
+        n_items = KNAPSACK_SIZES[n_paper]
+        inst = gen_knapsack(
+            n_items, family=family, R=50, seed=KNAPSACK_SEEDS[n_items]
+        )
+        cell = {"paper_items": n_paper, "items": n_items, "family": family}
+        gpu = solve_batched(inst, batch=gpu_batch())
+        cell["BGPQ"] = gpu.sim_time_ns / 1e6
+        cell["optimal"] = gpu.best_profit
+        cell["nodes"] = gpu.nodes_expanded
+        for qname in KS_QUEUES:
+            pq, _, _ = make_queue(qname)
+            res = solve_concurrent(inst, pq, n_threads=cpu_threads, seed=seed)
+            if res.best_profit != gpu.best_profit:
+                raise AssertionError(
+                    f"{qname} found {res.best_profit}, BGPQ {gpu.best_profit}"
+                )
+            cell[qname] = res.sim_time_ns / 1e6
+        for qname in KS_QUEUES:
+            cell[f"B/{qname[0]}"] = cell[qname] / cell["BGPQ"]
+        rows.append(cell)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 2, "A-star" section
+# ----------------------------------------------------------------------
+#: paper grid sides -> scaled sides
+ASTAR_SIZES = {"5K*5K": 96, "10K*10K": 160, "20K*20K": 256}
+#: batched A* uses a 512-key batch: at scaled frontiers the 1024-key
+#: batch is mostly speculative waste (see the ablation bench)
+ASTAR_GPU_BATCH = 512
+ASTAR_QUEUES = ("TBB", "SprayList", "LJSL")
+
+
+def table2_astar(
+    grids=("5K*5K", "10K*10K", "20K*20K"),
+    rates=(0.10, 0.20),
+    seed: int = 0,
+    cpu_threads: int = CPU_THREADS,
+    heuristic: str = "manhattan",
+) -> list[dict]:
+    """§6.5 A* route planning across queue implementations."""
+    rows = []
+    for gname in grids:
+        side = ASTAR_SIZES[gname]
+        for rate in rates:
+            grid = generate_grid(side, rate, seed=seed)
+            cell = {"grid": gname, "side": side, "obstacles": f"{int(rate*100)}%"}
+            gpu = astar_batched(grid, heuristic, batch=min(gpu_batch(), ASTAR_GPU_BATCH))
+            cell["BGPQ"] = gpu.sim_time_ns / 1e6
+            cell["cost"] = gpu.cost
+            cell["nodes"] = gpu.expanded
+            for qname in ASTAR_QUEUES:
+                pq, _, _ = make_queue(qname)
+                res = astar_concurrent(
+                    grid, pq, heuristic=heuristic, n_threads=cpu_threads, seed=seed
+                )
+                if res.cost is None:
+                    raise AssertionError(f"{qname} failed to find a path")
+                cell[qname] = res.sim_time_ns / 1e6
+            for qname in ASTAR_QUEUES:
+                cell[f"B/{qname[0]}"] = cell[qname] / cell["BGPQ"]
+            rows.append(cell)
+    return rows

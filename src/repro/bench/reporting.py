@@ -1,0 +1,102 @@
+"""Rendering and archiving of benchmark results.
+
+``render_rows`` prints dict rows as an aligned text table (the shape
+of the paper's Table 2); ``save_results`` appends a JSON record under
+``bench_results/`` so EXPERIMENTS.md can cite actual measured numbers
+from the run that produced them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Iterable
+
+__all__ = ["render_rows", "save_results", "results_dir", "speedup_summary"]
+
+
+def results_dir() -> Path:
+    root = Path(os.environ.get("REPRO_RESULTS_DIR", "bench_results"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v >= 100:
+            return f"{v:,.0f}"
+        if v >= 1:
+            return f"{v:.1f}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+def render_rows(rows: list[dict], title: str = "") -> str:
+    """Aligned text table from homogeneous dict rows."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    cols = list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(c.rjust(w) for c, w in zip(cols, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def save_results(name: str, rows: list[dict], meta: dict | None = None) -> Path:
+    """Archive rows as JSON under bench_results/<name>.json."""
+    payload = {
+        "experiment": name,
+        "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "meta": meta or {},
+        "rows": rows,
+    }
+    path = results_dir() / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=str))
+    return path
+
+
+def speedup_summary(rows: Iterable[dict], ratio_keys: Iterable[str]) -> dict:
+    """min/max/mean of each speedup column across rows."""
+    out = {}
+    rows = list(rows)
+    for k in ratio_keys:
+        vals = [r[k] for r in rows if k in r]
+        if vals:
+            out[k] = {
+                "min": min(vals),
+                "max": max(vals),
+                "mean": sum(vals) / len(vals),
+            }
+    return out
+
+
+def ascii_chart(series: dict, width: int = 56, label: str = "") -> str:
+    """Horizontal-bar chart for one metric across parameter points.
+
+    ``series`` maps a parameter value (x) to a measurement (bar
+    length); used by the Figure 6 benchmarks so the *figures* of the
+    paper render as figures, scaled to the largest value.
+
+    Example output::
+
+        insert time (ms) vs blocks
+           1 | ######################################## 5.15
+           2 | ####################                     2.58
+    """
+    if not series:
+        return f"{label}\n(no data)"
+    peak = max(series.values())
+    key_w = max(len(str(k)) for k in series)
+    lines = [label] if label else []
+    for k, v in series.items():
+        bar = "#" * max(1, int(round(width * v / peak))) if peak > 0 else ""
+        lines.append(f"{str(k).rjust(key_w)} | {bar.ljust(width)} {v:,.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Benchmark drivers: run a concurrent PQ through a workload, report
+simulated milliseconds.
+
+Two drivers cover every Table 2 row family:
+
+* :func:`run_insert_then_delete` — the "Ins & Del" phases: all threads
+  insert their share of the keys, barrier (new engine), all threads
+  drain the queue.
+* :func:`run_utilization` — the "Util." rows: pre-fill to a target
+  occupancy, then every thread performs insert/deletemin *pairs*,
+  preserving occupancy (§6.4).
+
+GPU designs run with one simulated thread per thread block and batched
+operations; CPU designs run with the host's 80 hardware threads and a
+convenient slice size (their ``insert_op`` loops per key regardless).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim import Engine
+
+__all__ = ["PhaseTimes", "run_insert_then_delete", "run_utilization", "drain"]
+
+
+@dataclass(frozen=True)
+class PhaseTimes:
+    """Simulated durations of one benchmark run."""
+
+    insert_ms: float
+    delete_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.insert_ms + self.delete_ms
+
+
+def _shard(keys: np.ndarray, n: int) -> list[np.ndarray]:
+    return [keys[i::n] for i in range(n)]
+
+
+def run_insert_then_delete(
+    pq,
+    keys: np.ndarray,
+    n_threads: int,
+    batch: int,
+    seed: int = 0,
+    verify: bool = False,
+) -> PhaseTimes:
+    """Insert all ``keys`` concurrently, then drain; simulated times."""
+    shards = _shard(keys, n_threads)
+
+    eng = Engine(seed=seed)
+
+    def inserter(i):
+        mine = shards[i]
+        for j in range(0, mine.size, batch):
+            yield from pq.insert_op(mine[j : j + batch])
+
+    for i in range(n_threads):
+        eng.spawn(inserter(i), name=f"ins{i}")
+    t_ins = eng.run()
+
+    eng2 = Engine(seed=seed + 1)
+    deleted = []
+
+    def deleter(i):
+        while True:
+            got = yield from pq.deletemin_op(batch)
+            if got.size == 0:
+                return
+            if verify:
+                deleted.append(got)
+
+    for i in range(n_threads):
+        eng2.spawn(deleter(i), name=f"del{i}")
+    t_del = eng2.run()
+
+    if verify:
+        out = np.concatenate(deleted) if deleted else np.empty(0, np.int64)
+        if not np.array_equal(np.sort(out), np.sort(keys)):
+            raise AssertionError(f"{pq.name}: keys lost or invented during benchmark")
+    return PhaseTimes(t_ins / 1e6, t_del / 1e6)
+
+
+def drain(pq, batch: int, n_threads: int = 1, seed: int = 0) -> np.ndarray:
+    """Empty a queue concurrently; returns the extracted keys."""
+    eng = Engine(seed=seed)
+    out = []
+
+    def deleter(i):
+        while True:
+            got = yield from pq.deletemin_op(batch)
+            if got.size == 0:
+                return
+            out.append(got)
+
+    for i in range(n_threads):
+        eng.spawn(deleter(i))
+    eng.run()
+    return np.concatenate(out) if out else np.empty(0, np.int64)
+
+
+def run_utilization(
+    pq,
+    init_keys: np.ndarray,
+    op_pairs: int,
+    n_threads: int,
+    batch: int,
+    seed: int = 0,
+) -> float:
+    """Pre-fill with ``init_keys``, then run ``op_pairs`` insert+delete
+    pairs split across threads; returns the pair phase's simulated ms.
+
+    Each pair inserts a fresh batch and deletes a batch, keeping the
+    structure's occupancy constant — the paper's §6.4 methodology.
+    """
+    if init_keys.size:
+        eng0 = Engine(seed=seed)
+        shards = _shard(init_keys, n_threads)
+
+        def filler(i):
+            mine = shards[i]
+            for j in range(0, mine.size, batch):
+                yield from pq.insert_op(mine[j : j + batch])
+
+        for i in range(n_threads):
+            eng0.spawn(filler(i))
+        eng0.run()
+
+    pairs_per_thread = max(1, op_pairs // n_threads)
+    eng = Engine(seed=seed + 1)
+
+    def pair_worker(i):
+        rng = np.random.default_rng(seed * 131 + i)
+        for _ in range(pairs_per_thread):
+            fresh = rng.integers(0, 1 << 30, size=batch, dtype=np.int64)
+            yield from pq.insert_op(fresh)
+            yield from pq.deletemin_op(batch)
+
+    for i in range(n_threads):
+        eng.spawn(pair_worker(i), name=f"pair{i}")
+    return eng.run() / 1e6

@@ -1,0 +1,75 @@
+"""Synthetic workload generation and scaling for the paper's benchmarks.
+
+The paper's synthetic experiments insert 1M/8M/64M uniformly random
+30-bit keys (CBPQ's key-width limit, footnote 3), optionally pre-sorted
+ascending or descending, then delete everything.  Pure-Python event
+processing is ~10^4x slower per operation than the authors' native
+testbed, so runs are *scaled*: every key count is divided by
+``scale()`` (default 1024, env ``REPRO_SCALE``), and every report
+records the factor.  Relative shape — who wins, how ratios move with
+size — is what the scaled runs preserve (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "KEY_BITS",
+    "ORDERS",
+    "PAPER_SIZES",
+    "make_keys",
+    "scale",
+    "scaled_size",
+    "size_label",
+]
+
+#: CBPQ supports only 30-bit keys; the paper uses that width everywhere
+KEY_BITS = 30
+
+ORDERS = ("random", "ascend", "descend")
+
+#: the paper's synthetic sizes, in keys
+PAPER_SIZES = {"1M": 1 << 20, "8M": 1 << 23, "64M": 1 << 26}
+
+
+def scale() -> int:
+    """Workload divisor (>= 1), from ``REPRO_SCALE`` (default 2048)."""
+    value = int(os.environ.get("REPRO_SCALE", "2048"))
+    if value < 1:
+        raise ValueError("REPRO_SCALE must be >= 1")
+    return value
+
+
+def scaled_size(label: str) -> int:
+    """Scaled key count for a paper size label ('1M', '8M', '64M')."""
+    return max(2048, PAPER_SIZES[label] // scale())
+
+
+def size_label(label: str) -> str:
+    return f"{label}/{scale()}"
+
+
+def gpu_batch() -> int:
+    """Batch-node capacity for GPU queues in benchmarks: the paper's
+    1024 (§6.1), *not* scaled — the speedup ratios of Table 2 are set
+    by the per-key amortisation of a 1024-key batch versus per-key CPU
+    operations, which scaling the batch would distort.  (Scaled runs
+    therefore have few batches; the smallest cells are noted as
+    degenerate in EXPERIMENTS.md.)"""
+    return int(os.environ.get("REPRO_GPU_BATCH", "1024"))
+
+
+def make_keys(n: int, order: str = "random", seed: int = 0) -> np.ndarray:
+    """``n`` 30-bit keys: uniformly random, ascending, or descending."""
+    if order not in ORDERS:
+        raise ValueError(f"order must be one of {ORDERS}")
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 1 << KEY_BITS, size=n, dtype=np.int64)
+    if order == "ascend":
+        keys = np.sort(keys)
+    elif order == "descend":
+        keys = np.sort(keys)[::-1].copy()
+    return keys

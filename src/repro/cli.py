@@ -1,0 +1,98 @@
+"""Command-line entry point: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro table1                 # feature matrix
+    python -m repro insdel [--sizes 64M]   # Table 2 'Ins & Del'
+    python -m repro util                   # Table 2 'Util.'
+    python -m repro knapsack               # Table 2 '0-1 KS'
+    python -m repro astar                  # Table 2 'A-star'
+    python -m repro fig6                   # Figure 6 sweeps
+    python -m repro all                    # everything, archived
+
+``REPRO_SCALE`` (default 2048) divides the paper's workload sizes;
+results are archived under ``bench_results/`` and EXPERIMENTS.md can
+be refreshed with ``python scripts/make_experiments_md.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .bench import (
+    fig6_blocks_sweep,
+    fig6_capacity_sweep,
+    render_rows,
+    render_table1,
+    save_results,
+    scale,
+    table2_astar,
+    table2_insdel,
+    table2_knapsack,
+    table2_util,
+)
+
+__all__ = ["main"]
+
+
+def _run(name: str, fn, title: str) -> None:
+    t0 = time.perf_counter()
+    rows = fn()
+    wall = time.perf_counter() - t0
+    print(render_rows(rows, title))
+    path = save_results(name, rows, meta={"scale": scale(), "wall_s": round(wall, 1)})
+    print(f"[{wall:.1f}s host; saved {path}]\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BGPQ reproduction: regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "insdel", "util", "knapsack", "astar", "fig6", "all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--sizes",
+        default="1M,8M,64M",
+        help="comma-separated paper sizes for insdel (default: 1M,8M,64M)",
+    )
+    parser.add_argument(
+        "--orders",
+        default="random,ascend,descend",
+        help="key orders for insdel (default: random,ascend,descend)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"workload scale: 1/{scale()} of the paper's sizes (REPRO_SCALE)\n")
+    want = args.experiment
+
+    if want in ("table1", "all"):
+        print(render_table1())
+        print()
+    if want in ("insdel", "all"):
+        sizes = tuple(args.sizes.split(","))
+        orders = tuple(args.orders.split(","))
+        _run(
+            "table2_insdel",
+            lambda: table2_insdel(sizes=sizes, orders=orders),
+            "Table 2 'Ins & Del' (simulated ms)",
+        )
+    if want in ("util", "all"):
+        _run("table2_util", table2_util, "Table 2 'Util.' (simulated ms)")
+    if want in ("knapsack", "all"):
+        _run("table2_knapsack", table2_knapsack, "Table 2 '0-1 KS' (simulated ms)")
+    if want in ("astar", "all"):
+        _run("table2_astar", table2_astar, "Table 2 'A-star' (simulated ms)")
+    if want in ("fig6", "all"):
+        _run("fig6ab_capacity", fig6_capacity_sweep, "Fig 6a/6b (simulated ms)")
+        _run("fig6c_blocks", fig6_blocks_sweep, "Fig 6c (simulated ms)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

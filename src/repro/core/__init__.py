@@ -1,0 +1,34 @@
+"""The paper's contribution: BGPQ and its supporting machinery.
+
+* :class:`~repro.core.bgpq.BGPQ` — the concurrent batched heap
+  (Algorithms 1-3 with the TARGET/MARKED collaboration protocol),
+  executed on the discrete-event simulator.
+* :class:`~repro.core.native.NativeBGPQ` — the same batched-heap
+  semantics at host speed (no simulator), used by the applications;
+  reports simulated GPU time through the cost model.
+* :class:`~repro.core.sequential.SequentialPQ` — the oracle.
+* :mod:`~repro.core.linearizability` — history checker.
+"""
+
+from .bgpq import BGPQ
+from .bottomup import BGPQBottomUp
+from .heap import HeapStorage, left, level, parent, path_next, right
+from .node import AVAIL, EMPTY, MARKED, TARGET, BatchNode
+from .sequential import SequentialPQ
+
+__all__ = [
+    "AVAIL",
+    "BGPQ",
+    "BGPQBottomUp",
+    "BatchNode",
+    "EMPTY",
+    "HeapStorage",
+    "MARKED",
+    "SequentialPQ",
+    "TARGET",
+    "left",
+    "level",
+    "parent",
+    "path_next",
+    "right",
+]

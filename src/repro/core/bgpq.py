@@ -1,0 +1,205 @@
+"""BGPQ: the batched, heap-based, linearizable GPU priority queue.
+
+This is the paper's primary contribution, assembled from the INSERT
+(Algorithm 1) and DELETEMIN (Algorithms 2-3) mixins.  One simulated
+thread models one CUDA thread block: every node-level primitive
+(bitonic sort, merge path, SORT_SPLIT) runs cooperatively across the
+block's lanes, which is where the intra-node data parallelism comes
+from; concurrent blocks operating on different nodes provide the
+inter-node task parallelism, synchronised by per-node locks (the root
+and the partial buffer share one lock, §4).
+
+Usage (synthetic workload)::
+
+    from repro.core import BGPQ
+    from repro.device import GpuContext
+    from repro.sim import Engine
+
+    ctx = GpuContext.default()           # 128 blocks x 512 threads
+    pq = BGPQ(ctx, node_capacity=1024, max_keys=1 << 20)
+    eng = Engine(seed=1)
+
+    def block(bid, batches):
+        for batch in batches:
+            yield from pq.insert_op(batch)
+
+    ... spawn one generator per block, eng.run(), then
+    pq.deletemin_op(...) the keys back out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.interface import ConcurrentPQ, PQFeatures
+from ..device.kernels import GpuContext
+from ..errors import ConfigurationError
+from ..sim import Condition
+from .deletion import DeleteMixin
+from .heap import HeapStorage
+from .insertion import InsertMixin
+from .node import AVAIL
+
+__all__ = ["BGPQ"]
+
+
+class BGPQ(InsertMixin, DeleteMixin, ConcurrentPQ):
+    """Batched GPU priority queue (the paper's BGPQ).
+
+    Parameters
+    ----------
+    ctx:
+        GPU context (device spec + launch shape) supplying the cost
+        model.  The paper's default is 128 blocks × 512 threads.
+    node_capacity:
+        Keys per batch node (the paper's k; default 1024).
+    max_keys:
+        Capacity of the pre-allocated node array, in keys.
+    collaboration:
+        Enable the TARGET/MARKED insert-steal protocol (§4.3).  Turned
+        off only by the ablation benchmarks.
+    dtype:
+        Key dtype (the paper uses 30/32-bit integer keys).
+    """
+
+    name = "BGPQ"
+
+    def __init__(
+        self,
+        ctx: GpuContext | None = None,
+        node_capacity: int = 1024,
+        max_keys: int = 1 << 22,
+        collaboration: bool = True,
+        dtype=np.int64,
+        payload_width: int = 0,
+        payload_dtype=np.int64,
+    ):
+        if node_capacity < 2:
+            raise ConfigurationError("node capacity must be >= 2")
+        if payload_width < 0:
+            raise ConfigurationError("payload width must be >= 0")
+        self.ctx = ctx if ctx is not None else GpuContext.default()
+        self.model = self.ctx.model
+        self.k = node_capacity
+        max_nodes = max(2, -(-max_keys // node_capacity) + 1)
+        self.store = HeapStorage(
+            max_nodes,
+            node_capacity,
+            dtype=dtype,
+            name="bgpq",
+            payload_width=payload_width,
+            payload_dtype=payload_dtype,
+        )
+        self.pbuffer = np.empty(0, dtype=self.store.dtype)
+        self.pbuffer_pay = np.empty((0, payload_width), dtype=payload_dtype)
+        self.collaboration = collaboration
+        #: signalled by an inserter that refilled the root for a MARKer
+        self.root_avail = Condition("bgpq.root_avail")
+        #: signalled by an inserter that filled its TARGET node
+        self.node_filled = Condition("bgpq.node_filled")
+        self._total_keys = 0
+        self.stats = {
+            "insert_heapify": 0,
+            "deletemin_heapify": 0,
+            "partial_insert": 0,
+            "partial_delete": 0,
+            "collab_steals": 0,
+            "collab_fills": 0,
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def features(cls) -> PQFeatures:
+        return PQFeatures(
+            name="BGPQ",
+            data_parallelism=True,
+            task_parallelism=True,
+            thread_collaboration=True,
+            memory_efficient=True,  # k + O(1) per stored key
+            linearizable=True,
+            data_structure="Heap",
+        )
+
+    def peek_min_op(self, count: int = 1):
+        """Read (without removing) up to ``min(count, |root|)`` smallest keys.
+
+        Takes the root lock briefly; the root always holds the smallest
+        keys in the structure (the §5 invariant), so no traversal is
+        needed.  Bounded by the root's current occupancy — keys beyond
+        it would require a refill, which is DELETEMIN's job.
+        """
+        from ..sim import Acquire, Compute, Release
+
+        store, m = self.store, self.model
+        if not 1 <= count <= self.k:
+            raise ValueError(f"peek count must be in [1, {self.k}], got {count}")
+        yield Acquire(store.root_lock)
+        yield Compute(m.lock_acquire_ns())
+        root = store.root
+        n = min(count, root.count) if store.heap_size else 0
+        out = root.keys()[:n].copy()
+        yield Compute(m.global_read_ns(max(1, n)))
+        yield Release(store.root_lock)
+        yield Compute(m.lock_release_ns())
+        return out
+
+    def _payload_for(self, keys: np.ndarray, payload) -> np.ndarray:
+        """Validate/synthesise the payload rows for an insert batch."""
+        width = self.store.payload_width
+        if payload is None:
+            return np.zeros((keys.size, width), dtype=self.store.payload_dtype)
+        payload = np.asarray(payload, dtype=self.store.payload_dtype)
+        if payload.ndim == 1:
+            payload = payload.reshape(-1, 1)
+        if payload.shape != (keys.size, width):
+            raise ValueError(
+                f"payload shape {payload.shape} != ({keys.size}, {width})"
+            )
+        return payload
+
+    # -- quiescent introspection -----------------------------------------
+    def snapshot_keys(self) -> np.ndarray:
+        """All stored keys (heap nodes + partial buffer); quiescent only."""
+        heap_keys = self.store.all_keys()
+        return np.concatenate([heap_keys, self.pbuffer])
+
+    def __len__(self) -> int:
+        return self._total_keys
+
+    def check_invariants(self) -> list[str]:
+        """Structural invariant check for tests (quiescent only).
+
+        Verifies the batched heap property, per-node sortedness, and
+        that the buffer's keys do not undercut the root (§3.1).
+        """
+        problems = self.store.check_heap_property()
+        root = self.store.root
+        if (
+            self.pbuffer.size
+            and root.state == AVAIL
+            and root.count
+            and self.pbuffer[0] < root.max_key()
+        ):
+            problems.append(
+                f"buffer min {self.pbuffer[0]} < root max {root.max_key()}"
+            )
+        if self.pbuffer.size > 1 and np.any(self.pbuffer[:-1] > self.pbuffer[1:]):
+            problems.append("buffer not sorted")
+        if self.pbuffer.size >= self.k:
+            problems.append(f"buffer holds {self.pbuffer.size} >= k={self.k} keys")
+        return problems
+
+    def memory_bytes(self) -> int:
+        """Live batch nodes + the partial buffer + one state/lock word
+        per allocated slot: k + O(1) bytes per stored key (Table 1)."""
+        item = self.store.dtype.itemsize
+        node_bytes = self.store.heap_size * self.k * item
+        buffer_bytes = self.k * item
+        control = (self.store.heap_size + 1) * 16  # state + lock words
+        return node_bytes + buffer_bytes + control
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<BGPQ k={self.k} nodes={self.store.heap_size} "
+            f"keys={self._total_keys} buf={self.pbuffer.size}>"
+        )

@@ -1,0 +1,277 @@
+"""BGPQ DELETEMIN — the paper's Algorithms 2 and 3.
+
+The flow: lock the root, try a *partial delete* (serve straight from
+the root when it has enough keys).  Otherwise refill the root — from
+the last heap node, from the partial buffer when the heap is down to
+the root, or by stealing a concurrent inserter's in-flight keys via the
+TARGET→MARKED protocol — merge the refilled root with the buffer, and
+run the top-down DELETEMIN_HEAPIFY that restores the batched heap
+property with pairwise SORT_SPLITs, extracting the remaining requested
+keys the moment the root's final content is known.
+
+Records are (key, payload-row) pairs; with ``payload_width = 0`` the
+payload arrays are zero-width and free.  This module is a mixin;
+:class:`repro.core.bgpq.BGPQ` provides the storage, cost model,
+conditions and statistics it uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..primitives import sort_split_payload
+from ..sim import Acquire, Compute, Release, Wait
+from .heap import left, right
+from .node import AVAIL, EMPTY, MARKED, TARGET
+
+__all__ = ["DeleteMixin"]
+
+
+class DeleteMixin:
+    """DELETEMIN operation for the batched heap (Algorithms 2-3)."""
+
+    def deletemin_op(self, count: int, with_payload: bool = False):
+        """Remove up to ``count`` smallest records (generator).
+
+        Returns the removed keys as a NumPy array, ascending (shorter
+        than ``count`` when the queue drains); with
+        ``with_payload=True`` returns ``(keys, payload_rows)``.
+        """
+        store, m = self.store, self.model
+        if not 1 <= count <= self.k:
+            raise ValueError(f"deletemin count must be in [1, {self.k}], got {count}")
+
+        yield Acquire(store.root_lock)  # Alg.2 line 2
+        yield Compute(m.lock_acquire_ns())
+
+        done, items_k, items_p = yield from self._partial_deletemin(count)
+        if done:  # root lock already released
+            self._total_keys -= items_k.size
+            return (items_k, items_p) if with_payload else items_k
+
+        # lines 4-5: claim the last node, shrink the heap
+        remained = count - items_k.size
+        self._total_keys -= count  # refill guarantees `count` keys total
+        tar = store.heap_size
+        store.heap_size -= 1
+        tar_lock = store.lock(tar)
+        tar_node = store.node(tar)
+        root = store.root
+
+        yield Acquire(tar_lock)  # line 6
+        yield Compute(m.lock_acquire_ns() + m.state_rmw_ns())
+
+        if tar_node.state == TARGET and self.collaboration:
+            # lines 7-9: steal the in-flight insert — mark it and spin
+            # (block) until the inserter fills the root for us.
+            tar_node.state = MARKED
+            self.stats["collab_steals"] += 1
+            yield Compute(m.state_rmw_ns())
+            yield Release(tar_lock)
+            yield Compute(m.lock_release_ns())
+            yield Wait(self.root_avail, lambda: root.state == AVAIL)
+        elif tar_node.state == TARGET:
+            # collaboration disabled (ablation): wait for the inserter
+            # to finish filling the node, then move its keys normally.
+            yield Release(tar_lock)
+            yield Compute(m.lock_release_ns())
+            yield Wait(self.node_filled, lambda: tar_node.state == AVAIL)
+            yield Acquire(tar_lock)
+            yield Compute(m.lock_acquire_ns())
+            root.set_keys(tar_node.keys(), tar_node.payload())
+            tar_node.clear()
+            tar_node.state = EMPTY
+            yield Compute(m.global_read_ns(self.k) + m.global_write_ns(self.k))
+            yield Release(tar_lock)
+            yield Compute(m.lock_release_ns())
+            root.state = AVAIL
+            yield Compute(m.state_rmw_ns())
+        elif tar_node.state == AVAIL:
+            # lines 10-12: move the last node's keys into the root
+            root.set_keys(tar_node.keys(), tar_node.payload())
+            tar_node.clear()
+            tar_node.state = EMPTY
+            yield Compute(
+                m.global_read_ns(self.k) + m.global_write_ns(self.k) + m.state_rmw_ns()
+            )
+            yield Release(tar_lock)
+            yield Compute(m.lock_release_ns())
+            root.state = AVAIL
+            yield Compute(m.state_rmw_ns())
+        else:  # pragma: no cover - protocol violation guard
+            raise SimulationError(
+                f"deletemin found last node {tar} in unexpected state {tar_node.state}"
+            )
+
+        # line 13: ensure root <= buffer
+        if self.pbuffer.size:
+            rk, rp, self.pbuffer, self.pbuffer_pay = sort_split_payload(
+                root.keys(), root.payload(),
+                self.pbuffer, self.pbuffer_pay,
+                ma=root.count,
+            )
+            yield Compute(m.node_sort_split_ns(root.count, self.pbuffer.size))
+            root.set_keys(rk, rp)
+
+        # line 14 / Alg.3: heapify, extracting `remained` at the root
+        self.stats["deletemin_heapify"] += 1
+        items_k, items_p = yield from self._deletemin_heapify(items_k, items_p, remained)
+        return (items_k, items_p) if with_payload else items_k
+
+    # ------------------------------------------------------------------
+    def _partial_deletemin(self, count: int):
+        """Alg.2 PARTIAL_DELETEMIN (lines 15-31); root lock is held.
+
+        Returns ``(True, keys, payload)`` when the request was fully
+        served (root lock released) or ``(False, keys, payload)`` when
+        a refill + heapify is needed (root lock still held, root state
+        EMPTY).
+        """
+        store, m = self.store, self.model
+        root = store.root
+        no_k = np.empty(0, dtype=store.dtype)
+        no_p = np.empty((0, store.payload_width), dtype=store.payload_dtype)
+
+        if store.heap_size == 0:  # lines 16-17: empty queue
+            self.stats["partial_delete"] += 1
+            yield Release(store.root_lock)
+            yield Compute(m.lock_release_ns())
+            return True, no_k, no_p
+
+        if count < root.count:  # lines 18-20: root alone suffices
+            items_k, items_p = root.take_front_records(count)
+            self.stats["partial_delete"] += 1
+            yield Compute(m.global_read_ns(count) + m.global_write_ns(root.count))
+            yield Release(store.root_lock)
+            yield Compute(m.lock_release_ns())
+            return True, items_k, items_p
+
+        # lines 21-22: drain the root
+        items_k, items_p = root.take_front_records(root.count)
+        yield Compute(m.global_read_ns(items_k.size))
+
+        if store.heap_size == 1:  # lines 23-29: refill from the buffer
+            if self.pbuffer.size:
+                root.set_keys(self.pbuffer, self.pbuffer_pay)  # buffer kept sorted
+                self.pbuffer, self.pbuffer_pay = no_k, no_p
+                yield Compute(m.global_write_ns(root.count))
+            take = min(count - items_k.size, root.count)
+            if take > 0:
+                extra_k, extra_p = root.take_front_records(take)
+                items_k = np.concatenate([items_k, extra_k])
+                items_p = np.concatenate([items_p, extra_p])
+                yield Compute(m.global_read_ns(take))
+            if root.count == 0:
+                # deviation from the pseudocode (documented in DESIGN.md):
+                # a fully drained one-node heap resets to empty so the
+                # next insert lands keys directly in the root.
+                store.heap_size = 0
+                root.state = EMPTY
+            self.stats["partial_delete"] += 1
+            yield Release(store.root_lock)
+            yield Compute(m.lock_release_ns())
+            return True, items_k, items_p
+
+        # lines 30-31: a full refill is needed
+        root.state = EMPTY
+        yield Compute(m.state_rmw_ns())
+        return False, items_k, items_p
+
+    # ------------------------------------------------------------------
+    def _deletemin_heapify(self, items_k: np.ndarray, items_p: np.ndarray, remained: int):
+        """Alg.3 DELETEMIN_HEAPIFY, iteratively.
+
+        Entered holding the root lock with the root refilled (AVAIL, k
+        keys).  At each level both children are locked, the sibling
+        pair is balanced with one SORT_SPLIT, the current node against
+        the smaller sibling with another, and the walk descends into
+        the child that received the larger keys.  ``remained`` keys are
+        extracted from the root exactly once, at the moment the root's
+        final content is known.
+        """
+        store, m = self.store, self.model
+        cur = 1
+        extracted = False
+
+        def extract(node):
+            nonlocal items_k, items_p, extracted
+            take = min(remained, node.count)
+            if take > 0:
+                got_k, got_p = node.take_front_records(take)
+                items_k = np.concatenate([items_k, got_k])
+                items_p = np.concatenate([items_p, got_p])
+            extracted = True
+            return take
+
+        while True:
+            cur_node = store.node(cur)
+            l, r = left(cur), right(cur)
+            locked = []
+            for c in (l, r):
+                if store.in_bounds(c):
+                    yield Acquire(store.lock(c))
+                    yield Compute(m.lock_acquire_ns())
+                    locked.append(c)
+            avail = [
+                c for c in locked
+                if store.node(c).state == AVAIL and store.node(c).count
+            ]
+
+            # Alg.3 line 4: heap property already satisfied?  (TARGET /
+            # EMPTY children carry no keys — automatically satisfied.)
+            satisfied = (
+                not avail
+                or cur_node.empty
+                or cur_node.max_key()
+                <= min(store.node(c).min_key() for c in avail)
+            )
+            if satisfied:
+                if cur == 1 and not extracted:
+                    n = extract(cur_node)
+                    yield Compute(m.global_read_ns(n))
+                for c in (cur, *locked):
+                    yield Release(store.lock(c))
+                    yield Compute(m.lock_release_ns())
+                return items_k, items_p
+
+            if len(avail) == 2:
+                nl, nr = store.node(l), store.node(r)
+                # line 9: x = child with the larger max keeps the large half
+                x, y = (l, r) if nl.max_key() > nr.max_key() else (r, l)
+                ma = min(self.k, nl.count + nr.count)
+                sk, sp, lk, lp = sort_split_payload(
+                    nl.keys(), nl.payload(), nr.keys(), nr.payload(), ma=ma
+                )
+                store.node(y).set_keys(sk, sp)
+                store.node(x).set_keys(lk, lp)
+                yield Compute(m.node_sort_split_ns(nl.count, nr.count))
+                yield Release(store.lock(x))  # line 11
+                yield Compute(m.lock_release_ns())
+            else:
+                # one keyed child: release the keyless sibling, balance
+                # against the keyed one and descend into it.
+                y = avail[0]
+                for c in locked:
+                    if c != y:
+                        yield Release(store.lock(c))
+                        yield Compute(m.lock_release_ns())
+
+            # line 12: current node keeps the small half
+            y_node = store.node(y)
+            sk, sp, lk, lp = sort_split_payload(
+                cur_node.keys(), cur_node.payload(),
+                y_node.keys(), y_node.payload(),
+                ma=cur_node.count,
+            )
+            cur_node.set_keys(sk, sp)
+            y_node.set_keys(lk, lp)
+            yield Compute(m.node_sort_split_ns(cur_node.count, y_node.count))
+
+            if cur == 1 and not extracted:  # line 13
+                n = extract(cur_node)
+                yield Compute(m.global_read_ns(n))
+
+            yield Release(store.lock(cur))  # line 14
+            yield Compute(m.lock_release_ns())
+            cur = y  # line 15: descend

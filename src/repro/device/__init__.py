@@ -1,0 +1,22 @@
+"""Machine model: device specifications, launch shapes, cost models.
+
+See :mod:`repro.device.spec` for the TITAN X / Xeon E7-4870 parameter
+sets and :mod:`repro.device.costmodel` for the work→nanoseconds
+translation used by every simulated data structure.
+"""
+
+from .costmodel import CpuCostModel, GpuCostModel
+from .kernels import GpuContext, launch
+from .spec import TITAN_X, XEON_E7_4870, CpuSpec, GpuSpec, LaunchConfig
+
+__all__ = [
+    "CpuCostModel",
+    "CpuSpec",
+    "GpuContext",
+    "GpuCostModel",
+    "GpuSpec",
+    "LaunchConfig",
+    "TITAN_X",
+    "XEON_E7_4870",
+    "launch",
+]

@@ -1,0 +1,63 @@
+"""Kernel-launch abstraction: map a launch shape onto simulator threads.
+
+On the real hardware, BGPQ is driven by a persistent kernel of
+``blocks × threads_per_block`` threads in which each *thread block*
+performs whole-batch operations cooperatively.  In the reproduction a
+simulated thread therefore models one thread block; this module owns
+that correspondence and the arithmetic around residency/occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Iterable
+
+from ..sim.engine import Engine
+from ..sim.thread import SimThread
+from .costmodel import GpuCostModel
+from .spec import GpuSpec, LaunchConfig, TITAN_X
+
+__all__ = ["GpuContext", "launch"]
+
+
+@dataclass(frozen=True)
+class GpuContext:
+    """Everything a GPU-resident data structure needs to charge time.
+
+    Bundles the device spec, the launch shape, and the derived cost
+    model.  Passed to BGPQ and P-Sync at construction.
+    """
+
+    spec: GpuSpec
+    launch_config: LaunchConfig
+    item_bytes: int = 4
+
+    @property
+    def model(self) -> GpuCostModel:
+        return GpuCostModel(self.spec, self.launch_config, self.item_bytes)
+
+    @property
+    def n_blocks(self) -> int:
+        return self.launch_config.blocks
+
+    @classmethod
+    def default(cls, blocks: int = 128, threads_per_block: int = 512,
+                spec: GpuSpec = TITAN_X, item_bytes: int = 4) -> "GpuContext":
+        """The paper's §6.1 configuration: 128 blocks × 512 threads."""
+        return cls(spec, LaunchConfig(blocks, threads_per_block), item_bytes)
+
+
+def launch(
+    engine: Engine,
+    ctx: GpuContext,
+    block_fn: Callable[[int], Generator],
+    name: str = "blk",
+) -> list[SimThread]:
+    """Spawn one simulated thread per thread block of a kernel.
+
+    ``block_fn(block_id)`` returns the generator body for that block.
+    Returns the spawned handles; call ``engine.run()`` to execute.
+    """
+    return [
+        engine.spawn(block_fn(b), name=f"{name}{b}") for b in range(ctx.n_blocks)
+    ]

@@ -1,0 +1,154 @@
+"""Machine specifications for the simulated testbeds.
+
+Two parameter sets mirror the paper's hardware (§6.1):
+
+* :data:`TITAN_X` — NVIDIA TITAN X (Pascal): 28 SMs × 128 cores,
+  warp size 32, ~480 GB/s GDDR5X, ~1.4 GHz.
+* :data:`XEON_E7_4870` — 4-socket Intel Xeon E7-4870: 4 × 10 cores ×
+  2 SMT = 80 hardware threads at 2.4 GHz, large NUMA memory.
+
+The latency/bandwidth figures are public microbenchmark numbers for
+these parts; they feed the cost models in
+:mod:`repro.device.costmodel`.  Absolute simulated times are *not*
+expected to match the paper's wall clock, but because both platforms
+are parameterised from the same era of hardware the speedup ratios
+land in the paper's reported bands (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["GpuSpec", "CpuSpec", "TITAN_X", "XEON_E7_4870", "LaunchConfig"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static parameters of a simulated GPU."""
+
+    name: str
+    num_sms: int
+    cores_per_sm: int
+    warp_size: int
+    clock_ghz: float
+    mem_bandwidth_gbps: float
+    global_latency_ns: float
+    shared_latency_ns: float
+    #: latency of one global-memory atomic (CAS / exchange / add)
+    atomic_ns: float
+    #: fixed cost of __syncthreads() for a block, before the per-warp term
+    block_sync_base_ns: float
+    #: additional sync cost per resident warp in the block
+    block_sync_per_warp_ns: float
+    #: grid-wide synchronisation (kernel relaunch / cooperative sync).
+    #: This is the dominant overhead of barrier-per-stage designs such
+    #: as the P-Sync baseline.
+    kernel_barrier_ns: float
+    #: max resident threads per SM (occupancy cap)
+    max_threads_per_sm: int
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_sms * self.cores_per_sm
+
+    def per_sm_bandwidth_gbps(self) -> float:
+        """Sustained bandwidth available to a single SM's accesses."""
+        return self.mem_bandwidth_gbps / self.num_sms
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static parameters of a simulated multi-socket CPU host."""
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    smt: int
+    clock_ghz: float
+    #: average latency of a cache-missing load (pointer chase), in ns —
+    #: the dominant cost of skip-list / linked-list traversals
+    cache_miss_ns: float
+    #: L1/L2-hit access
+    cache_hit_ns: float
+    #: one comparison + branch on in-register data
+    op_ns: float
+    #: uncontended atomic (CAS / fetch-add) including fence
+    atomic_ns: float
+    #: extra penalty when the cache line is owned by another socket
+    #: (coherence miss) — what makes hot heads/roots expensive at 80 threads
+    coherence_miss_ns: float
+    cache_line_bytes: int = 64
+
+    @property
+    def hw_threads(self) -> int:
+        return self.sockets * self.cores_per_socket * self.smt
+
+
+#: NVIDIA TITAN X (Pascal) as used in the paper's GPU experiments.
+TITAN_X = GpuSpec(
+    name="NVIDIA TITAN X (Pascal)",
+    num_sms=28,
+    cores_per_sm=128,
+    warp_size=32,
+    clock_ghz=1.417,
+    mem_bandwidth_gbps=480.0,
+    global_latency_ns=350.0,
+    shared_latency_ns=25.0,
+    atomic_ns=220.0,
+    block_sync_base_ns=30.0,
+    block_sync_per_warp_ns=4.0,
+    kernel_barrier_ns=3500.0,
+    max_threads_per_sm=2048,
+)
+
+#: Four-socket Intel Xeon E7-4870 host used for the CPU baselines.
+XEON_E7_4870 = CpuSpec(
+    name="4x Intel Xeon E7-4870",
+    sockets=4,
+    cores_per_socket=10,
+    smt=2,
+    clock_ghz=2.4,
+    cache_miss_ns=110.0,
+    cache_hit_ns=4.0,
+    op_ns=0.6,
+    atomic_ns=45.0,
+    coherence_miss_ns=220.0,
+)
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """A GPU kernel launch shape: how many blocks, how wide each block.
+
+    The paper's default configuration (§6.1) is 128 thread blocks of
+    512 threads with 1024 keys per batch node.
+    """
+
+    blocks: int = 128
+    threads_per_block: int = 512
+
+    def __post_init__(self) -> None:
+        if self.blocks < 1:
+            raise ConfigurationError(f"blocks must be >= 1, got {self.blocks}")
+        if self.threads_per_block < 1:
+            raise ConfigurationError(
+                f"threads_per_block must be >= 1, got {self.threads_per_block}"
+            )
+        if self.threads_per_block & (self.threads_per_block - 1):
+            raise ConfigurationError(
+                f"threads_per_block must be a power of two, got {self.threads_per_block}"
+            )
+
+    @property
+    def total_threads(self) -> int:
+        return self.blocks * self.threads_per_block
+
+    def resident_blocks(self, spec: GpuSpec) -> int:
+        """How many of the launched blocks can be resident at once."""
+        per_sm = max(1, spec.max_threads_per_sm // self.threads_per_block)
+        return min(self.blocks, per_sm * spec.num_sms)
+
+    def warps_per_block(self, spec: GpuSpec) -> int:
+        return max(1, self.threads_per_block // spec.warp_size)

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so
+callers can catch library failures with a single except clause while
+letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event simulator."""
+
+
+class DeadlockError(SimulationError):
+    """All live threads are blocked and no progress is possible.
+
+    Carries the names of the blocked threads and what each is blocked
+    on, which makes lock-ordering bugs in queue implementations easy to
+    diagnose from the test failure alone.
+    """
+
+    def __init__(self, blocked: dict[str, str]):
+        self.blocked = dict(blocked)
+        detail = ", ".join(f"{t} waiting on {w}" for t, w in sorted(self.blocked.items()))
+        super().__init__(f"deadlock: {detail}")
+
+
+class LockProtocolError(SimulationError):
+    """A lock was released by a non-owner or acquired reentrantly."""
+
+
+class SimThreadError(SimulationError):
+    """A simulated thread raised an exception; wraps the original."""
+
+    def __init__(self, thread_name: str, original: BaseException):
+        self.thread_name = thread_name
+        self.original = original
+        super().__init__(f"simulated thread {thread_name!r} failed: {original!r}")
+
+
+class CapacityError(ReproError):
+    """A fixed-capacity structure (heap array, chunk pool) overflowed."""
+
+
+class EmptyError(ReproError):
+    """An operation required keys that the structure does not hold."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid device, queue, or experiment configuration."""
+
+
+class LinearizabilityError(ReproError):
+    """A recorded concurrent history admits no legal sequential witness."""
+
+    def __init__(self, message: str, history=None):
+        self.history = history
+        super().__init__(message)

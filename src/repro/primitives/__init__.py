@@ -1,0 +1,34 @@
+"""GPU data-parallel primitives, executed stage-accurately on the host.
+
+* :mod:`~repro.primitives.bitonic` — bitonic sorting network.
+* :mod:`~repro.primitives.mergepath` — GPU Merge Path merging.
+* :mod:`~repro.primitives.sortsplit` — the paper's SORT_SPLIT.
+* :mod:`~repro.primitives.scan` — Blelloch prefix scan.
+* :mod:`~repro.primitives.compaction` — stream compaction.
+"""
+
+from .bitonic import bitonic_sort, bitonic_stage_count, is_power_of_two, next_power_of_two
+from .compaction import compact, compact_payload, partition_flags
+from .mergepath import merge, merge_path_partitions, merge_with_payload
+from .scan import exclusive_scan, inclusive_scan, scan_stage_count, segmented_reduce
+from .sortsplit import check_sorted, sort_split, sort_split_payload
+
+__all__ = [
+    "bitonic_sort",
+    "bitonic_stage_count",
+    "check_sorted",
+    "compact",
+    "compact_payload",
+    "exclusive_scan",
+    "inclusive_scan",
+    "is_power_of_two",
+    "merge",
+    "merge_path_partitions",
+    "merge_with_payload",
+    "next_power_of_two",
+    "partition_flags",
+    "scan_stage_count",
+    "segmented_reduce",
+    "sort_split",
+    "sort_split_payload",
+]

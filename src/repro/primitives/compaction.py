@@ -1,0 +1,41 @@
+"""Stream compaction: keep the elements a predicate selects.
+
+On a GPU this is scan + scatter; here the scan from
+:mod:`repro.primitives.scan` computes the output offsets so the data
+path matches the device algorithm, and tests can cross-check against
+boolean indexing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .scan import exclusive_scan
+
+__all__ = ["compact", "compact_payload", "partition_flags"]
+
+
+def compact(values: np.ndarray, keep: np.ndarray) -> np.ndarray:
+    """Return ``values[keep]`` computed via scan + scatter."""
+    values = np.asarray(values)
+    keep = np.asarray(keep, dtype=bool)
+    if values.shape[0] != keep.shape[0]:
+        raise ValueError("mask length mismatch")
+    offsets = exclusive_scan(keep.astype(np.int64))
+    total = int(offsets[-1] + keep[-1]) if keep.size else 0
+    out = np.empty((total,) + values.shape[1:], dtype=values.dtype)
+    out[offsets[keep]] = values[keep]
+    return out
+
+
+def compact_payload(
+    values: np.ndarray, payload: np.ndarray, keep: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compact keys and their payload rows with one shared scan."""
+    return compact(values, keep), compact(payload, keep)
+
+
+def partition_flags(values: np.ndarray, keep: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split into (kept, dropped) preserving relative order."""
+    keep = np.asarray(keep, dtype=bool)
+    return compact(values, keep), compact(values, ~keep)

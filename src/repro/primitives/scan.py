@@ -1,0 +1,64 @@
+"""Work-efficient parallel prefix scan (Blelloch) and friends.
+
+The applications use scans for stream compaction (A* frontier
+deduplication, knapsack pruning).  As with the sort/merge primitives,
+the scan here executes the actual up-sweep/down-sweep network so stage
+counts match what a GPU implementation performs, with each stage as one
+vectorised operation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitonic import next_power_of_two
+
+__all__ = ["exclusive_scan", "inclusive_scan", "scan_stage_count", "segmented_reduce"]
+
+
+def scan_stage_count(n: int) -> int:
+    """Up-sweep + down-sweep stages for ``n`` elements: ``2*log2(n)``."""
+    m = next_power_of_two(max(1, n))
+    return 2 * (m.bit_length() - 1)
+
+
+def exclusive_scan(values: np.ndarray) -> np.ndarray:
+    """Blelloch exclusive prefix sum via explicit up/down sweeps."""
+    values = np.asarray(values)
+    n = values.size
+    if n == 0:
+        return values.copy()
+    m = next_power_of_two(n)
+    work = np.zeros(m, dtype=values.dtype if values.dtype.kind in "iuf" else np.int64)
+    work[:n] = values
+    # up-sweep (reduce)
+    d = 1
+    while d < m:
+        idx = np.arange(2 * d - 1, m, 2 * d)
+        work[idx] += work[idx - d]
+        d *= 2
+    # down-sweep
+    work[m - 1] = 0
+    d = m // 2
+    while d >= 1:
+        idx = np.arange(2 * d - 1, m, 2 * d)
+        left = work[idx - d].copy()
+        work[idx - d] = work[idx]
+        work[idx] += left
+        d //= 2
+    return work[:n]
+
+
+def inclusive_scan(values: np.ndarray) -> np.ndarray:
+    """Inclusive prefix sum built from the exclusive scan."""
+    values = np.asarray(values)
+    return exclusive_scan(values) + values
+
+
+def segmented_reduce(values: np.ndarray, segment_ids: np.ndarray, n_segments: int) -> np.ndarray:
+    """Sum ``values`` within each segment id (used by batched A*)."""
+    values = np.asarray(values)
+    segment_ids = np.asarray(segment_ids)
+    out = np.zeros(n_segments, dtype=values.dtype)
+    np.add.at(out, segment_ids, values)
+    return out

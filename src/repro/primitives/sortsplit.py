@@ -1,0 +1,79 @@
+"""The paper's SORT_SPLIT primitive (§4).
+
+Formally, for sorted inputs Z (Na keys) and W (Nb keys) and a split
+point Ma::
+
+    (X[1:Ma], Y[1:Mb]) <- SORT_SPLIT(Z, Na, W, Nb, Ma)
+      s.t. (X, Y) = sorted(Z, W),  Ma + Mb = Na + Nb,
+           max(X) <= min(Y),  X sorted,  Y sorted
+
+i.e. X receives the Ma smallest keys of Z ∪ W in sorted order and Y the
+rest.  Every inter-node operation in BGPQ — root/insert merge, buffer
+overflow extraction, sibling balancing, parent/child heapify — is one
+SORT_SPLIT, which is why making it a fast cooperative primitive gives
+the whole queue its data parallelism.
+
+Built on :func:`repro.primitives.mergepath.merge`; a payload-carrying
+variant moves (key, value) records for the applications.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .mergepath import merge, merge_with_payload
+
+__all__ = ["sort_split", "sort_split_payload", "check_sorted"]
+
+
+def check_sorted(arr: np.ndarray, name: str = "input") -> None:
+    """Raise ValueError if ``arr`` is not non-decreasing."""
+    arr = np.asarray(arr)
+    if arr.size > 1 and np.any(arr[:-1] > arr[1:]):
+        raise ValueError(f"SORT_SPLIT requires sorted {name}")
+
+
+def sort_split(
+    z: np.ndarray,
+    w: np.ndarray,
+    ma: int | None = None,
+    *,
+    validate: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge sorted ``z`` and ``w``; return (Ma smallest, the rest).
+
+    ``ma`` defaults to ``len(z)`` — the common case of balancing a
+    parent node against a child (the paper's "two full nodes" default).
+    ``validate=True`` checks the sortedness precondition (used in tests
+    and debug runs; the hot path trusts its callers, as the kernel
+    would).
+    """
+    z = np.asarray(z)
+    w = np.asarray(w)
+    if ma is None:
+        ma = z.size
+    if not 0 <= ma <= z.size + w.size:
+        raise ValueError(f"split point {ma} outside [0, {z.size + w.size}]")
+    if validate:
+        check_sorted(z, "Z")
+        check_sorted(w, "W")
+    merged = merge(z, w)
+    return merged[:ma], merged[ma:]
+
+
+def sort_split_payload(
+    z: np.ndarray,
+    pz: np.ndarray,
+    w: np.ndarray,
+    pw: np.ndarray,
+    ma: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Payload-carrying SORT_SPLIT: returns (X, PX, Y, PY)."""
+    z = np.asarray(z)
+    w = np.asarray(w)
+    if ma is None:
+        ma = z.size
+    if not 0 <= ma <= z.size + w.size:
+        raise ValueError(f"split point {ma} outside [0, {z.size + w.size}]")
+    keys, payload = merge_with_payload(z, pz, w, pw)
+    return keys[:ma], payload[:ma], keys[ma:], payload[ma:]

@@ -1,0 +1,74 @@
+"""Discrete-event simulator for concurrent threads.
+
+This package provides the concurrency substrate for the BGPQ
+reproduction: generator-based simulated threads, FIFO-queued locks,
+conditions, barriers, atomics, deterministic seeded scheduling, and a
+trace facility for linearizability checking.
+
+Quick example::
+
+    from repro.sim import Engine, SimLock, Compute, Acquire, Release
+
+    lock = SimLock("root")
+    counter = [0]
+
+    def worker():
+        for _ in range(3):
+            yield Acquire(lock)
+            yield Compute(10.0)
+            counter[0] += 1
+            yield Release(lock)
+
+    eng = Engine(seed=1)
+    eng.spawn_all(worker() for _ in range(4))
+    makespan = eng.run()
+    assert counter[0] == 12
+"""
+
+from .effects import (
+    Acquire,
+    Atomic,
+    BarrierWait,
+    Compute,
+    Effect,
+    Fork,
+    Join,
+    Label,
+    Release,
+    Signal,
+    Wait,
+)
+from .engine import Engine, LabelRecord
+from .stats import LockStats, RunStats, snapshot
+from .sync import AtomicCell, Barrier, Condition, SimLock
+from .thread import SimThread
+from .trace import INVOKE, RESPOND, HistoryRecorder, OpRecord, collect_history
+
+__all__ = [
+    "Acquire",
+    "Atomic",
+    "AtomicCell",
+    "Barrier",
+    "BarrierWait",
+    "Compute",
+    "Condition",
+    "Effect",
+    "Engine",
+    "Fork",
+    "HistoryRecorder",
+    "INVOKE",
+    "Join",
+    "Label",
+    "LabelRecord",
+    "LockStats",
+    "OpRecord",
+    "Release",
+    "RESPOND",
+    "RunStats",
+    "Signal",
+    "SimLock",
+    "SimThread",
+    "snapshot",
+    "Wait",
+    "collect_history",
+]

@@ -1,0 +1,202 @@
+"""Effect vocabulary for simulated threads.
+
+A simulated thread is a Python generator.  Instead of performing
+blocking operations directly, it *yields* one of the effect objects
+defined here; the :class:`~repro.sim.engine.Engine` interprets the
+effect, advances the thread's private clock, and resumes the generator
+with the effect's result (via ``gen.send``).
+
+This mirrors how an algorithm written for real hardware interleaves
+computation with synchronisation: the effect stream is the sequence of
+*globally visible* actions, and everything between two effects is
+thread-private work that the cost model charges via :class:`Compute`.
+
+Effects are deliberately tiny ``__slots__`` classes — benchmark runs
+process millions of them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = [
+    "Effect",
+    "Compute",
+    "Acquire",
+    "Release",
+    "Atomic",
+    "Wait",
+    "Signal",
+    "BarrierWait",
+    "Fork",
+    "Join",
+    "Label",
+]
+
+
+class Effect:
+    """Base class; exists only for isinstance checks and documentation."""
+
+    __slots__ = ()
+
+
+class Compute(Effect):
+    """Advance this thread's clock by ``ns`` simulated nanoseconds.
+
+    This is the only way simulated time accrues for thread-private
+    work.  The engine returns ``None``.
+    """
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns: float):
+        if ns < 0:
+            raise ValueError(f"negative compute time: {ns}")
+        self.ns = ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Compute({self.ns:g})"
+
+
+class Acquire(Effect):
+    """Block until ``lock`` is granted to this thread (FIFO order).
+
+    Contention is modelled faithfully: the waiting thread's clock jumps
+    to the moment the previous holder releases, so queueing delay at a
+    hot lock (e.g. a priority-queue root) appears directly in the
+    simulated makespan.
+    """
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock):
+        self.lock = lock
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Acquire({self.lock.name})"
+
+
+class Release(Effect):
+    """Release ``lock``; raises LockProtocolError if not the owner."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock):
+        self.lock = lock
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Release({self.lock.name})"
+
+
+class Atomic(Effect):
+    """Run ``fn()`` instantaneously and atomically; result is returned.
+
+    Used for hardware atomics (CAS, fetch-and-add, state reads under a
+    lock already held).  ``ns`` charges the atomic's latency.
+    """
+
+    __slots__ = ("fn", "ns")
+
+    def __init__(self, fn: Callable[[], Any], ns: float = 0.0):
+        self.fn = fn
+        self.ns = ns
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Atomic({getattr(self.fn, '__name__', '<fn>')})"
+
+
+class Wait(Effect):
+    """Block on a :class:`~repro.sim.sync.Condition` until signalled.
+
+    Returns the value passed to :class:`Signal`.  The engine charges no
+    time beyond the wait itself; a spinning wait's burned cycles are
+    indistinguishable from blocking at the makespan level.
+
+    With a ``predicate``, this models the classic
+    *spin-until-condition* idiom race-free: the engine evaluates the
+    predicate atomically when processing the effect (continue
+    immediately if already true) and re-evaluates it at every signal,
+    waking the thread only once it holds.  BGPQ's deleter uses this to
+    wait for a collaborating inserter to refill the root.
+    """
+
+    __slots__ = ("condition", "predicate")
+
+    def __init__(self, condition, predicate: Callable[[], bool] | None = None):
+        self.condition = condition
+        self.predicate = predicate
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Wait({self.condition.name})"
+
+
+class Signal(Effect):
+    """Wake every thread waiting on a condition, delivering ``value``."""
+
+    __slots__ = ("condition", "value")
+
+    def __init__(self, condition, value: Any = None):
+        self.condition = condition
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Signal({self.condition.name})"
+
+
+class BarrierWait(Effect):
+    """Block until ``barrier.parties`` threads have arrived.
+
+    All participants leave at the max arrival clock plus the barrier's
+    latency — this is what makes P-Sync's stage barriers expensive in
+    the reproduction, exactly as on real hardware.
+    """
+
+    __slots__ = ("barrier",)
+
+    def __init__(self, barrier):
+        self.barrier = barrier
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BarrierWait({self.barrier.name})"
+
+
+class Fork(Effect):
+    """Spawn a new simulated thread running ``gen``; returns its handle."""
+
+    __slots__ = ("gen", "name")
+
+    def __init__(self, gen, name: str | None = None):
+        self.gen = gen
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Fork({self.name or '<anon>'})"
+
+
+class Join(Effect):
+    """Block until the forked thread ``handle`` finishes; returns its value."""
+
+    __slots__ = ("handle",)
+
+    def __init__(self, handle):
+        self.handle = handle
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Join({self.handle.name})"
+
+
+class Label(Effect):
+    """Zero-cost trace marker; shows up in the engine's event trace.
+
+    Used by the linearizability recorder to mark operation invocation
+    and response points without perturbing timing.
+    """
+
+    __slots__ = ("tag", "payload")
+
+    def __init__(self, tag: str, payload: Any = None):
+        self.tag = tag
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Label({self.tag})"

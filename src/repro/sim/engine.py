@@ -1,0 +1,273 @@
+"""Discrete-event engine for simulated concurrency.
+
+The engine executes a set of generator-based threads, each with a
+private clock, in *earliest-clock-first* order.  Ties are broken by a
+seeded random draw so that a test can explore many distinct
+interleavings deterministically by varying the seed — this is what the
+linearizability tests rely on.
+
+Design notes
+------------
+* The only shared mutable state is Python objects the threads close
+  over; the engine guarantees that between two yields a thread runs
+  without preemption, so a yielded :class:`~repro.sim.effects.Atomic`
+  effect is exactly a hardware atomic and plain attribute mutation
+  between yields models thread-private work on data the thread owns
+  (e.g. a locked heap node).
+* Blocked threads leave the ready heap entirely; a run that empties the
+  heap with blocked threads outstanding raises
+  :class:`~repro.errors.DeadlockError` naming every blocked thread.
+* Hot path: consecutive cheap effects (Compute/Atomic/Label) from the
+  same thread are executed inline without re-heaping while the thread
+  remains the earliest — benchmark runs push millions of effects
+  through this loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable, Generator, Iterable
+
+from ..errors import DeadlockError, LockProtocolError, SimThreadError
+from . import effects as fx
+from .sync import Barrier, Condition, SimLock
+from .thread import BLOCKED, FAILED, FINISHED, READY, SimThread
+
+__all__ = ["Engine", "LabelRecord"]
+
+
+class LabelRecord:
+    """A recorded :class:`~repro.sim.effects.Label` occurrence."""
+
+    __slots__ = ("time", "thread", "tag", "payload")
+
+    def __init__(self, time: float, thread: str, tag: str, payload: Any):
+        self.time = time
+        self.thread = thread
+        self.tag = tag
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LabelRecord({self.time:g}, {self.thread}, {self.tag})"
+
+
+class Engine:
+    """Deterministic discrete-event executor for simulated threads.
+
+    Parameters
+    ----------
+    seed:
+        Seed for scheduling tie-breaks.  Two runs with the same seed and
+        the same spawned generators produce identical interleavings.
+    record_labels:
+        When True, :class:`Label` effects are appended to
+        :attr:`labels` (used by the linearizability recorder).
+    """
+
+    def __init__(self, seed: int = 0, record_labels: bool = False):
+        self._rng = random.Random(seed)
+        self._ready: list = []  # heap of (clock, tiebreak, seq, SimThread)
+        self._seq = itertools.count()
+        self._threads: list[SimThread] = []
+        self._names: set[str] = set()
+        self.record_labels = record_labels
+        self.labels: list[LabelRecord] = []
+        self.events = 0
+        self.now = 0.0  # clock of the most recently run thread
+        self._blocked_count = 0
+        self._max_events: int | None = None
+
+    # ------------------------------------------------------------------
+    # thread management
+    # ------------------------------------------------------------------
+    def spawn(self, gen: Generator, name: str | None = None, at: float = 0.0) -> SimThread:
+        """Register a generator as a simulated thread starting at time ``at``."""
+        if name is None:
+            name = f"t{len(self._threads)}"
+        if name in self._names:
+            name = f"{name}#{len(self._threads)}"
+        self._names.add(name)
+        t = SimThread(name, gen, clock=at)
+        self._threads.append(t)
+        self._push(t)
+        return t
+
+    def spawn_all(self, gens: Iterable[Generator], prefix: str = "t") -> list[SimThread]:
+        return [self.spawn(g, name=f"{prefix}{i}") for i, g in enumerate(gens)]
+
+    @property
+    def threads(self) -> list[SimThread]:
+        return list(self._threads)
+
+    def _push(self, t: SimThread) -> None:
+        t.state = READY
+        t.blocked_on = None
+        heapq.heappush(self._ready, (t.clock, self._rng.random(), next(self._seq), t))
+
+    def _block(self, t: SimThread, reason: str) -> None:
+        t.state = BLOCKED
+        t.blocked_on = reason
+        t.wait_started = t.clock
+        self._blocked_count += 1
+
+    def _unblock(self, t: SimThread, at: float, send_value: Any = None) -> None:
+        if t.clock < at:
+            t.clock = at
+        t.send_value = send_value
+        self._blocked_count -= 1
+        self._push(t)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, max_events: int | None = None) -> float:
+        """Run until all threads finish; returns the makespan in ns.
+
+        Raises :class:`DeadlockError` if progress stops with blocked
+        threads, and re-raises (wrapped) any exception a thread throws.
+        """
+        self._max_events = max_events
+        ready = self._ready
+        while ready:
+            clock, _, _, t = heapq.heappop(ready)
+            if t.state is not READY:  # cancelled/stale entry
+                continue
+            self.now = t.clock
+            self._step(t)
+        if self._blocked_count:
+            blocked = {
+                th.name: th.blocked_on or "?" for th in self._threads if th.state == BLOCKED
+            }
+            raise DeadlockError(blocked)
+        return self.makespan()
+
+    def makespan(self) -> float:
+        """Max finish clock over all threads (simulated ns)."""
+        if not self._threads:
+            return 0.0
+        return max(t.clock for t in self._threads)
+
+    # ------------------------------------------------------------------
+    # effect interpretation
+    # ------------------------------------------------------------------
+    def _step(self, t: SimThread) -> None:
+        """Run ``t`` until it blocks, finishes, or falls behind the heap."""
+        ready = self._ready
+        gen = t.gen
+        send_value = t.send_value
+        t.send_value = None
+        while True:
+            try:
+                eff = gen.send(send_value)
+            except StopIteration as stop:
+                t.state = FINISHED
+                t.result = stop.value
+                for j in t.joiners:
+                    self._unblock(j, t.clock, stop.value)
+                t.joiners.clear()
+                return
+            except Exception as exc:  # noqa: BLE001 - wrap and surface
+                t.state = FAILED
+                raise SimThreadError(t.name, exc) from exc
+            self.events += 1
+            t.steps += 1
+            if self._max_events is not None and self.events > self._max_events:
+                raise RuntimeError(f"exceeded max_events={self._max_events}")
+            send_value = None
+            cls = eff.__class__
+            if cls is fx.Compute:
+                t.clock += eff.ns
+            elif cls is fx.Atomic:
+                t.clock += eff.ns
+                send_value = eff.fn()
+            elif cls is fx.Label:
+                if self.record_labels:
+                    self.labels.append(LabelRecord(t.clock, t.name, eff.tag, eff.payload))
+                continue  # zero cost, keep running
+            elif cls is fx.Acquire:
+                lock: SimLock = eff.lock
+                lock.acquisitions += 1
+                if lock.owner is None:
+                    lock.owner = t
+                    lock._acquired_at = t.clock
+                else:
+                    lock.contended_acquisitions += 1
+                    lock.waiters.append(t)
+                    self._block(t, f"lock:{lock.name}")
+                    return
+            elif cls is fx.Release:
+                self._release(t, eff.lock)
+            elif cls is fx.Wait:
+                cond: Condition = eff.condition
+                if eff.predicate is not None and eff.predicate():
+                    send_value = None  # condition already holds; no wait
+                else:
+                    cond.waiters.append((t, eff.predicate))
+                    self._block(t, f"cond:{cond.name}")
+                    return
+            elif cls is fx.Signal:
+                cond = eff.condition
+                cond.signals += 1
+                still_waiting = []
+                while cond.waiters:
+                    w, pred = cond.waiters.popleft()
+                    if pred is not None and not pred():
+                        still_waiting.append((w, pred))
+                        continue
+                    cond.total_wait_ns += max(0.0, t.clock - w.wait_started)
+                    self._unblock(w, t.clock, eff.value)
+                cond.waiters.extend(still_waiting)
+            elif cls is fx.BarrierWait:
+                bar: Barrier = eff.barrier
+                bar.arrived.append(t)
+                if len(bar.arrived) >= bar.parties:
+                    bar.waits += 1
+                    bar.generation += 1
+                    release_at = max(th.clock for th in bar.arrived) + bar.latency_ns
+                    for th in bar.arrived:
+                        if th is not t:
+                            self._unblock(th, release_at, None)
+                    bar.arrived.clear()
+                    t.clock = max(t.clock, release_at)
+                else:
+                    self._block(t, f"barrier:{bar.name}")
+                    return
+            elif cls is fx.Fork:
+                child = self.spawn(eff.gen, name=eff.name, at=t.clock)
+                send_value = child
+            elif cls is fx.Join:
+                target: SimThread = eff.handle
+                if target.state == FINISHED:
+                    send_value = target.result
+                    if t.clock < target.clock:
+                        t.clock = target.clock
+                else:
+                    target.joiners.append(t)
+                    self._block(t, f"join:{target.name}")
+                    return
+            else:
+                raise TypeError(f"thread {t.name} yielded non-effect {eff!r}")
+            # Cooperative preemption: if another ready thread is now
+            # earlier, requeue and let it run.
+            if ready and ready[0][0] < t.clock:
+                t.send_value = send_value
+                self._push(t)
+                return
+
+    def _release(self, t: SimThread, lock: SimLock) -> None:
+        if lock.owner is not t:
+            owner = lock.owner.name if lock.owner else None
+            raise LockProtocolError(
+                f"{t.name} released {lock.name} owned by {owner}"
+            )
+        lock.total_held_ns += t.clock - lock._acquired_at
+        if lock.waiters:
+            nxt = lock.waiters.popleft()
+            lock.owner = nxt
+            lock.total_wait_ns += max(0.0, t.clock - nxt.wait_started)
+            lock._acquired_at = max(nxt.wait_started, t.clock)
+            self._unblock(nxt, t.clock)
+        else:
+            lock.owner = None

@@ -1,0 +1,80 @@
+"""Run statistics: where did the simulated time go?
+
+A :class:`RunStats` snapshot is produced after an engine run and is
+what the benchmark harness stores for each experiment cell — makespan,
+event counts, and per-lock contention summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .engine import Engine
+from .sync import SimLock
+
+__all__ = ["LockStats", "RunStats", "snapshot"]
+
+
+@dataclass(frozen=True)
+class LockStats:
+    """Contention summary for one lock over a run."""
+
+    name: str
+    acquisitions: int
+    contended: int
+    total_wait_ns: float
+    total_held_ns: float
+
+    @property
+    def contention_ratio(self) -> float:
+        return self.contended / self.acquisitions if self.acquisitions else 0.0
+
+    @property
+    def mean_wait_ns(self) -> float:
+        return self.total_wait_ns / self.contended if self.contended else 0.0
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Aggregate outcome of one simulated run."""
+
+    makespan_ns: float
+    events: int
+    threads: int
+    locks: tuple[LockStats, ...] = field(default_factory=tuple)
+
+    @property
+    def makespan_ms(self) -> float:
+        return self.makespan_ns / 1e6
+
+    def lock(self, name: str) -> LockStats:
+        for ls in self.locks:
+            if ls.name == name:
+                return ls
+        raise KeyError(name)
+
+    def hottest_lock(self) -> LockStats | None:
+        if not self.locks:
+            return None
+        return max(self.locks, key=lambda ls: ls.total_wait_ns)
+
+
+def snapshot(engine: Engine, locks: Iterable[SimLock] = ()) -> RunStats:
+    """Capture a :class:`RunStats` from a finished engine."""
+    lock_stats = tuple(
+        LockStats(
+            name=lk.name,
+            acquisitions=lk.acquisitions,
+            contended=lk.contended_acquisitions,
+            total_wait_ns=lk.total_wait_ns,
+            total_held_ns=lk.total_held_ns,
+        )
+        for lk in locks
+    )
+    return RunStats(
+        makespan_ns=engine.makespan(),
+        events=engine.events,
+        threads=len(engine.threads),
+        locks=lock_stats,
+    )

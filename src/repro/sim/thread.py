@@ -1,0 +1,66 @@
+"""Simulated thread handles.
+
+A :class:`SimThread` wraps a generator and carries the thread-private
+clock.  Threads are created via :meth:`Engine.spawn` or the
+:class:`~repro.sim.effects.Fork` effect.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+__all__ = ["SimThread", "READY", "BLOCKED", "FINISHED", "FAILED"]
+
+READY = "ready"
+BLOCKED = "blocked"
+FINISHED = "finished"
+FAILED = "failed"
+
+
+class SimThread:
+    """Handle for one simulated hardware thread (or thread block).
+
+    Attributes
+    ----------
+    name:
+        Diagnostic name, unique per engine.
+    clock:
+        This thread's private simulated time in nanoseconds.  The
+        engine's makespan is the max over all thread clocks.
+    state:
+        One of ``ready``, ``blocked``, ``finished``, ``failed``.
+    result:
+        The generator's return value once ``finished``.
+    """
+
+    __slots__ = (
+        "name",
+        "gen",
+        "clock",
+        "state",
+        "result",
+        "blocked_on",
+        "joiners",
+        "wait_started",
+        "send_value",
+        "steps",
+    )
+
+    def __init__(self, name: str, gen: Generator, clock: float = 0.0):
+        self.name = name
+        self.gen = gen
+        self.clock = clock
+        self.state = READY
+        self.result: Any = None
+        self.blocked_on: str | None = None
+        self.joiners: list[SimThread] = []
+        self.wait_started = 0.0
+        self.send_value: Any = None
+        self.steps = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.state == FINISHED
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SimThread {self.name} state={self.state} clock={self.clock:g}>"

@@ -1,0 +1,106 @@
+"""Operation-history recording for linearizability checking.
+
+Concurrent priority-queue operations bracket themselves with
+``Label("invoke", ...)`` / ``Label("respond", ...)`` effects; this
+module turns an engine's label stream into a list of
+:class:`OpRecord` intervals suitable for the checker in
+:mod:`repro.core.linearizability`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from .engine import Engine, LabelRecord
+
+__all__ = ["OpRecord", "HistoryRecorder", "collect_history"]
+
+INVOKE = "invoke"
+RESPOND = "respond"
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One completed operation in a concurrent history.
+
+    ``kind`` is ``"insert"`` or ``"deletemin"``; ``args`` is the key
+    tuple inserted, ``result`` the key tuple returned (empty for
+    inserts).  ``invoke``/``respond`` are simulated timestamps; an
+    operation A precedes B in real-time order iff
+    ``A.respond < B.invoke``.
+    """
+
+    op_id: int
+    thread: str
+    kind: str
+    args: tuple
+    result: tuple
+    invoke: float
+    respond: float
+
+    def overlaps(self, other: "OpRecord") -> bool:
+        return not (self.respond < other.invoke or other.respond < self.invoke)
+
+
+class HistoryRecorder:
+    """Allocates operation ids and emits invoke/respond label payloads.
+
+    Usage inside a simulated thread::
+
+        op = recorder.begin("insert", keys)
+        yield Label(INVOKE, op)
+        ... perform the operation ...
+        yield Label(RESPOND, recorder.end(op, result=()))
+    """
+
+    def __init__(self) -> None:
+        self._next_id = 0
+
+    def begin(self, kind: str, args: tuple) -> dict:
+        op = {"op_id": self._next_id, "kind": kind, "args": tuple(args)}
+        self._next_id += 1
+        return op
+
+    @staticmethod
+    def end(op: dict, result: tuple) -> dict:
+        done = dict(op)
+        done["result"] = tuple(result)
+        return done
+
+
+def _iter_labels(engine: Engine) -> Iterator[LabelRecord]:
+    return iter(engine.labels)
+
+
+def collect_history(engine: Engine) -> list[OpRecord]:
+    """Pair invoke/respond labels from a finished engine run.
+
+    Unmatched invokes (threads that crashed mid-operation) are dropped —
+    the linearizability checker used here only handles complete
+    histories, and the engine surfaces thread crashes as errors anyway.
+    """
+    pending: dict[int, tuple[LabelRecord, dict]] = {}
+    ops: list[OpRecord] = []
+    for rec in _iter_labels(engine):
+        payload = rec.payload
+        if rec.tag == INVOKE:
+            pending[payload["op_id"]] = (rec, payload)
+        elif rec.tag == RESPOND:
+            start = pending.pop(payload["op_id"], None)
+            if start is None:
+                continue
+            inv_rec, inv_payload = start
+            ops.append(
+                OpRecord(
+                    op_id=payload["op_id"],
+                    thread=rec.thread,
+                    kind=inv_payload["kind"],
+                    args=tuple(inv_payload["args"]),
+                    result=tuple(payload.get("result", ())),
+                    invoke=inv_rec.time,
+                    respond=rec.time,
+                )
+            )
+    ops.sort(key=lambda o: (o.invoke, o.respond, o.op_id))
+    return ops

@@ -1,0 +1,137 @@
+"""A* application tests: grids, heuristics, all three engines."""
+
+import numpy as np
+import pytest
+
+from repro.apps.astar import (
+    Grid,
+    astar_batched,
+    astar_concurrent,
+    astar_sequential,
+    chebyshev,
+    generate_grid,
+    manhattan,
+    octile,
+)
+from repro.baselines import LJSkipListPQ, SprayListPQ, TbbHeapPQ
+
+
+class TestGrid:
+    def test_generation_properties(self):
+        g = generate_grid(40, 0.2, seed=0)
+        assert g.height == g.width == 40
+        assert not g.blocked[g.start] and not g.blocked[g.target]
+        assert g.has_path()
+        assert 0.1 < g.obstacle_rate() < 0.3
+
+    def test_path_guaranteed_even_at_high_density(self):
+        for seed in range(5):
+            g = generate_grid(25, 0.45, seed=seed)
+            assert g.has_path(), seed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_grid(1)
+        with pytest.raises(ValueError):
+            generate_grid(10, obstacle_rate=1.0)
+
+    def test_neighbors_scalar(self):
+        g = Grid(np.zeros((3, 3), dtype=bool), (0, 0), (2, 2))
+        assert len(g.neighbors(1, 1)) == 8
+        assert len(g.neighbors(0, 0)) == 3
+
+    def test_neighbors_respect_obstacles(self):
+        blocked = np.zeros((3, 3), dtype=bool)
+        blocked[0, 1] = True
+        g = Grid(blocked, (0, 0), (2, 2))
+        assert (0, 1) not in g.neighbors(0, 0)
+
+    def test_neighbors_batch_matches_scalar(self):
+        g = generate_grid(20, 0.3, seed=3)
+        cells = np.array([g.cell_id(y, x) for y in range(20) for x in range(0, 20, 3)
+                          if not g.blocked[y, x]])
+        parent_idx, ncells = g.neighbors_batch(cells)
+        for i, cell in enumerate(cells.tolist()):
+            y, x = divmod(cell, g.width)
+            expect = sorted(ny * g.width + nx for ny, nx in g.neighbors(y, x))
+            got = sorted(ncells[parent_idx == i].tolist())
+            assert got == expect
+
+    def test_deterministic(self):
+        a = generate_grid(30, 0.2, seed=9)
+        b = generate_grid(30, 0.2, seed=9)
+        assert np.array_equal(a.blocked, b.blocked)
+
+
+class TestHeuristics:
+    def test_values(self):
+        assert manhattan(0, 0, 3, 4) == 7
+        assert chebyshev(0, 0, 3, 4) == 4
+        assert octile(0, 0, 3, 4) == 4  # diag cost 1 -> chebyshev
+
+    def test_chebyshev_admissible_manhattan_not(self):
+        # moving diagonally 5 steps: true cost 5
+        assert chebyshev(0, 0, 5, 5) == 5
+        assert manhattan(0, 0, 5, 5) == 10  # overestimates
+
+    def test_vectorised(self):
+        ys = np.array([0, 1])
+        xs = np.array([0, 1])
+        assert list(manhattan(ys, xs, 2, 2)) == [4, 2]
+
+
+class TestEngines:
+    def test_open_grid_diagonal_distance(self):
+        g = Grid(np.zeros((10, 10), dtype=bool), (0, 0), (9, 9))
+        assert astar_sequential(g, "chebyshev").cost == 9
+        assert astar_batched(g, "chebyshev", batch=16).cost == 9
+
+    def test_unreachable_target(self):
+        blocked = np.zeros((5, 5), dtype=bool)
+        blocked[2, :] = True  # wall across
+        g = Grid(blocked, (0, 0), (4, 4))
+        assert astar_sequential(g).cost is None
+        assert astar_batched(g, batch=8).cost is None
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_batched_matches_sequential_admissible(self, seed):
+        g = generate_grid(30, 0.25, seed=seed)
+        a = astar_sequential(g, "chebyshev")
+        b = astar_batched(g, "chebyshev", batch=32)
+        assert a.cost == b.cost
+        assert b.sim_time_ns > 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_manhattan_near_optimal(self, seed):
+        """The paper's (inadmissible) heuristic: both engines find a
+        path within a few percent of optimal."""
+        g = generate_grid(30, 0.15, seed=seed)
+        opt = astar_sequential(g, "chebyshev").cost
+        for r in (astar_sequential(g, "manhattan"), astar_batched(g, "manhattan", batch=32)):
+            assert r.found
+            assert opt <= r.cost <= opt * 1.25
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            pytest.param(lambda: TbbHeapPQ(), id="tbb"),
+            pytest.param(lambda: LJSkipListPQ(cleanup_batch=16), id="ljsl"),
+            pytest.param(lambda: SprayListPQ(n_threads=8), id="spray"),
+        ],
+    )
+    def test_concurrent_matches_sequential(self, make):
+        g = generate_grid(20, 0.15, seed=4)
+        opt = astar_sequential(g, "chebyshev").cost
+        r = astar_concurrent(g, make(), heuristic="chebyshev", n_threads=8)
+        assert r.cost == opt
+        assert r.sim_time_ns > 0
+
+    def test_start_is_target(self):
+        g = Grid(np.zeros((3, 3), dtype=bool), (1, 1), (1, 1))
+        assert astar_sequential(g).cost == 0
+        assert astar_batched(g, batch=4).cost == 0
+
+    def test_expanded_counts_positive(self):
+        g = generate_grid(25, 0.1, seed=0)
+        r = astar_batched(g, batch=16)
+        assert r.expanded > 0 and r.pushed > 0

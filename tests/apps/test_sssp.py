@@ -1,0 +1,86 @@
+"""SSSP extension tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.sssp import (
+    CSRGraph,
+    UNREACHED,
+    from_networkx,
+    random_graph,
+    sssp_batched,
+    sssp_sequential,
+)
+
+
+def test_random_graph_shape():
+    g = random_graph(100, avg_degree=4, seed=0)
+    assert g.n_vertices == 100
+    assert g.n_edges == 400
+    assert g.indptr[-1] == g.n_edges
+
+
+def test_random_graph_validation():
+    with pytest.raises(ValueError):
+        random_graph(0)
+
+
+def test_out_edges():
+    g = random_graph(50, avg_degree=3, seed=1)
+    nbrs, ws = g.out_edges(0)
+    assert nbrs.size == ws.size == g.indptr[1] - g.indptr[0]
+
+
+def test_sequential_tiny_graph():
+    #  0 ->(1) 1 ->(1) 2 ; 0 ->(5) 2
+    indptr = np.array([0, 2, 3, 3])
+    indices = np.array([1, 2, 2])
+    weights = np.array([1, 5, 1])
+    g = CSRGraph(indptr, indices, weights)
+    dist = sssp_sequential(g, 0)
+    assert list(dist) == [0, 1, 2]
+
+
+def test_unreachable_vertices():
+    indptr = np.array([0, 0, 0])
+    g = CSRGraph(indptr, np.empty(0, np.int64), np.empty(0, np.int64))
+    dist = sssp_sequential(g, 0)
+    assert dist[0] == 0 and dist[1] == UNREACHED
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_batched_matches_sequential(seed):
+    g = random_graph(300, avg_degree=6, seed=seed)
+    expect = sssp_sequential(g, 0)
+    got, sim_ns = sssp_batched(g, 0, batch=32)
+    assert np.array_equal(got, expect)
+    assert sim_ns > 0
+
+
+def test_batched_matches_networkx():
+    import networkx as nx
+
+    nxg = nx.gnm_random_graph(80, 400, seed=3, directed=True)
+    for _, _, d in nxg.edges(data=True):
+        d["weight"] = 1 + (hash(str(d)) % 7)
+    rng = np.random.default_rng(0)
+    for u, v, d in nxg.edges(data=True):
+        d["weight"] = int(rng.integers(1, 20))
+    g = from_networkx(nxg)
+    expect = sssp_sequential(g, 0)
+    got, _ = sssp_batched(g, 0, batch=16)
+    assert np.array_equal(got, expect)
+    # cross-check a few vertices against networkx itself
+    lengths = nx.single_source_dijkstra_path_length(nxg, 0)
+    for v in range(80):
+        if v in lengths:
+            assert expect[v] == lengths[v]
+        else:
+            assert expect[v] == UNREACHED
+
+
+def test_from_networkx_empty():
+    import networkx as nx
+
+    g = from_networkx(nx.DiGraph())
+    assert g.n_vertices == 0

@@ -1,0 +1,62 @@
+"""Shared drivers for baseline priority-queue tests."""
+
+import numpy as np
+
+from repro.sim import Engine
+
+
+def run_phases(pq, keys, n_threads=4, seed=0, batch=8):
+    """Insert all ``keys`` concurrently, then delete everything
+    concurrently; returns the deleted keys (unsorted concatenation)."""
+    keys = np.asarray(keys)
+    eng = Engine(seed=seed)
+    chunks = [keys[i::n_threads] for i in range(n_threads)]
+
+    def inserter(i):
+        ks = chunks[i]
+        for j in range(0, ks.size, batch):
+            yield from pq.insert_op(ks[j : j + batch])
+
+    for i in range(n_threads):
+        eng.spawn(inserter(i))
+    eng.run()
+
+    eng2 = Engine(seed=seed + 1)
+    out = []
+
+    def deleter(i):
+        while True:
+            got = yield from pq.deletemin_op(batch)
+            if got.size == 0:
+                return
+            out.append(got)
+
+    for i in range(n_threads):
+        eng2.spawn(deleter(i))
+    eng2.run()
+    return np.concatenate(out) if out else np.empty(0, dtype=keys.dtype)
+
+
+def run_mixed(pq, n_threads=4, ops=20, seed=0, kmax=8):
+    """Random mixed workload; returns (inserted, deleted) arrays."""
+    eng = Engine(seed=seed)
+    inserted, deleted = [], []
+
+    def worker(i):
+        r = np.random.default_rng(seed * 997 + i)
+        for _ in range(ops):
+            if r.random() < 0.6:
+                b = r.integers(0, 1 << 20, size=int(r.integers(1, kmax + 1)))
+                inserted.append(b.copy())
+                yield from pq.insert_op(b)
+            else:
+                got = yield from pq.deletemin_op(int(r.integers(1, kmax + 1)))
+                if got.size:
+                    deleted.append(got)
+
+    for i in range(n_threads):
+        eng.spawn(worker(i))
+    eng.run()
+    ins = np.concatenate(inserted) if inserted else np.empty(0, np.int64)
+    dels = np.concatenate(deleted) if deleted else np.empty(0, np.int64)
+    return ins, dels

@@ -1,0 +1,146 @@
+"""Skip-list substrate tests."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.skiplist import SkipList
+
+
+def test_insert_and_order():
+    sl = SkipList(seed=1)
+    for k in [5, 1, 9, 3]:
+        sl.insert(k)
+    assert list(sl.live_keys()) == [1, 3, 5, 9]
+    assert len(sl) == 4
+
+
+def test_duplicates_allowed():
+    sl = SkipList(seed=1)
+    for k in [2, 2, 2]:
+        sl.insert(k)
+    assert list(sl.live_keys()) == [2, 2, 2]
+
+
+def test_logical_delete_min():
+    sl = SkipList(seed=1)
+    for k in [4, 2, 6]:
+        sl.insert(k)
+    key, _ = sl.logical_delete_min()
+    assert key == 2
+    assert len(sl) == 2
+    assert sl.logically_deleted == 1
+    # deleted key no longer visible
+    assert list(sl.live_keys()) == [4, 6]
+
+
+def test_logical_delete_empty():
+    sl = SkipList(seed=1)
+    key, _ = sl.logical_delete_min()
+    assert key is None
+
+
+def test_physical_cleanup_unlinks_prefix():
+    sl = SkipList(seed=3)
+    for k in range(20):
+        sl.insert(k)
+    for _ in range(7):
+        sl.logical_delete_min()
+    removed, _ = sl.physical_cleanup()
+    assert removed == 7
+    assert sl.logically_deleted == 0
+    assert list(sl.live_keys()) == list(range(7, 20))
+    assert sl.check_invariants() == []
+
+
+def test_cleanup_noop_when_nothing_deleted():
+    sl = SkipList(seed=3)
+    sl.insert(1)
+    removed, _ = sl.physical_cleanup()
+    assert removed == 0
+
+
+def test_sweep_deleted_handles_scattered_marks():
+    sl = SkipList(seed=5)
+    nodes = []
+    for k in range(30):
+        sl.insert(k)
+    # mark every third node via spray-ish access
+    node = sl.head.forward[0]
+    i = 0
+    while node is not None:
+        if i % 3 == 0:
+            sl.mark(node)
+        node = node.forward[0]
+        i += 1
+    removed, _ = sl.sweep_deleted()
+    assert removed == 10
+    assert list(sl.live_keys()) == [k for k in range(30) if k % 3 != 0]
+    assert sl.check_invariants() == []
+
+
+def test_spray_lands_on_live_node_near_head():
+    sl = SkipList(seed=7)
+    n = 20_000
+    for k in range(n):
+        sl.insert(k)
+    rng = random.Random(0)
+    landings = []
+    for _ in range(200):
+        node, _ = sl.spray(n_threads=80, rng=rng)
+        assert node is not None and not node.deleted
+        landings.append(node.key)
+    # sprays concentrate near the head: the walk's reach is bounded by
+    # O(p log^3 p), far inside a 20K-key list, and heavily front-loaded
+    assert max(landings) < n / 4
+    assert sum(landings) / len(landings) < n / 16
+
+
+def test_spray_on_empty_returns_none():
+    sl = SkipList(seed=7)
+    node, _ = sl.spray(n_threads=8, rng=random.Random(0))
+    assert node is None
+
+
+def test_mark_returns_false_on_double_claim():
+    sl = SkipList(seed=1)
+    sl.insert(5)
+    node = sl.head.forward[0]
+    assert sl.mark(node)
+    assert not sl.mark(node)
+
+
+def test_invalid_p():
+    with pytest.raises(ValueError):
+        SkipList(p=0.0)
+    with pytest.raises(ValueError):
+        SkipList(p=1.0)
+
+
+def test_hops_positive_and_logarithmic_ish():
+    sl = SkipList(seed=11)
+    total = 0
+    for k in np.random.default_rng(0).permutation(4096).tolist():
+        total += sl.insert(k)
+    mean_hops = total / 4096
+    assert 2 < mean_hops < 120  # ~ c*log2(n), not linear
+
+
+@given(st.lists(st.integers(-1000, 1000), max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_matches_sorted_semantics(keys):
+    sl = SkipList(seed=13)
+    for k in keys:
+        sl.insert(k)
+    assert list(sl.live_keys()) == sorted(keys)
+    out = []
+    while True:
+        k, _ = sl.logical_delete_min()
+        if k is None:
+            break
+        out.append(k)
+    assert out == sorted(keys)
+    assert sl.check_invariants() == []

@@ -1,0 +1,75 @@
+"""Model-based testing: the skip list against a sorted-list model.
+
+Hypothesis drives random interleavings of insert / logical-delete-min /
+cleanup / sweep against a plain sorted-list reference; after every
+step the live keys, size, and allocation counters must agree.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.skiplist import SkipList
+
+op_strategy = st.lists(
+    st.one_of(
+        st.integers(-100, 100).map(lambda k: ("insert", k)),
+        st.just(("delete_min", None)),
+        st.just(("cleanup", None)),
+    ),
+    max_size=120,
+)
+
+
+@given(op_strategy, st.integers(0, 10))
+@settings(max_examples=60, deadline=None)
+def test_skiplist_matches_sorted_model(ops, seed):
+    sl = SkipList(seed=seed)
+    model: list = []
+    for kind, arg in ops:
+        if kind == "insert":
+            sl.insert(arg)
+            model.append(arg)
+            model.sort()
+        elif kind == "delete_min":
+            key, _ = sl.logical_delete_min()
+            if model:
+                assert key == model.pop(0)
+            else:
+                assert key is None
+        else:
+            sl.physical_cleanup()
+        assert len(sl) == len(model)
+    assert list(sl.live_keys()) == model
+    assert sl.check_invariants() == []
+    # after a full cleanup, allocations equal live nodes
+    sl.physical_cleanup()
+    assert sl.allocated_nodes == len(model)
+
+
+@given(op_strategy, st.integers(0, 5))
+@settings(max_examples=40, deadline=None)
+def test_spray_marks_match_model_multiset(ops, seed):
+    """Spray-marking arbitrary live nodes then sweeping: the survivors
+    equal the model minus exactly the marked keys."""
+    import random
+
+    sl = SkipList(seed=seed)
+    model: list = []
+    rng = random.Random(seed)
+    marked: list = []
+    for kind, arg in ops:
+        if kind == "insert":
+            sl.insert(arg)
+            model.append(arg)
+        elif kind == "delete_min":
+            node, _ = sl.spray(n_threads=4, rng=rng)
+            if node is not None and sl.mark(node):
+                marked.append(node.key)
+        else:
+            sl.sweep_deleted()
+    sl.sweep_deleted()
+    model.sort()
+    for k in marked:
+        model.remove(k)
+    assert list(sl.live_keys()) == model
+    assert sl.check_invariants() == []

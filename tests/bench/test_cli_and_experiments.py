@@ -1,0 +1,61 @@
+"""CLI and experiment-registry tests (tiny scaled runs)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    fig6_blocks_sweep,
+    fig6_capacity_sweep,
+    table2_insdel,
+)
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_SCALE", str(1 << 15))  # 64M -> 2048 keys
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+
+
+def test_cli_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "BGPQ" in out and "Data Parallelism" in out
+
+
+def test_cli_insdel_single_cell(capsys):
+    assert main(["insdel", "--sizes", "1M", "--orders", "random"]) == 0
+    out = capsys.readouterr().out
+    assert "B/T" in out and "BGPQ" in out
+
+
+def test_cli_rejects_unknown():
+    with pytest.raises(SystemExit):
+        main(["fancy"])
+
+
+def test_fig6_capacity_sweep_rows():
+    rows = fig6_capacity_sweep(capacities=(32, 64), block_sizes=(128,), n_keys=2048)
+    assert len(rows) == 2
+    for r in rows:
+        assert r["insert_ms"] > 0 and r["delete_ms"] > 0
+        assert r["n_keys"] == 2048
+
+
+def test_fig6_blocks_sweep_rows():
+    rows = fig6_blocks_sweep(blocks_list=(1, 4), n_keys=2048)
+    assert [r["blocks"] for r in rows] == [1, 4]
+    # parallelism helps even at this tiny size
+    assert rows[1]["insert_ms"] + rows[1]["delete_ms"] <= (
+        rows[0]["insert_ms"] + rows[0]["delete_ms"]
+    )
+
+
+def test_table2_insdel_verify_mode():
+    rows = table2_insdel(sizes=("1M",), orders=("random",), verify=True)
+    assert len(rows) == 1
+    r = rows[0]
+    for q in ("TBB", "SprayList", "CBPQ", "LJSL", "P-Sync", "BGPQ"):
+        assert r[q] > 0
+    for ratio in ("B/T", "B/S", "B/C", "B/L", "B/P"):
+        assert ratio in r

@@ -1,0 +1,86 @@
+"""Benchmark driver tests (small workloads, verified runs)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TbbHeapPQ
+from repro.bench import make_queue
+from repro.bench.runner import PhaseTimes, drain, run_insert_then_delete, run_utilization
+from repro.core import BGPQ
+from repro.device import GpuContext
+
+
+def small_bgpq():
+    return BGPQ(GpuContext.default(blocks=4, threads_per_block=64),
+                node_capacity=32, max_keys=1 << 14)
+
+
+def test_phase_times_total():
+    t = PhaseTimes(1.5, 2.5)
+    assert t.total_ms == pytest.approx(4.0)
+
+
+def test_run_insert_then_delete_verified():
+    pq = small_bgpq()
+    keys = np.random.default_rng(0).integers(0, 10**6, 512)
+    times = run_insert_then_delete(pq, keys, n_threads=4, batch=32, verify=True)
+    assert times.insert_ms > 0 and times.delete_ms > 0
+    assert len(pq) == 0
+
+
+def test_run_insert_then_delete_detects_loss():
+    class LossyPQ(TbbHeapPQ):
+        def deletemin_op(self, count):
+            got = yield from super().deletemin_op(count)
+            return got[:-1] if got.size > 1 else got  # drop a key
+
+    pq = LossyPQ()
+    keys = np.arange(64)
+    with pytest.raises(AssertionError):
+        run_insert_then_delete(pq, keys, n_threads=2, batch=8, verify=True)
+
+
+def test_drain_returns_all_keys():
+    pq = small_bgpq()
+    keys = np.random.default_rng(1).integers(0, 10**6, 256)
+    run_insert_then_delete(pq, keys, n_threads=2, batch=32, verify=True)
+    # refill and drain via the helper
+    from repro.sim import Engine
+
+    eng = Engine()
+
+    def filler():
+        for i in range(0, keys.size, 32):
+            yield from pq.insert_op(keys[i : i + 32])
+
+    eng.spawn(filler())
+    eng.run()
+    out = drain(pq, batch=32, n_threads=3)
+    assert np.array_equal(np.sort(out), np.sort(keys))
+
+
+def test_run_utilization_preserves_occupancy():
+    pq = small_bgpq()
+    init = np.random.default_rng(2).integers(0, 10**6, 128)
+    ms = run_utilization(pq, init, op_pairs=8, n_threads=2, batch=32)
+    assert ms > 0
+    # pairs keep occupancy constant
+    assert len(pq) == 128
+
+
+def test_run_utilization_empty_init():
+    pq = small_bgpq()
+    ms = run_utilization(pq, np.empty(0, np.int64), op_pairs=4, n_threads=2, batch=32)
+    assert ms > 0
+
+
+def test_make_queue_all_names():
+    for name in ("BGPQ", "P-Sync", "TBB", "SprayList", "CBPQ", "LJSL"):
+        pq, n_threads, batch = make_queue(name)
+        assert pq.name in (name, "P-Sync")
+        assert n_threads > 0 and batch > 0
+
+
+def test_make_queue_unknown():
+    with pytest.raises(ValueError):
+        make_queue("FancyPQ")

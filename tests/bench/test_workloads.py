@@ -1,0 +1,58 @@
+"""Workload generation and scaling tests."""
+
+import numpy as np
+import pytest
+
+from repro.bench import workloads as w
+
+
+def test_make_keys_random_range_and_determinism():
+    a = w.make_keys(1000, "random", seed=3)
+    b = w.make_keys(1000, "random", seed=3)
+    assert np.array_equal(a, b)
+    assert a.min() >= 0 and a.max() < (1 << w.KEY_BITS)
+
+
+def test_make_keys_orders():
+    asc = w.make_keys(500, "ascend", seed=1)
+    desc = w.make_keys(500, "descend", seed=1)
+    assert np.all(asc[:-1] <= asc[1:])
+    assert np.all(desc[:-1] >= desc[1:])
+    # same multiset, different order
+    assert np.array_equal(np.sort(asc), np.sort(desc))
+
+
+def test_make_keys_rejects_unknown_order():
+    with pytest.raises(ValueError):
+        w.make_keys(10, "shuffled")
+
+
+def test_scale_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "512")
+    assert w.scale() == 512
+    assert w.scaled_size("64M") == (1 << 26) // 512
+    monkeypatch.setenv("REPRO_SCALE", "0")
+    with pytest.raises(ValueError):
+        w.scale()
+
+
+def test_scaled_size_floor(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", str(1 << 30))
+    assert w.scaled_size("1M") == 2048  # floor
+
+
+def test_paper_sizes():
+    assert w.PAPER_SIZES["64M"] == 1 << 26
+    assert w.PAPER_SIZES["1M"] == 1 << 20
+
+
+def test_gpu_batch_default_is_paper_config(monkeypatch):
+    monkeypatch.delenv("REPRO_GPU_BATCH", raising=False)
+    assert w.gpu_batch() == 1024
+    monkeypatch.setenv("REPRO_GPU_BATCH", "256")
+    assert w.gpu_batch() == 256
+
+
+def test_size_label(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "2048")
+    assert w.size_label("64M") == "64M/2048"

@@ -1,0 +1,41 @@
+"""Shared helpers for core tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import BGPQ
+from repro.device import GpuContext
+
+
+def small_ctx(blocks: int = 4, threads: int = 64) -> GpuContext:
+    return GpuContext.default(blocks=blocks, threads_per_block=threads)
+
+
+def make_pq(k: int = 16, **kw) -> BGPQ:
+    return BGPQ(small_ctx(), node_capacity=k, max_keys=1 << 16, **kw)
+
+
+def run_single(pq, script, seed: int = 0):
+    """Run a list of ("insert", keys) / ("deletemin", count) ops on one
+    simulated thread; returns the list of deletemin results in order."""
+    from repro.sim import Engine
+
+    results = []
+
+    def thread():
+        for kind, arg in script:
+            if kind == "insert":
+                yield from pq.insert_op(np.asarray(arg))
+            else:
+                got = yield from pq.deletemin_op(arg)
+                results.append(got)
+
+    eng = Engine(seed=seed)
+    eng.spawn(thread())
+    eng.run()
+    return results
+
+
+@pytest.fixture
+def pq():
+    return make_pq()

@@ -1,0 +1,181 @@
+"""BGPQ under real concurrency: conservation, invariants, collaboration.
+
+Each test runs many simulated thread blocks through the engine with
+seeded schedule exploration; correctness is asserted via whole-run key
+conservation plus the structural invariants, and the collaboration
+paths are checked to actually fire.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BGPQ
+from repro.sim import Engine
+
+from .conftest import make_pq, small_ctx
+
+
+def run_mixed(pq, n_threads, ops_per_thread, seed, p_insert=0.55, kmax=None):
+    """Random mixed workload; returns (inserted, deleted) key arrays."""
+    kmax = kmax or pq.k
+    eng = Engine(seed=seed)
+    inserted, deleted = [], []
+
+    def worker(i):
+        r = np.random.default_rng(seed * 1000 + i)
+        for _ in range(ops_per_thread):
+            if r.random() < p_insert:
+                batch = r.integers(0, 1 << 20, size=int(r.integers(1, kmax + 1)))
+                inserted.append(batch.copy())
+                yield from pq.insert_op(batch)
+            else:
+                got = yield from pq.deletemin_op(int(r.integers(1, kmax + 1)))
+                if got.size:
+                    deleted.append(got)
+
+    for i in range(n_threads):
+        eng.spawn(worker(i), name=f"w{i}")
+    eng.run()
+    ins = np.concatenate(inserted) if inserted else np.empty(0, dtype=np.int64)
+    dels = np.concatenate(deleted) if deleted else np.empty(0, dtype=np.int64)
+    return ins, dels
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_conservation_under_concurrency(seed):
+    pq = make_pq(k=16)
+    ins, dels = run_mixed(pq, n_threads=6, ops_per_thread=25, seed=seed)
+    remaining = pq.snapshot_keys()
+    assert np.array_equal(
+        np.sort(ins), np.sort(np.concatenate([dels, remaining]))
+    ), f"keys lost or invented (seed {seed})"
+    assert len(pq) == remaining.size
+    assert pq.check_invariants() == []
+
+
+def test_concurrent_insert_only_preserves_all_keys():
+    pq = make_pq(k=16)
+    eng = Engine(seed=5)
+    batches = []
+
+    def inserter(i):
+        r = np.random.default_rng(i)
+        for _ in range(20):
+            b = r.integers(0, 10**6, size=16)
+            batches.append(b.copy())
+            yield from pq.insert_op(b)
+
+    for i in range(8):
+        eng.spawn(inserter(i))
+    eng.run()
+    expect = np.sort(np.concatenate(batches))
+    assert np.array_equal(np.sort(pq.snapshot_keys()), expect)
+    assert pq.check_invariants() == []
+
+
+def test_concurrent_delete_returns_each_key_once():
+    pq = make_pq(k=16)
+    keys = np.arange(16 * 40)
+    eng = Engine(seed=1)
+
+    def inserter():
+        for i in range(0, keys.size, 16):
+            yield from pq.insert_op(keys[i : i + 16])
+
+    eng.spawn(inserter())
+    eng.run()
+
+    eng2 = Engine(seed=2)
+    out = []
+
+    def deleter(i):
+        while True:
+            got = yield from pq.deletemin_op(16)
+            if got.size == 0:
+                return
+            out.append(got)
+
+    for i in range(6):
+        eng2.spawn(deleter(i))
+    eng2.run()
+    assert np.array_equal(np.sort(np.concatenate(out)), keys)
+
+
+def test_collaboration_steals_fire_under_contention():
+    """With concurrent inserts+deletes, the TARGET/MARKED protocol must
+    actually trigger across schedule seeds."""
+    total = 0
+    for seed in range(10):
+        pq = make_pq(k=16)
+        run_mixed(pq, n_threads=8, ops_per_thread=20, seed=seed)
+        total += pq.stats["collab_steals"]
+        assert pq.stats["collab_steals"] == pq.stats["collab_fills"]
+    assert total > 0
+
+
+def test_collaboration_disabled_still_correct():
+    for seed in range(6):
+        pq = make_pq(k=16, collaboration=False)
+        ins, dels = run_mixed(pq, n_threads=6, ops_per_thread=20, seed=seed)
+        remaining = pq.snapshot_keys()
+        assert np.array_equal(np.sort(ins), np.sort(np.concatenate([dels, remaining])))
+        assert pq.stats["collab_steals"] == 0
+        assert pq.check_invariants() == []
+
+
+def test_deleters_get_globally_small_keys_midstream():
+    """After a quiescent fill, a single deletemin must return the true
+    global minimum batch even with other deleters racing."""
+    pq = make_pq(k=16)
+    keys = np.random.default_rng(0).permutation(16 * 32)
+    eng = Engine(seed=3)
+
+    def filler():
+        for i in range(0, keys.size, 16):
+            yield from pq.insert_op(keys[i : i + 16])
+
+    eng.spawn(filler())
+    eng.run()
+
+    eng2 = Engine(seed=4)
+    firsts = []
+
+    def deleter():
+        got = yield from pq.deletemin_op(16)
+        firsts.append(got)
+
+    for _ in range(4):
+        eng2.spawn(deleter())
+    eng2.run()
+    got = np.sort(np.concatenate(firsts))
+    assert np.array_equal(got, np.arange(64))  # the 64 smallest overall
+
+
+def test_root_lock_contention_is_recorded():
+    pq = make_pq(k=16)
+    run_mixed(pq, n_threads=8, ops_per_thread=10, seed=0)
+    root_lock = pq.store.root_lock
+    assert root_lock.acquisitions > 0
+    assert root_lock.contended_acquisitions > 0
+
+
+def test_makespan_scales_down_with_more_blocks():
+    """More thread blocks => more task parallelism => shorter simulated
+    time for the same total work (until contention; small case here)."""
+
+    def run(n_threads, seed=0):
+        pq = BGPQ(small_ctx(), node_capacity=64, max_keys=1 << 16)
+        eng = Engine(seed=seed)
+        work = np.random.default_rng(0).integers(0, 10**6, size=(32, 64))
+
+        def worker(i):
+            for j in range(i, 32, n_threads):
+                yield from pq.insert_op(work[j])
+
+        for i in range(n_threads):
+            eng.spawn(worker(i))
+        return eng.run()
+
+    t1 = run(1)
+    t8 = run(8)
+    assert t8 < t1

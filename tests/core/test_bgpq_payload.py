@@ -1,0 +1,150 @@
+"""(key, value) record support in the concurrent BGPQ.
+
+The paper's ADT stores (key, value) pairs (§2); these tests verify
+payload rows travel with their keys through every concurrent path —
+partial inserts, buffer spills, heapify SORT_SPLITs, refills and the
+TARGET/MARKED collaboration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BGPQ
+from repro.device import GpuContext
+from repro.errors import ConfigurationError
+from repro.sim import Engine
+
+
+def make_pq(k=16, width=2):
+    ctx = GpuContext.default(blocks=4, threads_per_block=64)
+    return BGPQ(ctx, node_capacity=k, max_keys=1 << 14, payload_width=width)
+
+
+def run_one(pq, script):
+    """Single-threaded op script; returns deletemin (keys, payload) list."""
+    results = []
+
+    def t():
+        for kind, *args in script:
+            if kind == "insert":
+                yield from pq.insert_op(np.asarray(args[0]), payload=args[1])
+            else:
+                got = yield from pq.deletemin_op(args[0], with_payload=True)
+                results.append(got)
+
+    eng = Engine(seed=0)
+    eng.spawn(t())
+    eng.run()
+    return results
+
+
+def test_payload_roundtrip():
+    pq = make_pq()
+    ((keys, payload),) = run_one(
+        pq,
+        [
+            ("insert", [30, 10], [[3, 33], [1, 11]]),
+            ("insert", [20], [[2, 22]]),
+            ("deletemin", 3),
+        ],
+    )
+    assert list(keys) == [10, 20, 30]
+    assert payload.tolist() == [[1, 11], [2, 22], [3, 33]]
+
+
+def test_default_payload_is_zeros():
+    pq = make_pq(width=1)
+    ((keys, payload),) = run_one(pq, [("insert", [5], None), ("deletemin", 1)])
+    assert payload.tolist() == [[0]]
+
+
+def test_payload_shape_validation():
+    pq = make_pq(width=2)
+    with pytest.raises(ValueError):
+        list(pq.insert_op(np.array([1]), payload=np.zeros((1, 3))))
+
+
+def test_negative_width_rejected():
+    with pytest.raises(ConfigurationError):
+        BGPQ(node_capacity=8, payload_width=-1)
+
+
+def test_deletemin_without_payload_flag_returns_keys():
+    pq = make_pq(width=1)
+    eng = Engine()
+    out = []
+
+    def t():
+        yield from pq.insert_op(np.array([4, 2]), payload=[[40], [20]])
+        got = yield from pq.deletemin_op(2)
+        out.append(got)
+
+    eng.spawn(t())
+    eng.run()
+    assert isinstance(out[0], np.ndarray)
+    assert list(out[0]) == [2, 4]
+
+
+def test_payload_follows_keys_through_deep_heapify():
+    """Key-derived payloads must stay aligned after many spills and
+    refills (exercises every SORT_SPLIT site)."""
+    pq = make_pq(k=8, width=1)
+    rng = np.random.default_rng(0)
+    eng = Engine(seed=1)
+
+    def t():
+        for _ in range(80):
+            keys = rng.integers(0, 10**6, size=int(rng.integers(1, 9)))
+            yield from pq.insert_op(keys, payload=(keys * 3).reshape(-1, 1))
+            if rng.random() < 0.4:
+                keys_out, pay = yield from pq.deletemin_op(
+                    int(rng.integers(1, 9)), with_payload=True
+                )
+                assert np.array_equal(pay.ravel(), keys_out * 3)
+        while len(pq):
+            keys_out, pay = yield from pq.deletemin_op(8, with_payload=True)
+            assert np.array_equal(pay.ravel(), keys_out * 3)
+
+    eng.spawn(t())
+    eng.run()
+    assert pq.check_invariants() == []
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_payload_consistency_under_concurrency(seed):
+    """Concurrent workers with collaboration active: every delivered
+    payload row must still match its key."""
+    pq = make_pq(k=16, width=1)
+    eng = Engine(seed=seed)
+    bad = []
+
+    def worker(i):
+        r = np.random.default_rng(seed * 100 + i)
+        for _ in range(20):
+            if r.random() < 0.55:
+                keys = r.integers(0, 1 << 20, size=int(r.integers(1, 17)))
+                yield from pq.insert_op(keys, payload=(keys * 7).reshape(-1, 1))
+            else:
+                keys_out, pay = yield from pq.deletemin_op(
+                    int(r.integers(1, 17)), with_payload=True
+                )
+                if not np.array_equal(pay.ravel(), keys_out * 7):
+                    bad.append((keys_out, pay))
+
+    for i in range(6):
+        eng.spawn(worker(i), name=f"w{i}")
+    eng.run()
+    assert not bad, f"payload/key misalignment: {bad[:2]}"
+    # drain remaining and check too
+    eng2 = Engine(seed=seed + 1)
+
+    def drainer():
+        while True:
+            keys_out, pay = yield from pq.deletemin_op(16, with_payload=True)
+            if keys_out.size == 0:
+                return
+            assert np.array_equal(pay.ravel(), keys_out * 7)
+
+    eng2.spawn(drainer())
+    eng2.run()
+    assert len(pq) == 0

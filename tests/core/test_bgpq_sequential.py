@@ -1,0 +1,183 @@
+"""BGPQ semantics under single-threaded execution.
+
+These tests pin down the data-structure behaviour in isolation from
+concurrency: results must match the sequential oracle exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BGPQ, SequentialPQ
+from repro.errors import CapacityError
+
+from .conftest import make_pq, run_single, small_ctx
+
+
+def test_insert_then_delete_roundtrip():
+    pq = make_pq(k=8)
+    keys = np.array([5, 3, 9, 1])
+    (got,) = run_single(pq, [("insert", keys), ("deletemin", 4)])
+    assert list(got) == [1, 3, 5, 9]
+    assert len(pq) == 0
+
+
+def test_deletemin_on_empty_returns_nothing():
+    pq = make_pq()
+    (got,) = run_single(pq, [("deletemin", 5)])
+    assert got.size == 0
+
+
+def test_insert_empty_batch_is_noop():
+    pq = make_pq()
+    run_single(pq, [("insert", np.array([], dtype=np.int64))])
+    assert len(pq) == 0
+
+
+def test_insert_oversized_batch_rejected():
+    pq = make_pq(k=4)
+    with pytest.raises(ValueError):
+        list(pq.insert_op(np.arange(5)))
+
+
+def test_deletemin_invalid_count_rejected():
+    pq = make_pq(k=4)
+    with pytest.raises(ValueError):
+        list(pq.deletemin_op(0))
+    with pytest.raises(ValueError):
+        list(pq.deletemin_op(5))
+
+
+def test_partial_deletes_are_sorted_and_minimal():
+    pq = make_pq(k=8)
+    (a, b, c) = run_single(
+        pq,
+        [
+            ("insert", [50, 10, 40]),
+            ("insert", [30, 20]),
+            ("deletemin", 2),
+            ("deletemin", 2),
+            ("deletemin", 8),
+        ],
+    )
+    assert list(a) == [10, 20]
+    assert list(b) == [30, 40]
+    assert list(c) == [50]
+
+
+def test_duplicate_keys_preserved():
+    pq = make_pq(k=8)
+    (got,) = run_single(pq, [("insert", [7, 7, 7]), ("insert", [7]), ("deletemin", 8)])
+    assert list(got) == [7, 7, 7, 7]
+
+
+def test_drain_more_than_present():
+    pq = make_pq(k=8)
+    (got,) = run_single(pq, [("insert", [2, 1]), ("deletemin", 8)])
+    assert list(got) == [1, 2]
+    assert len(pq) == 0
+
+
+def test_interleaved_insert_delete_matches_oracle():
+    pq = make_pq(k=8)
+    oracle = SequentialPQ()
+    rng = np.random.default_rng(3)
+    script = []
+    for _ in range(200):
+        if rng.random() < 0.6:
+            batch = rng.integers(0, 1000, size=int(rng.integers(1, 9))).tolist()
+            script.append(("insert", batch))
+        else:
+            script.append(("deletemin", int(rng.integers(1, 9))))
+    results = iter(run_single(pq, script))
+    for kind, arg in script:
+        if kind == "insert":
+            oracle.insert(arg)
+        else:
+            expect = oracle.deletemin(arg)
+            got = next(results)
+            assert np.array_equal(got, expect)
+    assert np.array_equal(np.sort(pq.snapshot_keys()), oracle.snapshot_keys())
+
+
+def test_heapify_builds_multilevel_heap():
+    pq = make_pq(k=4)
+    keys = np.arange(64)[::-1].copy()  # descending worst case
+    script = [("insert", keys[i : i + 4]) for i in range(0, 64, 4)]
+    run_single(pq, script)
+    assert pq.store.heap_size > 4  # several tree levels exist
+    assert pq.check_invariants() == []
+    (got,) = run_single(pq, [("deletemin", 4)])
+    assert list(got) == [0, 1, 2, 3]
+
+
+def test_buffer_batches_small_inserts():
+    pq = make_pq(k=16)
+    # first insert fills the empty root; the next 14 single keys are
+    # absorbed by the partial buffer — no heapify happens at all
+    script = [("insert", [i]) for i in range(15)]
+    run_single(pq, script)
+    assert pq.stats["insert_heapify"] == 0
+    assert pq.stats["partial_insert"] == 15
+
+
+def test_buffer_overflow_triggers_single_heapify():
+    pq = make_pq(k=4)
+    # k=4: first insert -> root; next 3 single keys -> buffer; one more
+    # overflows and triggers exactly one heapify
+    script = [("insert", [100 + i]) for i in range(4 + 4)]
+    run_single(pq, script)
+    assert pq.stats["insert_heapify"] >= 1
+    assert pq.check_invariants() == []
+
+
+def test_capacity_error_when_heap_full():
+    ctx = small_ctx()
+    pq = BGPQ(ctx, node_capacity=4, max_keys=8)  # 3 nodes max
+    script = [("insert", np.arange(i * 4, i * 4 + 4)) for i in range(8)]
+    with pytest.raises(Exception) as exc:
+        run_single(pq, script)
+    # surfaced through the simulator as a wrapped CapacityError
+    assert isinstance(getattr(exc.value, "original", exc.value), CapacityError)
+
+
+def test_invariants_hold_after_every_phase():
+    pq = make_pq(k=8)
+    rng = np.random.default_rng(11)
+    run_single(pq, [("insert", rng.integers(0, 10**6, 8)) for _ in range(32)])
+    assert pq.check_invariants() == []
+    run_single(pq, [("deletemin", 8) for _ in range(16)])
+    assert pq.check_invariants() == []
+
+
+def test_stats_track_fast_paths():
+    pq = make_pq(k=8)
+    run_single(pq, [("insert", [1, 2, 3]), ("insert", [4]), ("deletemin", 1)])
+    assert pq.stats["partial_insert"] >= 1
+    assert pq.stats["partial_delete"] >= 1
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.lists(st.integers(0, 2**30), min_size=1, max_size=8).map(
+                lambda ks: ("insert", ks)
+            ),
+            st.integers(1, 8).map(lambda c: ("deletemin", c)),
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_matches_oracle(script):
+    pq = make_pq(k=8)
+    oracle = SequentialPQ()
+    results = iter(run_single(pq, script))
+    for kind, arg in script:
+        if kind == "insert":
+            oracle.insert(arg)
+        else:
+            assert np.array_equal(next(results), oracle.deletemin(arg))
+    assert pq.check_invariants() == []
+    assert np.array_equal(np.sort(pq.snapshot_keys()), oracle.snapshot_keys())

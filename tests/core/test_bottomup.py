@@ -1,0 +1,159 @@
+"""Bottom-up insertion variant tests (§3.3 experiment).
+
+Contract: conservation always; exact minimality for phase-separated
+workloads; performance similar to top-down (asserted loosely here, and
+measured in benchmarks/test_ablations.py).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BGPQ, BGPQBottomUp, SequentialPQ
+from repro.device import GpuContext
+from repro.sim import Engine
+
+
+def make_pq(k=16, **kw):
+    ctx = GpuContext.default(blocks=4, threads_per_block=64)
+    return BGPQBottomUp(ctx, node_capacity=k, max_keys=1 << 14, **kw)
+
+
+def run_single(pq, script, seed=0):
+    results = []
+
+    def t():
+        for kind, arg in script:
+            if kind == "insert":
+                yield from pq.insert_op(np.asarray(arg))
+            else:
+                results.append((yield from pq.deletemin_op(arg)))
+
+    eng = Engine(seed=seed)
+    eng.spawn(t())
+    eng.run()
+    return results
+
+
+def test_sequential_matches_oracle():
+    pq = make_pq(k=8)
+    oracle = SequentialPQ()
+    rng = np.random.default_rng(5)
+    script = []
+    for _ in range(150):
+        if rng.random() < 0.6:
+            script.append(("insert", rng.integers(0, 10**6, int(rng.integers(1, 9))).tolist()))
+        else:
+            script.append(("deletemin", int(rng.integers(1, 9))))
+    results = iter(run_single(pq, script))
+    for kind, arg in script:
+        if kind == "insert":
+            oracle.insert(arg)
+        else:
+            assert np.array_equal(next(results), oracle.deletemin(arg))
+    assert pq.check_invariants() == []
+
+
+def test_percolation_happens():
+    pq = make_pq(k=4)
+    # descending batches force percolation: later (smaller) batches
+    # must bubble past earlier (larger) nodes
+    script = [("insert", list(range(100 - 4 * i, 104 - 4 * i))) for i in range(16)]
+    run_single(pq, script)
+    assert pq.stats["percolate_levels"] > 0
+    assert pq.check_invariants() == []
+    (got,) = run_single(pq, [("deletemin", 4)])
+    assert list(got) == [40, 41, 42, 43]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_concurrent_phases_exact(seed):
+    """Insert phase then delete phase: results must be exactly sorted
+    (quiescence between phases restores the full heap property)."""
+    pq = make_pq(k=8)
+    keys = np.random.default_rng(seed).permutation(8 * 40)
+    eng = Engine(seed=seed)
+
+    def inserter(i):
+        mine = keys[i::4]
+        for j in range(0, mine.size, 8):
+            yield from pq.insert_op(mine[j : j + 8])
+
+    for i in range(4):
+        eng.spawn(inserter(i))
+    eng.run()
+    assert pq.check_invariants() == []
+    assert np.array_equal(np.sort(pq.snapshot_keys()), np.arange(8 * 40))
+
+    eng2 = Engine(seed=seed + 100)
+    out = []
+
+    def deleter(i):
+        while True:
+            got = yield from pq.deletemin_op(8)
+            if got.size == 0:
+                return
+            out.append(got)
+
+    for i in range(4):
+        eng2.spawn(deleter(i))
+    eng2.run()
+    assert np.array_equal(np.sort(np.concatenate(out)), np.arange(8 * 40))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_mixed_concurrency_conserves_keys(seed):
+    """Overlapping inserts+deletes: conservation (the Hunt-style
+    contract — exact minimality is not promised mid-flight)."""
+    pq = make_pq(k=8)
+    eng = Engine(seed=seed)
+    inserted, deleted = [], []
+
+    def worker(i):
+        r = np.random.default_rng(seed * 77 + i)
+        for _ in range(20):
+            if r.random() < 0.55:
+                b = r.integers(0, 1 << 20, size=int(r.integers(1, 9)))
+                inserted.append(b.copy())
+                yield from pq.insert_op(b)
+            else:
+                got = yield from pq.deletemin_op(int(r.integers(1, 9)))
+                if got.size:
+                    deleted.append(got)
+
+    for i in range(5):
+        eng.spawn(worker(i))
+    eng.run()
+    ins = np.sort(np.concatenate(inserted))
+    rest = pq.snapshot_keys()
+    outs = np.concatenate(deleted) if deleted else np.empty(0, np.int64)
+    assert np.array_equal(ins, np.sort(np.concatenate([outs, rest])))
+
+
+def test_performance_similar_to_top_down():
+    """The paper's §3.3 claim: similar performance to top-down."""
+    keys = np.random.default_rng(0).integers(0, 1 << 30, size=64 * 64)
+
+    def run(cls):
+        ctx = GpuContext.default(blocks=8, threads_per_block=128)
+        pq = cls(ctx, node_capacity=64, max_keys=1 << 16)
+        eng = Engine(seed=0)
+
+        def inserter(i):
+            mine = keys[i::8]
+            for j in range(0, mine.size, 64):
+                yield from pq.insert_op(mine[j : j + 64])
+
+        for i in range(8):
+            eng.spawn(inserter(i))
+        return eng.run()
+
+    t_td = run(BGPQ)
+    t_bu = run(BGPQBottomUp)
+    assert 0.3 <= t_bu / t_td <= 3.0, f"top-down {t_td}, bottom-up {t_bu}"
+
+
+def test_no_collaboration_stats_in_bottom_up():
+    pq = make_pq(k=8)
+    script = [("insert", list(range(i, i + 8))) for i in range(0, 32, 8)]
+    run_single(pq, script + [("deletemin", 8)])
+    assert pq.stats["collab_steals"] == 0

@@ -1,0 +1,185 @@
+"""Linearizability: checker unit tests + BGPQ history verification.
+
+The checker is first validated on hand-built histories with known
+verdicts, then BGPQ is driven concurrently across many schedule seeds
+and every recorded history must admit a linearization — the mechanical
+counterpart of the paper's §5 proof.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.interface import recorded_op
+from repro.core import BGPQ
+from repro.core.linearizability import (
+    assert_linearizable,
+    check_necessary_conditions,
+    find_linearization,
+    is_linearizable,
+)
+from repro.errors import LinearizabilityError
+from repro.sim import Engine, HistoryRecorder, OpRecord, collect_history
+
+from .conftest import make_pq
+
+
+def op(op_id, kind, args, result, invoke, respond, thread="t"):
+    return OpRecord(op_id, thread, kind, tuple(args), tuple(result), invoke, respond)
+
+
+class TestCheckerUnit:
+    def test_empty_history(self):
+        assert is_linearizable([])
+
+    def test_simple_sequential_history(self):
+        h = [
+            op(0, "insert", (5,), (), 0, 1),
+            op(1, "deletemin", (1,), (5,), 2, 3),
+        ]
+        assert is_linearizable(h)
+
+    def test_delete_before_any_insert_of_key_fails(self):
+        h = [
+            op(0, "deletemin", (1,), (5,), 0, 1),  # returns 5...
+            op(1, "insert", (5,), (), 2, 3),  # ...inserted strictly later
+        ]
+        assert not is_linearizable(h)
+
+    def test_overlapping_ops_can_reorder(self):
+        # delete overlaps the insert, so the witness may order insert first
+        h = [
+            op(0, "insert", (5,), (), 0, 10),
+            op(1, "deletemin", (1,), (5,), 1, 9),
+        ]
+        assert is_linearizable(h)
+
+    def test_non_minimal_delete_fails(self):
+        h = [
+            op(0, "insert", (1, 2), (), 0, 1),
+            op(1, "deletemin", (1,), (2,), 2, 3),  # 1 is smaller and present
+        ]
+        assert not is_linearizable(h)
+
+    def test_short_return_only_legal_when_queue_could_be_empty(self):
+        # empty-queue delete returning nothing is fine
+        h = [op(0, "deletemin", (3,), (), 0, 1), op(1, "insert", (1,), (), 2, 3)]
+        assert is_linearizable(h)
+        # but returning 1 key while 2 were definitely present is not
+        h2 = [
+            op(0, "insert", (1, 2), (), 0, 1),
+            op(1, "deletemin", (2,), (1,), 2, 3),
+        ]
+        assert not is_linearizable(h2)
+
+    def test_double_delete_of_same_key_fails(self):
+        h = [
+            op(0, "insert", (7,), (), 0, 1),
+            op(1, "deletemin", (1,), (7,), 2, 3),
+            op(2, "deletemin", (1,), (7,), 4, 5),
+        ]
+        assert not is_linearizable(h)
+
+    def test_concurrent_deletes_split_the_keys(self):
+        h = [
+            op(0, "insert", (1, 2, 3, 4), (), 0, 1),
+            op(1, "deletemin", (2,), (1, 2), 2, 8),
+            op(2, "deletemin", (2,), (3, 4), 2, 8),
+        ]
+        assert is_linearizable(h)
+
+    def test_witness_respects_realtime_order(self):
+        h = [
+            op(0, "insert", (9,), (), 0, 1),
+            op(1, "insert", (1,), (), 2, 3),
+            op(2, "deletemin", (1,), (1,), 4, 5),
+        ]
+        w = find_linearization(h)
+        assert w is not None
+        ids = [o.op_id for o in w]
+        assert ids.index(0) < ids.index(2)
+        assert ids.index(1) < ids.index(2)
+
+    def test_assert_raises_with_history_attached(self):
+        h = [op(0, "deletemin", (1,), (5,), 0, 1)]
+        with pytest.raises(LinearizabilityError) as exc:
+            assert_linearizable(h)
+        assert exc.value.history == h
+
+    def test_search_budget_enforced(self):
+        # pathological: many overlapping inserts of the same key
+        h = [op(i, "insert", (1,), (), 0, 100) for i in range(25)] + [
+            op(99, "deletemin", (1,), (2,), 0, 100)  # impossible result
+        ]
+        with pytest.raises(RuntimeError):
+            find_linearization(h, max_states=100)
+
+
+class TestNecessaryConditions:
+    def test_clean_history_passes(self):
+        h = [
+            op(0, "insert", (1, 2), (), 0, 1),
+            op(1, "deletemin", (2,), (1, 2), 2, 3),
+        ]
+        assert check_necessary_conditions(h) == []
+
+    def test_invented_key_detected(self):
+        h = [op(0, "deletemin", (1,), (42,), 0, 1)]
+        problems = check_necessary_conditions(h)
+        assert any("never inserted" in p for p in problems)
+
+    def test_overdelivery_detected(self):
+        h = [
+            op(0, "insert", (1, 2, 3), (), 0, 1),
+            op(1, "deletemin", (1,), (1, 2), 2, 3),
+        ]
+        problems = check_necessary_conditions(h)
+        assert any("asked for 1" in p for p in problems)
+
+    def test_unsorted_result_detected(self):
+        h = [
+            op(0, "insert", (1, 2), (), 0, 1),
+            op(1, "deletemin", (2,), (2, 1), 2, 3),
+        ]
+        problems = check_necessary_conditions(h)
+        assert any("not sorted" in p for p in problems)
+
+
+def record_bgpq_history(seed, n_threads=4, ops_per_thread=5, k=8):
+    """Drive BGPQ concurrently with unique keys, recording the history."""
+    pq = make_pq(k=k)
+    eng = Engine(seed=seed, record_labels=True)
+    rec = HistoryRecorder()
+    key_counter = [0]
+
+    def worker(i):
+        r = np.random.default_rng(seed * 71 + i)
+        for _ in range(ops_per_thread):
+            if r.random() < 0.55:
+                n = int(r.integers(1, k + 1))
+                base = key_counter[0]
+                key_counter[0] += n
+                # unique keys, randomised values
+                batch = (np.arange(base, base + n) * 7919 + int(r.integers(0, 7919))) % 10**6
+                batch = batch * 100 + np.arange(base, base + n) % 100  # keep unique
+                yield from recorded_op(rec, "insert", batch.tolist(), pq.insert_op(batch))
+            else:
+                c = int(r.integers(1, k + 1))
+                yield from recorded_op(rec, "deletemin", (c,), pq.deletemin_op(c))
+
+    for i in range(n_threads):
+        eng.spawn(worker(i), name=f"w{i}")
+    eng.run()
+    return collect_history(eng)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_bgpq_histories_are_linearizable(seed):
+    history = record_bgpq_history(seed)
+    assert check_necessary_conditions(history) == []
+    assert_linearizable(history)
+
+
+def test_bgpq_larger_history_necessary_conditions():
+    """Bigger run than the full checker can handle: cheap checks only."""
+    history = record_bgpq_history(seed=100, n_threads=8, ops_per_thread=20)
+    assert check_necessary_conditions(history) == []

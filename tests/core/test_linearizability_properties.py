@@ -1,0 +1,116 @@
+"""Property-based tests for the linearizability checker itself.
+
+The checker is test infrastructure — if it silently accepted illegal
+histories, the whole §5 verification story would be hollow.  These
+properties pin it from both sides: every history generated *from* a
+legal sequential run must pass, and systematic corruptions of legal
+histories must fail.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SequentialPQ
+from repro.core.linearizability import find_linearization, is_linearizable
+from repro.sim import OpRecord
+
+
+def history_from_sequential_run(script, jitter):
+    """Execute ``script`` on the oracle, emit a history whose intervals
+    are stretched by ``jitter`` (creating overlap) around the true
+    sequential points — such a history is linearizable by construction."""
+    oracle = SequentialPQ()
+    ops = []
+    t = 0.0
+    for i, (kind, arg) in enumerate(script):
+        j = jitter[i % len(jitter)] if jitter else 0.0
+        invoke = t - j
+        respond = t + 1.0 + j
+        if kind == "insert":
+            oracle.insert(arg)
+            ops.append(OpRecord(i, f"t{i % 3}", "insert", tuple(arg), (), invoke, respond))
+        else:
+            got = oracle.deletemin(arg)
+            ops.append(
+                OpRecord(i, f"t{i % 3}", "deletemin", (arg,), tuple(got.tolist()),
+                         invoke, respond)
+            )
+        t += 2.0
+    return ops
+
+
+script_strategy = st.lists(
+    st.one_of(
+        st.lists(st.integers(0, 50), min_size=1, max_size=3).map(lambda ks: ("insert", ks)),
+        st.integers(1, 3).map(lambda c: ("deletemin", c)),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+@given(script_strategy, st.lists(st.floats(0, 0.4), max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_sequentially_generated_histories_pass(script, jitter):
+    history = history_from_sequential_run(script, jitter)
+    assert is_linearizable(history)
+
+
+@given(script_strategy)
+@settings(max_examples=40, deadline=None)
+def test_witness_is_itself_a_legal_sequential_run(script):
+    history = history_from_sequential_run(script, [0.3])
+    witness = find_linearization(history)
+    assert witness is not None
+    # replay the witness on a fresh oracle: every result must match
+    oracle = SequentialPQ()
+    for op in witness:
+        if op.kind == "insert":
+            oracle.insert(op.args)
+        else:
+            got = oracle.deletemin(int(op.args[0]))
+            assert tuple(got.tolist()) == op.result
+
+
+@given(script_strategy, st.integers(0, 10**6))
+@settings(max_examples=40, deadline=None)
+def test_corrupted_delete_results_fail(script, extra_key):
+    """Appending a never-inserted key to some deletemin must break
+    linearizability (no witness can produce it)."""
+    history = history_from_sequential_run(script, [])
+    deletes = [i for i, op in enumerate(history) if op.kind == "deletemin"]
+    if not deletes:
+        return
+    i = deletes[0]
+    op = history[i]
+    poisoned = tuple(sorted(op.result + (10**9 + extra_key,)))
+    history[i] = OpRecord(
+        op.op_id, op.thread, op.kind, (int(op.args[0]) + 1,), poisoned,
+        op.invoke, op.respond,
+    )
+    assert not is_linearizable(history)
+
+
+@given(script_strategy)
+@settings(max_examples=30, deadline=None)
+def test_swapping_disjoint_results_fails(script):
+    """Swapping the results of two deletes that returned different keys
+    in a strictly sequential history must fail (real-time order pins
+    which keys were available when)."""
+    history = history_from_sequential_run(script, [])
+    deletes = [i for i, op in enumerate(history) if op.kind == "deletemin" and op.result]
+    if len(deletes) < 2:
+        return
+    a, b = deletes[0], deletes[1]
+    if set(history[a].result) == set(history[b].result):
+        return
+    # swap results while keeping counts consistent with the swapped sets
+    oa, ob = history[a], history[b]
+    history[a] = OpRecord(oa.op_id, oa.thread, "deletemin", (len(ob.result),),
+                          ob.result, oa.invoke, oa.respond)
+    history[b] = OpRecord(ob.op_id, ob.thread, "deletemin", (len(oa.result),),
+                          oa.result, ob.invoke, ob.respond)
+    # the first delete now returns keys that were not minimal (or not
+    # even inserted yet) at its point in real time
+    assert not is_linearizable(history)

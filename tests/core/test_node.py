@@ -1,0 +1,99 @@
+"""BatchNode unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.node import AVAIL, EMPTY, MARKED, TARGET, STATE_NAMES, BatchNode
+
+
+def test_new_node_is_empty():
+    n = BatchNode(8)
+    assert n.empty and not n.full
+    assert n.count == 0
+    assert n.state == EMPTY
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        BatchNode(0)
+
+
+def test_set_keys_and_views():
+    n = BatchNode(4)
+    n.set_keys(np.array([1, 2, 3]))
+    assert list(n.keys()) == [1, 2, 3]
+    assert n.count == 3
+    assert n.min_key() == 1
+    assert n.max_key() == 3
+
+
+def test_set_keys_overflow():
+    n = BatchNode(2)
+    with pytest.raises(ValueError):
+        n.set_keys(np.array([1, 2, 3]))
+
+
+def test_full_flag():
+    n = BatchNode(2)
+    n.set_keys(np.array([1, 2]))
+    assert n.full
+
+
+def test_min_max_on_empty_raise():
+    n = BatchNode(4)
+    with pytest.raises(IndexError):
+        n.min_key()
+    with pytest.raises(IndexError):
+        n.max_key()
+
+
+def test_take_front():
+    n = BatchNode(4)
+    n.set_keys(np.array([1, 2, 3, 4]))
+    got = n.take_front(2)
+    assert list(got) == [1, 2]
+    assert list(n.keys()) == [3, 4]
+    assert n.count == 2
+
+
+def test_take_front_all():
+    n = BatchNode(3)
+    n.set_keys(np.array([5, 6]))
+    got = n.take_front(2)
+    assert list(got) == [5, 6]
+    assert n.empty
+
+
+def test_take_front_too_many():
+    n = BatchNode(3)
+    n.set_keys(np.array([1]))
+    with pytest.raises(ValueError):
+        n.take_front(2)
+
+
+def test_take_front_returns_copy():
+    n = BatchNode(4)
+    n.set_keys(np.array([1, 2, 3]))
+    got = n.take_front(1)
+    n.set_keys(np.array([9, 9, 9]))
+    assert list(got) == [1]
+
+
+def test_clear():
+    n = BatchNode(4)
+    n.set_keys(np.array([1, 2]))
+    n.clear()
+    assert n.empty
+
+
+def test_check_sorted():
+    n = BatchNode(4)
+    n.set_keys(np.array([1, 3, 2]))
+    assert not n.check_sorted()
+    n.set_keys(np.array([1, 2, 3]))
+    assert n.check_sorted()
+
+
+def test_states_distinct():
+    assert len({AVAIL, EMPTY, TARGET, MARKED}) == 4
+    assert set(STATE_NAMES) == {AVAIL, EMPTY, TARGET, MARKED}

@@ -1,0 +1,54 @@
+"""Tests for machine specifications and launch configs."""
+
+import pytest
+
+from repro.device import TITAN_X, XEON_E7_4870, GpuContext, LaunchConfig
+from repro.errors import ConfigurationError
+
+
+def test_titan_x_core_count_matches_paper():
+    # paper §6.1: 28 SMPs × 128 cores
+    assert TITAN_X.num_sms == 28
+    assert TITAN_X.cores_per_sm == 128
+    assert TITAN_X.total_cores == 3584
+    assert TITAN_X.max_threads_per_sm == 2048
+
+
+def test_xeon_thread_count_matches_paper():
+    # paper §6.1: 4 × 10 cores × 2 SMT = 80 threads
+    assert XEON_E7_4870.hw_threads == 80
+
+
+def test_launch_config_defaults_match_paper():
+    cfg = LaunchConfig()
+    assert cfg.blocks == 128
+    assert cfg.threads_per_block == 512
+    assert cfg.total_threads == 128 * 512
+
+
+def test_launch_config_validation():
+    with pytest.raises(ConfigurationError):
+        LaunchConfig(blocks=0)
+    with pytest.raises(ConfigurationError):
+        LaunchConfig(threads_per_block=0)
+    with pytest.raises(ConfigurationError):
+        LaunchConfig(threads_per_block=384)  # not a power of two
+
+
+def test_resident_blocks_capped_by_occupancy():
+    cfg = LaunchConfig(blocks=1000, threads_per_block=512)
+    # 2048/512 = 4 blocks per SM × 28 SMs = 112
+    assert cfg.resident_blocks(TITAN_X) == 112
+    small = LaunchConfig(blocks=8, threads_per_block=512)
+    assert small.resident_blocks(TITAN_X) == 8
+
+
+def test_warps_per_block():
+    assert LaunchConfig(threads_per_block=512).warps_per_block(TITAN_X) == 16
+    assert LaunchConfig(threads_per_block=32).warps_per_block(TITAN_X) == 1
+
+
+def test_gpu_context_default():
+    ctx = GpuContext.default()
+    assert ctx.n_blocks == 128
+    assert ctx.model.width == 512

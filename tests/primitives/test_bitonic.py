@@ -1,0 +1,89 @@
+"""Bitonic network tests, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives import bitonic_sort, bitonic_stage_count, is_power_of_two, next_power_of_two
+
+
+def test_sorts_small_example():
+    out = bitonic_sort(np.array([5, 1, 4, 2, 8, 0, 3, 9]))
+    assert list(out) == [0, 1, 2, 3, 4, 5, 8, 9]
+
+
+def test_non_power_of_two_length():
+    out = bitonic_sort(np.array([3, 1, 2], dtype=np.int64))
+    assert list(out) == [1, 2, 3]
+
+
+def test_empty_and_single():
+    assert bitonic_sort(np.array([], dtype=np.int32)).size == 0
+    assert list(bitonic_sort(np.array([7]))) == [7]
+
+
+def test_duplicates():
+    out = bitonic_sort(np.array([2, 2, 1, 1, 3, 3, 2, 1]))
+    assert list(out) == [1, 1, 1, 2, 2, 2, 3, 3]
+
+
+def test_floats():
+    out = bitonic_sort(np.array([0.5, -1.5, 2.25, 0.0]))
+    assert list(out) == [-1.5, 0.0, 0.5, 2.25]
+
+
+def test_already_sorted_and_reversed():
+    asc = np.arange(64)
+    assert np.array_equal(bitonic_sort(asc), asc)
+    assert np.array_equal(bitonic_sort(asc[::-1].copy()), asc)
+
+
+def test_input_not_mutated():
+    a = np.array([3, 1, 2])
+    bitonic_sort(a)
+    assert list(a) == [3, 1, 2]
+
+
+def test_payload_follows_keys():
+    keys = np.array([30, 10, 20])
+    payload = np.array(["c", "a", "b"])
+    out_k, out_p = bitonic_sort(keys, payload)
+    assert list(out_k) == [10, 20, 30]
+    assert list(out_p) == ["a", "b", "c"]
+
+
+def test_rejects_2d():
+    with pytest.raises(ValueError):
+        bitonic_sort(np.zeros((2, 2)))
+
+
+def test_stage_count_formula():
+    # n=1024: log=10 → 55 stages (what the cost model charges)
+    assert bitonic_stage_count(1024) == 55
+    assert bitonic_stage_count(2) == 1
+    assert bitonic_stage_count(1) == 0
+    # non-powers are padded up
+    assert bitonic_stage_count(1000) == 55
+
+
+def test_power_of_two_helpers():
+    assert is_power_of_two(1) and is_power_of_two(64)
+    assert not is_power_of_two(0) and not is_power_of_two(48)
+    assert next_power_of_two(1) == 1
+    assert next_power_of_two(5) == 8
+    assert next_power_of_two(1024) == 1024
+
+
+@given(st.lists(st.integers(min_value=-(2**31), max_value=2**31 - 1), max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_matches_numpy_sort(xs):
+    arr = np.array(xs, dtype=np.int64)
+    assert np.array_equal(bitonic_sort(arr), np.sort(arr))
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), max_size=128))
+@settings(max_examples=40, deadline=None)
+def test_matches_numpy_sort_floats(xs):
+    arr = np.array(xs, dtype=np.float64)
+    assert np.array_equal(bitonic_sort(arr), np.sort(arr))

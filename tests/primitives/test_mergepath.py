@@ -1,0 +1,86 @@
+"""Merge Path tests."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives import merge, merge_path_partitions, merge_with_payload
+
+sorted_ints = st.lists(
+    st.integers(min_value=-1000, max_value=1000), max_size=200
+).map(sorted)
+
+
+def test_basic_merge():
+    out = merge(np.array([1, 3, 5]), np.array([2, 4, 6]))
+    assert list(out) == [1, 2, 3, 4, 5, 6]
+
+
+def test_merge_with_empty():
+    a = np.array([1, 2], dtype=np.int64)
+    assert list(merge(a, np.array([], dtype=np.int64))) == [1, 2]
+    assert list(merge(np.array([], dtype=np.int64), a)) == [1, 2]
+
+
+def test_merge_all_equal():
+    out = merge(np.array([5, 5, 5]), np.array([5, 5]))
+    assert list(out) == [5, 5, 5, 5, 5]
+
+
+def test_merge_disjoint_ranges():
+    out = merge(np.array([10, 11]), np.array([1, 2, 3]))
+    assert list(out) == [1, 2, 3, 10, 11]
+
+
+@given(sorted_ints, sorted_ints)
+@settings(max_examples=80, deadline=None)
+def test_merge_matches_numpy(a, b):
+    aa = np.array(a, dtype=np.int64)
+    bb = np.array(b, dtype=np.int64)
+    expect = np.sort(np.concatenate([aa, bb]))
+    assert np.array_equal(merge(aa, bb), expect)
+
+
+def test_payload_merge_keeps_pairs_together():
+    a = np.array([1, 4])
+    pa = np.array([10, 40])
+    b = np.array([2, 3])
+    pb = np.array([20, 30])
+    keys, payload = merge_with_payload(a, pa, b, pb)
+    assert list(keys) == [1, 2, 3, 4]
+    assert list(payload) == [10, 20, 30, 40]
+
+
+def test_payload_merge_2d_payload():
+    a = np.array([1, 3])
+    pa = np.array([[1, 1], [3, 3]])
+    b = np.array([2])
+    pb = np.array([[2, 2]])
+    keys, payload = merge_with_payload(a, pa, b, pb)
+    assert list(keys) == [1, 2, 3]
+    assert payload.tolist() == [[1, 1], [2, 2], [3, 3]]
+
+
+def test_payload_length_mismatch_raises():
+    import pytest
+
+    with pytest.raises(ValueError):
+        merge_with_payload(np.array([1]), np.array([1, 2]), np.array([2]), np.array([2]))
+
+
+@given(sorted_ints, sorted_ints, st.integers(min_value=1, max_value=8))
+@settings(max_examples=50, deadline=None)
+def test_partitions_cover_and_balance(a, b, parts):
+    aa = np.array(a, dtype=np.int64)
+    bb = np.array(b, dtype=np.int64)
+    bounds = merge_path_partitions(aa, bb, parts)
+    assert bounds[0] == (0, 0)
+    assert bounds[-1] == (aa.size, bb.size)
+    # boundaries are monotone and each chunk merges to a sorted run whose
+    # concatenation equals the full merge
+    full = []
+    for (i0, j0), (i1, j1) in zip(bounds, bounds[1:]):
+        assert i1 >= i0 and j1 >= j0
+        chunk = merge(aa[i0:i1], bb[j0:j1])
+        full.extend(chunk.tolist())
+    assert full == merge(aa, bb).tolist()

@@ -1,0 +1,97 @@
+"""Prefix-scan and stream-compaction tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives import (
+    compact,
+    compact_payload,
+    exclusive_scan,
+    inclusive_scan,
+    partition_flags,
+    scan_stage_count,
+    segmented_reduce,
+)
+
+
+def test_exclusive_scan_basic():
+    out = exclusive_scan(np.array([3, 1, 7, 0, 4]))
+    assert list(out) == [0, 3, 4, 11, 11]
+
+
+def test_inclusive_scan_basic():
+    out = inclusive_scan(np.array([3, 1, 7, 0, 4]))
+    assert list(out) == [3, 4, 11, 11, 15]
+
+
+def test_scan_empty():
+    assert exclusive_scan(np.array([], dtype=np.int64)).size == 0
+
+
+def test_scan_single():
+    assert list(exclusive_scan(np.array([9]))) == [0]
+
+
+def test_scan_stage_count():
+    assert scan_stage_count(1024) == 20
+    assert scan_stage_count(1) == 0
+
+
+@given(st.lists(st.integers(min_value=-100, max_value=100), max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_scan_matches_cumsum(xs):
+    arr = np.array(xs, dtype=np.int64)
+    expect = np.concatenate([[0], np.cumsum(arr)[:-1]]) if arr.size else arr
+    assert np.array_equal(exclusive_scan(arr), expect)
+
+
+def test_compact_basic():
+    vals = np.array([10, 20, 30, 40])
+    keep = np.array([True, False, True, False])
+    assert list(compact(vals, keep)) == [10, 30]
+
+
+def test_compact_none_and_all():
+    vals = np.array([1, 2, 3])
+    assert compact(vals, np.zeros(3, bool)).size == 0
+    assert list(compact(vals, np.ones(3, bool))) == [1, 2, 3]
+
+
+def test_compact_empty():
+    assert compact(np.array([]), np.array([], dtype=bool)).size == 0
+
+
+def test_compact_mask_mismatch():
+    with pytest.raises(ValueError):
+        compact(np.array([1, 2]), np.array([True]))
+
+
+def test_compact_2d_payload():
+    vals = np.array([1, 2, 3])
+    payload = np.array([[1, 1], [2, 2], [3, 3]])
+    v, p = compact_payload(vals, payload, np.array([True, False, True]))
+    assert list(v) == [1, 3]
+    assert p.tolist() == [[1, 1], [3, 3]]
+
+
+def test_partition_flags():
+    kept, dropped = partition_flags(np.arange(6), np.arange(6) % 2 == 0)
+    assert list(kept) == [0, 2, 4]
+    assert list(dropped) == [1, 3, 5]
+
+
+@given(st.lists(st.tuples(st.integers(-50, 50), st.booleans()), max_size=150))
+@settings(max_examples=50, deadline=None)
+def test_compact_matches_boolean_indexing(pairs):
+    vals = np.array([p[0] for p in pairs], dtype=np.int64)
+    keep = np.array([p[1] for p in pairs], dtype=bool)
+    assert np.array_equal(compact(vals, keep), vals[keep])
+
+
+def test_segmented_reduce():
+    vals = np.array([1, 2, 3, 4])
+    seg = np.array([0, 1, 0, 2])
+    out = segmented_reduce(vals, seg, 3)
+    assert list(out) == [4, 2, 4]

@@ -1,0 +1,98 @@
+"""SORT_SPLIT contract tests — the paper's formal specification (§4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives import sort_split, sort_split_payload
+
+sorted_ints = st.lists(
+    st.integers(min_value=-(2**30), max_value=2**30), max_size=150
+).map(sorted)
+
+
+def test_basic_split():
+    x, y = sort_split(np.array([1, 5, 9]), np.array([2, 4, 6]), ma=3)
+    assert list(x) == [1, 2, 4]
+    assert list(y) == [5, 6, 9]
+
+
+def test_default_ma_is_len_z():
+    x, y = sort_split(np.array([10, 20]), np.array([1, 2, 3]))
+    assert list(x) == [1, 2]
+    assert list(y) == [3, 10, 20]
+
+
+def test_ma_zero_and_full():
+    z, w = np.array([1, 3]), np.array([2])
+    x, y = sort_split(z, w, ma=0)
+    assert x.size == 0 and list(y) == [1, 2, 3]
+    x, y = sort_split(z, w, ma=3)
+    assert list(x) == [1, 2, 3] and y.size == 0
+
+
+def test_invalid_ma_raises():
+    with pytest.raises(ValueError):
+        sort_split(np.array([1]), np.array([2]), ma=5)
+    with pytest.raises(ValueError):
+        sort_split(np.array([1]), np.array([2]), ma=-1)
+
+
+def test_validate_rejects_unsorted():
+    with pytest.raises(ValueError):
+        sort_split(np.array([3, 1]), np.array([2]), validate=True)
+    with pytest.raises(ValueError):
+        sort_split(np.array([1, 2]), np.array([5, 2]), validate=True)
+
+
+@given(sorted_ints, sorted_ints, st.data())
+@settings(max_examples=80, deadline=None)
+def test_formal_contract(z, w, data):
+    """Checks every clause of the paper's SORT_SPLIT definition."""
+    zz = np.array(z, dtype=np.int64)
+    ww = np.array(w, dtype=np.int64)
+    ma = data.draw(st.integers(min_value=0, max_value=zz.size + ww.size))
+    x, y = sort_split(zz, ww, ma=ma, validate=True)
+    # sizes: Ma + Mb = Na + Nb
+    assert x.size == ma
+    assert x.size + y.size == zz.size + ww.size
+    # both outputs sorted
+    assert np.all(x[:-1] <= x[1:]) if x.size > 1 else True
+    assert np.all(y[:-1] <= y[1:]) if y.size > 1 else True
+    # max(X) <= min(Y)
+    if x.size and y.size:
+        assert x[-1] <= y[0]
+    # multiset preservation
+    merged = np.sort(np.concatenate([zz, ww]))
+    assert np.array_equal(np.sort(np.concatenate([x, y])), merged)
+    # X is exactly the Ma smallest
+    assert np.array_equal(x, merged[:ma])
+
+
+def test_payload_split_pairs_stay_together():
+    z = np.array([1, 9])
+    pz = np.array([100, 900])
+    w = np.array([5])
+    pw = np.array([500])
+    x, px, y, py = sort_split_payload(z, pz, w, pw, ma=2)
+    assert list(x) == [1, 5] and list(px) == [100, 500]
+    assert list(y) == [9] and list(py) == [900]
+
+
+def test_payload_split_invalid_ma():
+    with pytest.raises(ValueError):
+        sort_split_payload(np.array([1]), np.array([1]), np.array([2]), np.array([2]), ma=9)
+
+
+@given(sorted_ints, sorted_ints)
+@settings(max_examples=40, deadline=None)
+def test_payload_consistency(z, w):
+    """key->payload mapping is preserved through the split."""
+    zz = np.array(z, dtype=np.int64)
+    ww = np.array(w, dtype=np.int64)
+    pz = zz * 7  # payload derived from key so we can verify the pairing
+    pw = ww * 7
+    x, px, y, py = sort_split_payload(zz, pz, ww, pw)
+    assert np.array_equal(px, x * 7)
+    assert np.array_equal(py, y * 7)

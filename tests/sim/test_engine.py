@@ -1,0 +1,419 @@
+"""Unit tests for the discrete-event engine core."""
+
+import pytest
+
+from repro.errors import DeadlockError, LockProtocolError, SimThreadError
+from repro.sim import (
+    Acquire,
+    Atomic,
+    AtomicCell,
+    Barrier,
+    BarrierWait,
+    Compute,
+    Condition,
+    Engine,
+    Fork,
+    Join,
+    Label,
+    Release,
+    Signal,
+    SimLock,
+    Wait,
+)
+
+
+def test_single_thread_compute_advances_clock():
+    def w():
+        yield Compute(5.0)
+        yield Compute(7.5)
+        return "done"
+
+    eng = Engine()
+    t = eng.spawn(w())
+    makespan = eng.run()
+    assert makespan == pytest.approx(12.5)
+    assert t.finished
+    assert t.result == "done"
+
+
+def test_threads_interleave_by_clock():
+    order = []
+
+    def w(name, step):
+        for i in range(3):
+            yield Compute(step)
+            order.append((name, i))
+
+    eng = Engine()
+    eng.spawn(w("fast", 1.0), name="fast")
+    eng.spawn(w("slow", 10.0), name="slow")
+    eng.run()
+    # fast finishes all three computes (at t=1,2,3) before slow's first (t=10)
+    assert order[:3] == [("fast", 0), ("fast", 1), ("fast", 2)]
+
+
+def test_makespan_is_max_thread_clock():
+    def w(ns):
+        yield Compute(ns)
+
+    eng = Engine()
+    eng.spawn(w(3.0))
+    eng.spawn(w(11.0))
+    assert eng.run() == pytest.approx(11.0)
+
+
+def test_lock_mutual_exclusion_and_serialization():
+    lock = SimLock("L")
+    inside = [0]
+    max_inside = [0]
+
+    def w():
+        for _ in range(5):
+            yield Acquire(lock)
+            inside[0] += 1
+            max_inside[0] = max(max_inside[0], inside[0])
+            yield Compute(10.0)
+            inside[0] -= 1
+            yield Release(lock)
+
+    eng = Engine(seed=3)
+    eng.spawn_all(w() for _ in range(4))
+    makespan = eng.run()
+    assert max_inside[0] == 1
+    # 20 critical sections of 10ns each, fully serialized
+    assert makespan == pytest.approx(200.0)
+    assert lock.acquisitions == 20
+
+
+def test_lock_contention_stats():
+    lock = SimLock("L")
+
+    def w():
+        yield Acquire(lock)
+        yield Compute(100.0)
+        yield Release(lock)
+
+    eng = Engine()
+    eng.spawn_all(w() for _ in range(3))
+    eng.run()
+    assert lock.contended_acquisitions == 2
+    # second waits 100, third waits 200
+    assert lock.total_wait_ns == pytest.approx(300.0)
+    assert lock.total_held_ns == pytest.approx(300.0)
+
+
+def test_release_by_nonowner_raises():
+    lock = SimLock("L")
+
+    def bad():
+        yield Release(lock)
+
+    eng = Engine()
+    eng.spawn(bad())
+    with pytest.raises((LockProtocolError, SimThreadError)):
+        eng.run()
+
+
+def test_deadlock_detected():
+    a, b = SimLock("a"), SimLock("b")
+
+    def w1():
+        yield Acquire(a)
+        yield Compute(1.0)
+        yield Acquire(b)
+        yield Release(b)
+        yield Release(a)
+
+    def w2():
+        yield Acquire(b)
+        yield Compute(1.0)
+        yield Acquire(a)
+        yield Release(a)
+        yield Release(b)
+
+    eng = Engine()
+    eng.spawn(w1(), name="w1")
+    eng.spawn(w2(), name="w2")
+    with pytest.raises(DeadlockError) as exc:
+        eng.run()
+    assert "w1" in exc.value.blocked and "w2" in exc.value.blocked
+
+
+def test_atomic_returns_value_and_charges_time():
+    cell = AtomicCell(0, "c")
+
+    def w():
+        old = yield Atomic(lambda: cell.fetch_add(1), ns=2.0)
+        return old
+
+    eng = Engine()
+    ts = eng.spawn_all(w() for _ in range(5))
+    makespan = eng.run()
+    assert sorted(t.result for t in ts) == [0, 1, 2, 3, 4]
+    assert cell.value == 5
+    # atomics run on independent clocks here (no lock), so makespan = 2
+    assert makespan == pytest.approx(2.0)
+
+
+def test_condition_wait_signal_delivers_value():
+    cond = Condition("c")
+    got = []
+
+    def waiter():
+        v = yield Wait(cond)
+        got.append(v)
+
+    def signaller():
+        yield Compute(50.0)
+        yield Signal(cond, "hello")
+
+    eng = Engine()
+    w = eng.spawn(waiter())
+    eng.spawn(signaller())
+    eng.run()
+    assert got == ["hello"]
+    # waiter's clock advanced to the signal time
+    assert w.clock == pytest.approx(50.0)
+
+
+def test_signal_wakes_all_waiters():
+    cond = Condition("c")
+    woke = []
+
+    def waiter(i):
+        yield Wait(cond)
+        woke.append(i)
+
+    def signaller():
+        yield Compute(1.0)
+        yield Signal(cond)
+
+    eng = Engine()
+    for i in range(4):
+        eng.spawn(waiter(i))
+    eng.spawn(signaller())
+    eng.run()
+    assert sorted(woke) == [0, 1, 2, 3]
+
+
+def test_barrier_synchronizes_clocks():
+    bar = Barrier(3, "b", latency_ns=5.0)
+    after = []
+
+    def w(ns):
+        yield Compute(ns)
+        yield BarrierWait(bar)
+        after.append(ns)
+
+    eng = Engine()
+    ts = [eng.spawn(w(ns)) for ns in (1.0, 10.0, 100.0)]
+    eng.run()
+    # all released at max arrival (100) + latency (5)
+    for t in ts:
+        assert t.clock == pytest.approx(105.0)
+    assert bar.waits == 1
+
+
+def test_barrier_is_reusable():
+    bar = Barrier(2, "b")
+
+    def w():
+        for _ in range(3):
+            yield Compute(1.0)
+            yield BarrierWait(bar)
+
+    eng = Engine()
+    eng.spawn(w())
+    eng.spawn(w())
+    eng.run()
+    assert bar.waits == 3
+
+
+def test_fork_join():
+    def child():
+        yield Compute(30.0)
+        return 42
+
+    def parent():
+        h = yield Fork(child(), name="kid")
+        v = yield Join(h)
+        return v
+
+    eng = Engine()
+    p = eng.spawn(parent())
+    eng.run()
+    assert p.result == 42
+    assert p.clock == pytest.approx(30.0)
+
+
+def test_join_already_finished_thread():
+    def child():
+        yield Compute(1.0)
+        return "x"
+
+    def parent(h):
+        yield Compute(100.0)
+        v = yield Join(h[0])
+        return v
+
+    eng = Engine()
+    handle = []
+    c = eng.spawn(child())
+    handle.append(c)
+    p = eng.spawn(parent(handle))
+    eng.run()
+    assert p.result == "x"
+
+
+def test_labels_recorded_with_timestamps():
+    def w():
+        yield Compute(4.0)
+        yield Label("mark", {"k": 1})
+        yield Compute(1.0)
+
+    eng = Engine(record_labels=True)
+    eng.spawn(w(), name="w0")
+    eng.run()
+    assert len(eng.labels) == 1
+    rec = eng.labels[0]
+    assert rec.tag == "mark"
+    assert rec.time == pytest.approx(4.0)
+    assert rec.thread == "w0"
+    assert rec.payload == {"k": 1}
+
+
+def test_labels_not_recorded_by_default():
+    def w():
+        yield Label("mark")
+        yield Compute(1.0)
+
+    eng = Engine()
+    eng.spawn(w())
+    eng.run()
+    assert eng.labels == []
+
+
+def test_same_seed_same_interleaving():
+    def run(seed):
+        order = []
+        lock = SimLock("L")
+
+        def w(i):
+            yield Acquire(lock)
+            order.append(i)
+            yield Release(lock)
+
+        eng = Engine(seed=seed)
+        for i in range(8):
+            eng.spawn(w(i))
+        eng.run()
+        return order
+
+    assert run(7) == run(7)
+
+
+def test_different_seeds_explore_different_interleavings():
+    def run(seed):
+        order = []
+        lock = SimLock("L")
+
+        def w(i):
+            yield Compute(0.0)
+            yield Acquire(lock)
+            order.append(i)
+            yield Release(lock)
+
+        eng = Engine(seed=seed)
+        for i in range(8):
+            eng.spawn(w(i))
+        eng.run()
+        return tuple(order)
+
+    seen = {run(s) for s in range(20)}
+    assert len(seen) > 1
+
+
+def test_thread_exception_is_wrapped():
+    def boom():
+        yield Compute(1.0)
+        raise ValueError("kaput")
+
+    eng = Engine()
+    eng.spawn(boom(), name="boom")
+    with pytest.raises(SimThreadError) as exc:
+        eng.run()
+    assert exc.value.thread_name == "boom"
+    assert isinstance(exc.value.original, ValueError)
+
+
+def test_yielding_non_effect_raises():
+    def bad():
+        yield 123
+
+    eng = Engine()
+    eng.spawn(bad())
+    with pytest.raises(TypeError):
+        eng.run()
+
+
+def test_negative_compute_rejected():
+    with pytest.raises(ValueError):
+        Compute(-1.0)
+
+
+def test_spawn_generates_unique_names():
+    def w():
+        yield Compute(1.0)
+
+    eng = Engine()
+    a = eng.spawn(w(), name="x")
+    b = eng.spawn(w(), name="x")
+    assert a.name != b.name
+
+
+def test_max_events_guard():
+    def w():
+        while True:
+            yield Compute(1.0)
+
+    eng = Engine()
+    eng.spawn(w())
+    with pytest.raises(RuntimeError):
+        eng.run(max_events=100)
+
+
+def test_wait_with_true_predicate_does_not_block():
+    cond = Condition("c")
+    state = {"ready": True}
+
+    def w():
+        yield Wait(cond, lambda: state["ready"])
+        return "passed"
+
+    eng = Engine()
+    t = eng.spawn(w())
+    eng.run()
+    assert t.result == "passed"
+
+
+def test_wait_predicate_rechecked_on_signal():
+    cond = Condition("c")
+    state = {"v": 0}
+    woke_at = []
+
+    def waiter():
+        yield Wait(cond, lambda: state["v"] >= 2)
+        woke_at.append(state["v"])
+
+    def signaller():
+        for _ in range(3):
+            yield Compute(10.0)
+            state["v"] += 1
+            yield Signal(cond)
+
+    eng = Engine()
+    eng.spawn(waiter())
+    eng.spawn(signaller())
+    eng.run()
+    # first signal (v=1) must NOT wake the waiter; second (v=2) does
+    assert woke_at == [2]

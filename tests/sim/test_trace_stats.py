@@ -1,0 +1,144 @@
+"""History tracing and run-statistics tests."""
+
+import pytest
+
+from repro.baselines.interface import recorded_op
+from repro.sim import (
+    Acquire,
+    Compute,
+    Engine,
+    HistoryRecorder,
+    Label,
+    Release,
+    SimLock,
+    collect_history,
+    snapshot,
+)
+from repro.sim.trace import INVOKE, RESPOND
+
+
+def test_collect_history_pairs_ops():
+    eng = Engine(record_labels=True)
+    rec = HistoryRecorder()
+
+    def t():
+        op = rec.begin("insert", (1, 2))
+        yield Label(INVOKE, op)
+        yield Compute(5.0)
+        yield Label(RESPOND, HistoryRecorder.end(op, ()))
+
+    eng.spawn(t(), name="w")
+    eng.run()
+    history = collect_history(eng)
+    assert len(history) == 1
+    op = history[0]
+    assert op.kind == "insert"
+    assert op.args == (1, 2)
+    assert op.invoke == pytest.approx(0.0)
+    assert op.respond == pytest.approx(5.0)
+    assert op.thread == "w"
+
+
+def test_collect_history_sorted_by_invoke():
+    eng = Engine(record_labels=True)
+    rec = HistoryRecorder()
+
+    def t(delay, key):
+        yield Compute(delay)
+        op = rec.begin("insert", (key,))
+        yield Label(INVOKE, op)
+        yield Compute(1.0)
+        yield Label(RESPOND, HistoryRecorder.end(op, ()))
+
+    eng.spawn(t(10.0, 1))
+    eng.spawn(t(1.0, 2))
+    eng.run()
+    history = collect_history(eng)
+    assert [o.args[0] for o in history] == [2, 1]
+
+
+def test_unmatched_invoke_dropped():
+    eng = Engine(record_labels=True)
+    rec = HistoryRecorder()
+
+    def t():
+        yield Label(INVOKE, rec.begin("insert", (1,)))
+        yield Compute(1.0)
+        # no respond
+
+    eng.spawn(t())
+    eng.run()
+    assert collect_history(eng) == []
+
+
+def test_op_record_overlap():
+    from repro.sim import OpRecord
+
+    a = OpRecord(0, "t", "insert", (1,), (), 0.0, 5.0)
+    b = OpRecord(1, "t", "insert", (2,), (), 3.0, 8.0)
+    c = OpRecord(2, "t", "insert", (3,), (), 6.0, 9.0)
+    assert a.overlaps(b) and b.overlaps(a)
+    assert not a.overlaps(c)
+
+
+def test_recorded_op_wraps_generator():
+    import numpy as np
+
+    from repro.core import BGPQ
+    from repro.device import GpuContext
+
+    pq = BGPQ(GpuContext.default(blocks=2, threads_per_block=64),
+              node_capacity=8, max_keys=1 << 10)
+    eng = Engine(record_labels=True)
+    rec = HistoryRecorder()
+
+    def t():
+        yield from recorded_op(rec, "insert", (5, 1), pq.insert_op(np.array([5, 1])))
+        got = yield from recorded_op(rec, "deletemin", (2,), pq.deletemin_op(2))
+        return got
+
+    h = eng.spawn(t())
+    eng.run()
+    history = collect_history(eng)
+    assert [o.kind for o in history] == ["insert", "deletemin"]
+    assert history[1].result == (1, 5)
+    assert list(h.result) == [1, 5]
+
+
+def test_snapshot_stats():
+    lock = SimLock("L")
+
+    def w():
+        yield Acquire(lock)
+        yield Compute(10.0)
+        yield Release(lock)
+
+    eng = Engine()
+    eng.spawn_all(w() for _ in range(3))
+    eng.run()
+    stats = snapshot(eng, locks=[lock])
+    assert stats.makespan_ns == pytest.approx(30.0)
+    assert stats.makespan_ms == pytest.approx(30e-6)
+    assert stats.threads == 3
+    assert stats.events > 0
+    ls = stats.lock("L")
+    assert ls.acquisitions == 3
+    assert ls.contended == 2
+    assert ls.contention_ratio == pytest.approx(2 / 3)
+    assert ls.mean_wait_ns > 0
+    assert stats.hottest_lock().name == "L"
+    with pytest.raises(KeyError):
+        stats.lock("missing")
+
+
+def test_snapshot_no_locks():
+    eng = Engine()
+
+    def w():
+        yield Compute(1.0)
+
+    eng.spawn(w())
+    eng.run()
+    stats = snapshot(eng)
+    assert stats.hottest_lock() is None
+    assert stats.locks == ()

@@ -1,0 +1,106 @@
+"""Error-type contracts and memory-footprint accounting tests."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.baselines import CBPQ, HuntHeapPQ, LJSkipListPQ, SprayListPQ, TbbHeapPQ
+from repro.baselines.skiplist import SkipList
+from repro.core import BGPQ
+from repro.core.native import NativeBGPQ
+from repro.sim import Engine
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(errors.SimulationError, errors.ReproError)
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+        assert issubclass(errors.LockProtocolError, errors.SimulationError)
+        assert issubclass(errors.SimThreadError, errors.SimulationError)
+        assert issubclass(errors.CapacityError, errors.ReproError)
+        assert issubclass(errors.EmptyError, errors.ReproError)
+        assert issubclass(errors.ConfigurationError, errors.ReproError)
+        assert issubclass(errors.LinearizabilityError, errors.ReproError)
+
+    def test_deadlock_message_names_threads(self):
+        err = errors.DeadlockError({"t1": "lock:a", "t2": "lock:b"})
+        assert "t1 waiting on lock:a" in str(err)
+        assert err.blocked == {"t1": "lock:a", "t2": "lock:b"}
+
+    def test_simthread_error_wraps(self):
+        inner = ValueError("boom")
+        err = errors.SimThreadError("worker", inner)
+        assert err.original is inner
+        assert "worker" in str(err)
+
+    def test_linearizability_error_carries_history(self):
+        err = errors.LinearizabilityError("bad", history=[1, 2])
+        assert err.history == [1, 2]
+
+
+def _fill(pq, keys, batch=64):
+    eng = Engine()
+
+    def f():
+        for i in range(0, keys.size, batch):
+            yield from pq.insert_op(keys[i : i + batch])
+
+    eng.spawn(f())
+    eng.run()
+
+
+class TestMemoryAccounting:
+    def test_bgpq_k_plus_o1(self):
+        pq = BGPQ(node_capacity=64, max_keys=1 << 14)
+        keys = np.random.default_rng(0).integers(0, 10**6, 64 * 16)
+        _fill(pq, keys)
+        per_key = pq.memory_bytes() / len(pq)
+        assert 8 <= per_key < 16  # 8-byte keys + small control overhead
+
+    def test_skiplist_counts_track_inserts_and_unlinks(self):
+        sl = SkipList(seed=1)
+        for k in range(100):
+            sl.insert(k)
+        assert sl.allocated_nodes == 100
+        assert sl.allocated_pointers >= 100  # every node has >= 1 level
+        before = sl.memory_bytes()
+        for _ in range(40):
+            sl.logical_delete_min()
+        # tombstones still occupy memory
+        assert sl.memory_bytes() == before
+        sl.physical_cleanup()
+        assert sl.allocated_nodes == 60
+        assert sl.memory_bytes() < before
+
+    def test_skiplist_sweep_updates_counts(self):
+        sl = SkipList(seed=2)
+        for k in range(50):
+            sl.insert(k)
+        node = sl.head.forward[0]
+        while node is not None:
+            if node.key % 2 == 0:
+                sl.mark(node)
+            node = node.forward[0]
+        sl.sweep_deleted()
+        assert sl.allocated_nodes == 25
+
+    def test_skiplist_overhead_exceeds_flat_heap(self):
+        keys = np.random.default_rng(1).integers(0, 10**6, 2000)
+        ljsl = LJSkipListPQ()
+        tbb = TbbHeapPQ()
+        _fill(ljsl, keys)
+        _fill(tbb, keys)
+        assert ljsl.memory_bytes() > 1.5 * tbb.memory_bytes()
+
+    def test_all_queues_report_memory(self):
+        keys = np.arange(256)
+        for pq in (BGPQ(node_capacity=32, max_keys=1 << 12), TbbHeapPQ(),
+                   HuntHeapPQ(), CBPQ(chunk_capacity=64),
+                   LJSkipListPQ(), SprayListPQ(n_threads=4)):
+            _fill(pq, keys, batch=32)
+            assert pq.memory_bytes() > 0
+
+    def test_native_memory(self):
+        pq = NativeBGPQ(node_capacity=32, payload_width=2)
+        pq.insert(np.arange(32), payload=np.zeros((32, 2), np.int64))
+        assert pq.memory_bytes() > 32 * 8

@@ -1,0 +1,181 @@
+"""Cross-module integration tests.
+
+These exercise whole pipelines: applications driving the concurrent
+BGPQ through the generic ConcurrentPQ interface, differential runs of
+all three BGPQ realisations (DES / native / oracle), and end-to-end
+benchmark-driver flows.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.astar import astar_concurrent, astar_sequential, generate_grid
+from repro.apps.knapsack import generate, solve_concurrent, solve_dp
+from repro.core import BGPQ, SequentialPQ
+from repro.core.native import NativeBGPQ
+from repro.device import GpuContext, launch
+from repro.sim import Engine
+
+
+def small_bgpq(k=16, **kw):
+    ctx = GpuContext.default(blocks=4, threads_per_block=64)
+    return BGPQ(ctx, node_capacity=k, max_keys=1 << 14, **kw)
+
+
+class TestAppsOnConcurrentBGPQ:
+    """The paper's applications run on BGPQ itself via the same
+    interface the CPU comparators use — BGPQ is a drop-in queue."""
+
+    def test_knapsack_on_bgpq(self):
+        inst = generate(16, family="strongly_correlated", R=40, seed=2)
+        pq = small_bgpq(k=8)
+        res = solve_concurrent(inst, pq, n_threads=4, seed=0)
+        assert res.best_profit == solve_dp(inst)
+
+    def test_astar_on_bgpq(self):
+        grid = generate_grid(20, 0.15, seed=1)
+        opt = astar_sequential(grid, "chebyshev").cost
+        pq = small_bgpq(k=8)
+        res = astar_concurrent(grid, pq, heuristic="chebyshev", n_threads=4, seed=0)
+        assert res.cost == opt
+
+
+class TestThreeWayDifferential:
+    """DES BGPQ, NativeBGPQ and the heapq oracle agree on every
+    sequential script — one spec, three implementations."""
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.lists(st.integers(0, 2**20), min_size=1, max_size=8).map(
+                    lambda ks: ("insert", ks)
+                ),
+                st.integers(1, 8).map(lambda c: ("deletemin", c)),
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_agreement(self, script):
+        des = small_bgpq(k=8)
+        native = NativeBGPQ(node_capacity=8)
+        oracle = SequentialPQ()
+
+        des_results = []
+
+        def t():
+            for kind, arg in script:
+                if kind == "insert":
+                    yield from des.insert_op(np.asarray(arg))
+                else:
+                    got = yield from des.deletemin_op(arg)
+                    des_results.append(got)
+
+        eng = Engine(seed=0)
+        eng.spawn(t())
+        eng.run()
+
+        it = iter(des_results)
+        for kind, arg in script:
+            if kind == "insert":
+                native.insert(arg)
+                oracle.insert(arg)
+            else:
+                expect = oracle.deletemin(arg)
+                nat, _ = native.deletemin(arg)
+                got = next(it)
+                assert np.array_equal(got, expect)
+                assert np.array_equal(nat, expect)
+        assert np.array_equal(np.sort(des.snapshot_keys()), oracle.snapshot_keys())
+        assert np.array_equal(np.sort(native.snapshot_keys()), oracle.snapshot_keys())
+
+
+class TestPeekMin:
+    def test_peek_returns_minimum_without_removing(self):
+        pq = small_bgpq(k=8)
+        eng = Engine()
+        out = []
+
+        def t():
+            yield from pq.insert_op(np.array([5, 2, 9]))
+            got = yield from pq.peek_min_op(2)
+            out.append(got)
+            got2 = yield from pq.peek_min_op(2)
+            out.append(got2)
+
+        eng.spawn(t())
+        eng.run()
+        assert list(out[0]) == [2, 5]
+        assert list(out[1]) == [2, 5]  # not removed
+        assert len(pq) == 3
+
+    def test_peek_empty(self):
+        pq = small_bgpq(k=8)
+        eng = Engine()
+        out = []
+
+        def t():
+            got = yield from pq.peek_min_op(1)
+            out.append(got)
+
+        eng.spawn(t())
+        eng.run()
+        assert out[0].size == 0
+
+    def test_peek_validation(self):
+        pq = small_bgpq(k=8)
+        with pytest.raises(ValueError):
+            list(pq.peek_min_op(0))
+
+
+class TestKernelLaunch:
+    def test_launch_spawns_one_thread_per_block(self):
+        ctx = GpuContext.default(blocks=6, threads_per_block=64)
+        eng = Engine()
+        hits = []
+
+        def block(bid):
+            from repro.sim import Compute
+
+            yield Compute(1.0)
+            hits.append(bid)
+
+        handles = launch(eng, ctx, block, name="b")
+        assert len(handles) == 6
+        eng.run()
+        assert sorted(hits) == list(range(6))
+        assert handles[0].name == "b0"
+
+
+class TestSchedulerSeedSweep:
+    """Wider interleaving exploration than the unit suite: conservation
+    plus invariants across 20 schedules with all features on."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_mixed_workload_seed(self, seed):
+        pq = small_bgpq(k=8)
+        eng = Engine(seed=seed)
+        inserted, deleted = [], []
+
+        def worker(i):
+            r = np.random.default_rng(seed * 31 + i)
+            for _ in range(15):
+                if r.random() < 0.5:
+                    b = r.integers(0, 1 << 20, size=int(r.integers(1, 9)))
+                    inserted.append(b.copy())
+                    yield from pq.insert_op(b)
+                else:
+                    got = yield from pq.deletemin_op(int(r.integers(1, 9)))
+                    if got.size:
+                        deleted.append(got)
+
+        for i in range(5):
+            eng.spawn(worker(i))
+        eng.run()
+        ins = np.sort(np.concatenate(inserted)) if inserted else np.empty(0)
+        outs = [np.concatenate(deleted)] if deleted else []
+        rest = pq.snapshot_keys()
+        assert np.array_equal(ins, np.sort(np.concatenate([*outs, rest])))
+        assert pq.check_invariants() == []
