@@ -28,6 +28,7 @@ import numpy as np
 from ...core.native import NativeBGPQ
 from ...device.kernels import GpuContext
 from ...sim import Atomic, Compute, Engine
+from ..resilience import OverflowList, deletemin_with_retries, insert_with_retries
 from .grid import Grid
 from .heuristics import HEURISTICS, manhattan
 
@@ -180,6 +181,11 @@ def astar_concurrent(
     Keys pack ``f * 2^31 + cell`` so bare-key queues carry the node
     identity; ``g`` is re-read from the shared best-g table at pop
     time, which also subsumes stale-duplicate elimination.
+
+    Fault tolerance mirrors the knapsack driver: queue operations run
+    through :mod:`repro.apps.resilience` retries, and permanently
+    failing inserts route their keys to an overflow list drained by
+    idle workers — aborts cost time, never frontier nodes.
     """
     h = _heuristic_fn(heuristic)
     ty, tx = grid.target
@@ -195,22 +201,31 @@ def astar_concurrent(
 
     eng0 = Engine(seed=seed)
 
+    overflow = OverflowList()
+
     def seeder():
         state["outstanding"] += 1
-        yield from pq.insert_op(np.array([(f0 << CELL_BITS) | start_id], dtype=np.int64))
+        yield from insert_with_retries(
+            pq,
+            np.array([(f0 << CELL_BITS) | start_id], dtype=np.int64),
+            overflow=overflow,
+        )
 
     eng0.spawn(seeder())
     eng0.run()
 
     def worker(i):
         while True:
-            got = yield from pq.deletemin_op(1)
+            got = yield from deletemin_with_retries(pq, 1)
             if got.size == 0:
-                done = yield Atomic(lambda: state["outstanding"] == 0)
-                if done:
-                    return
-                yield Compute(10 * per_expand_ns)
-                continue
+                spilled = yield Atomic(overflow.pop_one)
+                if spilled is None:
+                    done = yield Atomic(lambda: state["outstanding"] == 0)
+                    if done:
+                        return
+                    yield Compute(10 * per_expand_ns)
+                    continue
+                got = np.array([spilled], dtype=np.int64)
             key = int(got[0])
             cell = key & ((1 << CELL_BITS) - 1)
             f = key >> CELL_BITS
@@ -241,7 +256,10 @@ def astar_concurrent(
                 state["pushed"] += len(new_keys)
                 yield Atomic(lambda n=len(new_keys): state.__setitem__(
                     "outstanding", state["outstanding"] + n))
-                yield from pq.insert_op(np.array(new_keys, dtype=np.int64))
+                # overflowed nodes stay outstanding; a peer will drain them
+                yield from insert_with_retries(
+                    pq, np.array(new_keys, dtype=np.int64), overflow=overflow
+                )
             yield Atomic(lambda: state.__setitem__(
                 "outstanding", state["outstanding"] - 1))
 

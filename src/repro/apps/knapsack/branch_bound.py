@@ -33,6 +33,7 @@ import numpy as np
 from ...core.native import NativeBGPQ
 from ...device.kernels import GpuContext
 from ...sim import Atomic, Compute, Engine
+from ..resilience import OverflowList, deletemin_with_retries, insert_with_retries
 from .bounds import dantzig_upper_bound, dantzig_upper_bound_batch
 from .instance import KnapsackInstance
 
@@ -195,6 +196,12 @@ def solve_concurrent(
     no thread holds in-flight work.  ``per_node_ns`` charges the
     (non-PQ) expansion arithmetic per node, so the PQ's contention
     dominates exactly when it does in the paper.
+
+    Fault tolerance: queue operations run through the retry helpers of
+    :mod:`repro.apps.resilience`; permanently failing inserts route
+    their nodes to a host-side overflow list that workers drain when
+    the queue comes up empty, so bounded-wait aborts degrade
+    throughput without ever losing an open node (optimality holds).
     """
     state = {
         "incumbent": inst.greedy_value(),
@@ -225,15 +232,20 @@ def solve_concurrent(
         ub = (KEY_BASE - (key >> ID_BITS)) / KEY_SCALE
         return ub, table.pop(nid)
 
+    overflow = OverflowList()
+
     def worker(i):
         while True:
-            got = yield from pq.deletemin_op(1)
+            got = yield from deletemin_with_retries(pq, 1)
             if got.size == 0:
-                done = yield Atomic(lambda: state["outstanding"] == 0)
-                if done:
-                    return
-                yield Compute(10 * per_node_ns)  # backoff, then retry
-                continue
+                spilled = yield Atomic(overflow.pop_one)
+                if spilled is None:
+                    done = yield Atomic(lambda: state["outstanding"] == 0)
+                    if done:
+                        return
+                    yield Compute(10 * per_node_ns)  # backoff, then retry
+                    continue
+                got = np.array([spilled], dtype=np.int64)
             ub, (level, profit, weight) = unpack(int(got[0]))
             yield Compute(per_node_ns)
             if ub <= state["incumbent"] or level >= inst.n_items:
@@ -262,7 +274,10 @@ def solve_concurrent(
             if new_keys:
                 yield Atomic(lambda n=len(new_keys): state.__setitem__(
                     "outstanding", state["outstanding"] + n))
-                yield from pq.insert_op(np.array(new_keys, dtype=np.int64))
+                # overflowed nodes stay outstanding; a peer will drain them
+                yield from insert_with_retries(
+                    pq, np.array(new_keys, dtype=np.int64), overflow=overflow
+                )
             yield Atomic(lambda: state.__setitem__(
                 "outstanding", state["outstanding"] - 1))
 
@@ -271,7 +286,9 @@ def solve_concurrent(
         if root_ub > state["incumbent"]:
             state["outstanding"] += 1
             key = pack(root_ub, (0, 0, 0))
-            yield from pq.insert_op(np.array([key], dtype=np.int64))
+            yield from insert_with_retries(
+                pq, np.array([key], dtype=np.int64), overflow=overflow
+            )
 
     eng0 = Engine(seed=seed)
     eng0.spawn(seeder())

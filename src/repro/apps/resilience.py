@@ -1,0 +1,109 @@
+"""Graceful degradation for PQ-driven solvers under faults.
+
+The concurrent branch-and-bound and A* drivers hammer one shared
+queue; when that queue runs with bounded root waits (fault campaigns),
+an operation can abort with :class:`~repro.errors.OperationAborted`
+instead of blocking forever.  Dropping the work would break the
+solvers' correctness argument (every open node must eventually be
+expanded), so the helpers here implement the two-tier recovery the
+drivers share:
+
+1. **retry** — re-attempt the operation a few times with exponential
+   backoff (most aborts are transient root contention);
+2. **degrade** — a permanently failing insert routes its keys to a
+   host-side :class:`OverflowList` that workers poll whenever the
+   queue comes up empty.  Overflow nodes stay "outstanding", so the
+   termination check (empty queue + no in-flight work) still only
+   fires once every node has actually been expanded.
+
+A permanently failing deletemin degrades to an empty result: the
+caller already treats empty as "retry after backoff", which is exactly
+the right behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import OperationAborted
+from ..sim import Compute
+
+__all__ = ["OverflowList", "deletemin_with_retries", "insert_with_retries"]
+
+
+class OverflowList:
+    """Host-side escape hatch for keys a faulty queue refused.
+
+    Plain-Python mutations; callers touch it through ``Atomic`` effects
+    (or between yields), which makes access atomic under the simulator's
+    interleaving semantics.
+    """
+
+    __slots__ = ("keys", "routed", "drained")
+
+    def __init__(self):
+        self.keys: list[int] = []
+        self.routed = 0  # keys ever routed here
+        self.drained = 0  # keys taken back out
+
+    def push(self, keys: np.ndarray) -> None:
+        self.keys.extend(int(k) for k in np.asarray(keys).ravel())
+        self.routed += int(np.asarray(keys).size)
+
+    def pop_one(self):
+        """Smallest overflow key, or None when empty."""
+        if not self.keys:
+            return None
+        i = self.keys.index(min(self.keys))
+        self.drained += 1
+        return self.keys.pop(i)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+def insert_with_retries(
+    pq,
+    keys: np.ndarray,
+    retries: int = 3,
+    backoff_ns: float = 2_000.0,
+    overflow: OverflowList | None = None,
+):
+    """Insert with retry + overflow degradation; generator returning
+    True (queue took the keys) or False (routed to ``overflow``).
+
+    Without an ``overflow`` list the final abort propagates — the
+    caller opted out of degradation.
+    """
+    delay = backoff_ns
+    for attempt in range(retries + 1):
+        try:
+            yield from pq.insert_op(keys)
+            return True
+        except OperationAborted:
+            if attempt < retries:
+                yield Compute(delay)
+                delay *= 2.0
+    if overflow is None:
+        raise OperationAborted("insert", f"gave up after {retries + 1} attempts")
+    overflow.push(keys)
+    return False
+
+
+def deletemin_with_retries(
+    pq,
+    count: int,
+    retries: int = 3,
+    backoff_ns: float = 2_000.0,
+):
+    """Deletemin with retry; degrades to an empty result on permanent
+    abort (callers treat empty as "back off and re-poll")."""
+    delay = backoff_ns
+    for attempt in range(retries + 1):
+        try:
+            return (yield from pq.deletemin_op(count))
+        except OperationAborted:
+            if attempt < retries:
+                yield Compute(delay)
+                delay *= 2.0
+    return np.empty(0, dtype=np.int64)

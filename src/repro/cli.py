@@ -8,7 +8,13 @@ Usage::
     python -m repro knapsack               # Table 2 '0-1 KS'
     python -m repro astar                  # Table 2 'A-star'
     python -m repro fig6                   # Figure 6 sweeps
+    python -m repro faults                 # fault-injection campaigns
     python -m repro all                    # everything, archived
+
+``faults`` runs seed-swept crash/timeout/jitter campaigns (see
+:mod:`repro.campaign`) and exits non-zero when any run deadlocks,
+livelocks, or fails the post-run heap audit; each failure line carries
+the (queue, plan, seed) triple that reproduces it.
 
 ``REPRO_SCALE`` (default 2048) divides the paper's workload sizes;
 results are archived under ``bench_results/`` and EXPERIMENTS.md can
@@ -46,6 +52,57 @@ def _run(name: str, fn, title: str) -> None:
     print(f"[{wall:.1f}s host; saved {path}]\n")
 
 
+def _run_faults(args) -> int:
+    from .campaign import run_campaign
+
+    queues = tuple(q for q in args.queues.split(",") if q)
+    plans = tuple(p for p in args.plans.split(",") if p)
+    t0 = time.perf_counter()
+    try:
+        result = run_campaign(
+            queues=queues,
+            plans=plans,
+            seeds=args.seeds,
+            seed_base=args.seed_base,
+            threads=args.threads,
+            ops=args.ops,
+            k=args.capacity,
+        )
+    except ValueError as err:  # unknown queue/plan name
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    wall = time.perf_counter() - t0
+    print(render_rows(result.rows(), "Fault campaign (injected/survived/failed)"))
+    path = save_results(
+        "faults",
+        result.rows(),
+        meta={
+            "seeds": args.seeds,
+            "seed_base": args.seed_base,
+            "threads": args.threads,
+            "ops": args.ops,
+            "capacity": args.capacity,
+            "wall_s": round(wall, 1),
+        },
+    )
+    print(f"[{wall:.1f}s host; saved {path}]\n")
+    if not result.ok:
+        print(f"{result.failed} of {len(result.outcomes)} runs FAILED:")
+        for o in result.failures():
+            detail = o.failure or "; ".join(o.audit_problems)
+            print(
+                f"  {o.queue} plan={o.plan} seed={o.seed} "
+                f"[{o.status}] {detail}"
+            )
+        print(
+            "\nreproduce a failure with: python -m repro faults "
+            "--queues <queue> --plans <plan> --seeds 1 --seed-base <seed>"
+        )
+        return 1
+    print(f"all {len(result.outcomes)} runs survived and passed the heap audit")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -53,7 +110,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["table1", "insdel", "util", "knapsack", "astar", "fig6", "all"],
+        choices=[
+            "table1",
+            "insdel",
+            "util",
+            "knapsack",
+            "astar",
+            "fig6",
+            "faults",
+            "all",
+        ],
         help="which experiment to run",
     )
     parser.add_argument(
@@ -66,10 +132,39 @@ def main(argv: list[str] | None = None) -> int:
         default="random,ascend,descend",
         help="key orders for insdel (default: random,ascend,descend)",
     )
+    faults = parser.add_argument_group("faults campaign")
+    faults.add_argument(
+        "--seeds", type=int, default=20, help="seeds per (queue, plan) cell"
+    )
+    faults.add_argument(
+        "--seed-base", type=int, default=0, help="first seed of the sweep"
+    )
+    faults.add_argument(
+        "--plans",
+        default="crash,timeout,jitter",
+        help="comma-separated fault plans (crash,timeout,jitter,mixed,none)",
+    )
+    faults.add_argument(
+        "--queues",
+        default="bgpq,bgpq-bu,tbb",
+        help="comma-separated queues (bgpq,bgpq-unbounded,bgpq-bu,tbb,hunt,ljsl)",
+    )
+    faults.add_argument(
+        "--threads", type=int, default=4, help="simulated workers per run"
+    )
+    faults.add_argument(
+        "--ops", type=int, default=6, help="insert/delete pairs per worker"
+    )
+    faults.add_argument(
+        "--capacity", type=int, default=8, help="batch node capacity k"
+    )
     args = parser.parse_args(argv)
 
     print(f"workload scale: 1/{scale()} of the paper's sizes (REPRO_SCALE)\n")
     want = args.experiment
+
+    if want == "faults":
+        return _run_faults(args)
 
     if want in ("table1", "all"):
         print(render_table1())

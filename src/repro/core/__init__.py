@@ -10,22 +10,28 @@
 * :mod:`~repro.core.linearizability` — history checker.
 """
 
+from .audit import AuditReport, HeapAuditor
 from .bgpq import BGPQ
 from .bottomup import BGPQBottomUp
 from .heap import HeapStorage, left, level, parent, path_next, right
 from .node import AVAIL, EMPTY, MARKED, TARGET, BatchNode
+from .recovery import OpGuard, bounded_acquire
 from .sequential import SequentialPQ
 
 __all__ = [
     "AVAIL",
+    "AuditReport",
     "BGPQ",
     "BGPQBottomUp",
     "BatchNode",
     "EMPTY",
+    "HeapAuditor",
     "HeapStorage",
     "MARKED",
+    "OpGuard",
     "SequentialPQ",
     "TARGET",
+    "bounded_acquire",
     "left",
     "level",
     "parent",

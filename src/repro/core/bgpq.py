@@ -60,6 +60,16 @@ class BGPQ(InsertMixin, DeleteMixin, ConcurrentPQ):
         off only by the ablation benchmarks.
     dtype:
         Key dtype (the paper uses 30/32-bit integer keys).
+    root_wait_ns:
+        When set, INSERT/DELETEMIN take the root lock with *bounded*
+        waits of this length (exponentially growing across retries)
+        instead of queueing forever; an operation that exhausts its
+        retries raises :class:`~repro.errors.OperationAborted` with all
+        state rolled back.  ``None`` (the default) keeps the paper's
+        unbounded acquire.
+    root_retries:
+        Bounded-wait attempts beyond the first (default 3, so 4 waits
+        totalling 15x ``root_wait_ns`` before aborting).
     """
 
     name = "BGPQ"
@@ -73,7 +83,13 @@ class BGPQ(InsertMixin, DeleteMixin, ConcurrentPQ):
         dtype=np.int64,
         payload_width: int = 0,
         payload_dtype=np.int64,
+        root_wait_ns: float | None = None,
+        root_retries: int = 3,
     ):
+        if root_wait_ns is not None and root_wait_ns <= 0:
+            raise ConfigurationError("root_wait_ns must be positive (or None)")
+        if root_retries < 0:
+            raise ConfigurationError("root_retries must be >= 0")
         if node_capacity < 2:
             raise ConfigurationError("node capacity must be >= 2")
         if payload_width < 0:
@@ -98,6 +114,8 @@ class BGPQ(InsertMixin, DeleteMixin, ConcurrentPQ):
         #: signalled by an inserter that filled its TARGET node
         self.node_filled = Condition("bgpq.node_filled")
         self._total_keys = 0
+        self.root_wait_ns = root_wait_ns
+        self.root_retries = root_retries
         self.stats = {
             "insert_heapify": 0,
             "deletemin_heapify": 0,
@@ -105,6 +123,11 @@ class BGPQ(InsertMixin, DeleteMixin, ConcurrentPQ):
             "partial_delete": 0,
             "collab_steals": 0,
             "collab_fills": 0,
+            "insert_aborts": 0,
+            "delete_aborts": 0,
+            "insert_rollbacks": 0,
+            "delete_rollbacks": 0,
+            "root_timeouts": 0,
         }
 
     # ------------------------------------------------------------------
@@ -119,6 +142,37 @@ class BGPQ(InsertMixin, DeleteMixin, ConcurrentPQ):
             linearizable=True,
             data_structure="Heap",
         )
+
+    def _acquire_root(self, guard, op: str):
+        """Take the root lock, bounded when ``root_wait_ns`` is set.
+
+        Registers the lock on ``guard`` on success.  A bounded acquire
+        that exhausts its retries raises
+        :class:`~repro.errors.OperationAborted` with nothing held and
+        nothing mutated — the clean-abort entry point of the paper's
+        protocols under fault injection.
+        """
+        from ..errors import OperationAborted
+        from ..sim import Acquire, Compute
+        from .recovery import bounded_acquire
+
+        store, m = self.store, self.model
+        if self.root_wait_ns is None:
+            yield Acquire(store.root_lock)
+            yield Compute(m.lock_acquire_ns())
+        else:
+            ok = yield from bounded_acquire(
+                store.root_lock, m, self.root_wait_ns, self.root_retries
+            )
+            if not ok:
+                self.stats["root_timeouts"] += 1
+                self.stats[f"{op}_aborts"] += 1
+                raise OperationAborted(
+                    op,
+                    f"root lock unavailable after {self.root_retries + 1} "
+                    f"bounded waits from {self.root_wait_ns:g}ns",
+                )
+        guard.hold(store.root_lock)
 
     def peek_min_op(self, count: int = 1):
         """Read (without removing) up to ``min(count, |root|)`` smallest keys.

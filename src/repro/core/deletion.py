@@ -19,11 +19,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import SimulationError
+from ..errors import SimulationError, ThreadCrashed
 from ..primitives import sort_split_payload
-from ..sim import Acquire, Compute, Release, Wait
+from ..sim import Acquire, Compute, Release, Wait, crashpoint
 from .heap import left, right
 from .node import AVAIL, EMPTY, MARKED, TARGET
+from .recovery import OpGuard
 
 __all__ = ["DeleteMixin"]
 
@@ -38,29 +39,57 @@ class DeleteMixin:
         than ``count`` when the queue drains); with
         ``with_payload=True`` returns ``(keys, payload_rows)``.
         """
-        store, m = self.store, self.model
+        m = self.model
         if not 1 <= count <= self.k:
             raise ValueError(f"deletemin count must be in [1, {self.k}], got {count}")
 
-        yield Acquire(store.root_lock)  # Alg.2 line 2
-        yield Compute(m.lock_acquire_ns())
+        # Fault envelope: pre-commit mutations are recorded on a guard
+        # and unwound if an injected crash lands at a crash point.
+        guard = OpGuard()
+        try:
+            return (
+                yield from self._deletemin_attempt(count, with_payload, guard)
+            )
+        except ThreadCrashed:
+            self.stats["delete_rollbacks"] += 1
+            yield from guard.rollback(m.lock_release_ns())
+            raise
 
-        done, items_k, items_p = yield from self._partial_deletemin(count)
+    def _deletemin_attempt(self, count: int, with_payload: bool, guard: OpGuard):
+        """Alg.2 body; all pre-commit state is tracked on ``guard``."""
+        store, m = self.store, self.model
+        yield crashpoint()  # nothing held, nothing mutated
+
+        # Alg.2 line 2 (bounded + retried when built with root_wait_ns)
+        yield from self._acquire_root(guard, "delete")
+
+        done, items_k, items_p = yield from self._partial_deletemin(count, guard)
         if done:  # root lock already released
             self._total_keys -= items_k.size
             return (items_k, items_p) if with_payload else items_k
 
         # lines 4-5: claim the last node, shrink the heap
         remained = count - items_k.size
+        prev_total = self._total_keys
         self._total_keys -= count  # refill guarantees `count` keys total
+        guard.on_abort(lambda: setattr(self, "_total_keys", prev_total))
         tar = store.heap_size
-        store.heap_size -= 1
+        store.heap_size -= 1  # undone via the snapshot on rollback
         tar_lock = store.lock(tar)
         tar_node = store.node(tar)
         root = store.root
+        yield crashpoint()  # root held; heap shrink still invisible
 
         yield Acquire(tar_lock)  # line 6
+        guard.hold(tar_lock)
         yield Compute(m.lock_acquire_ns() + m.state_rmw_ns())
+
+        # Last survivable point: both locks held, nothing published.
+        # Beyond this the refill either MARKs an in-flight insert or
+        # moves the last node's keys — effects a peer may act on — so
+        # the operation always runs to completion.
+        yield crashpoint()
+        guard.commit()
 
         if tar_node.state == TARGET and self.collaboration:
             # lines 7-9: steal the in-flight insert — mark it and spin
@@ -120,21 +149,45 @@ class DeleteMixin:
         return (items_k, items_p) if with_payload else items_k
 
     # ------------------------------------------------------------------
-    def _partial_deletemin(self, count: int):
+    def _partial_deletemin(self, count: int, guard: OpGuard | None = None):
         """Alg.2 PARTIAL_DELETEMIN (lines 15-31); root lock is held.
 
         Returns ``(True, keys, payload)`` when the request was fully
         served (root lock released) or ``(False, keys, payload)`` when
         a refill + heapify is needed (root lock still held, root state
         EMPTY).
+
+        With a ``guard``, a snapshot of everything this routine (and
+        the caller's heap shrink) may touch is registered for rollback
+        and crash points are emitted; the fully-served exits commit
+        before releasing the root.
         """
         store, m = self.store, self.model
         root = store.root
         no_k = np.empty(0, dtype=store.dtype)
         no_p = np.empty((0, store.payload_width), dtype=store.payload_dtype)
 
+        if guard is not None:
+            root_k = root.keys().copy()
+            root_p = root.payload().copy()
+            root_count, root_state = root.count, root.state
+            buf_k, buf_p = self.pbuffer, self.pbuffer_pay
+            size = store.heap_size
+
+            def restore():
+                root.buf[:root_count] = root_k
+                root.pay[:root_count] = root_p
+                root.count, root.state = root_count, root_state
+                self.pbuffer, self.pbuffer_pay = buf_k, buf_p
+                store.heap_size = size
+
+            guard.on_abort(restore)
+            yield crashpoint()
+
         if store.heap_size == 0:  # lines 16-17: empty queue
             self.stats["partial_delete"] += 1
+            if guard is not None:
+                guard.commit()
             yield Release(store.root_lock)
             yield Compute(m.lock_release_ns())
             return True, no_k, no_p
@@ -143,6 +196,8 @@ class DeleteMixin:
             items_k, items_p = root.take_front_records(count)
             self.stats["partial_delete"] += 1
             yield Compute(m.global_read_ns(count) + m.global_write_ns(root.count))
+            if guard is not None:
+                guard.commit()
             yield Release(store.root_lock)
             yield Compute(m.lock_release_ns())
             return True, items_k, items_p
@@ -150,6 +205,8 @@ class DeleteMixin:
         # lines 21-22: drain the root
         items_k, items_p = root.take_front_records(root.count)
         yield Compute(m.global_read_ns(items_k.size))
+        if guard is not None:
+            yield crashpoint()  # drained keys restorable from snapshot
 
         if store.heap_size == 1:  # lines 23-29: refill from the buffer
             if self.pbuffer.size:
@@ -169,6 +226,8 @@ class DeleteMixin:
                 store.heap_size = 0
                 root.state = EMPTY
             self.stats["partial_delete"] += 1
+            if guard is not None:
+                guard.commit()
             yield Release(store.root_lock)
             yield Compute(m.lock_release_ns())
             return True, items_k, items_p
@@ -176,6 +235,8 @@ class DeleteMixin:
         # lines 30-31: a full refill is needed
         root.state = EMPTY
         yield Compute(m.state_rmw_ns())
+        if guard is not None:
+            yield crashpoint()  # root still held; snapshot fully covers
         return False, items_k, items_p
 
     # ------------------------------------------------------------------

@@ -18,11 +18,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import SimulationError
+from ..errors import SimulationError, ThreadCrashed
 from ..primitives import merge_with_payload, sort_split_payload
-from ..sim import Acquire, Atomic, Compute, Release, Signal
+from ..sim import Acquire, Atomic, Compute, Release, Signal, crashpoint
 from .heap import parent, path_next
 from .node import AVAIL, EMPTY, MARKED, TARGET
+from .recovery import OpGuard
 
 __all__ = ["InsertMixin"]
 
@@ -45,26 +46,55 @@ class InsertMixin:
         items_k, items_p = keys[order], pay[order]
         yield Compute(m.global_read_ns(items_k.size) + m.bitonic_sort_ns(items_k.size))
 
-        # line 3: lock the root (the root/pBuffer shared lock)
-        yield Acquire(store.root_lock)
-        yield Compute(m.lock_acquire_ns())
+        # Fault envelope: pre-commit mutations are recorded on a guard
+        # and unwound if an injected crash lands at a crash point.
+        guard = OpGuard()
+        try:
+            return (yield from self._insert_attempt(items_k, items_p, guard))
+        except ThreadCrashed:
+            self.stats["insert_rollbacks"] += 1
+            yield from guard.rollback(m.lock_release_ns())
+            raise
+
+    def _insert_attempt(self, items_k: np.ndarray, items_p: np.ndarray, guard: OpGuard):
+        """Alg.1 body; all pre-commit state is tracked on ``guard``."""
+        store, m = self.store, self.model
+        yield crashpoint()  # nothing held, nothing mutated
+
+        # line 3: lock the root (the root/pBuffer shared lock);
+        # bounded + retried when the queue was built with root_wait_ns.
+        yield from self._acquire_root(guard, "insert")
+        prev_total = self._total_keys
         self._total_keys += items_k.size
+        guard.on_abort(lambda: setattr(self, "_total_keys", prev_total))
+        yield crashpoint()  # root held; only the key count to unwind
 
         # lines 4 / 15-29: PARTIAL_INSERT
-        full = yield from self._partial_insert(items_k, items_p)
+        full = yield from self._partial_insert(items_k, items_p, guard)
         if full is None:  # absorbed by root/buffer; root already unlocked
             return
         items_k, items_p = full
 
         # lines 5-6: claim the next slot, mark it TARGET
-        tar = store.grow()
+        tar = store.grow()  # undone via the heap_size snapshot on rollback
         tar_lock = store.lock(tar)
         tar_node = store.node(tar)
         yield Acquire(tar_lock)
+        guard.hold(tar_lock)
         yield Compute(m.lock_acquire_ns() + m.state_rmw_ns())
         tar_node.state = TARGET
+        guard.on_abort(lambda: setattr(tar_node, "state", EMPTY))
         yield Release(tar_lock)
+        guard.drop(tar_lock)
         yield Compute(m.lock_release_ns())
+
+        # Last survivable point: the root lock is still held, so no peer
+        # has observed the grown heap or the TARGET slot — rollback can
+        # still restore the exact pre-insert state.  The hand-over-hand
+        # descent below publishes state lock by lock; from here the
+        # operation always runs to completion.
+        yield crashpoint()
+        guard.commit()
 
         # line 7: top-down heapify from the root's child toward tar.
         # The root lock is still held; the first hand-over-hand step
@@ -103,15 +133,46 @@ class InsertMixin:
             raise SimulationError(f"insert target {tar} in unexpected state {st}")
 
     # ------------------------------------------------------------------
-    def _partial_insert(self, items_k: np.ndarray, items_p: np.ndarray):
+    def _partial_insert(
+        self,
+        items_k: np.ndarray,
+        items_p: np.ndarray,
+        guard: OpGuard | None = None,
+    ):
         """Alg.1 PARTIAL_INSERT (lines 15-29); root lock is held.
 
         Returns None when the insert was fully absorbed (root lock
         released), or a full k-record batch to heapify (root lock
         still held) when the buffer overflowed.
+
+        With a ``guard``, a snapshot of everything this routine may
+        touch (root contents/state, buffer arrays, heap size) is
+        registered for rollback and crash points are emitted; the
+        absorbed exits commit before releasing the root.  Without one
+        (the bottom-up variant) behaviour is exactly the original.
         """
         store, m = self.store, self.model
         root = store.root
+
+        if guard is not None:
+            # One snapshot covers every pre-commit mutation below *and*
+            # the caller's grow(): buffer arrays are replaced (never
+            # mutated in place), so keeping references is enough.
+            root_k = root.keys().copy()
+            root_p = root.payload().copy()
+            root_count, root_state = root.count, root.state
+            buf_k, buf_p = self.pbuffer, self.pbuffer_pay
+            size = store.heap_size
+
+            def restore():
+                root.buf[:root_count] = root_k
+                root.pay[:root_count] = root_p
+                root.count, root.state = root_count, root_state
+                self.pbuffer, self.pbuffer_pay = buf_k, buf_p
+                store.heap_size = size
+
+            guard.on_abort(restore)
+            yield crashpoint()
 
         if store.heap_size == 0:  # lines 16-19: empty heap
             root.set_keys(items_k, items_p)
@@ -119,6 +180,8 @@ class InsertMixin:
             store.heap_size = 1
             self.stats["partial_insert"] += 1
             yield Compute(m.global_write_ns(items_k.size))
+            if guard is not None:
+                guard.commit()
             yield Release(store.root_lock)
             yield Compute(m.lock_release_ns())
             return None
@@ -139,6 +202,8 @@ class InsertMixin:
                 self.pbuffer, self.pbuffer_pay, items_k, items_p
             )
             self.stats["partial_insert"] += 1
+            if guard is not None:
+                guard.commit()
             yield Release(store.root_lock)
             yield Compute(m.lock_release_ns())
             return None
@@ -148,6 +213,8 @@ class InsertMixin:
             items_k, items_p, self.pbuffer, self.pbuffer_pay, ma=self.k
         )
         yield Compute(m.node_sort_split_ns(items_k.size, self.pbuffer.size + self.k))
+        if guard is not None:
+            yield crashpoint()  # root still held; snapshot fully covers
         return fk, fp
 
     # ------------------------------------------------------------------

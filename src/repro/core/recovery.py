@@ -1,0 +1,96 @@
+"""Abort/rollback machinery for fault-tolerant BGPQ operations.
+
+Every BGPQ operation runs in two phases.  The *pre-commit* phase holds
+the root lock continuously; all mutations it performs are recorded as
+undo closures on an :class:`OpGuard`, and
+:func:`~repro.sim.faults.crashpoint` markers are yielded only inside
+this window.  If a crash (or an unhandled abort) arrives, the
+operation's ``except`` arm drives :meth:`OpGuard.rollback`, which
+re-applies the undos in reverse and releases every held lock in
+reverse acquisition order — restoring the exact pre-operation state
+before any peer can observe it.  After :meth:`OpGuard.commit` the
+operation's effects are visible to other threads, the guard goes
+inert, and the protocol runs to completion with no further crash
+points.
+
+:func:`bounded_acquire` is the timeout-based companion: instead of
+queueing forever behind a stalled peer, it retries a lock with
+exponentially growing bounded waits and lets the caller abort cleanly
+(raising :class:`~repro.errors.OperationAborted`) when the lock never
+materialises.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..sim import AcquireTimeout, Compute, Release
+
+__all__ = ["OpGuard", "bounded_acquire"]
+
+
+class OpGuard:
+    """Undo log + held-lock registry for one in-flight operation.
+
+    ``held`` is kept in acquisition order; :meth:`rollback` releases in
+    reverse, preserving the protocol's lock ordering.  Undo closures
+    must be plain (non-yielding) Python — they run atomically from the
+    simulator's point of view, before any lock is released.
+    """
+
+    __slots__ = ("held", "undos", "committed")
+
+    def __init__(self):
+        self.held: list = []  # SimLocks, acquisition order
+        self.undos: list[Callable[[], None]] = []
+        self.committed = False
+
+    def hold(self, lock) -> None:
+        self.held.append(lock)
+
+    def drop(self, lock) -> None:
+        self.held.remove(lock)
+
+    def on_abort(self, undo: Callable[[], None]) -> None:
+        self.undos.append(undo)
+
+    def commit(self) -> None:
+        """Point of no return: discard undos; locks are now managed by
+        the (crash-free) post-commit protocol itself."""
+        self.committed = True
+        self.undos.clear()
+        self.held.clear()
+
+    def rollback(self, release_cost_ns: float = 0.0):
+        """Generator: restore recorded state, then release held locks
+        in reverse acquisition order.  Idempotent; no-op after commit."""
+        for undo in reversed(self.undos):
+            undo()
+        self.undos.clear()
+        while self.held:
+            lock = self.held.pop()
+            yield Release(lock)
+            if release_cost_ns:
+                yield Compute(release_cost_ns)
+
+
+def bounded_acquire(lock, model, wait_ns: float, retries: int):
+    """Acquire ``lock`` with bounded waits; generator returning bool.
+
+    Attempt ``retries + 1`` bounded waits of exponentially growing
+    length (``wait_ns``, ``2*wait_ns``, ...), backing off between
+    attempts so a re-queued waiter does not immediately re-enter a
+    convoy behind the same stalled holder.  Returns True with the lock
+    held, or False with nothing held — the caller decides whether
+    False means abort or degrade.
+    """
+    wait = float(wait_ns)
+    for attempt in range(retries + 1):
+        granted = yield AcquireTimeout(lock, wait)
+        if granted:
+            yield Compute(model.lock_acquire_ns())
+            return True
+        if attempt < retries:
+            yield Compute(wait * 0.5)  # polite backoff before re-queueing
+            wait *= 2.0
+    return False

@@ -21,13 +21,48 @@ class DeadlockError(SimulationError):
 
     Carries the names of the blocked threads and what each is blocked
     on, which makes lock-ordering bugs in queue implementations easy to
-    diagnose from the test failure alone.
+    diagnose from the test failure alone.  When the engine can tell,
+    ``details`` additionally maps each thread to the current owner of
+    the lock it waits on and how long it has been blocked::
+
+        {"t1": {"owner": "t2", "waited_ns": 120.0}, ...}
     """
 
-    def __init__(self, blocked: dict[str, str]):
+    def __init__(self, blocked: dict[str, str], details: dict[str, dict] | None = None):
         self.blocked = dict(blocked)
-        detail = ", ".join(f"{t} waiting on {w}" for t, w in sorted(self.blocked.items()))
-        super().__init__(f"deadlock: {detail}")
+        self.details = {k: dict(v) for k, v in (details or {}).items()}
+        parts = []
+        for t, w in sorted(self.blocked.items()):
+            d = self.details.get(t)
+            if d:
+                owner = d.get("owner") or "nobody"
+                parts.append(
+                    f"{t} waiting on {w} held by {owner}"
+                    f" for {d.get('waited_ns', 0.0):g}ns"
+                )
+            else:
+                parts.append(f"{t} waiting on {w}")
+        super().__init__(f"deadlock: {', '.join(parts)}")
+
+
+class BudgetExceededError(SimulationError):
+    """A run blew through its ``max_events`` budget (livelock guard).
+
+    Carries the budget, the event count reached, and per-thread step
+    counts so a livelocked/spinning thread is identifiable from the
+    error alone — the progress watchdog for fault campaigns.
+    """
+
+    def __init__(self, max_events: int, events: int, thread_steps: dict[str, int]):
+        self.max_events = max_events
+        self.events = events
+        self.thread_steps = dict(thread_steps)
+        top = sorted(self.thread_steps.items(), key=lambda kv: -kv[1])[:5]
+        spinners = ", ".join(f"{name}={steps}" for name, steps in top)
+        super().__init__(
+            f"exceeded max_events={max_events} after {events} events; "
+            f"busiest threads: {spinners or 'none'}"
+        )
 
 
 class LockProtocolError(SimulationError):
@@ -41,6 +76,44 @@ class SimThreadError(SimulationError):
         self.thread_name = thread_name
         self.original = original
         super().__init__(f"simulated thread {thread_name!r} failed: {original!r}")
+
+
+class ThreadCrashed(SimulationError):
+    """Injected mid-protocol crash (fault campaigns).
+
+    Thrown *into* a simulated thread by the fault injector at a crash
+    point; queue operations catch it, roll back their pre-commit
+    mutations, and re-raise so the injector can retire the thread.
+    """
+
+    def __init__(self, thread_name: str, effect_index: int):
+        self.thread_name = thread_name
+        self.effect_index = effect_index
+        super().__init__(f"thread {thread_name!r} crashed at effect {effect_index}")
+
+
+class OperationAborted(ReproError):
+    """A queue operation gave up cleanly (bounded-wait exhausted).
+
+    Raised only before the operation's commit point, with every held
+    lock released and every mutation rolled back, so the caller may
+    simply retry or route the work elsewhere.
+    """
+
+    def __init__(self, op: str, reason: str):
+        self.op = op
+        self.reason = reason
+        super().__init__(f"{op} aborted: {reason}")
+
+
+class AuditError(ReproError):
+    """A post-campaign audit found invariant or conservation violations."""
+
+    def __init__(self, problems: list[str], context: str = ""):
+        self.problems = list(problems)
+        self.context = context
+        head = f"audit failed ({context}): " if context else "audit failed: "
+        super().__init__(head + "; ".join(self.problems))
 
 
 class CapacityError(ReproError):

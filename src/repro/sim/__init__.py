@@ -27,6 +27,7 @@ Quick example::
 
 from .effects import (
     Acquire,
+    AcquireTimeout,
     Atomic,
     BarrierWait,
     Compute,
@@ -36,9 +37,18 @@ from .effects import (
     Label,
     Release,
     Signal,
+    TryAcquire,
     Wait,
 )
 from .engine import Engine, LabelRecord
+from .faults import (
+    CRASHED,
+    CRASHPOINT,
+    FaultInjector,
+    FaultPlan,
+    FaultRecord,
+    crashpoint,
+)
 from .stats import LockStats, RunStats, snapshot
 from .sync import AtomicCell, Barrier, Condition, SimLock
 from .thread import SimThread
@@ -46,7 +56,15 @@ from .trace import INVOKE, RESPOND, HistoryRecorder, OpRecord, collect_history
 
 __all__ = [
     "Acquire",
+    "AcquireTimeout",
     "Atomic",
+    "CRASHED",
+    "CRASHPOINT",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "TryAcquire",
+    "crashpoint",
     "AtomicCell",
     "Barrier",
     "BarrierWait",

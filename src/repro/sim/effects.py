@@ -23,6 +23,8 @@ __all__ = [
     "Effect",
     "Compute",
     "Acquire",
+    "TryAcquire",
+    "AcquireTimeout",
     "Release",
     "Atomic",
     "Wait",
@@ -74,6 +76,45 @@ class Acquire(Effect):
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Acquire({self.lock.name})"
+
+
+class TryAcquire(Effect):
+    """Take ``lock`` iff it is free; never blocks.
+
+    The engine returns True (lock now held by this thread) or False
+    (someone else holds it).  Models a hardware test-and-set probe —
+    the building block of polite spinlocks and deadlock-avoiding
+    speculative paths.
+    """
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock):
+        self.lock = lock
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TryAcquire({self.lock.name})"
+
+
+class AcquireTimeout(Effect):
+    """Block for ``lock`` at most ``timeout_ns`` simulated nanoseconds.
+
+    Returns True when granted.  On expiry the waiter is *removed from
+    the lock's FIFO queue* and resumed with False at the deadline —
+    the bounded-wait primitive that lets fault-tolerant operations
+    abort instead of deadlocking behind a stalled or crashed peer.
+    """
+
+    __slots__ = ("lock", "timeout_ns")
+
+    def __init__(self, lock, timeout_ns: float):
+        if timeout_ns <= 0:
+            raise ValueError(f"acquire timeout must be positive: {timeout_ns}")
+        self.lock = lock
+        self.timeout_ns = timeout_ns
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"AcquireTimeout({self.lock.name}, {self.timeout_ns:g})"
 
 
 class Release(Effect):

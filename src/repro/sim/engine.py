@@ -30,12 +30,31 @@ import itertools
 import random
 from typing import Any, Callable, Generator, Iterable
 
-from ..errors import DeadlockError, LockProtocolError, SimThreadError
+from ..errors import BudgetExceededError, DeadlockError, LockProtocolError, SimThreadError
 from . import effects as fx
 from .sync import Barrier, Condition, SimLock
 from .thread import BLOCKED, FAILED, FINISHED, READY, SimThread
 
 __all__ = ["Engine", "LabelRecord"]
+
+
+class _Timeout:
+    """Scheduled expiry of a bounded-wait lock acquisition.
+
+    Lives in the engine's ready heap alongside threads; firing one that
+    was cancelled (the lock was granted first) is a no-op.
+    """
+
+    __slots__ = ("thread", "lock", "deadline", "cancelled")
+
+    def __init__(self, thread: SimThread, lock: SimLock, deadline: float):
+        self.thread = thread
+        self.lock = lock
+        self.deadline = deadline
+        self.cancelled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_Timeout({self.thread.name}, {self.lock.name}, {self.deadline:g})"
 
 
 class LabelRecord:
@@ -104,11 +123,13 @@ class Engine:
     def _push(self, t: SimThread) -> None:
         t.state = READY
         t.blocked_on = None
+        t.blocked_obj = None
         heapq.heappush(self._ready, (t.clock, self._rng.random(), next(self._seq), t))
 
-    def _block(self, t: SimThread, reason: str) -> None:
+    def _block(self, t: SimThread, reason: str, obj: Any = None) -> None:
         t.state = BLOCKED
         t.blocked_on = reason
+        t.blocked_obj = obj
         t.wait_started = t.clock
         self._blocked_count += 1
 
@@ -132,15 +153,29 @@ class Engine:
         ready = self._ready
         while ready:
             clock, _, _, t = heapq.heappop(ready)
+            if t.__class__ is _Timeout:
+                self._expire(t)
+                continue
             if t.state is not READY:  # cancelled/stale entry
                 continue
             self.now = t.clock
             self._step(t)
         if self._blocked_count:
-            blocked = {
-                th.name: th.blocked_on or "?" for th in self._threads if th.state == BLOCKED
-            }
-            raise DeadlockError(blocked)
+            blocked: dict[str, str] = {}
+            details: dict[str, dict] = {}
+            for th in self._threads:
+                if th.state != BLOCKED:
+                    continue
+                blocked[th.name] = th.blocked_on or "?"
+                obj = th.blocked_obj
+                owner = None
+                if isinstance(obj, SimLock) and obj.owner is not None:
+                    owner = obj.owner.name
+                details[th.name] = {
+                    "owner": owner,
+                    "waited_ns": max(0.0, self.now - th.wait_started),
+                }
+            raise DeadlockError(blocked, details)
         return self.makespan()
 
     def makespan(self) -> float:
@@ -148,6 +183,25 @@ class Engine:
         if not self._threads:
             return 0.0
         return max(t.clock for t in self._threads)
+
+    def progress_report(self) -> dict[str, int]:
+        """Per-thread effect-step counts (the watchdog's evidence)."""
+        return {t.name: t.steps for t in self._threads}
+
+    def _expire(self, to: _Timeout) -> None:
+        """Fire a bounded-wait deadline: evict the waiter, resume with False."""
+        t = to.thread
+        if to.cancelled or t.pending_timeout is not to:
+            return  # lock was granted before the deadline
+        lock = to.lock
+        try:
+            lock.waiters.remove(t)
+        except ValueError:  # pragma: no cover - grant path cancels first
+            return
+        lock.timeouts += 1
+        lock.total_wait_ns += max(0.0, to.deadline - t.wait_started)
+        t.pending_timeout = None
+        self._unblock(t, to.deadline, False)
 
     # ------------------------------------------------------------------
     # effect interpretation
@@ -174,7 +228,9 @@ class Engine:
             self.events += 1
             t.steps += 1
             if self._max_events is not None and self.events > self._max_events:
-                raise RuntimeError(f"exceeded max_events={self._max_events}")
+                raise BudgetExceededError(
+                    self._max_events, self.events, self.progress_report()
+                )
             send_value = None
             cls = eff.__class__
             if cls is fx.Compute:
@@ -195,7 +251,34 @@ class Engine:
                 else:
                     lock.contended_acquisitions += 1
                     lock.waiters.append(t)
-                    self._block(t, f"lock:{lock.name}")
+                    self._block(t, f"lock:{lock.name}", lock)
+                    return
+            elif cls is fx.TryAcquire:
+                lock = eff.lock
+                if lock.owner is None:
+                    lock.acquisitions += 1
+                    lock.owner = t
+                    lock._acquired_at = t.clock
+                    send_value = True
+                else:
+                    lock.try_failures += 1
+                    send_value = False
+            elif cls is fx.AcquireTimeout:
+                lock = eff.lock
+                lock.acquisitions += 1
+                if lock.owner is None:
+                    lock.owner = t
+                    lock._acquired_at = t.clock
+                    send_value = True
+                else:
+                    lock.contended_acquisitions += 1
+                    lock.waiters.append(t)
+                    self._block(t, f"lock:{lock.name}", lock)
+                    to = _Timeout(t, lock, t.clock + eff.timeout_ns)
+                    t.pending_timeout = to
+                    heapq.heappush(
+                        ready, (to.deadline, self._rng.random(), next(self._seq), to)
+                    )
                     return
             elif cls is fx.Release:
                 self._release(t, eff.lock)
@@ -205,11 +288,15 @@ class Engine:
                     send_value = None  # condition already holds; no wait
                 else:
                     cond.waiters.append((t, eff.predicate))
-                    self._block(t, f"cond:{cond.name}")
+                    self._block(t, f"cond:{cond.name}", cond)
                     return
             elif cls is fx.Signal:
                 cond = eff.condition
                 cond.signals += 1
+                # Predicate-failing waiters are re-queued as-is: they stay
+                # BLOCKED and keep their original wait_started, so their
+                # wait is charged exactly once — at wake-up, spanning from
+                # the Wait that blocked them — never per intervening Signal.
                 still_waiting = []
                 while cond.waiters:
                     w, pred = cond.waiters.popleft()
@@ -232,7 +319,7 @@ class Engine:
                     bar.arrived.clear()
                     t.clock = max(t.clock, release_at)
                 else:
-                    self._block(t, f"barrier:{bar.name}")
+                    self._block(t, f"barrier:{bar.name}", bar)
                     return
             elif cls is fx.Fork:
                 child = self.spawn(eff.gen, name=eff.name, at=t.clock)
@@ -245,7 +332,7 @@ class Engine:
                         t.clock = target.clock
                 else:
                     target.joiners.append(t)
-                    self._block(t, f"join:{target.name}")
+                    self._block(t, f"join:{target.name}", target)
                     return
             else:
                 raise TypeError(f"thread {t.name} yielded non-effect {eff!r}")
@@ -268,6 +355,10 @@ class Engine:
             lock.owner = nxt
             lock.total_wait_ns += max(0.0, t.clock - nxt.wait_started)
             lock._acquired_at = max(nxt.wait_started, t.clock)
-            self._unblock(nxt, t.clock)
+            timed = nxt.pending_timeout is not None
+            if timed:  # granted before the deadline: retire the timer
+                nxt.pending_timeout.cancelled = True
+                nxt.pending_timeout = None
+            self._unblock(nxt, t.clock, True if timed else None)
         else:
             lock.owner = None

@@ -1,0 +1,253 @@
+"""Deterministic fault injection for simulated threads.
+
+A :class:`FaultInjector` wraps thread generators and perturbs their
+effect streams — extra latency jitter on any effect, one-shot stalls
+(a long pause, e.g. while holding a hot lock), and crashes that
+terminate the thread mid-protocol.  Every decision derives from the
+injector's seed and the thread's name, so a failing campaign run
+replays exactly from its reported seed.
+
+Crash discipline
+----------------
+A crash is *scheduled* at a uniformly drawn effect index but only
+*delivered* at the next **crash point** — a zero-cost
+``Label(CRASHPOINT)`` that fault-tolerant code yields wherever dying is
+survivable (operation boundaries, and every pre-commit point where the
+queue's abort path can release held locks and roll back mutations).
+Between a queue operation's commit point and its completion there are
+no crash points, so the protocol always runs to completion once its
+effects are visible to other threads — the same reasoning a database
+applies to its redo log.  The injector delivers the crash by throwing
+:class:`~repro.errors.ThreadCrashed` into the generator; whatever
+rollback effects the abort path yields are forwarded to the engine,
+and when the exception finally propagates back out the thread retires
+with :data:`CRASHED` as its result.
+
+Threads that never reach another crash point simply finish — recorded
+as a missed crash, not an error.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Generator
+
+from ..errors import OperationAborted, ThreadCrashed
+from .effects import Compute, Label
+
+__all__ = [
+    "CRASHED",
+    "CRASHPOINT",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "crashpoint",
+]
+
+#: label tag marking a survivable crash-delivery point
+CRASHPOINT = "fault:crashpoint"
+
+
+def crashpoint() -> Label:
+    """A zero-cost effect marking a point where a crash may be delivered."""
+    return Label(CRASHPOINT)
+
+
+class _Crashed:
+    """Sentinel result of a thread retired by an injected crash."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<CRASHED>"
+
+
+CRASHED = _Crashed()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject, with what probability, into each wrapped thread.
+
+    Probabilities are per-thread (crash/stall: at most one each) except
+    ``jitter_prob``, which applies independently to every effect.
+    ``*_horizon`` bounds the uniform draw of the trigger effect index,
+    so faults land inside the active phase of short runs.
+    """
+
+    name: str = "none"
+    crash_prob: float = 0.0
+    crash_horizon: int = 200
+    stall_prob: float = 0.0
+    stall_ns: float = 0.0
+    stall_horizon: int = 200
+    jitter_prob: float = 0.0
+    jitter_ns: float = 0.0  # mean of the exponential extra latency
+
+    # -- presets ---------------------------------------------------------
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        return cls(name="none")
+
+    @classmethod
+    def crashes(cls, prob: float = 0.5, horizon: int = 200) -> "FaultPlan":
+        """Each thread dies once, at a random crash point."""
+        return cls(name="crash", crash_prob=prob, crash_horizon=horizon)
+
+    @classmethod
+    def stalls(
+        cls, prob: float = 0.6, stall_ns: float = 50_000.0, horizon: int = 200
+    ) -> "FaultPlan":
+        """One long pause per afflicted thread — the timeout driver:
+        a stalled lock holder forces peers' bounded waits to expire."""
+        return cls(name="timeout", stall_prob=prob, stall_ns=stall_ns,
+                   stall_horizon=horizon)
+
+    @classmethod
+    def jitter(cls, prob: float = 0.25, mean_ns: float = 800.0) -> "FaultPlan":
+        """Per-effect exponential latency noise (scheduler turbulence)."""
+        return cls(name="jitter", jitter_prob=prob, jitter_ns=mean_ns)
+
+    @classmethod
+    def mixed(cls) -> "FaultPlan":
+        return cls(
+            name="mixed",
+            crash_prob=0.3,
+            crash_horizon=200,
+            stall_prob=0.3,
+            stall_ns=30_000.0,
+            stall_horizon=200,
+            jitter_prob=0.1,
+            jitter_ns=500.0,
+        )
+
+    PRESETS = ("none", "crash", "timeout", "jitter", "mixed")
+
+    @classmethod
+    def preset(cls, name: str) -> "FaultPlan":
+        try:
+            return {
+                "none": cls.none,
+                "crash": cls.crashes,
+                "timeout": cls.stalls,
+                "jitter": cls.jitter,
+                "mixed": cls.mixed,
+            }[name]()
+        except KeyError:
+            raise ValueError(
+                f"unknown fault plan {name!r}; choose from {cls.PRESETS}"
+            ) from None
+
+
+@dataclass
+class FaultRecord:
+    """What the injector actually did to one thread."""
+
+    thread: str
+    crash_scheduled_at: int | None = None
+    crashed_at: int | None = None  # effect index of delivery
+    crash_missed: bool = False  # scheduled but the thread finished first
+    stalls: int = 0
+    jitter_events: int = 0
+    injected_delay_ns: float = 0.0
+    outcome: str = "completed"  # completed | crashed | aborted
+
+    @property
+    def injected(self) -> int:
+        return (
+            (1 if self.crashed_at is not None else 0)
+            + self.stalls
+            + self.jitter_events
+        )
+
+
+class FaultInjector:
+    """Wraps thread generators with a deterministic fault schedule.
+
+    One injector serves a whole engine run; per-thread randomness is
+    derived from ``(seed, thread name)`` via the string-seeding of
+    :class:`random.Random` (sha512-based — stable across processes).
+    """
+
+    def __init__(self, plan: FaultPlan, seed: int = 0):
+        self.plan = plan
+        self.seed = seed
+        self.records: dict[str, FaultRecord] = {}
+
+    def _rng_for(self, name: str) -> random.Random:
+        return random.Random(f"faults:{self.seed}:{name}")
+
+    def wrap(self, gen: Generator, name: str) -> Generator:
+        """Return a generator forwarding ``gen``'s effects with faults."""
+        plan = self.plan
+        rng = self._rng_for(name)
+        crash_after = (
+            rng.randint(1, plan.crash_horizon)
+            if plan.crash_prob > 0 and rng.random() < plan.crash_prob
+            else None
+        )
+        stall_at = (
+            rng.randint(1, plan.stall_horizon)
+            if plan.stall_prob > 0 and rng.random() < plan.stall_prob
+            else None
+        )
+        rec = FaultRecord(name, crash_scheduled_at=crash_after)
+        self.records[name] = rec
+        return self._drive(gen, rec, rng, crash_after, stall_at)
+
+    def _drive(self, gen, rec, rng, crash_after, stall_at):
+        plan = self.plan
+        idx = 0
+        send = None
+        throw: BaseException | None = None
+        while True:
+            try:
+                if throw is not None:
+                    exc, throw = throw, None
+                    eff = gen.throw(exc)
+                else:
+                    eff = gen.send(send)
+            except StopIteration as stop:
+                if crash_after is not None and rec.crashed_at is None:
+                    rec.crash_missed = True
+                return stop.value
+            except ThreadCrashed:
+                rec.outcome = "crashed"
+                return CRASHED
+            except OperationAborted:
+                # an abort the thread chose not to handle: retire cleanly
+                rec.outcome = "aborted"
+                return CRASHED
+            idx += 1
+            send = None
+            if (
+                crash_after is not None
+                and rec.crashed_at is None
+                and idx >= crash_after
+                and eff.__class__ is Label
+                and eff.tag == CRASHPOINT
+            ):
+                rec.crashed_at = idx
+                throw = ThreadCrashed(rec.thread, idx)
+                continue
+            if stall_at is not None and idx == stall_at and plan.stall_ns > 0:
+                rec.stalls += 1
+                rec.injected_delay_ns += plan.stall_ns
+                yield Compute(plan.stall_ns)
+            elif (
+                plan.jitter_prob > 0
+                and eff.__class__ is not Label
+                and rng.random() < plan.jitter_prob
+            ):
+                extra = rng.expovariate(1.0 / plan.jitter_ns) if plan.jitter_ns else 0.0
+                if extra > 0:
+                    rec.jitter_events += 1
+                    rec.injected_delay_ns += extra
+                    yield Compute(extra)
+            send = yield eff
+
+    # -- campaign summaries ---------------------------------------------
+    def injected_total(self) -> int:
+        return sum(r.injected for r in self.records.values())
+
+    def crashed_threads(self) -> list[str]:
+        return [r.thread for r in self.records.values() if r.outcome == "crashed"]

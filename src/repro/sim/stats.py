@@ -25,6 +25,8 @@ class LockStats:
     contended: int
     total_wait_ns: float
     total_held_ns: float
+    timeouts: int = 0
+    try_failures: int = 0
 
     @property
     def contention_ratio(self) -> float:
@@ -69,6 +71,8 @@ def snapshot(engine: Engine, locks: Iterable[SimLock] = ()) -> RunStats:
             contended=lk.contended_acquisitions,
             total_wait_ns=lk.total_wait_ns,
             total_held_ns=lk.total_held_ns,
+            timeouts=lk.timeouts,
+            try_failures=lk.try_failures,
         )
         for lk in locks
     )

@@ -29,6 +29,8 @@ class SimLock:
         "waiters",
         "acquisitions",
         "contended_acquisitions",
+        "timeouts",
+        "try_failures",
         "total_wait_ns",
         "total_held_ns",
         "_acquired_at",
@@ -41,6 +43,8 @@ class SimLock:
         # --- statistics -------------------------------------------------
         self.acquisitions = 0
         self.contended_acquisitions = 0
+        self.timeouts = 0  # bounded waits that expired
+        self.try_failures = 0  # TryAcquire probes that found it held
         self.total_wait_ns = 0.0
         self.total_held_ns = 0.0
         self._acquired_at = 0.0

@@ -40,10 +40,12 @@ class SimThread:
         "state",
         "result",
         "blocked_on",
+        "blocked_obj",
         "joiners",
         "wait_started",
         "send_value",
         "steps",
+        "pending_timeout",
     )
 
     def __init__(self, name: str, gen: Generator, clock: float = 0.0):
@@ -53,10 +55,14 @@ class SimThread:
         self.state = READY
         self.result: Any = None
         self.blocked_on: str | None = None
+        #: the lock/condition/barrier/thread object blocked on (diagnostics)
+        self.blocked_obj: Any = None
         self.joiners: list[SimThread] = []
         self.wait_started = 0.0
         self.send_value: Any = None
         self.steps = 0
+        #: live timeout entry while blocked in a bounded-wait acquire
+        self.pending_timeout: Any = None
 
     @property
     def finished(self) -> bool:

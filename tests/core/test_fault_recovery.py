@@ -1,0 +1,370 @@
+"""Recovery paths: crash rollback, bounded-wait aborts, HeapAuditor,
+and the seed-swept fault campaign acceptance run."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import QUEUE_FACTORIES, queue_factory, run_campaign, run_one
+from repro.core import BGPQ, HeapAuditor, OpGuard, bounded_acquire
+from repro.errors import (
+    OperationAborted,
+    SimThreadError,
+    ThreadCrashed,
+)
+from repro.sim import Acquire, Compute, Engine, Label, Release, SimLock
+from repro.sim.faults import CRASHPOINT
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+def _populated_pq(k=4, n_batches=5, root_wait_ns=None):
+    """A BGPQ filled with deterministic random batches via the engine."""
+    pq = BGPQ(node_capacity=k, max_keys=1 << 12, root_wait_ns=root_wait_ns)
+    rng = np.random.default_rng(1234)
+    batches = [
+        rng.integers(0, 10_000, size=k).astype(np.int64) for _ in range(n_batches)
+    ]
+
+    def seeder():
+        for b in batches:
+            yield from pq.insert_op(b)
+
+    eng = Engine(seed=0)
+    eng.spawn(seeder())
+    eng.run()
+    return pq, batches
+
+
+def _fingerprint(pq):
+    """Everything a rollback must restore, as one comparable value."""
+    store = pq.store
+    return (
+        np.sort(pq.snapshot_keys()).tolist(),
+        len(pq),
+        store.heap_size,
+        [n.state for n in store.nodes],
+        [n.count for n in store.nodes],
+        [lk.owner for lk in store.locks],
+    )
+
+
+def _crash_at_nth_crashpoint(gen, n):
+    """Throw ThreadCrashed into ``gen`` at its n-th crashpoint label.
+
+    Unlike the probabilistic injector, this hits every crashpoint of an
+    operation exactly, one per run.  Returns ("done", value) when the
+    operation finishes before reaching the n-th crashpoint.
+    """
+    seen = 0
+    send = None
+    throw = None
+    while True:
+        try:
+            if throw is not None:
+                exc, throw = throw, None
+                eff = gen.throw(exc)
+            else:
+                eff = gen.send(send)
+        except StopIteration as stop:
+            return ("done", stop.value)
+        send = None
+        if eff.__class__ is Label and eff.tag == CRASHPOINT:
+            seen += 1
+            if seen == n:
+                throw = ThreadCrashed("surgical", seen)
+                continue
+        send = yield eff
+
+
+def _run_crashing(pq, op_gen, n):
+    """Run one op with a crash at its n-th crashpoint; report crashed?"""
+    eng = Engine(seed=0)
+    t = eng.spawn(_crash_at_nth_crashpoint(op_gen, n), name="surgical")
+    try:
+        eng.run()
+    except SimThreadError as err:
+        assert isinstance(err.original, ThreadCrashed)
+        return True
+    assert t.result[0] == "done"
+    return False
+
+
+# ---------------------------------------------------------------------------
+# crash rollback restores exact pre-op state
+# ---------------------------------------------------------------------------
+def test_insert_crash_rolls_back_at_every_crashpoint():
+    rng = np.random.default_rng(7)
+    n = 1
+    while True:
+        pq, _ = _populated_pq()
+        before = _fingerprint(pq)
+        batch = rng.integers(0, 10_000, size=pq.k).astype(np.int64)
+        crashed = _run_crashing(pq, pq.insert_op(batch), n)
+        if not crashed:
+            break
+        assert _fingerprint(pq) == before, f"crashpoint {n} leaked state"
+        assert pq.stats["insert_rollbacks"] == 1
+        report = HeapAuditor(pq).audit(context=f"crashpoint {n}")
+        assert report.ok, report.problems
+        n += 1
+    assert n > 3  # the sweep actually exercised several crashpoints
+
+
+def test_insert_crash_rolls_back_partial_buffer_path():
+    """Crash an insert that lands in the partial buffer (non-full batch)."""
+    pq, _ = _populated_pq()
+    n = 1
+    while True:
+        pq, _ = _populated_pq()
+        before = _fingerprint(pq)
+        buffered = np.array([5, 17], dtype=np.int64)  # < k: pbuffer path
+        crashed = _run_crashing(pq, pq.insert_op(buffered), n)
+        if not crashed:
+            break
+        assert _fingerprint(pq) == before, f"crashpoint {n} leaked state"
+        n += 1
+    assert n > 1
+
+
+def test_deletemin_crash_rolls_back_at_every_crashpoint():
+    n = 1
+    while True:
+        pq, _ = _populated_pq()
+        before = _fingerprint(pq)
+        crashed = _run_crashing(pq, pq.deletemin_op(pq.k), n)
+        if not crashed:
+            break
+        assert _fingerprint(pq) == before, f"crashpoint {n} leaked state"
+        assert pq.stats["delete_rollbacks"] == 1
+        report = HeapAuditor(pq).audit(context=f"crashpoint {n}")
+        assert report.ok, report.problems
+        n += 1
+    assert n > 3
+
+
+def test_crash_after_commit_point_completes_operation():
+    """Once an insert commits, later faults cannot un-publish it: the
+    final crashpoint precedes the commit, so a finished op has no
+    crashpoints left and a scheduled crash is simply missed."""
+    pq, _ = _populated_pq()
+    batch = np.arange(pq.k, dtype=np.int64)
+    before_len = len(pq)
+    crashed = _run_crashing(pq, pq.insert_op(batch), n=100)
+    assert not crashed
+    assert len(pq) == before_len + pq.k
+    assert HeapAuditor(pq).audit().ok
+
+
+# ---------------------------------------------------------------------------
+# bounded-wait abort
+# ---------------------------------------------------------------------------
+def test_bounded_acquire_gives_up_after_retries():
+    lock = SimLock("hot")
+    attempts = []
+
+    class _Model:
+        @staticmethod
+        def lock_acquire_ns():
+            return 5.0
+
+    def holder():
+        yield Acquire(lock)
+        yield Compute(1_000_000.0)
+        yield Release(lock)
+
+    def contender():
+        ok = yield from bounded_acquire(lock, _Model, wait_ns=10.0, retries=2)
+        attempts.append(ok)
+
+    eng = Engine(seed=0)
+    eng.spawn(holder())
+    eng.spawn(contender(), at=1.0)  # holder owns the lock first
+    eng.run()
+    assert attempts == [False]
+    assert lock.timeouts == 3  # initial wait + 2 retries
+    assert not lock.waiters
+
+
+def test_insert_abort_under_contention_leaves_queue_clean():
+    pq, _ = _populated_pq(root_wait_ns=50.0)
+    before = _fingerprint(pq)
+    aborted = []
+
+    def hog():
+        yield Acquire(pq.store.root_lock)
+        yield Compute(1_000_000.0)  # way beyond the bounded waits
+        yield Release(pq.store.root_lock)
+
+    def inserter():
+        try:
+            yield from pq.insert_op(np.arange(pq.k, dtype=np.int64))
+        except OperationAborted as err:
+            aborted.append(err)
+
+    eng = Engine(seed=0)
+    eng.spawn(hog())
+    eng.spawn(inserter(), name="ins", at=1.0)
+    eng.run()
+    assert len(aborted) == 1
+    assert aborted[0].op == "insert"
+    assert pq.stats["insert_aborts"] == 1
+    assert pq.stats["root_timeouts"] == 1
+    assert _fingerprint(pq) == before
+    assert HeapAuditor(pq).audit().ok
+
+
+def test_deletemin_abort_under_contention_leaves_queue_clean():
+    pq, _ = _populated_pq(root_wait_ns=50.0)
+    before = _fingerprint(pq)
+    aborted = []
+
+    def hog():
+        yield Acquire(pq.store.root_lock)
+        yield Compute(1_000_000.0)
+        yield Release(pq.store.root_lock)
+
+    def deleter():
+        try:
+            yield from pq.deletemin_op(pq.k)
+        except OperationAborted as err:
+            aborted.append(err)
+
+    eng = Engine(seed=0)
+    eng.spawn(hog())
+    eng.spawn(deleter(), name="del", at=1.0)
+    eng.run()
+    assert len(aborted) == 1
+    assert aborted[0].op == "delete"
+    assert pq.stats["delete_aborts"] == 1
+    assert _fingerprint(pq) == before
+
+
+# ---------------------------------------------------------------------------
+# OpGuard mechanics
+# ---------------------------------------------------------------------------
+def test_opguard_rollback_runs_undos_reversed_then_releases():
+    a, b = SimLock("a"), SimLock("b")
+    order = []
+    guard = OpGuard()
+
+    def crasher():
+        yield Acquire(a)
+        guard.hold(a)
+        yield Acquire(b)
+        guard.hold(b)
+        guard.on_abort(lambda: order.append("undo1"))
+        guard.on_abort(lambda: order.append("undo2"))
+        yield from guard.rollback()
+
+    eng = Engine(seed=0)
+    eng.spawn(crasher())
+    eng.run()
+    assert order == ["undo2", "undo1"]  # LIFO
+    assert a.owner is None and b.owner is None
+
+
+def test_opguard_commit_makes_rollback_inert():
+    lock = SimLock("l")
+    guard = OpGuard()
+    touched = []
+
+    def worker():
+        yield Acquire(lock)
+        guard.hold(lock)
+        guard.on_abort(lambda: touched.append("undone"))
+        guard.commit()
+        yield from guard.rollback()  # no-op now
+        yield Release(lock)  # still ours to release
+
+    eng = Engine(seed=0)
+    eng.spawn(worker())
+    eng.run()
+    assert touched == []
+    assert lock.owner is None
+    assert guard.committed
+
+
+# ---------------------------------------------------------------------------
+# HeapAuditor detects planted violations
+# ---------------------------------------------------------------------------
+def test_auditor_passes_on_clean_queue():
+    pq, batches = _populated_pq()
+    report = HeapAuditor(pq).audit(inserted=batches, removed=[])
+    assert report.ok
+    assert "conservation" in report.checks_run
+
+
+def test_auditor_detects_heap_property_violation():
+    pq, _ = _populated_pq()
+    root = pq.store.root
+    root.buf[:root.count] = root.buf[:root.count][::-1].copy()
+    report = HeapAuditor(pq).audit()
+    assert not report.ok
+    assert any("sorted" in p or "heap" in p for p in report.problems)
+
+
+def test_auditor_detects_held_lock():
+    pq, _ = _populated_pq()
+    ghost = type("Ghost", (), {"name": "ghost"})()
+    pq.store.root_lock.owner = ghost
+    report = HeapAuditor(pq).audit()
+    assert not report.ok
+    assert any("ghost" in p for p in report.problems)
+
+
+def test_auditor_detects_lost_key():
+    pq, batches = _populated_pq()
+    extra = np.array([42], dtype=np.int64)  # claimed inserted, never was
+    report = HeapAuditor(pq).audit(inserted=batches + [extra], removed=[])
+    assert not report.ok
+    assert any("drift" in p or "mismatch" in p for p in report.problems)
+
+
+def test_auditor_detects_length_drift():
+    pq, _ = _populated_pq()
+    pq._total_keys += 1
+    report = HeapAuditor(pq).audit()
+    assert not report.ok
+
+
+def test_auditor_detects_bad_node_state():
+    pq, _ = _populated_pq()
+    pq.store.root.state = 2  # TARGET at quiescence
+    report = HeapAuditor(pq).audit()
+    assert not report.ok
+
+
+# ---------------------------------------------------------------------------
+# campaign: the acceptance sweep
+# ---------------------------------------------------------------------------
+def test_campaign_bgpq_survives_20_seeds_of_every_plan():
+    result = run_campaign(
+        queues=("bgpq",),
+        plans=("crash", "timeout", "jitter"),
+        seeds=20,
+    )
+    assert len(result.outcomes) == 60
+    assert result.ok, [
+        (o.queue, o.plan, o.seed, o.status, o.failure, o.audit_problems)
+        for o in result.failures()
+    ]
+    # the sweep must actually inject faults, including real crashes
+    assert sum(o.injected for o in result.outcomes) > 0
+    assert any(o.crashed_threads for o in result.outcomes)
+    assert any(o.rollbacks for o in result.outcomes)
+
+
+def test_run_one_is_deterministic():
+    a = run_one("bgpq", "mixed", seed=5)
+    b = run_one("bgpq", "mixed", seed=5)
+    assert (a.status, a.injected, a.crashed_threads, a.aborted_ops,
+            a.rollbacks, a.makespan_ns) == (
+        b.status, b.injected, b.crashed_threads, b.aborted_ops,
+        b.rollbacks, b.makespan_ns)
+
+
+def test_queue_factory_rejects_unknown_name():
+    with pytest.raises(ValueError, match="unknown queue"):
+        queue_factory("nope")
+    assert set(QUEUE_FACTORIES) >= {"bgpq", "bgpq-bu", "tbb", "hunt", "ljsl"}

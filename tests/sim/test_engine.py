@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.errors import DeadlockError, LockProtocolError, SimThreadError
+from repro.errors import (
+    BudgetExceededError,
+    DeadlockError,
+    LockProtocolError,
+    SimThreadError,
+)
 from repro.sim import (
     Acquire,
     Atomic,
@@ -378,8 +383,13 @@ def test_max_events_guard():
 
     eng = Engine()
     eng.spawn(w())
-    with pytest.raises(RuntimeError):
+    with pytest.raises(BudgetExceededError) as exc_info:
         eng.run(max_events=100)
+    err = exc_info.value
+    assert err.max_events == 100
+    assert err.events == 101
+    assert err.thread_steps == {"t0": 101}
+    assert "busiest threads" in str(err)
 
 
 def test_wait_with_true_predicate_does_not_block():

@@ -1,0 +1,422 @@
+"""Fault primitives: TryAcquire/AcquireTimeout, watchdog, injector."""
+
+import pytest
+
+from repro.errors import (
+    DeadlockError,
+    LockProtocolError,
+    SimThreadError,
+    ThreadCrashed,
+)
+from repro.sim import (
+    CRASHED,
+    Acquire,
+    AcquireTimeout,
+    Compute,
+    Condition,
+    Engine,
+    FaultInjector,
+    FaultPlan,
+    Release,
+    Signal,
+    SimLock,
+    TryAcquire,
+    Wait,
+    crashpoint,
+    snapshot,
+)
+from repro.sim.faults import CRASHPOINT
+
+
+# ---------------------------------------------------------------------------
+# TryAcquire / AcquireTimeout engine semantics
+# ---------------------------------------------------------------------------
+def test_try_acquire_free_then_held():
+    lock = SimLock("l")
+    out = []
+
+    def t1():
+        ok = yield TryAcquire(lock)
+        out.append(("t1", ok))
+        yield Compute(10.0)
+        yield Release(lock)
+
+    def t2():
+        yield Compute(1.0)
+        ok = yield TryAcquire(lock)  # t1 still holds it at t=1
+        out.append(("t2", ok))
+
+    eng = Engine()
+    eng.spawn(t1())
+    eng.spawn(t2())
+    eng.run()
+    assert ("t1", True) in out
+    assert ("t2", False) in out
+    assert lock.owner is None
+    assert lock.acquisitions == 1  # the failed probe is not an acquisition
+    assert lock.try_failures == 1
+
+
+def test_acquire_timeout_expires_and_removes_waiter():
+    lock = SimLock("l")
+
+    def holder():
+        yield Acquire(lock)
+        yield Compute(100.0)
+        yield Release(lock)
+
+    def waiter():
+        yield Compute(1.0)
+        ok = yield AcquireTimeout(lock, 50.0)
+        return ok
+
+    eng = Engine()
+    eng.spawn(holder())
+    w = eng.spawn(waiter())
+    eng.run()
+    assert w.result is False
+    assert w.clock == pytest.approx(51.0)  # resumed exactly at the deadline
+    assert not lock.waiters  # evicted from the FIFO queue
+    assert lock.timeouts == 1
+    assert lock.owner is None
+    assert w.pending_timeout is None
+
+
+def test_acquire_timeout_granted_before_deadline():
+    lock = SimLock("l")
+
+    def holder():
+        yield Acquire(lock)
+        yield Compute(100.0)
+        yield Release(lock)
+
+    def waiter():
+        yield Compute(1.0)
+        ok = yield AcquireTimeout(lock, 500.0)
+        assert ok is True
+        yield Compute(5.0)
+        yield Release(lock)
+        return ok
+
+    eng = Engine()
+    eng.spawn(holder())
+    w = eng.spawn(waiter())
+    eng.run()
+    assert w.result is True
+    assert w.clock == pytest.approx(105.0)
+    assert lock.timeouts == 0
+    assert lock.owner is None
+    assert w.pending_timeout is None  # timer retired on grant
+
+
+def test_timed_out_waiter_does_not_steal_later_grant():
+    """After its timeout fires, a waiter must not receive the lock."""
+    lock = SimLock("l")
+    order = []
+
+    def holder():
+        yield Acquire(lock)
+        yield Compute(100.0)
+        yield Release(lock)
+
+    def timed():
+        yield Compute(1.0)
+        ok = yield AcquireTimeout(lock, 10.0)
+        order.append(("timed", ok))
+
+    def patient():
+        yield Compute(2.0)
+        yield Acquire(lock)
+        order.append(("patient", True))
+        yield Release(lock)
+
+    eng = Engine()
+    eng.spawn(holder())
+    eng.spawn(timed())
+    eng.spawn(patient())
+    eng.run()
+    assert ("timed", False) in order
+    assert ("patient", True) in order
+    assert lock.owner is None
+
+
+def test_timeout_stats_reach_lockstats_snapshot():
+    lock = SimLock("l")
+
+    def holder():
+        yield Acquire(lock)
+        yield Compute(100.0)
+        yield Release(lock)
+
+    def prober():
+        yield Compute(1.0)
+        yield TryAcquire(lock)
+        yield AcquireTimeout(lock, 10.0)
+
+    eng = Engine()
+    eng.spawn(holder())
+    eng.spawn(prober())
+    eng.run()
+    stats = snapshot(eng, [lock]).lock("l")
+    assert stats.timeouts == 1
+    assert stats.try_failures == 1
+
+
+# ---------------------------------------------------------------------------
+# Diagnostics: deadlock details, engine readable after thread failure
+# ---------------------------------------------------------------------------
+def test_deadlock_error_names_owners_and_wait_times():
+    a, b = SimLock("a"), SimLock("b")
+
+    def t1():
+        yield Acquire(a)
+        yield Compute(10.0)
+        yield Acquire(b)
+
+    def t2():
+        yield Acquire(b)
+        yield Compute(5.0)
+        yield Acquire(a)
+
+    eng = Engine()
+    eng.spawn(t1(), name="t1")
+    eng.spawn(t2(), name="t2")
+    with pytest.raises(DeadlockError) as exc:
+        eng.run()
+    err = exc.value
+    assert err.blocked == {"t1": "lock:b", "t2": "lock:a"}
+    assert err.details["t1"]["owner"] == "t2"
+    assert err.details["t2"]["owner"] == "t1"
+    assert err.details["t1"]["waited_ns"] >= 0.0
+    assert "held by t2" in str(err)
+
+
+def test_simthread_error_leaves_engine_readable():
+    lock = SimLock("l")
+
+    def bad():
+        yield Compute(5.0)
+        yield Acquire(lock)
+        yield Compute(5.0)
+        raise ValueError("boom")
+
+    eng = Engine()
+    eng.spawn(bad())
+    with pytest.raises(SimThreadError) as exc:
+        eng.run()
+    assert isinstance(exc.value.original, ValueError)
+    # post-mortem: makespan and lock statistics are still coherent
+    assert eng.makespan() == pytest.approx(10.0)
+    stats = snapshot(eng, [lock])
+    assert stats.lock("l").acquisitions == 1
+    assert eng.progress_report() == {"t0": 3}
+
+
+def test_double_release_raises_lock_protocol_error():
+    lock = SimLock("l")
+
+    def w():
+        yield Acquire(lock)
+        yield Release(lock)
+        yield Release(lock)
+
+    eng = Engine()
+    eng.spawn(w())
+    with pytest.raises(LockProtocolError):
+        eng.run()
+
+
+def test_non_owner_release_raises_lock_protocol_error():
+    lock = SimLock("l")
+
+    def owner():
+        yield Acquire(lock)
+        yield Compute(100.0)
+        yield Release(lock)
+
+    def thief():
+        yield Compute(1.0)
+        yield Release(lock)
+
+    eng = Engine()
+    eng.spawn(owner())
+    eng.spawn(thief())
+    with pytest.raises(LockProtocolError, match="owned by"):
+        eng.run()
+
+
+# ---------------------------------------------------------------------------
+# Condition.Signal wait-time accounting (regression)
+# ---------------------------------------------------------------------------
+def test_signal_wait_charged_once_for_requeued_waiter():
+    """A predicate-failing waiter keeps its original wait_started and is
+    charged exactly once — at the signal that actually wakes it."""
+    cond = Condition("c")
+    flag = [False]
+
+    def waiter():
+        yield Wait(cond, lambda: flag[0])
+        return "woke"
+
+    def signaller():
+        yield Compute(10.0)
+        yield Signal(cond)  # predicate still false: waiter re-queued
+        yield Compute(10.0)
+        flag[0] = True
+        yield Signal(cond)  # t=20: waiter actually wakes
+
+    eng = Engine()
+    w = eng.spawn(waiter())
+    eng.spawn(signaller())
+    eng.run()
+    assert w.result == "woke"
+    assert w.clock == pytest.approx(20.0)
+    # blocked from t=0 to t=20; double-counting across the two signals
+    # would report 30 (10 + 20)
+    assert cond.total_wait_ns == pytest.approx(20.0)
+
+
+# ---------------------------------------------------------------------------
+# FaultInjector
+# ---------------------------------------------------------------------------
+def test_crash_delivered_only_at_crashpoint():
+    lock = SimLock("l")
+
+    def victim():
+        yield Compute(5.0)  # idx 1: crash already scheduled, not delivered
+        yield Compute(5.0)  # idx 2
+        yield crashpoint()  # idx 3: delivered here
+        yield Acquire(lock)  # never reached
+        return "finished"
+
+    inj = FaultInjector(FaultPlan.crashes(prob=1.0, horizon=1), seed=1)
+    eng = Engine()
+    t = eng.spawn(inj.wrap(victim(), "v"), name="v")
+    eng.run()
+    assert t.result is CRASHED
+    rec = inj.records["v"]
+    assert rec.outcome == "crashed"
+    assert rec.crash_scheduled_at == 1
+    assert rec.crashed_at == 3
+    assert lock.acquisitions == 0  # died before touching the lock
+
+
+def test_crash_missed_when_no_crashpoint_reached():
+    def victim():
+        yield Compute(1.0)
+        yield Compute(1.0)
+        return "done"
+
+    inj = FaultInjector(FaultPlan.crashes(prob=1.0, horizon=1), seed=1)
+    eng = Engine()
+    t = eng.spawn(inj.wrap(victim(), "v"))
+    eng.run()
+    assert t.result == "done"
+    rec = inj.records["v"]
+    assert rec.crash_missed is True
+    assert rec.crashed_at is None
+    assert rec.outcome == "completed"
+
+
+def test_crash_rollback_effects_are_forwarded():
+    """A thread that catches ThreadCrashed may yield cleanup effects
+    (releasing its locks) before re-raising; the injector forwards them
+    and then retires the thread as CRASHED."""
+    lock = SimLock("l")
+    log = []
+
+    def resilient():
+        try:
+            yield Acquire(lock)
+            yield crashpoint()
+            yield Compute(100.0)
+            yield Release(lock)
+        except ThreadCrashed:
+            log.append("rollback")
+            yield Release(lock)
+            raise
+
+    inj = FaultInjector(FaultPlan.crashes(prob=1.0, horizon=1), seed=3)
+    eng = Engine()
+    t = eng.spawn(inj.wrap(resilient(), "r"))
+    eng.run()
+    assert t.result is CRASHED
+    assert log == ["rollback"]
+    assert lock.owner is None  # rollback release went through the engine
+
+
+def test_injector_is_deterministic_per_seed():
+    def workload():
+        for _ in range(30):
+            yield Compute(1.0)
+            yield crashpoint()
+
+    def run(seed):
+        inj = FaultInjector(FaultPlan.mixed(), seed=seed)
+        eng = Engine(seed=seed)
+        eng.spawn(inj.wrap(workload(), "w"), name="w")
+        eng.run()
+        r = inj.records["w"]
+        return (r.crashed_at, r.stalls, r.jitter_events, r.injected_delay_ns,
+                eng.makespan())
+
+    assert run(7) == run(7)
+    runs = {run(s) for s in range(8)}
+    assert len(runs) > 1  # different seeds explore different faults
+
+
+def test_jitter_plan_adds_latency():
+    def workload():
+        for _ in range(20):
+            yield Compute(1.0)
+
+    eng0 = Engine(seed=1)
+    eng0.spawn(workload())
+    base = eng0.run()
+
+    inj = FaultInjector(FaultPlan.jitter(prob=1.0, mean_ns=50.0), seed=1)
+    eng1 = Engine(seed=1)
+    eng1.spawn(inj.wrap(workload(), "w"), name="w")
+    jittered = eng1.run()
+    rec = inj.records["w"]
+    assert rec.jitter_events > 0
+    assert rec.injected_delay_ns > 0
+    assert jittered > base
+
+
+def test_stall_plan_injects_one_long_pause():
+    def workload():
+        for _ in range(10):
+            yield Compute(1.0)
+
+    inj = FaultInjector(
+        FaultPlan.stalls(prob=1.0, stall_ns=500.0, horizon=5), seed=2
+    )
+    eng = Engine(seed=2)
+    eng.spawn(inj.wrap(workload(), "w"), name="w")
+    makespan = eng.run()
+    rec = inj.records["w"]
+    assert rec.stalls == 1
+    assert rec.injected_delay_ns == pytest.approx(500.0)
+    assert makespan >= 500.0
+
+
+def test_crashpoint_label_is_zero_cost_and_tagged():
+    eff = crashpoint()
+    assert eff.tag == CRASHPOINT
+
+    def w():
+        yield crashpoint()
+        yield Compute(1.0)
+
+    eng = Engine()
+    eng.spawn(w())
+    assert eng.run() == pytest.approx(1.0)
+
+
+def test_fault_plan_presets():
+    for name in FaultPlan.PRESETS:
+        plan = FaultPlan.preset(name)
+        assert plan.name == name
+    with pytest.raises(ValueError, match="unknown fault plan"):
+        FaultPlan.preset("nope")

@@ -1,0 +1,66 @@
+"""`repro faults` CLI: exit codes, report rendering, failure repro hints."""
+
+import numpy as np
+
+from repro.campaign import QUEUE_FACTORIES
+from repro.cli import main
+from repro.core import BGPQ
+
+
+class _LossyBGPQ(BGPQ):
+    """A sabotaged queue that silently drops the largest key of every
+    insert batch — the auditor must catch the conservation violation."""
+
+    name = "LossyBGPQ"
+
+    def insert_op(self, keys, payload=None):
+        keys = np.sort(np.asarray(keys))
+        return (yield from super().insert_op(keys[:-1]))
+
+
+def test_faults_cli_clean_campaign_exits_zero(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)  # bench_results/ lands in the tmp dir
+    rc = main(
+        ["faults", "--seeds", "2", "--queues", "bgpq", "--plans", "crash"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Fault campaign" in out
+    assert "survived and passed the heap audit" in out
+    assert (tmp_path / "bench_results").exists()
+
+
+def test_faults_cli_audit_failure_exits_nonzero(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setitem(
+        QUEUE_FACTORIES,
+        "lossy",
+        lambda k: _LossyBGPQ(node_capacity=k, max_keys=1 << 14),
+    )
+    rc = main(
+        ["faults", "--seeds", "2", "--queues", "lossy", "--plans", "none"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "audit-failed" in out
+    assert "reproduce a failure" in out
+    assert "--seed-base" in out  # the repro hint names the seed knob
+
+
+def test_faults_cli_multiplan_sweep(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    rc = main(
+        [
+            "faults",
+            "--seeds", "2",
+            "--queues", "bgpq,tbb",
+            "--plans", "timeout,jitter",
+            "--threads", "3",
+            "--ops", "4",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    # one summary row per (queue, plan) cell
+    for token in ("bgpq", "tbb", "timeout", "jitter"):
+        assert token in out
