@@ -1,4 +1,8 @@
-"""Benchmark harness regenerating the paper's Table 1, Table 2, Fig. 6."""
+"""Benchmark harness regenerating the paper's Table 1, Table 2, Fig. 6.
+
+:mod:`~repro.bench.micro` adds the perf-regression microbenchmarks
+(``repro bench micro``) gating the arena-vs-list storage speedups.
+"""
 
 from .experiments import (
     ASTAR_SIZES,
@@ -13,6 +17,7 @@ from .experiments import (
     table2_knapsack,
     table2_util,
 )
+from .micro import MICRO_KS, baseline_path, compare_to_baseline, run_micro
 from .reporting import ascii_chart, render_rows, save_results, speedup_summary
 from .runner import PhaseTimes, drain, run_insert_then_delete, run_utilization
 from .table1 import render_table1, table1_features
@@ -33,10 +38,13 @@ __all__ = [
     "GPU_BLOCKS",
     "KEY_BITS",
     "KNAPSACK_SIZES",
+    "MICRO_KS",
     "ORDERS",
     "PAPER_SIZES",
     "PhaseTimes",
     "ascii_chart",
+    "baseline_path",
+    "compare_to_baseline",
     "drain",
     "fig6_blocks_sweep",
     "fig6_capacity_sweep",
@@ -46,6 +54,7 @@ __all__ = [
     "render_rows",
     "render_table1",
     "run_insert_then_delete",
+    "run_micro",
     "run_utilization",
     "save_results",
     "scale",

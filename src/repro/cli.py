@@ -9,12 +9,18 @@ Usage::
     python -m repro astar                  # Table 2 'A-star'
     python -m repro fig6                   # Figure 6 sweeps
     python -m repro faults                 # fault-injection campaigns
+    python -m repro bench micro            # perf-regression microbench
     python -m repro all                    # everything, archived
 
 ``faults`` runs seed-swept crash/timeout/jitter campaigns (see
 :mod:`repro.campaign`) and exits non-zero when any run deadlocks,
 livelocks, or fails the post-run heap audit; each failure line carries
 the (queue, plan, seed) triple that reproduces it.
+
+``bench micro`` times the storage hot paths for both backends (see
+:mod:`repro.bench.micro`), archives the results, and exits non-zero on
+a >20% speedup regression against the committed ``BENCH_micro.json``
+baseline (refresh it with ``--update-baseline``).
 
 ``REPRO_SCALE`` (default 2048) divides the paper's workload sizes;
 results are archived under ``bench_results/`` and EXPERIMENTS.md can
@@ -103,6 +109,69 @@ def _run_faults(args) -> int:
     return 0
 
 
+def _run_bench(args) -> int:
+    import json
+
+    from .bench.micro import MICRO_KS, baseline_path, compare_to_baseline, run_micro
+
+    if args.target != "micro":
+        print(f"error: unknown bench target {args.target!r} (try 'micro')",
+              file=sys.stderr)
+        return 2
+    ks = (
+        tuple(int(k) for k in args.bench_ks.split(","))
+        if args.bench_ks
+        else MICRO_KS
+    )
+    base_file = baseline_path()
+    rebaseline = args.update_baseline or not base_file.exists()
+    t0 = time.perf_counter()
+    results = run_micro(ks=ks, quick=args.quick)
+    if rebaseline:
+        # A baseline records the *floor* the gate defends, so take the
+        # conservative elementwise minimum of two runs — a single
+        # lucky-fast sample would otherwise trip the gate forever after.
+        second = run_micro(ks=ks, quick=args.quick)
+        for key, val in second["speedups"].items():
+            prev = results["speedups"].get(key)
+            results["speedups"][key] = val if prev is None else min(prev, val)
+        for key, flag in second["zero_alloc"].items():
+            results["zero_alloc"][key] = bool(
+                flag and results["zero_alloc"].get(key, True)
+            )
+    wall = time.perf_counter() - t0
+    print(render_rows(results["rows"], "bench micro (arena vs list storage)"))
+    print()
+    for key, val in sorted(results["speedups"].items()):
+        print(f"  speedup {key}: {val:.2f}x")
+    for key, flag in sorted(results["zero_alloc"].items()):
+        print(f"  zero-alloc {key}: {'yes' if flag else 'NO'}")
+    path = save_results("bench_micro", results["rows"], meta={
+        **results["meta"],
+        "speedups": results["speedups"],
+        "zero_alloc": results["zero_alloc"],
+        "wall_s": round(wall, 1),
+    })
+    print(f"[{wall:.1f}s host; saved {path}]\n")
+
+    base_file = baseline_path()
+    if args.update_baseline or not base_file.exists():
+        base_file.write_text(json.dumps(results, indent=2, default=str) + "\n")
+        print(f"baseline written to {base_file}")
+        return 0
+    baseline = json.loads(base_file.read_text())
+    problems = compare_to_baseline(results, baseline)
+    if problems:
+        print(f"PERF REGRESSION vs {base_file}:")
+        for p in problems:
+            print(f"  {p}")
+        print("\n(re-baseline intentionally with: python -m repro bench micro "
+              "--update-baseline)")
+        return 1
+    print(f"no regression vs {base_file} (tolerance 20%)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -118,9 +187,16 @@ def main(argv: list[str] | None = None) -> int:
             "astar",
             "fig6",
             "faults",
+            "bench",
             "all",
         ],
         help="which experiment to run",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default="micro",
+        help="bench target (only 'micro' for now); ignored elsewhere",
     )
     parser.add_argument(
         "--sizes",
@@ -147,7 +223,10 @@ def main(argv: list[str] | None = None) -> int:
     faults.add_argument(
         "--queues",
         default="bgpq,bgpq-bu,tbb",
-        help="comma-separated queues (bgpq,bgpq-unbounded,bgpq-bu,tbb,hunt,ljsl)",
+        help=(
+            "comma-separated queues "
+            "(bgpq,bgpq-unbounded,bgpq-list,bgpq-bu,tbb,hunt,ljsl)"
+        ),
     )
     faults.add_argument(
         "--threads", type=int, default=4, help="simulated workers per run"
@@ -158,10 +237,29 @@ def main(argv: list[str] | None = None) -> int:
     faults.add_argument(
         "--capacity", type=int, default=8, help="batch node capacity k"
     )
+    bench = parser.add_argument_group("bench micro")
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced iteration counts (CI perf-smoke)",
+    )
+    bench.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite BENCH_micro.json with this run's numbers",
+    )
+    bench.add_argument(
+        "--bench-ks",
+        default=None,
+        help="comma-separated node capacities (default: 32,128,512)",
+    )
     args = parser.parse_args(argv)
 
-    print(f"workload scale: 1/{scale()} of the paper's sizes (REPRO_SCALE)\n")
     want = args.experiment
+    if want == "bench":
+        return _run_bench(args)
+
+    print(f"workload scale: 1/{scale()} of the paper's sizes (REPRO_SCALE)\n")
 
     if want == "faults":
         return _run_faults(args)

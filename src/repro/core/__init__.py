@@ -10,6 +10,7 @@
 * :mod:`~repro.core.linearizability` — history checker.
 """
 
+from .arena import NodeArena
 from .audit import AuditReport, HeapAuditor
 from .bgpq import BGPQ
 from .bottomup import BGPQBottomUp
@@ -24,6 +25,7 @@ __all__ = [
     "BGPQ",
     "BGPQBottomUp",
     "BatchNode",
+    "NodeArena",
     "EMPTY",
     "HeapAuditor",
     "HeapStorage",

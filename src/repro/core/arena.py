@@ -1,0 +1,72 @@
+"""Structure-of-arrays backing store for batch nodes (§3.3).
+
+The CUDA BGPQ keeps its whole heap in one aligned global-memory region:
+node ``i``'s keys live at a fixed offset, so every batch operation is a
+coalesced, allocation-free access.  :class:`NodeArena` reproduces that
+layout for the simulation — one ``(rows, k)`` key matrix plus parallel
+payload / count / state vectors — and
+:class:`~repro.core.node.BatchNode` becomes a two-word view (arena
+handle + row index) over it.
+
+Row 0 mirrors the heap's unused 0 slot (the tree is 1-indexed), so a
+heap of ``max_nodes`` nodes owns an arena of ``max_nodes + 1`` rows and
+node ``i``'s keys are exactly ``arena.keys[i]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .node import EMPTY
+
+__all__ = ["NodeArena"]
+
+
+class NodeArena:
+    """One contiguous allocation holding every batch node of a heap.
+
+    Attributes
+    ----------
+    keys:
+        ``(rows, k)`` key matrix; row ``i`` is node ``i``'s buffer and
+        only ``keys[i, :counts[i]]`` is live (sorted).
+    pay:
+        ``(rows, k, payload_width)`` payload rows aligned with keys;
+        zero-width when the queue stores bare keys (costs nothing).
+    counts:
+        Live-key count per row.
+    states:
+        Per-row state word (AVAIL/EMPTY/TARGET/MARKED of §4).
+    """
+
+    __slots__ = ("rows", "k", "dtype", "payload_width", "payload_dtype",
+                 "keys", "pay", "counts", "states")
+
+    def __init__(self, rows: int, node_capacity: int, dtype=np.int64,
+                 payload_width: int = 0, payload_dtype=np.int64):
+        if rows < 1:
+            raise ValueError("arena needs at least one row")
+        if node_capacity < 1:
+            raise ValueError("node capacity must be >= 1")
+        self.rows = rows
+        self.k = node_capacity
+        self.dtype = np.dtype(dtype)
+        self.payload_width = payload_width
+        self.payload_dtype = np.dtype(payload_dtype)
+        self.keys = np.empty((rows, node_capacity), dtype=dtype)
+        self.pay = np.empty((rows, node_capacity, payload_width), dtype=payload_dtype)
+        self.counts = np.zeros(rows, dtype=np.int64)
+        self.states = np.full(rows, EMPTY, dtype=np.uint8)
+
+    def nbytes(self) -> int:
+        """Total backing storage, for memory accounting."""
+        return (
+            self.keys.nbytes + self.pay.nbytes
+            + self.counts.nbytes + self.states.nbytes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<NodeArena {self.rows}x{self.k} dtype={self.dtype.name} "
+            f"payload={self.payload_width}>"
+        )

@@ -60,6 +60,14 @@ class BGPQ(InsertMixin, DeleteMixin, ConcurrentPQ):
         off only by the ablation benchmarks.
     dtype:
         Key dtype (the paper uses 30/32-bit integer keys).
+    storage:
+        ``"arena"`` (default) backs every node with one shared
+        structure-of-arrays :class:`~repro.core.arena.NodeArena` and
+        runs all SORT_SPLITs fused and in place (no per-merge
+        temporaries — the device's allocation-free hot path, §3.3);
+        ``"list"`` keeps the original allocate-per-merge node path as a
+        differential-testing reference.  Both backends produce
+        bit-identical schedules and results for the same seed.
     root_wait_ns:
         When set, INSERT/DELETEMIN take the root lock with *bounded*
         waits of this length (exponentially growing across retries)
@@ -85,6 +93,7 @@ class BGPQ(InsertMixin, DeleteMixin, ConcurrentPQ):
         payload_dtype=np.int64,
         root_wait_ns: float | None = None,
         root_retries: int = 3,
+        storage: str = "arena",
     ):
         if root_wait_ns is not None and root_wait_ns <= 0:
             raise ConfigurationError("root_wait_ns must be positive (or None)")
@@ -105,9 +114,29 @@ class BGPQ(InsertMixin, DeleteMixin, ConcurrentPQ):
             name="bgpq",
             payload_width=payload_width,
             payload_dtype=payload_dtype,
+            storage=storage,
         )
-        self.pbuffer = np.empty(0, dtype=self.store.dtype)
-        self.pbuffer_pay = np.empty((0, payload_width), dtype=payload_dtype)
+        self.storage = storage
+        self._fused = storage == "arena"
+        if self._fused:
+            # Ping-pong pair backing the partial buffer: each rebalance
+            # merges the live buffer into the inactive half and flips,
+            # so ``self.pbuffer`` is always a view into preallocated
+            # storage and the hot path never allocates.
+            self._pb_keys = (
+                np.empty(node_capacity, dtype=self.store.dtype),
+                np.empty(node_capacity, dtype=self.store.dtype),
+            )
+            self._pb_pay = (
+                np.empty((node_capacity, payload_width), dtype=payload_dtype),
+                np.empty((node_capacity, payload_width), dtype=payload_dtype),
+            )
+            self._pb_active = 0
+            self.pbuffer = self._pb_keys[0][:0]
+            self.pbuffer_pay = self._pb_pay[0][:0]
+        else:
+            self.pbuffer = np.empty(0, dtype=self.store.dtype)
+            self.pbuffer_pay = np.empty((0, payload_width), dtype=payload_dtype)
         self.collaboration = collaboration
         #: signalled by an inserter that refilled the root for a MARKer
         self.root_avail = Condition("bgpq.root_avail")
@@ -210,6 +239,108 @@ class BGPQ(InsertMixin, DeleteMixin, ConcurrentPQ):
                 f"payload shape {payload.shape} != ({keys.size}, {width})"
             )
         return payload
+
+    # -- fused partial-buffer operations (arena storage) -------------------
+    # All three run under the root/pBuffer lock.  They stage through the
+    # heap's scratch ledger and the ping-pong pair, so steady state does
+    # zero array allocations; ties and merge orders mirror the list
+    # backend exactly (hence bit-identical results).
+    def _buffer_absorb(self, items_k: np.ndarray, items_p: np.ndarray) -> None:
+        """Alg.1 lines 21-24: merge ``items`` into the partial buffer."""
+        from ..primitives.inplace import merge_into
+
+        dst = 1 - self._pb_active
+        total = self.pbuffer.size + items_k.size
+        if self.store.payload_width:
+            merge_into(
+                self.pbuffer, items_k, self._pb_keys[dst],
+                self.pbuffer_pay, items_p, self._pb_pay[dst],
+                iota=self.store.scratch.iota,
+            )
+        else:
+            merge_into(self.pbuffer, items_k, self._pb_keys[dst])
+        self._pb_active = dst
+        self.pbuffer = self._pb_keys[dst][:total]
+        self.pbuffer_pay = self._pb_pay[dst][:total]
+
+    def _buffer_detach_full(
+        self, items_k: np.ndarray, items_p: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Alg.1 lines 26-29: the k smallest of items ∪ buffer leave as a
+        full batch (returned as fresh arrays — they travel down the tree
+        across yields, so they cannot live in shared scratch); the rest
+        becomes the new buffer, in place."""
+        from ..primitives.inplace import sort_split_into
+
+        s = self.store.scratch
+        dst = 1 - self._pb_active
+        rest = items_k.size + self.pbuffer.size - self.k
+        if self.store.payload_width:
+            sort_split_into(
+                items_k, self.pbuffer, self.k,
+                s.keys, self._pb_keys[dst], s,
+                pa=items_p, pb=self.pbuffer_pay,
+                x_p=s.pay, y_p=self._pb_pay[dst],
+            )
+            fk = s.keys[: self.k].copy()
+            fp = s.pay[: self.k].copy()
+        else:
+            sort_split_into(
+                items_k, self.pbuffer, self.k, s.keys, self._pb_keys[dst], s
+            )
+            fk = s.keys[: self.k].copy()
+            fp = np.zeros((self.k, 0), dtype=self.store.payload_dtype)
+        self._pb_active = dst
+        self.pbuffer = self._pb_keys[dst][:rest]
+        self.pbuffer_pay = self._pb_pay[dst][:rest]
+        return fk, fp
+
+    def _balance_root_buffer(self) -> None:
+        """Alg.2 line 13: root keeps the ``|root|`` smallest of
+        root ∪ buffer; the buffer is rewritten in place with the rest."""
+        from ..primitives.inplace import sort_split_into
+
+        a = self.store.arena
+        s = self.store.scratch
+        rc = int(a.counts[1])
+        nb = self.pbuffer.size
+        dst = 1 - self._pb_active
+        if self.store.payload_width:
+            sort_split_into(
+                a.keys[1, :rc], self.pbuffer, rc,
+                a.keys[1], self._pb_keys[dst], s,
+                pa=a.pay[1, :rc], pb=self.pbuffer_pay,
+                x_p=a.pay[1], y_p=self._pb_pay[dst],
+            )
+        else:
+            sort_split_into(
+                a.keys[1, :rc], self.pbuffer, rc, a.keys[1], self._pb_keys[dst], s
+            )
+        self._pb_active = dst
+        self.pbuffer = self._pb_keys[dst][:nb]
+        self.pbuffer_pay = self._pb_pay[dst][:nb]
+
+    # -- rollback snapshots of the partial buffer --------------------------
+    def _pbuffer_snapshot(self):
+        """Capture the buffer for OpGuard rollback.  The list backend
+        replaces (never mutates) the buffer arrays, so references
+        suffice; the fused backend rewrites the ping-pong storage in
+        place, so the snapshot must copy."""
+        if self._fused:
+            return self.pbuffer.copy(), self.pbuffer_pay.copy()
+        return self.pbuffer, self.pbuffer_pay
+
+    def _pbuffer_restore(self, buf_k: np.ndarray, buf_p: np.ndarray) -> None:
+        if self._fused:
+            n = buf_k.size
+            keys = self._pb_keys[self._pb_active]
+            pay = self._pb_pay[self._pb_active]
+            keys[:n] = buf_k
+            pay[:n] = buf_p
+            self.pbuffer = keys[:n]
+            self.pbuffer_pay = pay[:n]
+        else:
+            self.pbuffer, self.pbuffer_pay = buf_k, buf_p
 
     # -- quiescent introspection -----------------------------------------
     def snapshot_keys(self) -> np.ndarray:

@@ -120,13 +120,16 @@ class BGPQBottomUp(BGPQ):
                 yield Release(store.lock(p))
                 yield Compute(m.lock_release_ns())
                 break
-            pk, pp, ck, cp = sort_split_payload(
-                p_node.keys(), p_node.payload(),
-                c_node.keys(), c_node.payload(),
-                ma=p_node.count,
-            )
-            p_node.set_keys(pk, pp)
-            c_node.set_keys(ck, cp)
+            if self._fused:
+                store.sort_split_nodes(p, cur, small=p, large=cur, ma=p_node.count)
+            else:
+                pk, pp, ck, cp = sort_split_payload(
+                    p_node.keys(), p_node.payload(),
+                    c_node.keys(), c_node.payload(),
+                    ma=p_node.count,
+                )
+                p_node.set_keys(pk, pp)
+                c_node.set_keys(ck, cp)
             self.stats["percolate_levels"] += 1
             yield Compute(m.node_sort_split_ns(p_node.count, c_node.count))
             yield Release(store.lock(cur))

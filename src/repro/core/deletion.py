@@ -135,13 +135,16 @@ class DeleteMixin:
 
         # line 13: ensure root <= buffer
         if self.pbuffer.size:
-            rk, rp, self.pbuffer, self.pbuffer_pay = sort_split_payload(
-                root.keys(), root.payload(),
-                self.pbuffer, self.pbuffer_pay,
-                ma=root.count,
-            )
+            if self._fused:
+                self._balance_root_buffer()
+            else:
+                rk, rp, self.pbuffer, self.pbuffer_pay = sort_split_payload(
+                    root.keys(), root.payload(),
+                    self.pbuffer, self.pbuffer_pay,
+                    ma=root.count,
+                )
+                root.set_keys(rk, rp)
             yield Compute(m.node_sort_split_ns(root.count, self.pbuffer.size))
-            root.set_keys(rk, rp)
 
         # line 14 / Alg.3: heapify, extracting `remained` at the root
         self.stats["deletemin_heapify"] += 1
@@ -171,14 +174,14 @@ class DeleteMixin:
             root_k = root.keys().copy()
             root_p = root.payload().copy()
             root_count, root_state = root.count, root.state
-            buf_k, buf_p = self.pbuffer, self.pbuffer_pay
+            buf_k, buf_p = self._pbuffer_snapshot()
             size = store.heap_size
 
             def restore():
                 root.buf[:root_count] = root_k
                 root.pay[:root_count] = root_p
                 root.count, root.state = root_count, root_state
-                self.pbuffer, self.pbuffer_pay = buf_k, buf_p
+                self._pbuffer_restore(buf_k, buf_p)
                 store.heap_size = size
 
             guard.on_abort(restore)
@@ -301,11 +304,14 @@ class DeleteMixin:
                 # line 9: x = child with the larger max keeps the large half
                 x, y = (l, r) if nl.max_key() > nr.max_key() else (r, l)
                 ma = min(self.k, nl.count + nr.count)
-                sk, sp, lk, lp = sort_split_payload(
-                    nl.keys(), nl.payload(), nr.keys(), nr.payload(), ma=ma
-                )
-                store.node(y).set_keys(sk, sp)
-                store.node(x).set_keys(lk, lp)
+                if self._fused:
+                    store.sort_split_nodes(l, r, small=y, large=x, ma=ma)
+                else:
+                    sk, sp, lk, lp = sort_split_payload(
+                        nl.keys(), nl.payload(), nr.keys(), nr.payload(), ma=ma
+                    )
+                    store.node(y).set_keys(sk, sp)
+                    store.node(x).set_keys(lk, lp)
                 yield Compute(m.node_sort_split_ns(nl.count, nr.count))
                 yield Release(store.lock(x))  # line 11
                 yield Compute(m.lock_release_ns())
@@ -320,13 +326,16 @@ class DeleteMixin:
 
             # line 12: current node keeps the small half
             y_node = store.node(y)
-            sk, sp, lk, lp = sort_split_payload(
-                cur_node.keys(), cur_node.payload(),
-                y_node.keys(), y_node.payload(),
-                ma=cur_node.count,
-            )
-            cur_node.set_keys(sk, sp)
-            y_node.set_keys(lk, lp)
+            if self._fused:
+                store.sort_split_nodes(cur, y, small=cur, large=y, ma=cur_node.count)
+            else:
+                sk, sp, lk, lp = sort_split_payload(
+                    cur_node.keys(), cur_node.payload(),
+                    y_node.keys(), y_node.payload(),
+                    ma=cur_node.count,
+                )
+                cur_node.set_keys(sk, sp)
+                y_node.set_keys(lk, lp)
             yield Compute(m.node_sort_split_ns(cur_node.count, y_node.count))
 
             if cur == 1 and not extracted:  # line 13

@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import CapacityError
+from ..errors import CapacityError, ConfigurationError
+from ..primitives.inplace import ScratchLedger, sort_split_into
 from ..sim import SimLock
+from .arena import NodeArena
 from .node import EMPTY, BatchNode
 
 __all__ = ["HeapStorage", "parent", "left", "right", "level", "path_next"]
@@ -57,6 +59,16 @@ class HeapStorage:
     ``max_nodes`` bounds the tree; exceeding it raises
     :class:`~repro.errors.CapacityError`, mirroring the fixed
     pre-allocated device array of the CUDA implementation.
+
+    ``storage`` selects the backing layout:
+
+    * ``"arena"`` (default) — one shared :class:`NodeArena` holds every
+      node row contiguously (the device layout of §3.3); nodes are
+      two-word views and the fused helpers below rebalance node rows in
+      place through a preallocated :class:`ScratchLedger`.
+    * ``"list"`` — each node owns a private single-row arena, and the
+      queue code takes the original allocate-per-merge path.  Kept as a
+      differential-testing reference for the fused path.
     """
 
     def __init__(
@@ -67,25 +79,51 @@ class HeapStorage:
         name: str = "bgpq",
         payload_width: int = 0,
         payload_dtype=np.int64,
+        storage: str = "arena",
     ):
         if max_nodes < 1:
             raise CapacityError("need at least the root node")
+        if storage not in ("arena", "list"):
+            raise ConfigurationError(
+                f"unknown storage {storage!r}; choose 'arena' or 'list'"
+            )
         self.max_nodes = max_nodes
         self.node_capacity = node_capacity
         self.dtype = np.dtype(dtype)
         self.payload_width = payload_width
         self.payload_dtype = np.dtype(payload_dtype)
-        # index 0 unused; nodes allocated eagerly like the device array
-        self.nodes: list[BatchNode] = [
-            BatchNode(
+        self.storage = storage
+        # index 0 unused; nodes/rows allocated eagerly like the device array
+        if storage == "arena":
+            self.arena: NodeArena | None = NodeArena(
+                max_nodes + 1,
                 node_capacity,
                 dtype=dtype,
-                state=EMPTY,
                 payload_width=payload_width,
                 payload_dtype=payload_dtype,
             )
-            for _ in range(max_nodes + 1)
-        ]
+            self.scratch: ScratchLedger | None = ScratchLedger(
+                node_capacity,
+                dtype=dtype,
+                payload_width=payload_width,
+                payload_dtype=payload_dtype,
+            )
+            self.nodes: list[BatchNode] = [
+                BatchNode.view(self.arena, i) for i in range(max_nodes + 1)
+            ]
+        else:
+            self.arena = None
+            self.scratch = None
+            self.nodes = [
+                BatchNode(
+                    node_capacity,
+                    dtype=dtype,
+                    state=EMPTY,
+                    payload_width=payload_width,
+                    payload_dtype=payload_dtype,
+                )
+                for _ in range(max_nodes + 1)
+            ]
         #: locks[1] protects both the root and the partial buffer (§4)
         self.locks: list[SimLock] = [SimLock(f"{name}.n{i}") for i in range(max_nodes + 1)]
         self.heap_size = 0  # number of live nodes including the root
@@ -116,6 +154,66 @@ class HeapStorage:
             )
         self.heap_size = nxt
         return nxt
+
+    # -- fused in-place SORT_SPLIT over arena rows ------------------------
+    def sort_split_nodes(self, i: int, j: int, small: int, large: int, ma: int) -> None:
+        """SORT_SPLIT nodes ``i`` and ``j`` (merged in that order) in place:
+        node ``small`` receives the ``ma`` smallest keys, node ``large``
+        the rest.  ``{small, large}`` must equal ``{i, j}``; both rows
+        are rewritten through the scratch ledger with no temporaries.
+        Arena storage only; callers hold both node locks.
+        """
+        a, s = self.arena, self.scratch
+        ni = int(a.counts[i])
+        nj = int(a.counts[j])
+        if ni and nj:
+            # Already balanced: the rows hold exactly the split the caller
+            # wants, so the rewrite is the identity.  Two scalar compares
+            # make ~a third of steady-state heapify rebalances free.
+            if small == i and ma == ni and a.keys[i, ni - 1] <= a.keys[j, 0]:
+                return
+            if small == j and ma == nj and a.keys[j, nj - 1] < a.keys[i, 0]:
+                return
+        if a.payload_width:
+            sort_split_into(
+                a.keys[i, :ni], a.keys[j, :nj], ma,
+                a.keys[small], a.keys[large], s,
+                pa=a.pay[i, :ni], pb=a.pay[j, :nj],
+                x_p=a.pay[small], y_p=a.pay[large],
+            )
+        else:
+            sort_split_into(
+                a.keys[i, :ni], a.keys[j, :nj], ma,
+                a.keys[small], a.keys[large], s,
+            )
+        a.counts[small] = ma
+        a.counts[large] = ni + nj - ma
+
+    def sort_split_node_items(
+        self,
+        i: int,
+        items_k: np.ndarray,
+        items_p: np.ndarray | None = None,
+    ) -> None:
+        """SORT_SPLIT node ``i`` against a travelling batch, in place:
+        the node keeps the ``|i|`` smallest keys of node ∪ items and the
+        batch arrays are rewritten with the rest (same length — this is
+        the heapify step of Alg. 1 line 20/33).  Arena storage only.
+        """
+        a, s = self.arena, self.scratch
+        ni = int(a.counts[i])
+        if ni and items_k.shape[0] and a.keys[i, ni - 1] <= items_k[0]:
+            return  # node already holds the |i| smallest; batch unchanged
+        if a.payload_width and items_p is not None:
+            sort_split_into(
+                a.keys[i, :ni], items_k, ni,
+                a.keys[i], items_k, s,
+                pa=a.pay[i, :ni], pb=items_p,
+                x_p=a.pay[i], y_p=items_p,
+            )
+        else:
+            sort_split_into(a.keys[i, :ni], items_k, ni, a.keys[i], items_k, s)
+        # the node's count (ni) and the batch length are both unchanged
 
     # -- quiescent helpers for tests/snapshots ---------------------------
     def all_keys(self) -> np.ndarray:

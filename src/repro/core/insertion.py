@@ -156,19 +156,20 @@ class InsertMixin:
 
         if guard is not None:
             # One snapshot covers every pre-commit mutation below *and*
-            # the caller's grow(): buffer arrays are replaced (never
-            # mutated in place), so keeping references is enough.
+            # the caller's grow().  The buffer snapshot is storage-aware:
+            # the list backend replaces its arrays (references suffice),
+            # the arena backend rewrites them in place (copies).
             root_k = root.keys().copy()
             root_p = root.payload().copy()
             root_count, root_state = root.count, root.state
-            buf_k, buf_p = self.pbuffer, self.pbuffer_pay
+            buf_k, buf_p = self._pbuffer_snapshot()
             size = store.heap_size
 
             def restore():
                 root.buf[:root_count] = root_k
                 root.pay[:root_count] = root_p
                 root.count, root.state = root_count, root_state
-                self.pbuffer, self.pbuffer_pay = buf_k, buf_p
+                self._pbuffer_restore(buf_k, buf_p)
                 store.heap_size = size
 
             guard.on_abort(restore)
@@ -189,18 +190,24 @@ class InsertMixin:
         # line 20: SORT_SPLIT(root, |root|, items, size, |root|) — the
         # root keeps the |root| smallest of root ∪ items.
         if root.count:
-            rk, rp, items_k, items_p = sort_split_payload(
-                root.keys(), root.payload(), items_k, items_p, ma=root.count
-            )
-            root.set_keys(rk, rp)
+            if self._fused:
+                store.sort_split_node_items(1, items_k, items_p)
+            else:
+                rk, rp, items_k, items_p = sort_split_payload(
+                    root.keys(), root.payload(), items_k, items_p, ma=root.count
+                )
+                root.set_keys(rk, rp)
             yield Compute(m.node_sort_split_ns(root.count, items_k.size))
 
         if self.pbuffer.size + items_k.size < self.k:  # lines 21-24: absorb
             # (kept sorted by merging — equivalent to append+sort-on-use)
             yield Compute(m.sort_split_ns(self.pbuffer.size, items_k.size))
-            self.pbuffer, self.pbuffer_pay = merge_with_payload(
-                self.pbuffer, self.pbuffer_pay, items_k, items_p
-            )
+            if self._fused:
+                self._buffer_absorb(items_k, items_p)
+            else:
+                self.pbuffer, self.pbuffer_pay = merge_with_payload(
+                    self.pbuffer, self.pbuffer_pay, items_k, items_p
+                )
             self.stats["partial_insert"] += 1
             if guard is not None:
                 guard.commit()
@@ -209,10 +216,14 @@ class InsertMixin:
             return None
 
         # lines 26-29: overflow — detach the k smallest as a full batch
-        fk, fp, self.pbuffer, self.pbuffer_pay = sort_split_payload(
-            items_k, items_p, self.pbuffer, self.pbuffer_pay, ma=self.k
-        )
-        yield Compute(m.node_sort_split_ns(items_k.size, self.pbuffer.size + self.k))
+        n_in = items_k.size
+        if self._fused:
+            fk, fp = self._buffer_detach_full(items_k, items_p)
+        else:
+            fk, fp, self.pbuffer, self.pbuffer_pay = sort_split_payload(
+                items_k, items_p, self.pbuffer, self.pbuffer_pay, ma=self.k
+            )
+        yield Compute(m.node_sort_split_ns(n_in, self.pbuffer.size + self.k))
         if guard is not None:
             yield crashpoint()  # root still held; snapshot fully covers
         return fk, fp
@@ -242,9 +253,12 @@ class InsertMixin:
             yield Compute(m.lock_release_ns())
             node = store.node(cur)
             if node.state == AVAIL and node.count:
-                nk, np_, items_k, items_p = sort_split_payload(
-                    node.keys(), node.payload(), items_k, items_p, ma=node.count
-                )
-                node.set_keys(nk, np_)
+                if self._fused:
+                    store.sort_split_node_items(cur, items_k, items_p)
+                else:
+                    nk, np_, items_k, items_p = sort_split_payload(
+                        node.keys(), node.payload(), items_k, items_p, ma=node.count
+                    )
+                    node.set_keys(nk, np_)
                 yield Compute(m.node_sort_split_ns(node.count, items_k.size))
             cur = path_next(cur, tar)

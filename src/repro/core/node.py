@@ -1,8 +1,15 @@
 """Batch nodes: the unit of storage in BGPQ's extended heap.
 
 Each heap node holds up to ``k`` sorted keys in a contiguous NumPy
-buffer — on the device this is an aligned global-memory block whose
+row — on the device this is an aligned global-memory block whose
 loads coalesce perfectly, which is half of BGPQ's memory story (§3.3).
+
+A :class:`BatchNode` is a lightweight *view*: two words (an arena
+handle and a row index) over a :class:`~repro.core.arena.NodeArena`
+that owns the actual key/payload/count/state storage.  A heap creates
+one shared arena and ``max_nodes`` views into it; a standalone
+``BatchNode(k)`` (tests, scratch use) owns a private single-row arena
+and behaves exactly as the old self-contained node did.
 
 A node also carries the four-state word of the paper's §4::
 
@@ -44,7 +51,7 @@ class BatchNode:
     nothing — callers charge simulated time through the cost model.
     """
 
-    __slots__ = ("capacity", "buf", "pay", "count", "state")
+    __slots__ = ("arena", "index")
 
     def __init__(
         self,
@@ -54,22 +61,67 @@ class BatchNode:
         payload_width: int = 0,
         payload_dtype=np.int64,
     ):
+        from .arena import NodeArena  # deferred: arena imports our states
+
         if capacity < 1:
             raise ValueError("node capacity must be >= 1")
-        self.capacity = capacity
-        self.buf = np.empty(capacity, dtype=dtype)
-        self.pay = np.empty((capacity, payload_width), dtype=payload_dtype)
-        self.count = 0
-        self.state = state
+        self.arena = NodeArena(
+            1, capacity, dtype=dtype,
+            payload_width=payload_width, payload_dtype=payload_dtype,
+        )
+        self.index = 0
+        if state != EMPTY:
+            self.arena.states[0] = state
+
+    @classmethod
+    def view(cls, arena, index: int) -> "BatchNode":
+        """A node that aliases row ``index`` of a shared ``arena``."""
+        node = object.__new__(cls)
+        node.arena = arena
+        node.index = index
+        return node
+
+    # -- storage row accessors (same surface as the old owned arrays) ----
+    @property
+    def capacity(self) -> int:
+        return self.arena.k
+
+    @property
+    def buf(self) -> np.ndarray:
+        """This node's full-width key row in the arena."""
+        return self.arena.keys[self.index]
+
+    @property
+    def pay(self) -> np.ndarray:
+        """This node's full-width payload rows in the arena."""
+        return self.arena.pay[self.index]
+
+    @property
+    def count(self) -> int:
+        return int(self.arena.counts[self.index])
+
+    @count.setter
+    def count(self, n: int) -> None:
+        self.arena.counts[self.index] = n
+
+    @property
+    def state(self) -> int:
+        return int(self.arena.states[self.index])
+
+    @state.setter
+    def state(self, s: int) -> None:
+        self.arena.states[self.index] = s
 
     # -- views -----------------------------------------------------------
     def keys(self) -> np.ndarray:
         """View of the live keys (sorted)."""
-        return self.buf[: self.count]
+        i = self.index
+        return self.arena.keys[i, : self.arena.counts[i]]
 
     def payload(self) -> np.ndarray:
         """View of the live payload rows (aligned with :meth:`keys`)."""
-        return self.pay[: self.count]
+        i = self.index
+        return self.arena.pay[i, : self.arena.counts[i]]
 
     @property
     def full(self) -> bool:
@@ -82,27 +134,30 @@ class BatchNode:
     def min_key(self):
         if self.count == 0:
             raise IndexError("empty node has no min")
-        return self.buf[0]
+        return self.arena.keys[self.index, 0]
 
     def max_key(self):
-        if self.count == 0:
+        i = self.index
+        n = self.arena.counts[i]
+        if n == 0:
             raise IndexError("empty node has no max")
-        return self.buf[self.count - 1]
+        return self.arena.keys[i, n - 1]
 
     # -- mutation ----------------------------------------------------------
     def set_keys(self, keys: np.ndarray, payload: np.ndarray | None = None) -> None:
         """Replace contents with ``keys`` (must be sorted, fit capacity)
         and, when given, their aligned ``payload`` rows."""
         n = len(keys)
-        if n > self.capacity:
-            raise ValueError(f"{n} keys exceed node capacity {self.capacity}")
-        self.buf[:n] = keys
+        a, i = self.arena, self.index
+        if n > a.k:
+            raise ValueError(f"{n} keys exceed node capacity {a.k}")
+        a.keys[i, :n] = keys
         if payload is not None:
-            self.pay[:n] = payload
-        self.count = n
+            a.pay[i, :n] = payload
+        a.counts[i] = n
 
     def clear(self) -> None:
-        self.count = 0
+        self.arena.counts[self.index] = 0
 
     def take_front(self, n: int) -> np.ndarray:
         """Remove and return the ``n`` smallest keys (n <= count)."""
@@ -111,20 +166,22 @@ class BatchNode:
 
     def take_front_records(self, n: int) -> tuple[np.ndarray, np.ndarray]:
         """Remove and return the ``n`` smallest (keys, payload rows)."""
-        if n > self.count:
-            raise ValueError(f"cannot take {n} of {self.count} keys")
-        out_k = self.buf[:n].copy()
-        out_p = self.pay[:n].copy()
-        remaining = self.count - n
-        self.buf[:remaining] = self.buf[n : self.count]
-        self.pay[:remaining] = self.pay[n : self.count]
-        self.count = remaining
+        a, i = self.arena, self.index
+        c = int(a.counts[i])
+        if n > c:
+            raise ValueError(f"cannot take {n} of {c} keys")
+        out_k = a.keys[i, :n].copy()
+        out_p = a.pay[i, :n].copy()
+        remaining = c - n
+        a.keys[i, :remaining] = a.keys[i, n:c]
+        a.pay[i, :remaining] = a.pay[i, n:c]
+        a.counts[i] = remaining
         return out_k, out_p
 
     def check_sorted(self) -> bool:
         """Invariant check helper used by tests."""
         k = self.keys()
-        return bool(np.all(k[:-1] <= k[1:])) if self.count > 1 else True
+        return bool(np.all(k[:-1] <= k[1:])) if k.shape[0] > 1 else True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         head = self.buf[: min(self.count, 4)].tolist()

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..errors import ConfigurationError
 from .spec import CpuSpec, GpuSpec, LaunchConfig
@@ -55,6 +56,18 @@ class GpuCostModel:
         if self.item_bytes <= 0:
             raise ConfigurationError("item_bytes must be positive")
 
+    def __hash__(self) -> int:
+        # Every @lru_cache hit below hashes ``self``; the generated
+        # dataclass hash recurses through spec and launch each time
+        # (~0.6 us), dominating the memoized lookup.  The instance is
+        # frozen, so cache it.
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((GpuCostModel, self.spec, self.launch, self.item_bytes))
+            object.__setattr__(self, "_hash", h)
+            return h
+
     # -- building blocks ----------------------------------------------
     @property
     def width(self) -> int:
@@ -65,6 +78,11 @@ class GpuCostModel:
         """Cost of one compare/move on shared-memory data per lane."""
         return 2.0 / self.spec.clock_ghz  # ~2 cycles
 
+    # The charging methods below are memoized: the model is a frozen
+    # (hashable) dataclass and heapify loops charge the same handful of
+    # (n, m) shapes — (k, k), (k, pbuffer size) — millions of times per
+    # benchmark, so recomputing identical formulas dominates charging.
+    @lru_cache(maxsize=None)
     def block_sync_ns(self) -> float:
         """__syncthreads(): grows with resident warps (paper §6.2's
         reason large blocks stop helping)."""
@@ -76,6 +94,7 @@ class GpuCostModel:
         return self.spec.kernel_barrier_ns
 
     # -- memory --------------------------------------------------------
+    @lru_cache(maxsize=4096)
     def global_read_ns(self, n_items: int, coalesced: bool = True) -> float:
         """Load ``n_items`` elements from global memory.
 
@@ -123,6 +142,7 @@ class GpuCostModel:
         return self.spec.atomic_ns
 
     # -- primitives ------------------------------------------------------
+    @lru_cache(maxsize=4096)
     def bitonic_sort_ns(self, n: int) -> float:
         """Stage-exact bitonic sort of ``n`` keys resident in shared memory.
 
@@ -137,6 +157,7 @@ class GpuCostModel:
         per_stage = math.ceil(n / 2 / self.width) * self._elem_ns() + self.block_sync_ns()
         return stages * per_stage
 
+    @lru_cache(maxsize=4096)
     def merge_ns(self, n: int, m: int) -> float:
         """GPU merge-path [11] of two sorted runs in shared memory.
 
@@ -151,6 +172,7 @@ class GpuCostModel:
         emit = math.ceil(total / self.width) * self._elem_ns()
         return diag + emit + 2.0 * self.block_sync_ns()
 
+    @lru_cache(maxsize=4096)
     def sort_split_ns(self, n: int, m: int) -> float:
         """SORT_SPLIT of two *sorted* nodes (paper §4): a merge plus a
         split at position Ma — the split itself is free (the merged
@@ -159,6 +181,7 @@ class GpuCostModel:
         return self.merge_ns(n, m) + self.block_sync_ns()
 
     # -- composite node operations (load + work + store) -----------------
+    @lru_cache(maxsize=4096)
     def node_sort_split_ns(self, n: int, m: int, from_global: bool = True) -> float:
         """SORT_SPLIT between two nodes including their global-memory
         traffic, the common unit of work in BGPQ's heapify loops."""
@@ -181,6 +204,15 @@ class CpuCostModel:
     spec: CpuSpec
     item_bytes: int = 4
 
+    def __hash__(self) -> int:
+        # Same hash caching as GpuCostModel: keep @lru_cache hits cheap.
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((CpuCostModel, self.spec, self.item_bytes))
+            object.__setattr__(self, "_hash", h)
+            return h
+
     # -- scalar work ---------------------------------------------------
     def op_ns(self, count: int = 1) -> float:
         return count * self.spec.op_ns
@@ -196,6 +228,7 @@ class CpuCostModel:
         """Access to a line ping-ponging between sockets (hot head/root)."""
         return count * self.spec.coherence_miss_ns
 
+    @lru_cache(maxsize=4096)
     def stream_ns(self, n_items: int) -> float:
         """Sequential scan/copy of ``n_items`` (prefetch-friendly)."""
         per_line = self.spec.cache_line_bytes // self.item_bytes
@@ -216,6 +249,7 @@ class CpuCostModel:
         return self.spec.atomic_ns
 
     # -- structure traversals ---------------------------------------------
+    @lru_cache(maxsize=4096)
     def heap_percolate_ns(self, depth: int, node_items: int = 1) -> float:
         """Move a key up/down ``depth`` levels of an array heap.
 

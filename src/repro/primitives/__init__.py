@@ -3,17 +3,21 @@
 * :mod:`~repro.primitives.bitonic` — bitonic sorting network.
 * :mod:`~repro.primitives.mergepath` — GPU Merge Path merging.
 * :mod:`~repro.primitives.sortsplit` — the paper's SORT_SPLIT.
+* :mod:`~repro.primitives.inplace` — fused, allocation-free SORT_SPLIT
+  into caller-supplied destination rows (the arena storage hot path).
 * :mod:`~repro.primitives.scan` — Blelloch prefix scan.
 * :mod:`~repro.primitives.compaction` — stream compaction.
 """
 
 from .bitonic import bitonic_sort, bitonic_stage_count, is_power_of_two, next_power_of_two
 from .compaction import compact, compact_payload, partition_flags
-from .mergepath import merge, merge_path_partitions, merge_with_payload
+from .inplace import ScratchLedger, merge_into, sort_split_into
+from .mergepath import merge, merge_path_diagonals, merge_path_partitions, merge_with_payload
 from .scan import exclusive_scan, inclusive_scan, scan_stage_count, segmented_reduce
 from .sortsplit import check_sorted, sort_split, sort_split_payload
 
 __all__ = [
+    "ScratchLedger",
     "bitonic_sort",
     "bitonic_stage_count",
     "check_sorted",
@@ -23,6 +27,8 @@ __all__ = [
     "inclusive_scan",
     "is_power_of_two",
     "merge",
+    "merge_into",
+    "merge_path_diagonals",
     "merge_path_partitions",
     "merge_with_payload",
     "next_power_of_two",
@@ -30,5 +36,6 @@ __all__ = [
     "scan_stage_count",
     "segmented_reduce",
     "sort_split",
+    "sort_split_into",
     "sort_split_payload",
 ]

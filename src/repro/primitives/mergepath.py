@@ -8,13 +8,24 @@ The NumPy formulation below *is* that algorithm — each element of
 diagonal search), and a scatter writes the merged run — rather than a
 sequential two-finger merge, so it exercises the same code path the
 GPU kernel would.
+
+Contract shared by :func:`merge` and :func:`merge_with_payload`: the
+inputs are *sorted 1-D ndarrays* (payload rows aligned with their
+keys).  These are the innermost hot-path functions of every heapify
+SORT_SPLIT, so they perform no ``asarray`` conversion and no
+sortedness validation — callers own both invariants, exactly as the
+CUDA kernel trusts its callers.  Use
+:func:`repro.primitives.sortsplit.check_sorted` (or the ``validate=``
+flag of the SORT_SPLIT wrappers) in tests and debug runs.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
-__all__ = ["merge", "merge_with_payload", "merge_path_partitions"]
+__all__ = ["merge", "merge_with_payload", "merge_path_diagonals", "merge_path_partitions"]
 
 
 def merge(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -22,10 +33,9 @@ def merge(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
     Ties are broken in favour of ``a`` (stable with respect to the
     concatenation order), matching ``searchsorted``'s left/right
-    asymmetry below.
+    asymmetry below.  Inputs follow the module contract (sorted
+    ndarrays, unvalidated).
     """
-    a = np.asarray(a)
-    b = np.asarray(b)
     if a.size == 0:
         return b.copy()
     if b.size == 0:
@@ -50,12 +60,9 @@ def merge_with_payload(
 
     Payload rows follow their keys through the same scatter.  Payload
     arrays may be multi-dimensional with the leading axis matching the
-    keys (e.g. knapsack node records).
+    keys (e.g. knapsack node records).  Inputs follow the module
+    contract (sorted key ndarrays, unvalidated).
     """
-    a = np.asarray(a)
-    b = np.asarray(b)
-    pa = np.asarray(pa)
-    pb = np.asarray(pb)
     if a.shape[0] != pa.shape[0] or b.shape[0] != pb.shape[0]:
         raise ValueError("payload length must match key length")
     keys = np.empty(a.size + b.size, dtype=np.result_type(a, b))
@@ -70,6 +77,21 @@ def merge_with_payload(
     return keys, payload
 
 
+@lru_cache(maxsize=4096)
+def merge_path_diagonals(total: int, parts: int) -> tuple[int, ...]:
+    """The ``parts + 1`` output-rank boundaries ``d_t = t*total//parts``.
+
+    This is the shape-only half of the Merge Path decomposition — it
+    depends on (Na + Nb, parts) alone, and heapify loops hit the same
+    handful of shapes (k, k) thousands of times, so it is memoized.
+    The *path intersections* below depend on the key values and cannot
+    be cached.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    return tuple((t * total) // parts for t in range(parts + 1))
+
+
 def merge_path_partitions(a: np.ndarray, b: np.ndarray, parts: int) -> list[tuple[int, int]]:
     """Split the merge of ``a`` and ``b`` into ``parts`` balanced chunks.
 
@@ -77,17 +99,15 @@ def merge_path_partitions(a: np.ndarray, b: np.ndarray, parts: int) -> list[tupl
     (i, j) intersection of diagonal d with the merge path: partition t
     merges ``a[i_t:i_{t+1}]`` with ``b[j_t:j_{t+1}]``.  This is the
     cross-block decomposition of the original paper, exposed mainly for
-    tests and documentation of the algorithm.
+    tests and documentation of the algorithm.  The diagonal boundaries
+    are memoized per (total, parts) shape via
+    :func:`merge_path_diagonals`.
     """
     a = np.asarray(a)
     b = np.asarray(b)
     n, m = a.size, b.size
-    total = n + m
-    if parts < 1:
-        raise ValueError("parts must be >= 1")
     bounds: list[tuple[int, int]] = []
-    for t in range(parts + 1):
-        d = (t * total) // parts
+    for d in merge_path_diagonals(n + m, parts):
         # binary search the diagonal: find i in [max(0,d-m), min(d,n)]
         lo, hi = max(0, d - m), min(d, n)
         while lo < hi:

@@ -42,14 +42,15 @@ def sort_split(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Merge sorted ``z`` and ``w``; return (Ma smallest, the rest).
 
+    Contract: ``z`` and ``w`` are *sorted 1-D ndarrays* — the hot path
+    performs no conversion and no sortedness check, exactly as the
+    kernel trusts its callers.  Pass ``validate=True`` (tests, debug
+    runs) to assert the sortedness precondition; violating the
+    contract without it silently produces an unsorted merge.
+
     ``ma`` defaults to ``len(z)`` — the common case of balancing a
     parent node against a child (the paper's "two full nodes" default).
-    ``validate=True`` checks the sortedness precondition (used in tests
-    and debug runs; the hot path trusts its callers, as the kernel
-    would).
     """
-    z = np.asarray(z)
-    w = np.asarray(w)
     if ma is None:
         ma = z.size
     if not 0 <= ma <= z.size + w.size:
@@ -67,13 +68,20 @@ def sort_split_payload(
     w: np.ndarray,
     pw: np.ndarray,
     ma: int | None = None,
+    *,
+    validate: bool = False,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Payload-carrying SORT_SPLIT: returns (X, PX, Y, PY)."""
-    z = np.asarray(z)
-    w = np.asarray(w)
+    """Payload-carrying SORT_SPLIT: returns (X, PX, Y, PY).
+
+    Same contract as :func:`sort_split` — sorted 1-D key ndarrays with
+    aligned payload rows, unvalidated unless ``validate=True``.
+    """
     if ma is None:
         ma = z.size
     if not 0 <= ma <= z.size + w.size:
         raise ValueError(f"split point {ma} outside [0, {z.size + w.size}]")
+    if validate:
+        check_sorted(z, "Z")
+        check_sorted(w, "W")
     keys, payload = merge_with_payload(z, pz, w, pw)
     return keys[:ma], payload[:ma], keys[ma:], payload[ma:]

@@ -37,6 +37,15 @@ from .thread import BLOCKED, FAILED, FINISHED, READY, SimThread
 
 __all__ = ["Engine", "LabelRecord"]
 
+# Knuth/PCG multiplicative LCG constants for the scheduling tie-break:
+# a full-period 64-bit sequence whose consecutive outputs are
+# decorrelated, so clock ties resolve "randomly" (schedule diversity
+# across seeds) without the per-push cost of a Random.random() call and
+# float boxing.  Same seed => same integer sequence => same schedule.
+_TIE_MULT = 6364136223846793005
+_TIE_INC = 1442695040888963407
+_TIE_MASK = (1 << 64) - 1
+
 
 class _Timeout:
     """Scheduled expiry of a bounded-wait lock acquisition.
@@ -86,7 +95,10 @@ class Engine:
     """
 
     def __init__(self, seed: int = 0, record_labels: bool = False):
-        self._rng = random.Random(seed)
+        # Counter-seeded tie-break state (see _TIE_MULT above); the
+        # seed is stretched through Random so nearby seeds (0, 1, 2…)
+        # start from decorrelated points of the LCG orbit.
+        self._tie = random.Random(seed).getrandbits(64)
         self._ready: list = []  # heap of (clock, tiebreak, seq, SimThread)
         self._seq = itertools.count()
         self._threads: list[SimThread] = []
@@ -124,7 +136,8 @@ class Engine:
         t.state = READY
         t.blocked_on = None
         t.blocked_obj = None
-        heapq.heappush(self._ready, (t.clock, self._rng.random(), next(self._seq), t))
+        self._tie = tie = (self._tie * _TIE_MULT + _TIE_INC) & _TIE_MASK
+        heapq.heappush(self._ready, (t.clock, tie, next(self._seq), t))
 
     def _block(self, t: SimThread, reason: str, obj: Any = None) -> None:
         t.state = BLOCKED
@@ -276,9 +289,8 @@ class Engine:
                     self._block(t, f"lock:{lock.name}", lock)
                     to = _Timeout(t, lock, t.clock + eff.timeout_ns)
                     t.pending_timeout = to
-                    heapq.heappush(
-                        ready, (to.deadline, self._rng.random(), next(self._seq), to)
-                    )
+                    self._tie = tie = (self._tie * _TIE_MULT + _TIE_INC) & _TIE_MASK
+                    heapq.heappush(ready, (to.deadline, tie, next(self._seq), to))
                     return
             elif cls is fx.Release:
                 self._release(t, eff.lock)

@@ -1,0 +1,139 @@
+"""Micro perf-regression harness: structure, gating logic, CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.bench.micro import (
+    MICRO_KS,
+    _alloc_loop,
+    _drive,
+    baseline_path,
+    compare_to_baseline,
+    run_micro,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_results():
+    """One tiny real run shared by the structural tests."""
+    return run_micro(ks=(8,), quick=True, prim_iters=50, op_iters=12)
+
+
+def test_payload_structure(quick_results):
+    r = quick_results
+    assert r["benchmark"] == "micro"
+    assert r["meta"]["quick"] is True
+    benches = {row["bench"] for row in r["rows"]}
+    assert benches == {"sort_split", "heapify_step", "insert", "delete", "mixed"}
+    # one row per (bench, storage)
+    assert len(r["rows"]) == 2 * len(benches)
+    for row in r["rows"]:
+        assert row["storage"] in ("arena", "list")
+        assert row["ops_per_sec"] > 0
+    assert set(r["speedups"]) == {f"{b}/k=8" for b in benches}
+    assert list(r["zero_alloc"]) == ["heapify_step/k=8"]
+
+
+def test_arena_heapify_is_allocation_free(quick_results):
+    """The acceptance bar, at a small k so CI stays fast: the arena
+    heapify step retains less than one key-buffer across the loop."""
+    assert quick_results["zero_alloc"]["heapify_step/k=8"] is True
+
+
+def test_compare_to_baseline_passes_identical():
+    cur = {"speedups": {"mixed/k=8": 2.0}, "zero_alloc": {"heapify_step/k=8": True}}
+    assert compare_to_baseline(cur, json.loads(json.dumps(cur))) == []
+
+
+def test_compare_to_baseline_flags_speedup_regression():
+    base = {"speedups": {"mixed/k=8": 2.0}, "zero_alloc": {}}
+    ok = {"speedups": {"mixed/k=8": 1.7}, "zero_alloc": {}}  # -15%: inside 20%
+    bad = {"speedups": {"mixed/k=8": 1.5}, "zero_alloc": {}}  # -25%: outside
+    assert compare_to_baseline(ok, base) == []
+    problems = compare_to_baseline(bad, base)
+    assert len(problems) == 1 and "mixed" in problems[0] and "geomean" in problems[0]
+
+
+def test_compare_to_baseline_gates_on_geomean_not_cells():
+    """A single noisy cell must not trip the gate if the bench's
+    geometric mean across k is still within tolerance."""
+    base = {"speedups": {"mixed/k=8": 2.0, "mixed/k=512": 2.0}, "zero_alloc": {}}
+    # one cell -30%, the other +30%: geomean ~ 0.95x of baseline -> pass
+    cur = {"speedups": {"mixed/k=8": 1.4, "mixed/k=512": 2.6}, "zero_alloc": {}}
+    assert compare_to_baseline(cur, base) == []
+    # both cells -25%: geomean also -25% -> flagged
+    bad = {"speedups": {"mixed/k=8": 1.5, "mixed/k=512": 1.5}, "zero_alloc": {}}
+    assert compare_to_baseline(bad, base)
+
+
+def test_compare_to_baseline_flags_lost_zero_alloc():
+    base = {"speedups": {}, "zero_alloc": {"heapify_step/k=8": True}}
+    bad = {"speedups": {}, "zero_alloc": {"heapify_step/k=8": False}}
+    assert compare_to_baseline(bad, base)
+    # a missing key (narrower sweep) is not a regression
+    assert compare_to_baseline({"speedups": {}, "zero_alloc": {}}, base) == []
+
+
+def test_compare_to_baseline_ignores_missing_ks():
+    """CI quick runs may sweep fewer ks than the committed baseline."""
+    base = {"speedups": {"mixed/k=8": 2.0, "mixed/k=512": 1.8}, "zero_alloc": {}}
+    cur = {"speedups": {"mixed/k=8": 2.0}, "zero_alloc": {}}
+    assert compare_to_baseline(cur, base) == []
+
+
+def test_baseline_path_env_override(monkeypatch, tmp_path):
+    target = tmp_path / "other.json"
+    monkeypatch.setenv("REPRO_BENCH_BASELINE", str(target))
+    assert baseline_path() == target
+
+
+def test_drive_rejects_blocking_wait():
+    from repro.sim import Condition, Wait
+
+    def blocked():
+        yield Wait(Condition("c"), predicate=lambda: False)
+
+    with pytest.raises(RuntimeError, match="Wait would block"):
+        _drive(blocked())
+
+
+def test_alloc_loop_detects_retention():
+    kept = []
+    retained, peak = _alloc_loop(lambda i: kept.append(bytearray(1024)), 50)
+    assert retained > 50 * 1000
+    assert peak >= retained
+
+
+def test_cli_bench_micro_exit_codes(tmp_path, monkeypatch, capsys):
+    import functools
+
+    import repro.bench.micro as micro
+    from repro.cli import main
+
+    monkeypatch.setenv("REPRO_BENCH_BASELINE", str(tmp_path / "BENCH_micro.json"))
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    monkeypatch.setattr(
+        micro, "run_micro",
+        functools.partial(micro.run_micro, prim_iters=50, op_iters=12),
+    )
+    # first run: no baseline yet -> writes it, exits 0
+    assert main(["bench", "micro", "--quick", "--bench-ks", "8"]) == 0
+    assert (tmp_path / "BENCH_micro.json").exists()
+    capsys.readouterr()
+    # second run against its own baseline: no regression possible beyond
+    # jitter; gate allows 20%, so this should pass almost surely -- but
+    # rather than rely on timing, verify via a doctored baseline
+    doctored = json.loads((tmp_path / "BENCH_micro.json").read_text())
+    doctored["speedups"] = {k: v * 10 for k, v in doctored["speedups"].items()}
+    (tmp_path / "BENCH_micro.json").write_text(json.dumps(doctored))
+    assert main(["bench", "micro", "--quick", "--bench-ks", "8"]) == 1
+    out = capsys.readouterr().out
+    assert "PERF REGRESSION" in out
+    # --update-baseline rewrites and exits 0 again
+    assert main(["bench", "micro", "--quick", "--bench-ks", "8",
+                 "--update-baseline"]) == 0
+
+
+def test_default_ks_constant():
+    assert MICRO_KS == (32, 128, 512)

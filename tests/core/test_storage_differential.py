@@ -1,0 +1,206 @@
+"""Arena vs list storage differential: bit-identical behaviour.
+
+The fused in-place SORT_SPLIT path (``storage="arena"``) must be
+observationally indistinguishable from the allocate-per-merge reference
+(``storage="list"``): same deleted batches, same final contents, same
+simulated schedules (the Compute charges are value-identical, so two
+engines with the same seed interleave identically), and same recovery
+behaviour under injected faults.
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign import run_one
+from repro.core import BGPQ, HeapAuditor
+from repro.errors import SimThreadError, ThreadCrashed
+from repro.sim import Engine, Label
+from repro.sim.faults import CRASHPOINT
+
+STORAGES = ("arena", "list")
+
+
+def _make(storage, k=8, payload_width=0):
+    return BGPQ(
+        node_capacity=k,
+        max_keys=1 << 12,
+        payload_width=payload_width,
+        storage=storage,
+    )
+
+
+def _mixed_run(storage, seed, payload_width=0, threads=4, pairs=10, k=8):
+    """Concurrent insert/delete workload; returns everything observable."""
+    pq = _make(storage, k=k, payload_width=payload_width)
+    rng = np.random.default_rng(seed)
+    scripts = [
+        [rng.integers(0, 50_000, size=k).astype(np.int64) for _ in range(pairs)]
+        for _ in range(threads)
+    ]
+    outputs = [[] for _ in range(threads)]
+
+    def worker(tid):
+        for batch in scripts[tid]:
+            if payload_width:
+                pay = np.tile(batch.reshape(-1, 1), (1, payload_width))
+                yield from pq.insert_op(batch, pay)
+            else:
+                yield from pq.insert_op(batch)
+            got = yield from pq.deletemin_op(k)
+            outputs[tid].append(got)
+
+    eng = Engine(seed=seed)
+    for tid in range(threads):
+        eng.spawn(worker(tid), name=f"w{tid}")
+    eng.run()
+
+    flat = []
+    for tid in range(threads):
+        for got in outputs[tid]:
+            keys = got[0] if isinstance(got, tuple) else got
+            flat.append(np.asarray(keys).tolist())
+    return {
+        "makespan": eng.now,
+        "outputs": flat,
+        "remaining": np.sort(pq.snapshot_keys()).tolist(),
+        "len": len(pq),
+        "stats": dict(pq.stats),
+        "pq": pq,
+    }
+
+
+# ---------------------------------------------------------------------------
+# concurrent differential: identical schedules and results
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("payload_width", [0, 2])
+@pytest.mark.parametrize("seed", [0, 1, 7, 23])
+def test_backends_bit_identical_under_concurrency(seed, payload_width):
+    arena = _mixed_run("arena", seed, payload_width)
+    ref = _mixed_run("list", seed, payload_width)
+    assert arena["makespan"] == ref["makespan"]
+    assert arena["outputs"] == ref["outputs"]
+    assert arena["remaining"] == ref["remaining"]
+    assert arena["len"] == ref["len"]
+    assert arena["stats"] == ref["stats"]
+    for run in (arena, ref):
+        report = HeapAuditor(run["pq"]).audit(context=f"{seed}/{payload_width}")
+        assert report.ok, report.problems
+
+
+def test_backends_identical_single_thread_partial_batches():
+    """Partial batches exercise the buffer absorb/detach paths."""
+    for storage in STORAGES:
+        pq = _make(storage)
+        rng = np.random.default_rng(99)
+
+        def script(pq=pq, rng=rng):
+            for _ in range(30):
+                n = int(rng.integers(1, pq.k + 1))
+                yield from pq.insert_op(rng.integers(0, 9_999, size=n).astype(np.int64))
+            while len(pq):
+                got = yield from pq.deletemin_op(min(pq.k, len(pq)))
+                drained.append(np.asarray(got).tolist())
+
+        drained = []
+        eng = Engine(seed=3)
+        eng.spawn(script())
+        eng.run()
+        if storage == "arena":
+            arena_out, arena_span = drained, eng.now
+        else:
+            assert drained == arena_out
+            assert eng.now == arena_span
+
+
+# ---------------------------------------------------------------------------
+# fault-injection differential: rollback restores arena rows exactly
+# ---------------------------------------------------------------------------
+def _row_snapshot(pq):
+    """Raw arena row contents for every live node (keys up to count)."""
+    store = pq.store
+    return [
+        (i, n.state, n.count, n.keys().tolist())
+        for i, n in enumerate(store.nodes)
+    ]
+
+
+def _crash_at(gen, n):
+    seen = 0
+    send = None
+    throw = None
+    while True:
+        try:
+            if throw is not None:
+                exc, throw = throw, None
+                eff = gen.throw(exc)
+            else:
+                eff = gen.send(send)
+        except StopIteration as stop:
+            return ("done", stop.value)
+        send = None
+        if eff.__class__ is Label and eff.tag == CRASHPOINT:
+            seen += 1
+            if seen == n:
+                throw = ThreadCrashed("surgical", seen)
+                continue
+        send = yield eff
+
+
+def _populate(storage, k=4):
+    pq = BGPQ(node_capacity=k, max_keys=1 << 12, storage=storage)
+    rng = np.random.default_rng(1234)
+    batches = [rng.integers(0, 10_000, size=k).astype(np.int64) for _ in range(5)]
+
+    def seeder():
+        for b in batches:
+            yield from pq.insert_op(b)
+
+    eng = Engine(seed=0)
+    eng.spawn(seeder())
+    eng.run()
+    return pq
+
+
+@pytest.mark.parametrize("op", ["insert", "delete"])
+def test_crash_rollback_restores_arena_rows(op):
+    """OpGuard's undo callbacks must rewrite the mutated arena rows —
+    snapshot-by-reference would silently fail for in-place storage."""
+    rng = np.random.default_rng(7)
+    n = 1
+    while True:
+        pq = _populate("arena")
+        before = _row_snapshot(pq)
+        before_buf = pq.pbuffer.tolist()
+        if op == "insert":
+            gen = pq.insert_op(rng.integers(0, 10_000, size=pq.k).astype(np.int64))
+        else:
+            gen = pq.deletemin_op(pq.k)
+        eng = Engine(seed=0)
+        eng.spawn(_crash_at(gen, n), name="surgical")
+        crashed = False
+        try:
+            eng.run()
+        except SimThreadError as err:
+            assert isinstance(err.original, ThreadCrashed)
+            crashed = True
+        if not crashed:
+            break
+        assert _row_snapshot(pq) == before, f"crashpoint {n} leaked row state"
+        assert pq.pbuffer.tolist() == before_buf
+        assert HeapAuditor(pq).audit(context=f"crashpoint {n}").ok
+        n += 1
+    assert n > 3  # swept several crashpoints
+
+
+@pytest.mark.parametrize("plan", ["crash", "timeout", "mixed"])
+def test_fault_campaign_cell_matches_list_backend(plan):
+    """Same seed, same plan: the two backends survive injected faults
+    with identical schedules, fault counts, and recovery outcomes."""
+    for seed in range(4):
+        a = run_one("bgpq", plan, seed=seed)
+        b = run_one("bgpq-list", plan, seed=seed)
+        assert (a.status, a.injected, a.crashed_threads, a.aborted_ops,
+                a.rollbacks, a.makespan_ns) == (
+            b.status, b.injected, b.crashed_threads, b.aborted_ops,
+            b.rollbacks, b.makespan_ns), (plan, seed)
+        assert a.status == "survived"

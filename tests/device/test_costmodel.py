@@ -93,3 +93,35 @@ class TestCrossPlatform:
         gpu_batch = gpu.node_sort_split_ns(1024, 1024)
         cpu_keys = 1024 * cpu.heap_percolate_ns(20)
         assert gpu_batch < cpu_keys / 10
+
+
+class TestMemoization:
+    """The charging methods are lru_cache'd with a cached instance hash;
+    heapify loops call them millions of times with a handful of shapes."""
+
+    def test_repeated_lookups_hit_the_cache(self, gpu):
+        gpu.node_sort_split_ns.cache_clear()
+        before = gpu.node_sort_split_ns.cache_info().hits
+        first = gpu.node_sort_split_ns(512, 512)
+        for _ in range(5):
+            assert gpu.node_sort_split_ns(512, 512) == first
+        assert gpu.node_sort_split_ns.cache_info().hits >= before + 5
+
+    def test_instance_hash_is_cached_and_stable(self, gpu, cpu):
+        assert hash(gpu) == hash(gpu)
+        assert hash(cpu) == hash(cpu)
+        # equal models (same spec/launch) must still hash equal
+        twin = GpuCostModel(TITAN_X, LaunchConfig(128, 512))
+        assert twin == gpu and hash(twin) == hash(gpu)
+
+    def test_distinct_models_do_not_share_entries(self):
+        # same (n,) argument, different instances: the cache is keyed by
+        # the model too, so each sees its own launch shape
+        narrow = GpuCostModel(TITAN_X, LaunchConfig(128, 32))
+        wide = GpuCostModel(TITAN_X, LaunchConfig(128, 512))
+        assert narrow.bitonic_sort_ns(1024) != wide.bitonic_sort_ns(1024)
+
+    def test_cpu_stream_memoized(self, cpu):
+        v = cpu.stream_ns(4096)
+        assert cpu.stream_ns(4096) == v
+        assert cpu.stream_ns.cache_info().hits >= 1

@@ -84,3 +84,18 @@ def test_partitions_cover_and_balance(a, b, parts):
         chunk = merge(aa[i0:i1], bb[j0:j1])
         full.extend(chunk.tolist())
     assert full == merge(aa, bb).tolist()
+
+
+def test_diagonals_memoized_and_shape_only():
+    import pytest
+
+    from repro.primitives import merge_path_diagonals
+
+    merge_path_diagonals.cache_clear()
+    d1 = merge_path_diagonals(1000, 4)
+    d2 = merge_path_diagonals(1000, 4)
+    assert d1 is d2  # cached tuple, not recomputed
+    assert merge_path_diagonals.cache_info().hits >= 1
+    assert d1[0] == 0 and d1[-1] == 1000 and len(d1) == 5
+    with pytest.raises(ValueError):
+        merge_path_diagonals(10, 0)
