@@ -32,3 +32,44 @@ def test_table2_util(benchmark):
     # LJSL roughly flat (paper: ~5% slowdown; allow slack)
     ljsl = [r["LJSL"] for r in rows]
     assert max(ljsl) <= 1.5 * min(ljsl)
+
+
+def test_util_timeline_cross_checks_lock_accounting():
+    """Cross-check the obs utilization timeline against the locks' own
+    wait accounting on a BGPQ run of the same shape §6.4 measures.
+
+    The table above reports where simulated time went via the queues'
+    aggregate counters; the event-sourced timeline must tell the same
+    story: (1) its summed wait time equals the locks'/conditions'
+    ``total_wait_ns`` exactly, (2) every time bucket partitions into
+    busy + wait + idle, and (3) total thread-time adds up to
+    threads x makespan.
+    """
+    import pytest
+
+    from repro.obs import utilization_timeline, wait_intervals
+    from repro.obs.workload import run_traced_mixed
+
+    run = run_traced_mixed(threads=4, ops=8, k=8, seed=1)
+    tl = utilization_timeline(run.events, run.makespan_ns, buckets=16)
+
+    lock_wait = sum(lk.total_wait_ns for lk in run.pq.store.locks)
+    lock_wait += (run.pq.root_avail.total_wait_ns
+                  + run.pq.node_filled.total_wait_ns)
+    event_wait = sum(
+        end - start
+        for ivs in wait_intervals(run.events).values()
+        for start, end, _ in ivs
+    )
+    timeline_wait = sum(t["wait_ns"] for t in tl["per_thread"].values())
+    assert event_wait == pytest.approx(lock_wait, rel=1e-12)
+    assert timeline_wait == pytest.approx(lock_wait, rel=1e-9)
+
+    for row in tl["buckets"]:
+        assert row["busy"] + row["wait"] + row["idle"] == pytest.approx(1.0)
+
+    total = sum(
+        t["busy_ns"] + t["wait_ns"] + t["idle_ns"]
+        for t in tl["per_thread"].values()
+    )
+    assert total == pytest.approx(tl["n_threads"] * run.makespan_ns, rel=1e-9)

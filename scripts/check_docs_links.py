@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Check that every relative markdown link in the repo's docs resolves.
+
+Scans the tracked ``*.md`` files (repo root + docs/) for inline links
+``[text](target)``, resolves each relative target — optionally with a
+``#fragment`` — against the file's directory, and reports the ones that
+point nowhere.  External links (http/https/mailto) and pure in-page
+anchors (``#section``) are skipped; anchor *existence* is not checked,
+only file existence, so docs can link to generated sections.
+
+Exit status: 0 when every link resolves, 1 otherwise (CI gate; also
+wrapped by ``tests/test_docs_links.py`` so it runs in the local suite).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — excluding images' leading "!" is not needed: image
+# targets should resolve too.  Nested brackets in the text are not
+# handled; none of the repo's docs use them.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+#: verbatim retrieval/scaffold artifacts, not curated docs — they may
+#: quote markdown (with its links) from sources this repo doesn't carry
+_SKIP_FILES = {"PAPERS.md", "SNIPPETS.md", "PAPER.md", "ISSUE.md"}
+
+
+def iter_doc_files(root: Path):
+    for path in sorted(root.glob("*.md")):
+        if path.name not in _SKIP_FILES:
+            yield path
+    for sub in ("docs",):
+        yield from sorted((root / sub).glob("**/*.md"))
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            problems.append(
+                f"{path.relative_to(root)}:{line}: broken link -> {target}"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    problems = []
+    n_files = 0
+    for doc in iter_doc_files(root):
+        n_files += 1
+        problems.extend(check_file(doc, root))
+    if problems:
+        print(f"{len(problems)} broken doc link(s):")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"all relative links resolve across {n_files} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

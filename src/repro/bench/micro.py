@@ -37,6 +37,7 @@ __all__ = [
     "baseline_path",
     "compare_to_baseline",
     "run_micro",
+    "trace_micro",
 ]
 
 MICRO_KS = (32, 128, 512)
@@ -154,6 +155,33 @@ def _make_pq(storage: str, k: int) -> BGPQ:
 def _prefill(pq: BGPQ, batches) -> None:
     for b in batches:
         _drive(pq.insert_op(b))
+
+
+def trace_micro(k: int = 128, iters: int = 64, storage: str = "arena", bus=None):
+    """One *untimed* traced pass of the mixed micro workload.
+
+    Backs the ``--trace``/``--metrics`` flags of ``repro bench micro``:
+    the timing loops above always run untraced (that is what the perf
+    gate defends), so mechanism counts come from this separate pass.
+    There is no engine here, so the bus timestamps events with its
+    sequence-number fallback — counters and SORT_SPLIT fast-path rates
+    are exact, while latencies/timelines need an engine-driven trace
+    (``repro trace``).  Returns the :class:`~repro.obs.events.EventBus`.
+    """
+    from ..obs import EventBus
+
+    if bus is None:
+        bus = EventBus()
+    rng = np.random.default_rng(7)
+    pq = _make_pq(storage, k)
+    _prefill(pq, _batches(rng, 64, k))  # steady state first, untraced
+    pq.obs = bus
+    batches = _batches(rng, iters, k)
+    want = max(1, k // 2)
+    for i in range(iters):
+        _drive(pq.insert_op(batches[i]))
+        _drive(pq.deletemin_op(want))
+    return bus
 
 
 # ---------------------------------------------------------------------------

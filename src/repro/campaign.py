@@ -122,6 +122,9 @@ class RunOutcome:
     makespan_ns: float = 0.0
     failure: str = ""
     audit_problems: list[str] = field(default_factory=list)
+    #: flat obs metrics (repro.obs.export.metrics_dict) when the cell
+    #: ran with an event bus attached; None otherwise
+    metrics: dict | None = None
 
     @property
     def survived(self) -> bool:
@@ -219,18 +222,26 @@ def run_one(
     ops: int = 6,
     k: int = 8,
     max_events: int = 250_000,
+    obs=None,
 ) -> RunOutcome:
     """Run and audit a single campaign cell; never raises for a cell
     failure — the outcome carries the reproducing seed instead.
 
-    ``plan`` may be a :class:`FaultPlan` or a preset name.
+    ``plan`` may be a :class:`FaultPlan` or a preset name.  With an
+    ``obs`` bus (:class:`~repro.obs.events.EventBus`) the cell runs
+    fully instrumented — engine, queue, and injector all emit into it —
+    and the outcome's ``metrics`` field carries the flat metrics dict.
+    Tracing never changes the cell's schedule or result (emission is
+    pure observation), so a traced rerun reproduces the untraced one.
     """
     if isinstance(plan, str):
         plan = FaultPlan.preset(plan)
     pq = queue_factory(queue)(k)
-    injector = FaultInjector(plan, seed=seed)
+    injector = FaultInjector(plan, seed=seed, obs=obs)
     ledger = _Ledger()
-    engine = Engine(seed=seed)
+    engine = Engine(seed=seed, obs=obs)
+    if obs is not None and hasattr(pq, "obs"):
+        pq.obs = obs
     for wid in range(threads):
         gen = _worker(pq, wid, seed, ops, k, ledger)
         engine.spawn(injector.wrap(gen, f"w{wid}"), name=f"w{wid}")
@@ -246,6 +257,10 @@ def run_one(
     out.aborted_ops = ledger.aborted_ops
     stats = getattr(pq, "stats", {})
     out.rollbacks = stats.get("insert_rollbacks", 0) + stats.get("delete_rollbacks", 0)
+    if obs is not None:
+        from .obs.export import metrics_dict
+
+        out.metrics = metrics_dict(obs.events, out.makespan_ns or None)
 
     if out.status == "survived":
         report = HeapAuditor(pq).audit(
@@ -268,13 +283,24 @@ def run_campaign(
     ops: int = 6,
     k: int = 8,
     max_events: int = 250_000,
+    trace: bool = False,
 ) -> CampaignResult:
-    """Sweep ``seeds`` seeds for every (queue, plan) pair."""
+    """Sweep ``seeds`` seeds for every (queue, plan) pair.
+
+    With ``trace=True`` every cell runs with its own event bus and its
+    outcome carries the flat obs metrics (``RunOutcome.metrics``) —
+    the backing of ``repro faults --metrics``/``--trace``.
+    """
     result = CampaignResult()
     for queue in queues:
         for plan_name in plans:
             plan = FaultPlan.preset(plan_name)
             for s in range(seeds):
+                obs = None
+                if trace:
+                    from .obs import EventBus
+
+                    obs = EventBus()
                 result.outcomes.append(
                     run_one(
                         queue,
@@ -284,6 +310,7 @@ def run_campaign(
                         ops=ops,
                         k=k,
                         max_events=max_events,
+                        obs=obs,
                     )
                 )
     return result

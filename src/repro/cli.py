@@ -10,6 +10,7 @@ Usage::
     python -m repro fig6                   # Figure 6 sweeps
     python -m repro faults                 # fault-injection campaigns
     python -m repro bench micro            # perf-regression microbench
+    python -m repro trace                  # traced run + chrome trace JSON
     python -m repro all                    # everything, archived
 
 ``faults`` runs seed-swept crash/timeout/jitter campaigns (see
@@ -21,6 +22,16 @@ the (queue, plan, seed) triple that reproduces it.
 :mod:`repro.bench.micro`), archives the results, and exits non-zero on
 a >20% speedup regression against the committed ``BENCH_micro.json``
 baseline (refresh it with ``--update-baseline``).
+
+``trace`` runs the canonical mixed workload with the observability bus
+attached (see :mod:`repro.obs`), prints collaboration counters, op
+latencies, and an ASCII utilization timeline, and writes a validated
+Chrome trace-event JSON (open it in ``chrome://tracing`` or
+https://ui.perfetto.dev).  ``faults`` and ``bench micro`` accept
+``--trace``/``--metrics`` to ride the same machinery: ``--metrics``
+prints/archives flat obs counters, ``--trace`` additionally writes a
+Chrome trace of a representative run.  Tracing never changes results
+or timing gates — the bench timing loops always run untraced.
 
 ``REPRO_SCALE`` (default 2048) divides the paper's workload sizes;
 results are archived under ``bench_results/`` and EXPERIMENTS.md can
@@ -58,11 +69,65 @@ def _run(name: str, fn, title: str) -> None:
     print(f"[{wall:.1f}s host; saved {path}]\n")
 
 
+def _write_chrome_trace(events, default_name: str, trace_out: str | None) -> int:
+    """Validate and write a Chrome trace JSON; returns 0 or 1 (invalid)."""
+    import json
+    from pathlib import Path
+
+    from .bench.reporting import results_dir
+    from .obs import to_chrome_trace, validate_chrome_trace
+
+    trace = to_chrome_trace(events)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        print("INVALID chrome trace:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    path = Path(trace_out) if trace_out else results_dir() / default_name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace) + "\n")
+    print(
+        f"chrome trace saved {path} ({len(trace['traceEvents'])} trace events)"
+        " — open in chrome://tracing or ui.perfetto.dev"
+    )
+    return 0
+
+
+def _run_trace(args) -> int:
+    import json
+
+    from .obs import metrics_dict, render_summary
+    from .obs.workload import run_traced_mixed
+
+    t0 = time.perf_counter()
+    run = run_traced_mixed(
+        threads=args.threads,
+        ops=args.ops,
+        k=args.capacity,
+        seed=args.trace_seed,
+        storage=args.storage,
+    )
+    wall = time.perf_counter() - t0
+    print(render_summary(run.events, run.makespan_ns, buckets=args.buckets))
+    print()
+    rc = _write_chrome_trace(run.events, "trace_mixed.json", args.trace_out)
+    if rc:
+        return rc
+    print(f"[{wall:.1f}s host]")
+    if args.metrics:
+        metrics = metrics_dict(run.events, run.makespan_ns, buckets=args.buckets)
+        print()
+        print(json.dumps(metrics, indent=2, sort_keys=True))
+    return 0
+
+
 def _run_faults(args) -> int:
     from .campaign import run_campaign
 
     queues = tuple(q for q in args.queues.split(",") if q)
     plans = tuple(p for p in args.plans.split(",") if p)
+    trace_on = args.trace or args.metrics
     t0 = time.perf_counter()
     try:
         result = run_campaign(
@@ -73,25 +138,50 @@ def _run_faults(args) -> int:
             threads=args.threads,
             ops=args.ops,
             k=args.capacity,
+            trace=trace_on,
         )
     except ValueError as err:  # unknown queue/plan name
         print(f"error: {err}", file=sys.stderr)
         return 2
     wall = time.perf_counter() - t0
     print(render_rows(result.rows(), "Fault campaign (injected/survived/failed)"))
-    path = save_results(
-        "faults",
-        result.rows(),
-        meta={
-            "seeds": args.seeds,
-            "seed_base": args.seed_base,
-            "threads": args.threads,
-            "ops": args.ops,
-            "capacity": args.capacity,
-            "wall_s": round(wall, 1),
-        },
-    )
+    meta = {
+        "seeds": args.seeds,
+        "seed_base": args.seed_base,
+        "threads": args.threads,
+        "ops": args.ops,
+        "capacity": args.capacity,
+        "wall_s": round(wall, 1),
+    }
+    if trace_on:
+        agg: dict[str, int] = {}
+        for o in result.outcomes:
+            for key, val in (o.metrics or {}).items():
+                if key.startswith("counter.") and isinstance(val, int):
+                    agg[key] = agg.get(key, 0) + val
+        meta["obs_counters"] = agg
+        if args.metrics:
+            print("aggregate obs counters over all cells:")
+            for key in sorted(agg):
+                if agg[key]:
+                    print(f"  {key:<36} {agg[key]}")
+            print()
+    path = save_results("faults", result.rows(), meta=meta)
     print(f"[{wall:.1f}s host; saved {path}]\n")
+    if args.trace:
+        # re-run the campaign's first cell with a bus — same seed, same
+        # schedule (tracing is pure observation) — for the chrome trace
+        from .campaign import run_one
+        from .obs import EventBus
+
+        bus = EventBus()
+        run_one(
+            queues[0], plans[0], args.seed_base,
+            threads=args.threads, ops=args.ops, k=args.capacity, obs=bus,
+        )
+        rc = _write_chrome_trace(bus.events, "trace_faults.json", args.trace_out)
+        if rc:
+            return rc
     if not result.ok:
         print(f"{result.failed} of {len(result.outcomes)} runs FAILED:")
         for o in result.failures():
@@ -155,21 +245,44 @@ def _run_bench(args) -> int:
     print(f"[{wall:.1f}s host; saved {path}]\n")
 
     base_file = baseline_path()
+    rc = 0
     if args.update_baseline or not base_file.exists():
         base_file.write_text(json.dumps(results, indent=2, default=str) + "\n")
         print(f"baseline written to {base_file}")
-        return 0
-    baseline = json.loads(base_file.read_text())
-    problems = compare_to_baseline(results, baseline)
-    if problems:
-        print(f"PERF REGRESSION vs {base_file}:")
-        for p in problems:
-            print(f"  {p}")
-        print("\n(re-baseline intentionally with: python -m repro bench micro "
-              "--update-baseline)")
-        return 1
-    print(f"no regression vs {base_file} (tolerance 20%)")
-    return 0
+    else:
+        baseline = json.loads(base_file.read_text())
+        problems = compare_to_baseline(results, baseline)
+        if problems:
+            print(f"PERF REGRESSION vs {base_file}:")
+            for p in problems:
+                print(f"  {p}")
+            print("\n(re-baseline intentionally with: python -m repro bench micro "
+                  "--update-baseline)")
+            rc = 1
+        else:
+            print(f"no regression vs {base_file} (tolerance 20%)")
+    if args.trace or args.metrics:
+        # Untimed traced pass — the gate numbers above come from the
+        # untraced timing loops, so this cannot move them.  The micro
+        # driver has no engine, so the bus falls back to sequence
+        # timestamps: counters are exact, latencies/timeline are not
+        # meaningful here (use `repro trace` for those).
+        from .bench.micro import trace_micro
+        from .obs import metrics_dict
+
+        bus = trace_micro(iters=16 if args.quick else 64)
+        if args.metrics:
+            print("\nobs counters (untimed traced pass, k=128):")
+            metrics = metrics_dict(bus.events)
+            for key in sorted(metrics):
+                if metrics[key]:
+                    print(f"  {key:<36} {metrics[key]}")
+        if args.trace:
+            bad = _write_chrome_trace(
+                bus.events, "trace_bench_micro.json", args.trace_out
+            )
+            rc = rc or bad
+    return rc
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -188,6 +301,7 @@ def main(argv: list[str] | None = None) -> int:
             "fig6",
             "faults",
             "bench",
+            "trace",
             "all",
         ],
         help="which experiment to run",
@@ -253,11 +367,47 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="comma-separated node capacities (default: 32,128,512)",
     )
+    obs = parser.add_argument_group("observability (trace; faults/bench flags)")
+    obs.add_argument(
+        "--trace",
+        action="store_true",
+        help="faults/bench: also write a Chrome trace of a representative run",
+    )
+    obs.add_argument(
+        "--metrics",
+        action="store_true",
+        help="faults/bench: print + archive flat obs counters",
+    )
+    obs.add_argument(
+        "--trace-out",
+        default=None,
+        help="path for the Chrome trace JSON (default: bench_results/trace_*.json)",
+    )
+    obs.add_argument(
+        "--trace-seed",
+        type=int,
+        default=1,
+        help="engine/workload seed for `repro trace` (default: 1)",
+    )
+    obs.add_argument(
+        "--storage",
+        choices=("arena", "list"),
+        default="arena",
+        help="BGPQ storage backend for `repro trace` (default: arena)",
+    )
+    obs.add_argument(
+        "--buckets",
+        type=int,
+        default=20,
+        help="utilization timeline buckets for `repro trace` (default: 20)",
+    )
     args = parser.parse_args(argv)
 
     want = args.experiment
     if want == "bench":
         return _run_bench(args)
+    if want == "trace":
+        return _run_trace(args)
 
     print(f"workload scale: 1/{scale()} of the paper's sizes (REPRO_SCALE)\n")
 

@@ -138,6 +138,12 @@ class BGPQ(InsertMixin, DeleteMixin, ConcurrentPQ):
             self.pbuffer = np.empty(0, dtype=self.store.dtype)
             self.pbuffer_pay = np.empty((0, payload_width), dtype=payload_dtype)
         self.collaboration = collaboration
+        #: optional :class:`~repro.obs.events.EventBus`; when set, the
+        #: operation paths emit structured mechanism events (SORT_SPLITs,
+        #: pBuffer traffic, root refills, steals).  ``None`` keeps the
+        #: hot paths event-free: every emit site is one attribute load
+        #: and a branch.
+        self.obs = None
         #: signalled by an inserter that refilled the root for a MARKer
         self.root_avail = Condition("bgpq.root_avail")
         #: signalled by an inserter that filled its TARGET node
@@ -196,6 +202,10 @@ class BGPQ(InsertMixin, DeleteMixin, ConcurrentPQ):
             if not ok:
                 self.stats["root_timeouts"] += 1
                 self.stats[f"{op}_aborts"] += 1
+                if self.obs is not None:
+                    from ..obs.events import FAULT_ABORT
+
+                    self.obs.emit_here(FAULT_ABORT, op=op)
                 raise OperationAborted(
                     op,
                     f"root lock unavailable after {self.root_retries + 1} "

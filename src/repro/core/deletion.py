@@ -20,6 +20,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import SimulationError, ThreadCrashed
+from ..obs.events import (
+    COLLAB_STEAL,
+    FAULT_ROLLBACK,
+    OP_BEGIN,
+    OP_END,
+    ROOT_REFILL,
+    SORT_SPLIT,
+)
 from ..primitives import sort_split_payload
 from ..sim import Acquire, Compute, Release, Wait, crashpoint
 from .heap import left, right
@@ -42,18 +50,25 @@ class DeleteMixin:
         m = self.model
         if not 1 <= count <= self.k:
             raise ValueError(f"deletemin count must be in [1, {self.k}], got {count}")
+        obs = self.obs
+        if obs is not None:
+            obs.emit_here(OP_BEGIN, op="deletemin", want=int(count))
 
         # Fault envelope: pre-commit mutations are recorded on a guard
         # and unwound if an injected crash lands at a crash point.
         guard = OpGuard()
         try:
-            return (
-                yield from self._deletemin_attempt(count, with_payload, guard)
-            )
+            result = yield from self._deletemin_attempt(count, with_payload, guard)
         except ThreadCrashed:
             self.stats["delete_rollbacks"] += 1
+            if obs is not None:
+                obs.emit_here(FAULT_ROLLBACK, op="deletemin")
             yield from guard.rollback(m.lock_release_ns())
             raise
+        if obs is not None:
+            got = result[0] if with_payload else result
+            obs.emit_here(OP_END, op="deletemin", got=int(got.size))
+        return result
 
     def _deletemin_attempt(self, count: int, with_payload: bool, guard: OpGuard):
         """Alg.2 body; all pre-commit state is tracked on ``guard``."""
@@ -96,6 +111,8 @@ class DeleteMixin:
             # (block) until the inserter fills the root for us.
             tar_node.state = MARKED
             self.stats["collab_steals"] += 1
+            if self.obs is not None:
+                self.obs.emit_here(COLLAB_STEAL, tar=tar)
             yield Compute(m.state_rmw_ns())
             yield Release(tar_lock)
             yield Compute(m.lock_release_ns())
@@ -111,6 +128,10 @@ class DeleteMixin:
             root.set_keys(tar_node.keys(), tar_node.payload())
             tar_node.clear()
             tar_node.state = EMPTY
+            if self.obs is not None:
+                self.obs.emit_here(
+                    ROOT_REFILL, source="filled_target", n=int(root.count)
+                )
             yield Compute(m.global_read_ns(self.k) + m.global_write_ns(self.k))
             yield Release(tar_lock)
             yield Compute(m.lock_release_ns())
@@ -121,6 +142,10 @@ class DeleteMixin:
             root.set_keys(tar_node.keys(), tar_node.payload())
             tar_node.clear()
             tar_node.state = EMPTY
+            if self.obs is not None:
+                self.obs.emit_here(
+                    ROOT_REFILL, source="last_node", n=int(root.count)
+                )
             yield Compute(
                 m.global_read_ns(self.k) + m.global_write_ns(self.k) + m.state_rmw_ns()
             )
@@ -144,6 +169,11 @@ class DeleteMixin:
                     ma=root.count,
                 )
                 root.set_keys(rk, rp)
+            if self.obs is not None:
+                self.obs.emit_here(
+                    SORT_SPLIT, site="delete.root_buffer",
+                    na=int(root.count), nb=int(self.pbuffer.size), fast=False,
+                )
             yield Compute(m.node_sort_split_ns(root.count, self.pbuffer.size))
 
         # line 14 / Alg.3: heapify, extracting `remained` at the root
@@ -215,6 +245,10 @@ class DeleteMixin:
             if self.pbuffer.size:
                 root.set_keys(self.pbuffer, self.pbuffer_pay)  # buffer kept sorted
                 self.pbuffer, self.pbuffer_pay = no_k, no_p
+                if self.obs is not None:
+                    self.obs.emit_here(
+                        ROOT_REFILL, source="buffer", n=int(root.count)
+                    )
                 yield Compute(m.global_write_ns(root.count))
             take = min(count - items_k.size, root.count)
             if take > 0:
@@ -305,13 +339,19 @@ class DeleteMixin:
                 x, y = (l, r) if nl.max_key() > nr.max_key() else (r, l)
                 ma = min(self.k, nl.count + nr.count)
                 if self._fused:
-                    store.sort_split_nodes(l, r, small=y, large=x, ma=ma)
+                    fast = store.sort_split_nodes(l, r, small=y, large=x, ma=ma)
                 else:
                     sk, sp, lk, lp = sort_split_payload(
                         nl.keys(), nl.payload(), nr.keys(), nr.payload(), ma=ma
                     )
                     store.node(y).set_keys(sk, sp)
                     store.node(x).set_keys(lk, lp)
+                    fast = False
+                if self.obs is not None:
+                    self.obs.emit_here(
+                        SORT_SPLIT, site="delete.heapify_pair",
+                        na=int(nl.count), nb=int(nr.count), fast=fast,
+                    )
                 yield Compute(m.node_sort_split_ns(nl.count, nr.count))
                 yield Release(store.lock(x))  # line 11
                 yield Compute(m.lock_release_ns())
@@ -327,7 +367,9 @@ class DeleteMixin:
             # line 12: current node keeps the small half
             y_node = store.node(y)
             if self._fused:
-                store.sort_split_nodes(cur, y, small=cur, large=y, ma=cur_node.count)
+                fast = store.sort_split_nodes(
+                    cur, y, small=cur, large=y, ma=cur_node.count
+                )
             else:
                 sk, sp, lk, lp = sort_split_payload(
                     cur_node.keys(), cur_node.payload(),
@@ -336,6 +378,12 @@ class DeleteMixin:
                 )
                 cur_node.set_keys(sk, sp)
                 y_node.set_keys(lk, lp)
+                fast = False
+            if self.obs is not None:
+                self.obs.emit_here(
+                    SORT_SPLIT, site="delete.heapify_down",
+                    na=int(cur_node.count), nb=int(y_node.count), fast=fast,
+                )
             yield Compute(m.node_sort_split_ns(cur_node.count, y_node.count))
 
             if cur == 1 and not extracted:  # line 13

@@ -156,12 +156,16 @@ class HeapStorage:
         return nxt
 
     # -- fused in-place SORT_SPLIT over arena rows ------------------------
-    def sort_split_nodes(self, i: int, j: int, small: int, large: int, ma: int) -> None:
+    def sort_split_nodes(self, i: int, j: int, small: int, large: int, ma: int) -> bool:
         """SORT_SPLIT nodes ``i`` and ``j`` (merged in that order) in place:
         node ``small`` receives the ``ma`` smallest keys, node ``large``
         the rest.  ``{small, large}`` must equal ``{i, j}``; both rows
         are rewritten through the scratch ledger with no temporaries.
         Arena storage only; callers hold both node locks.
+
+        Returns True when the presorted fast path fired (the rows were
+        already the requested split and nothing was rewritten) — the
+        bit the observability layer reports as the fast-path rate.
         """
         a, s = self.arena, self.scratch
         ni = int(a.counts[i])
@@ -171,9 +175,9 @@ class HeapStorage:
             # wants, so the rewrite is the identity.  Two scalar compares
             # make ~a third of steady-state heapify rebalances free.
             if small == i and ma == ni and a.keys[i, ni - 1] <= a.keys[j, 0]:
-                return
+                return True
             if small == j and ma == nj and a.keys[j, nj - 1] < a.keys[i, 0]:
-                return
+                return True
         if a.payload_width:
             sort_split_into(
                 a.keys[i, :ni], a.keys[j, :nj], ma,
@@ -188,22 +192,24 @@ class HeapStorage:
             )
         a.counts[small] = ma
         a.counts[large] = ni + nj - ma
+        return False
 
     def sort_split_node_items(
         self,
         i: int,
         items_k: np.ndarray,
         items_p: np.ndarray | None = None,
-    ) -> None:
+    ) -> bool:
         """SORT_SPLIT node ``i`` against a travelling batch, in place:
         the node keeps the ``|i|`` smallest keys of node ∪ items and the
         batch arrays are rewritten with the rest (same length — this is
         the heapify step of Alg. 1 line 20/33).  Arena storage only.
+        Returns True when the presorted fast path skipped the rewrite.
         """
         a, s = self.arena, self.scratch
         ni = int(a.counts[i])
         if ni and items_k.shape[0] and a.keys[i, ni - 1] <= items_k[0]:
-            return  # node already holds the |i| smallest; batch unchanged
+            return True  # node already holds the |i| smallest; batch unchanged
         if a.payload_width and items_p is not None:
             sort_split_into(
                 a.keys[i, :ni], items_k, ni,
@@ -214,6 +220,7 @@ class HeapStorage:
         else:
             sort_split_into(a.keys[i, :ni], items_k, ni, a.keys[i], items_k, s)
         # the node's count (ni) and the batch length are both unchanged
+        return False
 
     # -- quiescent helpers for tests/snapshots ---------------------------
     def all_keys(self) -> np.ndarray:

@@ -19,6 +19,16 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import SimulationError, ThreadCrashed
+from ..obs.events import (
+    COLLAB_FILL,
+    FAULT_ROLLBACK,
+    OP_BEGIN,
+    OP_END,
+    PBUFFER_HIT,
+    PBUFFER_OVERFLOW,
+    ROOT_REFILL,
+    SORT_SPLIT,
+)
 from ..primitives import merge_with_payload, sort_split_payload
 from ..sim import Acquire, Atomic, Compute, Release, Signal, crashpoint
 from .heap import parent, path_next
@@ -46,15 +56,23 @@ class InsertMixin:
         items_k, items_p = keys[order], pay[order]
         yield Compute(m.global_read_ns(items_k.size) + m.bitonic_sort_ns(items_k.size))
 
+        obs = self.obs
+        if obs is not None:
+            obs.emit_here(OP_BEGIN, op="insert", n=int(items_k.size))
+
         # Fault envelope: pre-commit mutations are recorded on a guard
         # and unwound if an injected crash lands at a crash point.
         guard = OpGuard()
         try:
-            return (yield from self._insert_attempt(items_k, items_p, guard))
+            yield from self._insert_attempt(items_k, items_p, guard)
         except ThreadCrashed:
             self.stats["insert_rollbacks"] += 1
+            if obs is not None:
+                obs.emit_here(FAULT_ROLLBACK, op="insert")
             yield from guard.rollback(m.lock_release_ns())
             raise
+        if obs is not None:
+            obs.emit_here(OP_END, op="insert", n=int(items_k.size))
 
     def _insert_attempt(self, items_k: np.ndarray, items_p: np.ndarray, guard: OpGuard):
         """Alg.1 body; all pre-commit state is tracked on ``guard``."""
@@ -125,6 +143,9 @@ class InsertMixin:
             root.state = AVAIL
             tar_node.state = EMPTY
             self.stats["collab_fills"] += 1
+            if self.obs is not None:
+                self.obs.emit_here(COLLAB_FILL, tar=tar)
+                self.obs.emit_here(ROOT_REFILL, source="steal", n=int(items_k.size))
             yield Compute(m.global_write_ns(items_k.size) + 2 * m.state_rmw_ns())
             yield Release(tar_lock)
             yield Compute(m.lock_release_ns())
@@ -187,16 +208,23 @@ class InsertMixin:
             yield Compute(m.lock_release_ns())
             return None
 
+        obs = self.obs
         # line 20: SORT_SPLIT(root, |root|, items, size, |root|) — the
         # root keeps the |root| smallest of root ∪ items.
         if root.count:
             if self._fused:
-                store.sort_split_node_items(1, items_k, items_p)
+                fast = store.sort_split_node_items(1, items_k, items_p)
             else:
                 rk, rp, items_k, items_p = sort_split_payload(
                     root.keys(), root.payload(), items_k, items_p, ma=root.count
                 )
                 root.set_keys(rk, rp)
+                fast = False
+            if obs is not None:
+                obs.emit_here(
+                    SORT_SPLIT, site="insert.root",
+                    na=int(root.count), nb=int(items_k.size), fast=fast,
+                )
             yield Compute(m.node_sort_split_ns(root.count, items_k.size))
 
         if self.pbuffer.size + items_k.size < self.k:  # lines 21-24: absorb
@@ -209,6 +237,11 @@ class InsertMixin:
                     self.pbuffer, self.pbuffer_pay, items_k, items_p
                 )
             self.stats["partial_insert"] += 1
+            if obs is not None:
+                obs.emit_here(
+                    PBUFFER_HIT,
+                    absorbed=int(items_k.size), buffered=int(self.pbuffer.size),
+                )
             if guard is not None:
                 guard.commit()
             yield Release(store.root_lock)
@@ -222,6 +255,11 @@ class InsertMixin:
         else:
             fk, fp, self.pbuffer, self.pbuffer_pay = sort_split_payload(
                 items_k, items_p, self.pbuffer, self.pbuffer_pay, ma=self.k
+            )
+        if obs is not None:
+            obs.emit_here(
+                PBUFFER_OVERFLOW,
+                batch=int(self.k), buffered=int(self.pbuffer.size),
             )
         yield Compute(m.node_sort_split_ns(n_in, self.pbuffer.size + self.k))
         if guard is not None:
@@ -254,11 +292,17 @@ class InsertMixin:
             node = store.node(cur)
             if node.state == AVAIL and node.count:
                 if self._fused:
-                    store.sort_split_node_items(cur, items_k, items_p)
+                    fast = store.sort_split_node_items(cur, items_k, items_p)
                 else:
                     nk, np_, items_k, items_p = sort_split_payload(
                         node.keys(), node.payload(), items_k, items_p, ma=node.count
                     )
                     node.set_keys(nk, np_)
+                    fast = False
+                if self.obs is not None:
+                    self.obs.emit_here(
+                        SORT_SPLIT, site="insert.heapify",
+                        na=int(node.count), nb=int(items_k.size), fast=fast,
+                    )
                 yield Compute(m.node_sort_split_ns(node.count, items_k.size))
             cur = path_next(cur, tar)

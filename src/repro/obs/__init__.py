@@ -1,0 +1,56 @@
+"""repro.obs — event-sourced observability for simulated runs.
+
+The layer has three parts, matching its three modules:
+
+* :mod:`repro.obs.events` — the taxonomy and the :class:`EventBus` that
+  the engine, the BGPQ op paths, and the fault injector emit into.
+* :mod:`repro.obs.aggregate` — pure folds over the stream:
+  collaboration counters, per-op latency histograms, and the
+  busy/wait/idle utilization timeline.
+* :mod:`repro.obs.export` — Chrome trace JSON, a flat metrics dict,
+  and the terminal summary.
+
+Wiring a run::
+
+    from repro.obs import EventBus
+    bus = EventBus()
+    pq = BGPQ(...); pq.obs = bus
+    eng = Engine(seed=1, obs=bus)
+    ... spawn workers, makespan = eng.run() ...
+    print(render_summary(bus.events, makespan))
+
+:mod:`repro.obs.workload` bundles exactly that wiring for the
+``repro trace`` CLI command; it imports :mod:`repro.core`, so it is
+deliberately *not* re-exported here — this package's own imports stay
+stdlib-only, which lets the sim and core layers import the event
+constants without cycles.
+
+See ``docs/OBSERVABILITY.md`` for the full story.
+"""
+
+from .aggregate import (
+    collaboration_counters,
+    op_latencies,
+    utilization_timeline,
+    wait_intervals,
+)
+from .events import EventBus, TraceEvent
+from .export import (
+    metrics_dict,
+    render_summary,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "EventBus",
+    "TraceEvent",
+    "collaboration_counters",
+    "op_latencies",
+    "utilization_timeline",
+    "wait_intervals",
+    "metrics_dict",
+    "render_summary",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+]

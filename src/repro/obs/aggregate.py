@@ -1,0 +1,306 @@
+"""Aggregators: fold an event stream into numbers.
+
+Three consumers of the :class:`~repro.obs.events.EventBus` stream:
+
+* :func:`collaboration_counters` — the per-mechanism counts the paper's
+  narrative leans on (TARGET/MARKED steals, pBuffer batching, root
+  refills, SORT_SPLIT fast-path rate, lock contention, fault
+  transitions).
+* :func:`op_latencies` — per-operation latency distributions from
+  ``op.begin``/``op.end`` pairs.
+* :func:`utilization_timeline` — a time-bucketed busy / lock-wait /
+  idle decomposition per simulated thread, the reproduction of the
+  paper's §6.4 utilization study at mechanism level.
+
+All three are pure functions of the event list — they never touch the
+queue or the engine, so they can run on a stream loaded back from disk
+just as well as on a live one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .events import (
+    BARRIER_LEAVE,
+    BARRIER_WAIT,
+    COLLAB_FILL,
+    COLLAB_STEAL,
+    COND_WAIT,
+    COND_WAKE,
+    FAULT_ABORT,
+    FAULT_CRASH,
+    FAULT_ROLLBACK,
+    LOCK_ACQUIRE,
+    LOCK_CONTEND,
+    LOCK_GRANT,
+    LOCK_RELEASE,
+    LOCK_TIMEOUT,
+    LOCK_TRY_FAIL,
+    OP_BEGIN,
+    OP_END,
+    PBUFFER_HIT,
+    PBUFFER_OVERFLOW,
+    ROOT_REFILL,
+    SORT_SPLIT,
+    THREAD_FINISH,
+    THREAD_START,
+    TraceEvent,
+    WAIT_ENDS,
+    WAIT_STARTS,
+)
+
+__all__ = [
+    "collaboration_counters",
+    "op_latencies",
+    "utilization_timeline",
+    "wait_intervals",
+]
+
+
+def collaboration_counters(events: Iterable[TraceEvent]) -> dict[str, int]:
+    """Count every mechanism-level event; returns a flat {name: count}.
+
+    Keys are stable (they feed the metrics artifacts): ``collab_steals``,
+    ``collab_fills``, ``pbuffer_hits``, ``pbuffer_overflows``,
+    ``root_refills`` plus ``root_refill_<source>``, ``sort_splits`` /
+    ``sort_split_fast``, the ``lock_*`` family, ``cond_waits``,
+    ``ops_begun_<op>`` / ``ops_done_<op>``, and the ``fault_*`` family.
+    Absent mechanisms report 0, so consumers can rely on the key set.
+    """
+    c = {
+        "collab_steals": 0,
+        "collab_fills": 0,
+        "pbuffer_hits": 0,
+        "pbuffer_overflows": 0,
+        "root_refills": 0,
+        "sort_splits": 0,
+        "sort_split_fast": 0,
+        "lock_acquisitions": 0,
+        "lock_uncontended": 0,
+        "lock_contended": 0,
+        "lock_timeouts": 0,
+        "lock_try_fails": 0,
+        "cond_waits": 0,
+        "barrier_waits": 0,
+        "fault_crashes": 0,
+        "fault_rollbacks": 0,
+        "fault_aborts": 0,
+    }
+    for ev in events:
+        et = ev.etype
+        if et == SORT_SPLIT:
+            c["sort_splits"] += 1
+            if ev.get("fast"):
+                c["sort_split_fast"] += 1
+        elif et == LOCK_ACQUIRE:
+            c["lock_acquisitions"] += 1
+            c["lock_uncontended"] += 1
+        elif et == LOCK_CONTEND:
+            c["lock_acquisitions"] += 1
+            c["lock_contended"] += 1
+        elif et == LOCK_TIMEOUT:
+            c["lock_timeouts"] += 1
+        elif et == LOCK_TRY_FAIL:
+            c["lock_try_fails"] += 1
+        elif et == COND_WAIT:
+            c["cond_waits"] += 1
+        elif et == BARRIER_WAIT:
+            c["barrier_waits"] += 1
+        elif et == PBUFFER_HIT:
+            c["pbuffer_hits"] += 1
+        elif et == PBUFFER_OVERFLOW:
+            c["pbuffer_overflows"] += 1
+        elif et == ROOT_REFILL:
+            c["root_refills"] += 1
+            key = f"root_refill_{ev.get('source', 'unknown')}"
+            c[key] = c.get(key, 0) + 1
+        elif et == COLLAB_STEAL:
+            c["collab_steals"] += 1
+        elif et == COLLAB_FILL:
+            c["collab_fills"] += 1
+        elif et == OP_BEGIN:
+            key = f"ops_begun_{ev.get('op', 'unknown')}"
+            c[key] = c.get(key, 0) + 1
+        elif et == OP_END:
+            key = f"ops_done_{ev.get('op', 'unknown')}"
+            c[key] = c.get(key, 0) + 1
+        elif et == FAULT_CRASH:
+            c["fault_crashes"] += 1
+        elif et == FAULT_ROLLBACK:
+            c["fault_rollbacks"] += 1
+        elif et == FAULT_ABORT:
+            c["fault_aborts"] += 1
+    return c
+
+
+def _percentile(sorted_vals: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty sequence."""
+    idx = min(len(sorted_vals) - 1, max(0, round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[idx]
+
+
+def op_latencies(events: Iterable[TraceEvent]) -> dict[str, dict]:
+    """Per-op-kind latency summaries from ``op.begin``/``op.end`` pairs.
+
+    Pairing is per thread: queue operations never nest within one
+    simulated thread, so the latest unmatched ``op.begin`` on a thread
+    pairs with that thread's next ``op.end`` of the same kind.  Begins
+    that never complete (crashed or aborted operations) are dropped.
+
+    Returns ``{kind: {count, total_ns, mean_ns, min_ns, p50_ns, p95_ns,
+    max_ns}}``.
+    """
+    pending: dict[str, tuple[str, float]] = {}  # thread -> (kind, begin ts)
+    samples: dict[str, list[float]] = {}
+    for ev in events:
+        if ev.etype == OP_BEGIN:
+            pending[ev.thread] = (ev.get("op", "unknown"), ev.ts)
+        elif ev.etype == OP_END:
+            start = pending.pop(ev.thread, None)
+            if start is None or start[0] != ev.get("op", "unknown"):
+                continue
+            samples.setdefault(start[0], []).append(ev.ts - start[1])
+    out: dict[str, dict] = {}
+    for kind in sorted(samples):
+        vals = sorted(samples[kind])
+        total = sum(vals)
+        out[kind] = {
+            "count": len(vals),
+            "total_ns": total,
+            "mean_ns": total / len(vals),
+            "min_ns": vals[0],
+            "p50_ns": _percentile(vals, 0.50),
+            "p95_ns": _percentile(vals, 0.95),
+            "max_ns": vals[-1],
+        }
+    return out
+
+
+def wait_intervals(
+    events: Iterable[TraceEvent],
+) -> dict[str, list[tuple[float, float, str]]]:
+    """Per-thread ``(start, end, what)`` wait intervals.
+
+    A wait opens at ``lock.contend`` / ``cond.wait`` / ``barrier.wait``
+    and closes at the matching ``lock.grant`` / ``lock.timeout`` /
+    ``cond.wake`` / ``barrier.leave`` on the same thread.  A wait still
+    open at the end of the stream (a deadlocked or killed run) is left
+    out — callers decide how to truncate it.  The interval sums equal
+    the engine's ``total_wait_ns`` lock/condition statistics exactly,
+    which is what the utilization cross-checks assert.
+    """
+    open_wait: dict[str, tuple[float, str]] = {}
+    out: dict[str, list[tuple[float, float, str]]] = {}
+    for ev in events:
+        if ev.etype in WAIT_STARTS:
+            what = ev.get("lock") or ev.get("cond") or ev.get("barrier") or "?"
+            open_wait[ev.thread] = (ev.ts, what)
+        elif ev.etype in WAIT_ENDS:
+            start = open_wait.pop(ev.thread, None)
+            if start is not None:
+                out.setdefault(ev.thread, []).append((start[0], ev.ts, start[1]))
+    return out
+
+
+def _overlap(a0: float, a1: float, b0: float, b1: float) -> float:
+    return max(0.0, min(a1, b1) - max(a0, b0))
+
+
+def utilization_timeline(
+    events: Sequence[TraceEvent],
+    makespan_ns: float,
+    buckets: int = 20,
+) -> dict:
+    """Time-bucketed busy / wait / idle decomposition per thread.
+
+    For every simulated thread, its lifetime ``[start, finish]`` (from
+    ``thread.start``/``thread.finish``) is split into *wait* (inside a
+    :func:`wait_intervals` interval) and *busy* (the rest); time outside
+    the lifetime but inside ``[0, makespan]`` is *idle*.  The three
+    always partition ``threads x makespan`` exactly.
+
+    Returns::
+
+        {
+          "makespan_ns": float, "bucket_ns": float, "n_threads": int,
+          "threads": [name, ...],
+          "per_thread": {name: {"busy_ns", "wait_ns", "idle_ns"}},
+          "totals": {"busy_frac", "wait_frac", "idle_frac"},
+          "buckets": [{"t0_ns", "t1_ns", "busy", "wait", "idle"}, ...],
+        }
+
+    Bucket ``busy``/``wait``/``idle`` are fractions of that bucket's
+    thread-time (``n_threads * bucket_ns``) and sum to 1.0 per bucket.
+    """
+    starts: dict[str, float] = {}
+    finishes: dict[str, float] = {}
+    for ev in events:
+        if ev.etype == THREAD_START:
+            starts[ev.thread] = ev.ts
+        elif ev.etype == THREAD_FINISH:
+            finishes[ev.thread] = ev.ts
+    threads = sorted(starts)
+    if not threads or makespan_ns <= 0 or buckets < 1:
+        return {
+            "makespan_ns": float(makespan_ns),
+            "bucket_ns": 0.0,
+            "n_threads": len(threads),
+            "threads": threads,
+            "per_thread": {
+                t: {"busy_ns": 0.0, "wait_ns": 0.0, "idle_ns": 0.0} for t in threads
+            },
+            "totals": {"busy_frac": 0.0, "wait_frac": 0.0, "idle_frac": 0.0},
+            "buckets": [],
+        }
+    waits = wait_intervals(events)
+    bucket_ns = makespan_ns / buckets
+    edges = [i * bucket_ns for i in range(buckets + 1)]
+    edges[-1] = makespan_ns  # exact upper edge despite float division
+
+    per_thread: dict[str, dict[str, float]] = {}
+    rows = [
+        {"t0_ns": edges[i], "t1_ns": edges[i + 1], "busy": 0.0, "wait": 0.0, "idle": 0.0}
+        for i in range(buckets)
+    ]
+    for t in threads:
+        t0 = starts[t]
+        t1 = finishes.get(t, makespan_ns)  # unfinished thread: alive to the end
+        w_ivs = waits.get(t, ())
+        wait_ns = sum(e - s for s, e, _ in w_ivs)
+        alive_ns = max(0.0, t1 - t0)
+        per_thread[t] = {
+            "busy_ns": alive_ns - wait_ns,
+            "wait_ns": wait_ns,
+            "idle_ns": makespan_ns - alive_ns,
+        }
+        for i, row in enumerate(rows):
+            b0, b1 = edges[i], edges[i + 1]
+            alive = _overlap(t0, t1, b0, b1)
+            waiting = sum(_overlap(s, e, b0, b1) for s, e, _ in w_ivs)
+            row["busy"] += alive - waiting
+            row["wait"] += waiting
+            row["idle"] += (b1 - b0) - alive
+    n = len(threads)
+    for row in rows:
+        span = (row["t1_ns"] - row["t0_ns"]) * n
+        if span > 0:
+            row["busy"] /= span
+            row["wait"] /= span
+            row["idle"] /= span
+    total = makespan_ns * n
+    busy = sum(p["busy_ns"] for p in per_thread.values())
+    wait = sum(p["wait_ns"] for p in per_thread.values())
+    return {
+        "makespan_ns": float(makespan_ns),
+        "bucket_ns": bucket_ns,
+        "n_threads": n,
+        "threads": threads,
+        "per_thread": per_thread,
+        "totals": {
+            "busy_frac": busy / total,
+            "wait_frac": wait / total,
+            "idle_frac": max(0.0, 1.0 - (busy + wait) / total),
+        },
+        "buckets": rows,
+    }

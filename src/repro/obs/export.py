@@ -1,0 +1,308 @@
+"""Exporters: event stream → Chrome trace / metrics dict / terminal text.
+
+Three output shapes, all pure functions of the same event list:
+
+* :func:`to_chrome_trace` — the Chrome trace-event JSON format
+  (load the file in ``chrome://tracing`` or https://ui.perfetto.dev).
+* :func:`metrics_dict` — a flat, JSON-serializable ``{name: number}``
+  dict suitable for embedding in campaign / bench artifacts.
+* :func:`render_summary` — a fixed-width terminal report: counters,
+  per-op latency table, and an ASCII utilization timeline.
+
+:func:`validate_chrome_trace` is the schema check the CI smoke job and
+the exporter tests share.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .aggregate import (
+    collaboration_counters,
+    op_latencies,
+    utilization_timeline,
+    wait_intervals,
+)
+from .events import (
+    COLLAB_FILL,
+    COLLAB_STEAL,
+    FAULT_ABORT,
+    FAULT_CRASH,
+    FAULT_ROLLBACK,
+    OP_BEGIN,
+    OP_END,
+    PBUFFER_HIT,
+    PBUFFER_OVERFLOW,
+    ROOT_REFILL,
+    SORT_SPLIT,
+    TraceEvent,
+)
+
+__all__ = [
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "metrics_dict",
+    "render_summary",
+]
+
+#: queue-level event types rendered as instant ('i') marks in the trace
+_INSTANT_TYPES = {
+    SORT_SPLIT,
+    PBUFFER_HIT,
+    PBUFFER_OVERFLOW,
+    ROOT_REFILL,
+    COLLAB_STEAL,
+    COLLAB_FILL,
+    FAULT_CRASH,
+    FAULT_ROLLBACK,
+    FAULT_ABORT,
+}
+
+_NS_PER_US = 1000.0
+
+
+def _us(ts_ns: float) -> float:
+    """Chrome trace timestamps are microseconds."""
+    return ts_ns / _NS_PER_US
+
+
+def to_chrome_trace(events: Sequence[TraceEvent]) -> dict:
+    """Convert an event stream to a Chrome trace-event JSON object.
+
+    Layout: one pid (0), one tid per simulated thread (named via ``M``
+    metadata events).  Queue operations become paired ``B``/``E``
+    duration events; lock/cond/barrier waits become ``X`` complete
+    events with a ``dur``; mechanism events (sort-splits, steals,
+    refills, pBuffer traffic, faults) become ``i`` instants.  Begins
+    that never completed (crashed operations) are dropped so the B/E
+    nesting stays balanced.
+    """
+    threads: list[str] = []
+    order: dict[str, int] = {}
+    for ev in events:
+        if ev.thread not in order:
+            order[ev.thread] = len(threads)
+            threads.append(ev.thread)
+
+    out: list[dict] = []
+    for name in threads:
+        out.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": order[name],
+            "args": {"name": name},
+        })
+
+    # op B/E pairs — pair per thread, drop unmatched begins
+    pending: dict[str, TraceEvent] = {}
+    for ev in events:
+        if ev.etype == OP_BEGIN:
+            pending[ev.thread] = ev
+        elif ev.etype == OP_END:
+            begin = pending.pop(ev.thread, None)
+            if begin is None or begin.get("op") != ev.get("op"):
+                continue
+            tid = order[ev.thread]
+            out.append({
+                "name": begin.get("op", "op"),
+                "cat": "op",
+                "ph": "B",
+                "pid": 0,
+                "tid": tid,
+                "ts": _us(begin.ts),
+                "args": dict(begin.fields or {}),
+            })
+            out.append({
+                "name": begin.get("op", "op"),
+                "cat": "op",
+                "ph": "E",
+                "pid": 0,
+                "tid": tid,
+                "ts": _us(ev.ts),
+                "args": dict(ev.fields or {}),
+            })
+
+    for thread, ivs in wait_intervals(events).items():
+        tid = order[thread]
+        for start, end, what in ivs:
+            out.append({
+                "name": f"wait {what}",
+                "cat": "wait",
+                "ph": "X",
+                "pid": 0,
+                "tid": tid,
+                "ts": _us(start),
+                "dur": _us(end - start),
+            })
+
+    for ev in events:
+        if ev.etype in _INSTANT_TYPES:
+            out.append({
+                "name": ev.etype,
+                "cat": "mech",
+                "ph": "i",
+                "s": "t",
+                "pid": 0,
+                "tid": order[ev.thread],
+                "ts": _us(ev.ts),
+                "args": dict(ev.fields or {}),
+            })
+
+    # Stable sort on (ts, tid): metadata (no ts) leads, and events tied
+    # on both keys keep their append order — which is program order for
+    # each thread's B/E pairs, so an op ending at the same clock the
+    # next one begins stays E-before-B and the nesting stays balanced.
+    out.sort(key=lambda e: (e.get("ts", -1.0), e["tid"]))
+    return {"traceEvents": out, "displayTimeUnit": "ns"}
+
+
+def validate_chrome_trace(payload: dict | str) -> list[str]:
+    """Check a trace object (or its JSON text) against the trace-event
+    schema; returns a list of problems, empty when valid.
+
+    Checks: top-level ``traceEvents`` list; every event has ``ph``,
+    ``pid``, ``tid`` and a known phase; non-metadata events carry a
+    numeric ``ts``; ``X`` events carry a numeric ``dur >= 0``; and
+    ``B``/``E`` events pair up LIFO per (pid, tid) with matching names.
+    """
+    problems: list[str] = []
+    if isinstance(payload, str):
+        try:
+            payload = json.loads(payload)
+        except json.JSONDecodeError as err:
+            return [f"not valid JSON: {err}"]
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("traceEvents"), list
+    ):
+        return ["top level must be an object with a 'traceEvents' list"]
+    stacks: dict[tuple, list[str]] = {}
+    for i, ev in enumerate(payload["traceEvents"]):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("B", "E", "X", "i", "M"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if "pid" not in ev or "tid" not in ev:
+            problems.append(f"{where}: missing pid/tid")
+            continue
+        if ph != "M":
+            if not isinstance(ev.get("ts"), (int, float)):
+                problems.append(f"{where}: missing numeric ts")
+                continue
+            if not isinstance(ev.get("name"), str):
+                problems.append(f"{where}: missing name")
+                continue
+        if ph == "X" and not (
+            isinstance(ev.get("dur"), (int, float)) and ev["dur"] >= 0
+        ):
+            problems.append(f"{where}: X event needs dur >= 0")
+        key = (ev["pid"], ev["tid"])
+        if ph == "B":
+            stacks.setdefault(key, []).append(ev["name"])
+        elif ph == "E":
+            stack = stacks.get(key)
+            if not stack:
+                problems.append(f"{where}: E without matching B on tid {key[1]}")
+            elif stack[-1] != ev["name"]:
+                problems.append(
+                    f"{where}: E name {ev['name']!r} does not match open B "
+                    f"{stack[-1]!r} on tid {key[1]}"
+                )
+            else:
+                stack.pop()
+    for (pid, tid), stack in stacks.items():
+        for name in stack:
+            problems.append(f"unclosed B event {name!r} on tid {tid}")
+    return problems
+
+
+def metrics_dict(
+    events: Sequence[TraceEvent],
+    makespan_ns: float | None = None,
+    buckets: int = 20,
+) -> dict:
+    """Flatten the aggregators into one JSON-serializable metrics dict.
+
+    Keys: ``events`` (stream length), ``counter.<name>`` for every
+    collaboration counter, ``latency.<op>.<stat>`` for every op kind,
+    and — when ``makespan_ns`` is given — ``makespan_ns`` plus
+    ``util.busy_frac`` / ``util.wait_frac`` / ``util.idle_frac``.
+    Values are ints or floats only, so the dict drops into campaign and
+    bench JSON artifacts unchanged.
+    """
+    out: dict = {"events": len(events)}
+    for key, val in collaboration_counters(events).items():
+        out[f"counter.{key}"] = val
+    for kind, stats in op_latencies(events).items():
+        for stat, val in stats.items():
+            out[f"latency.{kind}.{stat}"] = (
+                val if isinstance(val, int) else round(float(val), 3)
+            )
+    if makespan_ns is not None:
+        timeline = utilization_timeline(events, makespan_ns, buckets=buckets)
+        out["makespan_ns"] = float(makespan_ns)
+        for key, val in timeline["totals"].items():
+            out[f"util.{key}"] = round(float(val), 6)
+    return out
+
+
+def _bar(frac_busy: float, frac_wait: float, width: int = 40) -> str:
+    busy = round(frac_busy * width)
+    wait = round(frac_wait * width)
+    if busy + wait > width:
+        wait = width - busy
+    return "#" * busy + "~" * wait + "." * (width - busy - wait)
+
+
+def render_summary(
+    events: Sequence[TraceEvent],
+    makespan_ns: float | None = None,
+    buckets: int = 20,
+) -> str:
+    """Terminal report: counters, latency table, ASCII timeline.
+
+    Timeline legend: ``#`` busy, ``~`` lock/cond wait, ``.`` idle —
+    each row is one time bucket across all simulated threads.
+    """
+    lines: list[str] = []
+    counters = collaboration_counters(events)
+    lines.append(f"events: {len(events)}")
+    lines.append("")
+    lines.append("collaboration counters")
+    for key in sorted(counters):
+        if counters[key] or not key.startswith(("root_refill_", "ops_")):
+            lines.append(f"  {key:<28} {counters[key]}")
+    lats = op_latencies(events)
+    if lats:
+        lines.append("")
+        lines.append("op latency (simulated ns)")
+        header = f"  {'op':<12}{'count':>7}{'mean':>10}{'p50':>10}{'p95':>10}{'max':>10}"
+        lines.append(header)
+        for kind, s in lats.items():
+            lines.append(
+                f"  {kind:<12}{s['count']:>7}{s['mean_ns']:>10.0f}"
+                f"{s['p50_ns']:>10.0f}{s['p95_ns']:>10.0f}{s['max_ns']:>10.0f}"
+            )
+    if makespan_ns is not None and makespan_ns > 0:
+        tl = utilization_timeline(events, makespan_ns, buckets=buckets)
+        if tl["buckets"]:
+            t = tl["totals"]
+            lines.append("")
+            lines.append(
+                f"utilization over {makespan_ns:.0f} ns, "
+                f"{tl['n_threads']} threads, {len(tl['buckets'])} buckets "
+                f"(busy {t['busy_frac']:.1%}, wait {t['wait_frac']:.1%}, "
+                f"idle {t['idle_frac']:.1%})"
+            )
+            lines.append("  legend: # busy  ~ wait  . idle")
+            for row in tl["buckets"]:
+                lines.append(
+                    f"  {row['t0_ns']:>10.0f} |{_bar(row['busy'], row['wait'])}| "
+                    f"busy {row['busy']:>4.0%} wait {row['wait']:>4.0%}"
+                )
+    return "\n".join(lines)

@@ -31,6 +31,20 @@ import random
 from typing import Any, Callable, Generator, Iterable
 
 from ..errors import BudgetExceededError, DeadlockError, LockProtocolError, SimThreadError
+from ..obs.events import (
+    BARRIER_LEAVE,
+    BARRIER_WAIT,
+    COND_WAIT,
+    COND_WAKE,
+    LOCK_ACQUIRE,
+    LOCK_CONTEND,
+    LOCK_GRANT,
+    LOCK_RELEASE,
+    LOCK_TIMEOUT,
+    LOCK_TRY_FAIL,
+    THREAD_FINISH,
+    THREAD_START,
+)
 from . import effects as fx
 from .sync import Barrier, Condition, SimLock
 from .thread import BLOCKED, FAILED, FINISHED, READY, SimThread
@@ -92,9 +106,16 @@ class Engine:
     record_labels:
         When True, :class:`Label` effects are appended to
         :attr:`labels` (used by the linearizability recorder).
+    obs:
+        Optional :class:`~repro.obs.events.EventBus`.  When given, the
+        engine emits structured lock / condition / barrier / thread
+        events into it and attaches itself so queue-level emitters can
+        timestamp with the running thread's clock.  When ``None`` (the
+        default) every emit site reduces to one attribute load and a
+        branch — tracing is zero-cost when disabled.
     """
 
-    def __init__(self, seed: int = 0, record_labels: bool = False):
+    def __init__(self, seed: int = 0, record_labels: bool = False, obs=None):
         # Counter-seeded tie-break state (see _TIE_MULT above); the
         # seed is stretched through Random so nearby seeds (0, 1, 2…)
         # start from decorrelated points of the LCG orbit.
@@ -109,6 +130,11 @@ class Engine:
         self.now = 0.0  # clock of the most recently run thread
         self._blocked_count = 0
         self._max_events: int | None = None
+        self._obs = obs
+        #: thread currently executing inside _step (read by EventBus.emit_here)
+        self.current_thread: SimThread | None = None
+        if obs is not None:
+            obs.attach(self)
 
     # ------------------------------------------------------------------
     # thread management
@@ -123,6 +149,8 @@ class Engine:
         t = SimThread(name, gen, clock=at)
         self._threads.append(t)
         self._push(t)
+        if self._obs is not None:
+            self._obs.emit(THREAD_START, at, name)
         return t
 
     def spawn_all(self, gens: Iterable[Generator], prefix: str = "t") -> list[SimThread]:
@@ -173,6 +201,7 @@ class Engine:
                 continue
             self.now = t.clock
             self._step(t)
+        self.current_thread = None
         if self._blocked_count:
             blocked: dict[str, str] = {}
             details: dict[str, dict] = {}
@@ -214,6 +243,11 @@ class Engine:
         lock.timeouts += 1
         lock.total_wait_ns += max(0.0, to.deadline - t.wait_started)
         t.pending_timeout = None
+        if self._obs is not None:
+            self._obs.emit(
+                LOCK_TIMEOUT, to.deadline, t.name,
+                lock=lock.name, waited=max(0.0, to.deadline - t.wait_started),
+            )
         self._unblock(t, to.deadline, False)
 
     # ------------------------------------------------------------------
@@ -225,12 +259,16 @@ class Engine:
         gen = t.gen
         send_value = t.send_value
         t.send_value = None
+        obs = self._obs
+        self.current_thread = t
         while True:
             try:
                 eff = gen.send(send_value)
             except StopIteration as stop:
                 t.state = FINISHED
                 t.result = stop.value
+                if obs is not None:
+                    obs.emit(THREAD_FINISH, t.clock, t.name)
                 for j in t.joiners:
                     self._unblock(j, t.clock, stop.value)
                 t.joiners.clear()
@@ -261,10 +299,14 @@ class Engine:
                 if lock.owner is None:
                     lock.owner = t
                     lock._acquired_at = t.clock
+                    if obs is not None:
+                        obs.emit(LOCK_ACQUIRE, t.clock, t.name, lock=lock.name)
                 else:
                     lock.contended_acquisitions += 1
                     lock.waiters.append(t)
                     self._block(t, f"lock:{lock.name}", lock)
+                    if obs is not None:
+                        obs.emit(LOCK_CONTEND, t.clock, t.name, lock=lock.name)
                     return
             elif cls is fx.TryAcquire:
                 lock = eff.lock
@@ -273,9 +315,13 @@ class Engine:
                     lock.owner = t
                     lock._acquired_at = t.clock
                     send_value = True
+                    if obs is not None:
+                        obs.emit(LOCK_ACQUIRE, t.clock, t.name, lock=lock.name)
                 else:
                     lock.try_failures += 1
                     send_value = False
+                    if obs is not None:
+                        obs.emit(LOCK_TRY_FAIL, t.clock, t.name, lock=lock.name)
             elif cls is fx.AcquireTimeout:
                 lock = eff.lock
                 lock.acquisitions += 1
@@ -283,10 +329,14 @@ class Engine:
                     lock.owner = t
                     lock._acquired_at = t.clock
                     send_value = True
+                    if obs is not None:
+                        obs.emit(LOCK_ACQUIRE, t.clock, t.name, lock=lock.name)
                 else:
                     lock.contended_acquisitions += 1
                     lock.waiters.append(t)
                     self._block(t, f"lock:{lock.name}", lock)
+                    if obs is not None:
+                        obs.emit(LOCK_CONTEND, t.clock, t.name, lock=lock.name)
                     to = _Timeout(t, lock, t.clock + eff.timeout_ns)
                     t.pending_timeout = to
                     self._tie = tie = (self._tie * _TIE_MULT + _TIE_INC) & _TIE_MASK
@@ -301,6 +351,8 @@ class Engine:
                 else:
                     cond.waiters.append((t, eff.predicate))
                     self._block(t, f"cond:{cond.name}", cond)
+                    if obs is not None:
+                        obs.emit(COND_WAIT, t.clock, t.name, cond=cond.name)
                     return
             elif cls is fx.Signal:
                 cond = eff.condition
@@ -316,11 +368,19 @@ class Engine:
                         still_waiting.append((w, pred))
                         continue
                     cond.total_wait_ns += max(0.0, t.clock - w.wait_started)
+                    if obs is not None:
+                        obs.emit(
+                            COND_WAKE, t.clock, w.name,
+                            cond=cond.name,
+                            waited=max(0.0, t.clock - w.wait_started),
+                        )
                     self._unblock(w, t.clock, eff.value)
                 cond.waiters.extend(still_waiting)
             elif cls is fx.BarrierWait:
                 bar: Barrier = eff.barrier
                 bar.arrived.append(t)
+                if obs is not None:
+                    obs.emit(BARRIER_WAIT, t.clock, t.name, barrier=bar.name)
                 if len(bar.arrived) >= bar.parties:
                     bar.waits += 1
                     bar.generation += 1
@@ -328,6 +388,11 @@ class Engine:
                     for th in bar.arrived:
                         if th is not t:
                             self._unblock(th, release_at, None)
+                    if obs is not None:
+                        for th in bar.arrived:
+                            obs.emit(
+                                BARRIER_LEAVE, release_at, th.name, barrier=bar.name
+                            )
                     bar.arrived.clear()
                     t.clock = max(t.clock, release_at)
                 else:
@@ -362,11 +427,20 @@ class Engine:
                 f"{t.name} released {lock.name} owned by {owner}"
             )
         lock.total_held_ns += t.clock - lock._acquired_at
+        obs = self._obs
+        if obs is not None:
+            obs.emit(LOCK_RELEASE, t.clock, t.name, lock=lock.name)
         if lock.waiters:
             nxt = lock.waiters.popleft()
             lock.owner = nxt
             lock.total_wait_ns += max(0.0, t.clock - nxt.wait_started)
             lock._acquired_at = max(nxt.wait_started, t.clock)
+            if obs is not None:
+                obs.emit(
+                    LOCK_GRANT, t.clock, nxt.name,
+                    lock=lock.name,
+                    waited=max(0.0, t.clock - nxt.wait_started),
+                )
             timed = nxt.pending_timeout is not None
             if timed:  # granted before the deadline: retire the timer
                 nxt.pending_timeout.cancelled = True

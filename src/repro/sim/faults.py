@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Generator
 
 from ..errors import OperationAborted, ThreadCrashed
+from ..obs.events import FAULT_CRASH
 from .effects import Compute, Label
 
 __all__ = [
@@ -166,12 +167,18 @@ class FaultInjector:
     One injector serves a whole engine run; per-thread randomness is
     derived from ``(seed, thread name)`` via the string-seeding of
     :class:`random.Random` (sha512-based — stable across processes).
+
+    ``obs`` (an :class:`~repro.obs.events.EventBus`, optional) records a
+    ``fault.crash`` event at every crash delivery; the injector's own
+    decisions (which derive from the seed, never from the bus) are
+    unchanged by tracing.
     """
 
-    def __init__(self, plan: FaultPlan, seed: int = 0):
+    def __init__(self, plan: FaultPlan, seed: int = 0, obs=None):
         self.plan = plan
         self.seed = seed
         self.records: dict[str, FaultRecord] = {}
+        self._obs = obs
 
     def _rng_for(self, name: str) -> random.Random:
         return random.Random(f"faults:{self.seed}:{name}")
@@ -227,6 +234,8 @@ class FaultInjector:
                 and eff.tag == CRASHPOINT
             ):
                 rec.crashed_at = idx
+                if self._obs is not None:
+                    self._obs.emit_here(FAULT_CRASH, thread=rec.thread, at=idx)
                 throw = ThreadCrashed(rec.thread, idx)
                 continue
             if stall_at is not None and idx == stall_at and plan.stall_ns > 0:

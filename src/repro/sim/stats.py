@@ -3,6 +3,16 @@
 A :class:`RunStats` snapshot is produced after an engine run and is
 what the benchmark harness stores for each experiment cell — makespan,
 event counts, and per-lock contention summaries.
+
+Relationship to :mod:`repro.obs`: this module is the *cheap end* of the
+observability spectrum.  A snapshot reads counters the locks maintain
+anyway (no bus required, nothing per-event), which is why the benchmark
+tables use it.  The event-sourced :class:`~repro.obs.events.EventBus`
+records *when* each wait happened, which buys timelines and latency
+histograms at the cost of storing the stream.  The two agree by
+construction: the obs wait intervals for a run sum to exactly the
+``total_wait_ns`` a snapshot reports (the table-2 utilization benchmark
+cross-checks this).
 """
 
 from __future__ import annotations
@@ -57,9 +67,41 @@ class RunStats:
         raise KeyError(name)
 
     def hottest_lock(self) -> LockStats | None:
-        if not self.locks:
+        """The lock threads waited on the most, or ``None``.
+
+        ``None`` covers both degenerate shapes: an empty lock set and a
+        snapshot where no lock was ever acquired (an all-zero "hottest"
+        would be noise, not signal).  Ties — common in short runs where
+        every wait is zero — break on contended count, then
+        acquisitions, then lexicographically *smallest* name, so the
+        answer never depends on the order locks were passed to
+        :func:`snapshot`.
+        """
+        candidates = [ls for ls in self.locks if ls.acquisitions]
+        if not candidates:
             return None
-        return max(self.locks, key=lambda ls: ls.total_wait_ns)
+        return min(
+            candidates,
+            key=lambda ls: (
+                -ls.total_wait_ns,
+                -ls.contended,
+                -ls.acquisitions,
+                ls.name,
+            ),
+        )
+
+    def contention_ratio(self) -> float:
+        """Fraction of all acquisitions (across every lock) that had to
+        wait; 0.0 for a run with no acquisitions at all — degenerate
+        snapshots must not divide by zero."""
+        acq = sum(ls.acquisitions for ls in self.locks)
+        if not acq:
+            return 0.0
+        return sum(ls.contended for ls in self.locks) / acq
+
+    def total_wait_ns(self) -> float:
+        """Summed lock wait over every lock in the snapshot."""
+        return sum(ls.total_wait_ns for ls in self.locks)
 
 
 def snapshot(engine: Engine, locks: Iterable[SimLock] = ()) -> RunStats:

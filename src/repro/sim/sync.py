@@ -4,6 +4,12 @@ These are passive state holders — the :class:`~repro.sim.engine.Engine`
 performs all transitions.  They collect contention statistics so
 benchmark reports can show *where* simulated time went (e.g. how much
 of a run was spent queueing on the heap root lock).
+
+Because transitions live in the engine, the per-transition observability
+events (``lock.contend``, ``lock.grant``, ``cond.wake``, …) are emitted
+*there*, not here — these objects stay bus-free.  Their running totals
+(``total_wait_ns`` etc.) are the ground truth the event-sourced wait
+intervals in :mod:`repro.obs` are cross-checked against.
 """
 
 from __future__ import annotations

@@ -5,6 +5,20 @@ Concurrent priority-queue operations bracket themselves with
 module turns an engine's label stream into a list of
 :class:`OpRecord` intervals suitable for the checker in
 :mod:`repro.core.linearizability`.
+
+This is one of three observation layers, each with a different
+contract — see docs/OBSERVABILITY.md for the full comparison:
+
+* :class:`HistoryRecorder` (here) rides the engine's *effect* stream:
+  labels are yielded effects, so recording is part of the schedule and
+  exists for exactly one purpose — correctness histories, where the
+  interval endpoints must be the linearization-relevant instants.
+* :class:`~repro.sim.stats.RunStats` reads counters the locks keep
+  anyway; free, but aggregate-only (no *when*).
+* :class:`~repro.obs.events.EventBus` is pure observation — emits are
+  plain calls, never effects, so attaching a bus provably cannot
+  change a schedule, which is what lets ``repro trace`` promise
+  identical results traced or untraced.
 """
 
 from __future__ import annotations

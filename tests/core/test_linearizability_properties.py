@@ -95,14 +95,26 @@ def test_corrupted_delete_results_fail(script, extra_key):
 @given(script_strategy)
 @settings(max_examples=30, deadline=None)
 def test_swapping_disjoint_results_fails(script):
-    """Swapping the results of two deletes that returned different keys
-    in a strictly sequential history must fail (real-time order pins
-    which keys were available when)."""
+    """Swapping the results of two same-length deletes that returned
+    different keys in a strictly sequential history must fail (real-time
+    order pins which keys were available when).
+
+    The same-length restriction is essential, not cosmetic: the swap
+    rewrites each delete's count to match its new result, so swapping
+    different-length results changes the *requests* too — and the
+    swapped history can then be perfectly legal (e.g. insert [0,1];
+    del(2)→(0,1); insert [0]; del(1)→(0,) swaps into del(1)→(0,);
+    del(2)→(0,1), which is exactly what a sequential run returns).
+    With equal lengths the requests are unchanged, and a sequential
+    deletemin's result is uniquely determined by its prefix, so any
+    differing result must be rejected."""
     history = history_from_sequential_run(script, [])
     deletes = [i for i, op in enumerate(history) if op.kind == "deletemin" and op.result]
     if len(deletes) < 2:
         return
     a, b = deletes[0], deletes[1]
+    if len(history[a].result) != len(history[b].result):
+        return
     if set(history[a].result) == set(history[b].result):
         return
     # swap results while keeping counts consistent with the swapped sets

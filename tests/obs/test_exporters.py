@@ -1,0 +1,146 @@
+"""Exporter tests: Chrome trace schema, metrics determinism, and the
+differential guarantee that tracing never changes a run.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    metrics_dict,
+    render_summary,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.events import OP_BEGIN, OP_END, TraceEvent
+from repro.obs.workload import run_traced_mixed
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    return run_traced_mixed(threads=4, ops=6, k=8, seed=1)
+
+
+def test_chrome_trace_passes_schema_validation(traced_run):
+    trace = to_chrome_trace(traced_run.events)
+    assert validate_chrome_trace(trace) == []
+    # and through a JSON round-trip (what the CLI writes to disk)
+    assert validate_chrome_trace(json.dumps(trace)) == []
+
+
+def test_chrome_trace_schema_for_list_backend():
+    run = run_traced_mixed(threads=4, ops=6, k=8, seed=1, storage="list")
+    assert validate_chrome_trace(to_chrome_trace(run.events)) == []
+
+
+def test_chrome_trace_structure(traced_run):
+    trace = to_chrome_trace(traced_run.events)
+    evs = trace["traceEvents"]
+    phases = {e["ph"] for e in evs}
+    assert {"M", "B", "E", "X", "i"} <= phases
+    names = {e["args"]["name"] for e in evs if e["ph"] == "M"}
+    assert names == {"w0", "w1", "w2", "w3"}
+    begins = [e for e in evs if e["ph"] == "B"]
+    ends = [e for e in evs if e["ph"] == "E"]
+    # every op completed in this workload: balanced pairs, one per op
+    assert len(begins) == len(ends) == 4 * 6 * 2
+    assert all(e["dur"] >= 0 for e in evs if e["ph"] == "X")
+    # timestamps are non-decreasing after the metadata prefix
+    ts = [e["ts"] for e in evs if e["ph"] != "M"]
+    assert ts == sorted(ts)
+
+
+def test_validate_chrome_trace_catches_malformed():
+    assert validate_chrome_trace("not json{")[0].startswith("not valid JSON")
+    assert validate_chrome_trace({"wrong": 1}) != []
+    bad_phase = {"traceEvents": [{"ph": "Q", "pid": 0, "tid": 0}]}
+    assert "unknown phase" in validate_chrome_trace(bad_phase)[0]
+    unbalanced = {"traceEvents": [
+        {"ph": "B", "pid": 0, "tid": 0, "ts": 0.0, "name": "op"},
+    ]}
+    assert any("unclosed B" in p for p in validate_chrome_trace(unbalanced))
+    mismatched = {"traceEvents": [
+        {"ph": "B", "pid": 0, "tid": 0, "ts": 0.0, "name": "a"},
+        {"ph": "E", "pid": 0, "tid": 0, "ts": 1.0, "name": "b"},
+    ]}
+    assert any("does not match" in p for p in validate_chrome_trace(mismatched))
+
+
+def test_unmatched_op_begins_are_dropped():
+    evs = [
+        TraceEvent(0.0, "t", OP_BEGIN, {"op": "insert"}),
+        TraceEvent(1.0, "t", OP_BEGIN, {"op": "deletemin"}),  # crashed op
+    ]
+    trace = to_chrome_trace(evs)
+    assert [e for e in trace["traceEvents"] if e["ph"] in ("B", "E")] == []
+    assert validate_chrome_trace(trace) == []
+
+
+def test_back_to_back_ops_at_equal_clock_stay_paired():
+    """An op ending at the same simulated instant the next begins must
+    export E-before-B (program order), or the B/E nesting breaks."""
+    evs = [
+        TraceEvent(0.0, "t", OP_BEGIN, {"op": "insert"}),
+        TraceEvent(5.0, "t", OP_END, {"op": "insert"}),
+        TraceEvent(5.0, "t", OP_BEGIN, {"op": "deletemin"}),
+        TraceEvent(9.0, "t", OP_END, {"op": "deletemin"}),
+    ]
+    trace = to_chrome_trace(evs)
+    assert validate_chrome_trace(trace) == []
+    be = [(e["ph"], e["name"]) for e in trace["traceEvents"] if e["ph"] in "BE"]
+    assert be == [("B", "insert"), ("E", "insert"),
+                  ("B", "deletemin"), ("E", "deletemin")]
+
+
+def test_metrics_deterministic_for_fixed_seed(traced_run):
+    again = run_traced_mixed(threads=4, ops=6, k=8, seed=1)
+    m1 = metrics_dict(traced_run.events, traced_run.makespan_ns)
+    m2 = metrics_dict(again.events, again.makespan_ns)
+    assert m1 == m2
+    # and the serialized form is byte-stable (what lands in artifacts)
+    assert json.dumps(m1, sort_keys=True) == json.dumps(m2, sort_keys=True)
+
+
+def test_metrics_dict_shape(traced_run):
+    m = metrics_dict(traced_run.events, traced_run.makespan_ns)
+    assert m["events"] == len(traced_run.events)
+    assert m["counter.collab_steals"] > 0
+    assert m["counter.pbuffer_hits"] > 0
+    assert m["counter.root_refills"] > 0
+    assert 0.0 < m["util.busy_frac"] < 1.0
+    assert m["util.busy_frac"] + m["util.wait_frac"] + m["util.idle_frac"] == (
+        pytest.approx(1.0, abs=1e-4)
+    )
+    assert all(isinstance(v, (int, float)) for v in m.values())
+    json.dumps(m)  # must be serializable as-is
+
+
+def test_tracing_is_differentially_invisible():
+    """Same seed, with and without a bus: identical makespan and
+    identical deleted keys.  Emission is pure observation — it yields
+    no effects and charges no simulated time — so this must hold for
+    any seed; we pin a few."""
+    for seed in (0, 1, 5):
+        traced = run_traced_mixed(threads=4, ops=5, k=8, seed=seed, trace=True)
+        bare = run_traced_mixed(threads=4, ops=5, k=8, seed=seed, trace=False)
+        assert traced.makespan_ns == bare.makespan_ns
+        assert len(traced.results) == len(bare.results)
+        for a, b in zip(traced.results, bare.results):
+            np.testing.assert_array_equal(a, b)
+        assert len(traced.events) > 0 and len(bare.events) == 0
+
+
+def test_render_summary_mentions_every_section(traced_run):
+    text = render_summary(traced_run.events, traced_run.makespan_ns)
+    assert "collaboration counters" in text
+    assert "op latency" in text
+    assert "utilization over" in text
+    assert "# busy" in text
+    # nonzero collaboration activity on the default workload
+    assert "collab_steals" in text
+
+
+def test_render_summary_empty_stream():
+    text = render_summary([], None)
+    assert "events: 0" in text

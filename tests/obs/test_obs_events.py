@@ -1,0 +1,219 @@
+"""Event bus + aggregator tests: emission wiring and the folds over it.
+
+These tests pin the contracts docs/OBSERVABILITY.md documents: which
+engine transitions emit which events, that timestamps come from the
+simulated clock, that wait intervals reconcile exactly with the lock
+statistics, and that the aggregators are pure folds (same events in,
+same numbers out).
+"""
+
+import pytest
+
+from repro.obs import (
+    EventBus,
+    collaboration_counters,
+    op_latencies,
+    utilization_timeline,
+    wait_intervals,
+)
+from repro.obs.events import (
+    COND_WAIT,
+    COND_WAKE,
+    LOCK_ACQUIRE,
+    LOCK_CONTEND,
+    LOCK_GRANT,
+    LOCK_RELEASE,
+    LOCK_TIMEOUT,
+    LOCK_TRY_FAIL,
+    OP_BEGIN,
+    OP_END,
+    THREAD_FINISH,
+    THREAD_START,
+    TraceEvent,
+)
+from repro.sim import (
+    Acquire,
+    AcquireTimeout,
+    Compute,
+    Condition,
+    Engine,
+    Release,
+    Signal,
+    SimLock,
+    TryAcquire,
+    Wait,
+)
+
+
+def _types(bus):
+    return [ev.etype for ev in bus.events]
+
+
+def test_thread_lifecycle_and_uncontended_lock_events():
+    bus = EventBus()
+    eng = Engine(obs=bus)
+    lock = SimLock("L")
+
+    def w():
+        yield Acquire(lock)
+        yield Compute(5.0)
+        yield Release(lock)
+
+    eng.spawn(w(), name="solo")
+    eng.run()
+    types = _types(bus)
+    assert types == [THREAD_START, LOCK_ACQUIRE, LOCK_RELEASE, THREAD_FINISH]
+    acq = bus.events[1]
+    assert acq.thread == "solo"
+    assert acq.get("lock") == "L"
+    assert acq.ts == pytest.approx(0.0)
+    assert bus.events[2].ts == pytest.approx(5.0)
+
+
+def test_contended_lock_emits_contend_then_grant():
+    bus = EventBus()
+    eng = Engine(obs=bus)
+    lock = SimLock("L")
+
+    def w():
+        yield Acquire(lock)
+        yield Compute(10.0)
+        yield Release(lock)
+
+    eng.spawn(w(), name="a")
+    eng.spawn(w(), name="b")
+    eng.run()
+    contends = [e for e in bus.events if e.etype == LOCK_CONTEND]
+    grants = [e for e in bus.events if e.etype == LOCK_GRANT]
+    assert len(contends) == 1 and contends[0].thread == "b"
+    assert len(grants) == 1 and grants[0].thread == "b"
+    assert grants[0].get("waited") == pytest.approx(10.0)
+    # grant timestamp is the simulated handover instant
+    assert grants[0].ts == pytest.approx(10.0)
+
+
+def test_try_acquire_failure_and_timeout_events():
+    bus = EventBus()
+    eng = Engine(obs=bus)
+    lock = SimLock("L")
+
+    def holder():
+        yield Acquire(lock)
+        yield Compute(100.0)
+        yield Release(lock)
+
+    def trier():
+        yield Compute(1.0)
+        got = yield TryAcquire(lock)
+        assert got is False
+
+    def impatient():
+        yield Compute(2.0)
+        got = yield AcquireTimeout(lock, timeout_ns=10.0)
+        assert got is False
+
+    eng.spawn(holder(), name="h")
+    eng.spawn(trier(), name="t")
+    eng.spawn(impatient(), name="i")
+    eng.run()
+    fails = [e for e in bus.events if e.etype == LOCK_TRY_FAIL]
+    touts = [e for e in bus.events if e.etype == LOCK_TIMEOUT]
+    assert [e.thread for e in fails] == ["t"]
+    assert [e.thread for e in touts] == ["i"]
+    assert touts[0].ts == pytest.approx(12.0)  # deadline, not discovery
+
+
+def test_condition_wait_wake_events_carry_waited():
+    bus = EventBus()
+    eng = Engine(obs=bus)
+    cond = Condition("C")
+
+    def waiter():
+        yield Wait(cond)
+
+    def signaller():
+        yield Compute(7.0)
+        yield Signal(cond)
+
+    eng.spawn(waiter(), name="w")
+    eng.spawn(signaller(), name="s")
+    eng.run()
+    waits = [e for e in bus.events if e.etype == COND_WAIT]
+    wakes = [e for e in bus.events if e.etype == COND_WAKE]
+    assert [e.thread for e in waits] == ["w"]
+    assert [e.thread for e in wakes] == ["w"]
+    assert wakes[0].get("waited") == pytest.approx(wakes[0].ts - waits[0].ts)
+
+
+def test_wait_intervals_reconcile_exactly_with_lock_totals():
+    """The event-sourced wait intervals must sum to exactly the wait the
+    locks themselves accounted — the cross-check that makes the obs
+    layer trustworthy."""
+    from repro.obs.workload import run_traced_mixed
+
+    run = run_traced_mixed(threads=4, ops=6, k=8, seed=3)
+    by_thread = wait_intervals(run.events)
+    event_total = sum(
+        end - start for ivs in by_thread.values() for start, end, _ in ivs
+    )
+    pq = run.pq
+    lock_total = sum(lk.total_wait_ns for lk in pq.store.locks)
+    lock_total += pq.root_avail.total_wait_ns + pq.node_filled.total_wait_ns
+    assert event_total == pytest.approx(lock_total, rel=1e-12)
+
+
+def test_emit_here_without_engine_uses_sequence_timestamps():
+    bus = EventBus()
+    bus.emit_here(OP_BEGIN, op="insert")
+    bus.emit_here(OP_END, op="insert")
+    assert [e.thread for e in bus.events] == ["host", "host"]
+    assert bus.events[0].ts < bus.events[1].ts
+
+
+def test_bus_clear_and_len():
+    bus = EventBus()
+    bus.emit(OP_BEGIN, ts=0.0, thread="t", op="x")
+    assert len(bus) == 1
+    bus.clear()
+    assert len(bus) == 0 and list(bus) == []
+
+
+def test_collaboration_counters_zero_keys_always_present():
+    c = collaboration_counters([])
+    for key in ("collab_steals", "pbuffer_hits", "pbuffer_overflows",
+                "root_refills", "sort_splits", "lock_acquisitions"):
+        assert c[key] == 0
+
+
+def test_op_latencies_pair_per_thread():
+    evs = [
+        TraceEvent(0.0, "a", OP_BEGIN, {"op": "insert"}),
+        TraceEvent(1.0, "b", OP_BEGIN, {"op": "insert"}),
+        TraceEvent(4.0, "a", OP_END, {"op": "insert"}),
+        TraceEvent(9.0, "b", OP_END, {"op": "insert"}),
+    ]
+    lats = op_latencies(evs)
+    assert lats["insert"]["count"] == 2
+    assert lats["insert"]["min_ns"] == pytest.approx(4.0)
+    assert lats["insert"]["max_ns"] == pytest.approx(8.0)
+    assert lats["insert"]["mean_ns"] == pytest.approx(6.0)
+
+
+def test_utilization_timeline_buckets_partition_the_run():
+    evs = [
+        TraceEvent(0.0, "t", THREAD_START, {}),
+        TraceEvent(100.0, "t", THREAD_FINISH, {}),
+    ]
+    tl = utilization_timeline(evs, makespan_ns=100.0, buckets=4)
+    assert tl["n_threads"] == 1
+    assert len(tl["buckets"]) == 4
+    for row in tl["buckets"]:
+        assert row["busy"] + row["wait"] + row["idle"] == pytest.approx(1.0)
+    # thread alive and never waiting => fully busy
+    assert tl["totals"]["busy_frac"] == pytest.approx(1.0)
+    assert tl["totals"]["wait_frac"] == pytest.approx(0.0)
+
+
+def test_utilization_timeline_degenerate_inputs():
+    assert utilization_timeline([], 0.0)["buckets"] == []
+    assert utilization_timeline([], 100.0)["n_threads"] == 0

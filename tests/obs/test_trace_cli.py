@@ -1,0 +1,94 @@
+"""End-to-end tests for `repro trace` and the --trace/--metrics flags.
+
+These drive :func:`repro.cli.main` the way the CI smoke job does and
+pin the acceptance criteria: the default workload produces nonzero
+steal / pBuffer / root-refill counters, and the written Chrome trace
+validates against the schema checker.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import validate_chrome_trace
+
+
+@pytest.fixture
+def results_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    return tmp_path
+
+
+def test_trace_command_writes_valid_chrome_trace(results_dir, capsys):
+    rc = main(["trace"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    path = results_dir / "trace_mixed.json"
+    assert path.exists()
+    assert validate_chrome_trace(path.read_text()) == []
+    assert "collaboration counters" in out
+    assert "utilization over" in out
+
+
+def test_trace_default_workload_exercises_every_mechanism(results_dir, capsys):
+    """The acceptance bar: steals, pBuffer hits, and root refills all
+    fire on the *default* invocation, so the documented trace story
+    actually shows the paper's collaboration machinery."""
+    rc = main(["trace", "--metrics"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    metrics = json.loads(out[out.index("{"):])
+    assert metrics["counter.collab_steals"] > 0
+    assert metrics["counter.pbuffer_hits"] > 0
+    assert metrics["counter.pbuffer_overflows"] > 0
+    assert metrics["counter.root_refills"] > 0
+    assert metrics["counter.sort_splits"] > 0
+    assert metrics["counter.ops_done_insert"] > 0
+    assert metrics["counter.ops_done_deletemin"] > 0
+
+
+def test_trace_command_respects_trace_out_and_storage(results_dir, tmp_path, capsys):
+    out_file = tmp_path / "sub" / "custom.json"
+    rc = main(["trace", "--storage", "list", "--trace-out", str(out_file)])
+    capsys.readouterr()
+    assert rc == 0
+    assert out_file.exists()
+    assert validate_chrome_trace(out_file.read_text()) == []
+
+
+def test_faults_metrics_flag_aggregates_counters(results_dir, capsys):
+    rc = main([
+        "faults", "--queues", "bgpq", "--plans", "crash",
+        "--seeds", "2", "--metrics",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "aggregate obs counters" in out
+    saved = json.loads((results_dir / "faults.json").read_text())
+    agg = saved["meta"]["obs_counters"]
+    assert agg["counter.lock_acquisitions"] > 0
+    assert agg["counter.ops_done_insert"] > 0
+
+
+def test_faults_trace_flag_writes_valid_trace(results_dir, capsys):
+    rc = main([
+        "faults", "--queues", "bgpq", "--plans", "none",
+        "--seeds", "1", "--trace",
+    ])
+    capsys.readouterr()
+    assert rc == 0
+    path = results_dir / "trace_faults.json"
+    assert path.exists()
+    assert validate_chrome_trace(path.read_text()) == []
+
+
+def test_trace_seed_changes_the_run(results_dir, capsys):
+    main(["trace", "--metrics", "--trace-seed", "1"])
+    out1 = capsys.readouterr().out
+    main(["trace", "--metrics", "--trace-seed", "2"])
+    out2 = capsys.readouterr().out
+    m1 = json.loads(out1[out1.index("{"):])
+    m2 = json.loads(out2[out2.index("{"):])
+    assert m1 != m2
+    assert m1["counter.ops_done_insert"] == m2["counter.ops_done_insert"]

@@ -142,3 +142,92 @@ def test_snapshot_no_locks():
     stats = snapshot(eng)
     assert stats.hottest_lock() is None
     assert stats.locks == ()
+    assert stats.contention_ratio() == 0.0
+    assert stats.total_wait_ns() == 0.0
+
+
+def test_hottest_lock_ignores_never_acquired_locks():
+    """Locks that exist but were never touched must not be 'hottest' —
+    and an all-untouched lock set behaves like an empty one."""
+    idle_a, idle_b = SimLock("idle_a"), SimLock("idle_b")
+    hot = SimLock("hot")
+
+    def w():
+        yield Acquire(hot)
+        yield Compute(1.0)
+        yield Release(hot)
+
+    eng = Engine()
+    eng.spawn_all(w() for _ in range(2))
+    eng.run()
+    stats = snapshot(eng, locks=[idle_a, hot, idle_b])
+    assert stats.hottest_lock().name == "hot"
+
+    def idle():
+        yield Compute(1.0)
+
+    eng2 = Engine()
+    eng2.spawn(idle())
+    eng2.run()
+    only_idle = snapshot(eng2, locks=[idle_a, idle_b])
+    # acquisitions are attributes of the locks, which were reused but
+    # never acquired in either run
+    assert only_idle.hottest_lock() is None
+    assert only_idle.contention_ratio() == 0.0
+
+
+def test_hottest_lock_tie_breaks_by_name():
+    """Two uncontended locks tie at zero wait: the lexicographically
+    smallest name wins, independent of the order passed to snapshot."""
+    a, b = SimLock("a"), SimLock("b")
+
+    def w(lock):
+        yield Acquire(lock)
+        yield Compute(1.0)
+        yield Release(lock)
+
+    eng = Engine()
+    eng.spawn(w(a))
+    eng.spawn(w(b))
+    eng.run()
+    for order in ([a, b], [b, a]):
+        stats = snapshot(eng, locks=order)
+        assert stats.hottest_lock().name == "a"
+
+
+def test_run_stats_contention_ratio_aggregates_across_locks():
+    a, b = SimLock("a"), SimLock("b")
+
+    def w(lock):
+        yield Acquire(lock)
+        yield Compute(10.0)
+        yield Release(lock)
+
+    eng = Engine()
+    eng.spawn_all(w(a) for _ in range(3))  # 3 acquisitions, 2 contended
+    eng.spawn(w(b))  # 1 acquisition, uncontended
+    eng.run()
+    stats = snapshot(eng, locks=[a, b])
+    assert stats.contention_ratio() == pytest.approx(2 / 4)
+    assert stats.total_wait_ns() == pytest.approx(
+        a.total_wait_ns + b.total_wait_ns
+    )
+
+
+def test_lock_stats_zero_division_guards():
+    from repro.sim.stats import LockStats
+
+    ls = LockStats(name="z", acquisitions=0, contended=0,
+                   total_wait_ns=0.0, total_held_ns=0.0)
+    assert ls.contention_ratio == 0.0
+    assert ls.mean_wait_ns == 0.0
+
+
+def test_history_recorder_ids_are_unique_and_end_copies():
+    rec = HistoryRecorder()
+    a = rec.begin("insert", (1,))
+    b = rec.begin("deletemin", (2,))
+    assert a["op_id"] != b["op_id"]
+    done = HistoryRecorder.end(a, result=(7,))
+    assert done["result"] == (7,)
+    assert "result" not in a  # end() must not mutate the begin payload

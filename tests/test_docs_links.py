@@ -1,0 +1,43 @@
+"""Docs health: every relative markdown link must resolve.
+
+Wraps scripts/check_docs_links.py (the CI gate) so broken links fail
+the ordinary test suite too, and sanity-checks the checker itself
+against a deliberately broken file.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CHECKER = REPO / "scripts" / "check_docs_links.py"
+
+
+def test_all_relative_doc_links_resolve():
+    proc = subprocess.run(
+        [sys.executable, str(CHECKER)],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_checker_flags_broken_links(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "ok.md").write_text("see [docs](docs/real.md) and [web](https://x)\n")
+    (tmp_path / "docs" / "real.md").write_text("[back](../ok.md) [gone](missing.md)\n")
+    proc = subprocess.run(
+        [sys.executable, str(CHECKER), str(tmp_path)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    assert "missing.md" in proc.stdout
+    assert "ok.md" not in proc.stdout.replace("../ok.md", "")
+
+
+def test_repo_docs_exist():
+    for rel in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md",
+                "docs/ARCHITECTURE.md", "docs/OBSERVABILITY.md"):
+        assert (REPO / rel).exists(), rel
