@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Validate Brendan-Gregg collapsed-stack files (CI gate).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_collapsed_stack.py FILE [FILE ...]
+
+Exit 0 when every file parses as ``frame;frame;... <int>`` lines
+(:func:`repro.obs.flame.validate_collapsed`); exit 1 listing every
+problem otherwise.  CI runs this over the ``repro trace flame``
+artifact so a format drift breaks the build, not the downstream
+flamegraph.pl / speedscope consumers.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.obs.flame import validate_collapsed
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    rc = 0
+    for name in argv:
+        path = Path(name)
+        try:
+            text = path.read_text()
+        except OSError as err:
+            print(f"{path}: cannot read ({err})", file=sys.stderr)
+            rc = 1
+            continue
+        problems = validate_collapsed(text)
+        if problems:
+            rc = 1
+            print(f"{path}: INVALID collapsed-stack format:", file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+        else:
+            n = sum(1 for line in text.splitlines() if line.strip())
+            print(f"{path}: ok ({n} stacks)")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -211,6 +211,28 @@ def main() -> None:
               + "; steady-state heapify on the arena backend is "
                 "allocation-free (tracemalloc-verified with floor "
                 "calibration) at every k swept.\n")
+
+    abase = Path("BENCH_analysis.json")
+    if abase.exists():
+        analysis = json.loads(abase.read_text())
+        attr = analysis.get("attribution", {})
+        mk = float(analysis.get("makespan_ns", 0.0)) or 1.0
+        wl = analysis.get("workload", {})
+        a("\n## Critical-path composition (`python -m repro trace analyze`)\n")
+        a("`BENCH_analysis.json` pins where the makespan of the canonical "
+          f"traced mixed workload (threads={wl.get('threads', '?')}, "
+          f"k={wl.get('k', '?')}, seed={wl.get('seed', '?')}) goes, phase "
+          "by phase, on the Coz-style critical path "
+          "(docs/OBSERVABILITY.md § Analysis layer). These are *simulated* "
+          "nanoseconds — deterministic and machine-independent — so when "
+          "the host-timed micro gate fails, `repro bench micro` diffs the "
+          "current composition against this baseline and names the phase "
+          "that regressed.\n")
+        order = sorted(attr.items(), key=lambda kv: -kv[1])
+        a("Baseline attribution: "
+          + ", ".join(f"{p} {v / mk:.1%}" for p, v in order if v > 0)
+          + " — the root/pBuffer lock dominates, the paper's §4 "
+            "serialization story at full k.\n")
     a("")
 
     OUT.write_text("\n".join(parts) + "\n")

@@ -34,7 +34,10 @@ from ..sim import effects as fx
 
 __all__ = [
     "MICRO_KS",
+    "ANALYSIS_WORKLOAD",
+    "analysis_baseline_path",
     "baseline_path",
+    "capture_analysis",
     "compare_to_baseline",
     "run_micro",
     "trace_micro",
@@ -374,6 +377,41 @@ def baseline_path():
     from pathlib import Path
 
     return Path(os.environ.get("REPRO_BENCH_BASELINE", "BENCH_micro.json"))
+
+
+#: canonical engine-driven workload behind ``BENCH_analysis.json`` — the
+#: paper's k=512 node capacity under a contended mixed insert/deletemin
+#: fleet (same shape as ``repro trace`` but at full capacity)
+ANALYSIS_WORKLOAD = {"threads": 4, "ops": 8, "k": 512, "seed": 1}
+
+
+def analysis_baseline_path():
+    """Committed phase-attribution baseline (repo root), env-overridable."""
+    import os
+    from pathlib import Path
+
+    return Path(os.environ.get("REPRO_ANALYSIS_BASELINE", "BENCH_analysis.json"))
+
+
+def capture_analysis(workload: dict | None = None) -> dict:
+    """Analysis payload for the canonical traced workload.
+
+    Engine-driven (unlike the micro timing loops), so all numbers are
+    *simulated* nanoseconds — deterministic and machine-independent,
+    which is what makes the phase composition committable as a baseline
+    and diffable when the host-timed gate fails: a real code regression
+    moves the simulated phase mix, host noise cannot.
+    """
+    from ..obs.analysis import analyze
+    from ..obs.workload import run_traced_mixed
+
+    wl = dict(ANALYSIS_WORKLOAD if workload is None else workload)
+    run = run_traced_mixed(
+        threads=wl["threads"], ops=wl["ops"], k=wl["k"], seed=wl["seed"]
+    )
+    payload = analyze(run.events, run.makespan_ns)
+    payload["workload"] = wl
+    return payload
 
 
 def compare_to_baseline(

@@ -125,6 +125,9 @@ class RunOutcome:
     #: flat obs metrics (repro.obs.export.metrics_dict) when the cell
     #: ran with an event bus attached; None otherwise
     metrics: dict | None = None
+    #: per-phase critical-path attribution ns (repro.obs.analysis) for
+    #: traced cells with a non-zero makespan; None otherwise
+    critical_path: dict | None = None
 
     @property
     def survived(self) -> bool:
@@ -261,6 +264,10 @@ def run_one(
         from .obs.export import metrics_dict
 
         out.metrics = metrics_dict(obs.events, out.makespan_ns or None)
+        if out.makespan_ns > 0:
+            from .obs.analysis import analyze
+
+            out.critical_path = analyze(obs.events, out.makespan_ns)["attribution"]
 
     if out.status == "survived":
         report = HeapAuditor(pq).audit(

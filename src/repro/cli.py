@@ -11,6 +11,9 @@ Usage::
     python -m repro faults                 # fault-injection campaigns
     python -m repro bench micro            # perf-regression microbench
     python -m repro trace                  # traced run + chrome trace JSON
+    python -m repro trace analyze          # critical path + phase attribution
+    python -m repro trace flame            # collapsed stacks + terminal flame
+    python -m repro trace diff A.json B.json   # per-phase run diff
     python -m repro all                    # everything, archived
 
 ``faults`` runs seed-swept crash/timeout/jitter campaigns (see
@@ -32,6 +35,17 @@ https://ui.perfetto.dev).  ``faults`` and ``bench micro`` accept
 prints/archives flat obs counters, ``--trace`` additionally writes a
 Chrome trace of a representative run.  Tracing never changes results
 or timing gates — the bench timing loops always run untraced.
+
+``trace analyze`` folds the same traced run through the causal
+analysis layer (:mod:`repro.obs.analysis`): critical-path extraction,
+per-phase makespan attribution (summing exactly), and the blocking
+wait-for graph; the payload is archived as ``trace_analysis.json``.
+``trace flame`` writes Brendan-Gregg collapsed stacks
+(``trace_flame.txt``, feed it to flamegraph.pl / speedscope) and prints
+a terminal top-down view.  ``trace diff A B`` compares two archived
+analysis captures and names the top regressing phase; malformed or
+schema-mismatched input exits 2 without a traceback.  All trace
+outputs land in ``--output-dir`` when given (else the results dir).
 
 ``REPRO_SCALE`` (default 2048) divides the paper's workload sizes;
 results are archived under ``bench_results/`` and EXPERIMENTS.md can
@@ -69,12 +83,24 @@ def _run(name: str, fn, title: str) -> None:
     print(f"[{wall:.1f}s host; saved {path}]\n")
 
 
-def _write_chrome_trace(events, default_name: str, trace_out: str | None) -> int:
+def _out_dir(args):
+    """Directory for trace-family outputs: --output-dir or the results dir."""
+    from pathlib import Path
+
+    from .bench.reporting import results_dir
+
+    if getattr(args, "output_dir", None):
+        path = Path(args.output_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+    return results_dir()
+
+
+def _write_chrome_trace(events, default_name: str, args) -> int:
     """Validate and write a Chrome trace JSON; returns 0 or 1 (invalid)."""
     import json
     from pathlib import Path
 
-    from .bench.reporting import results_dir
     from .obs import to_chrome_trace, validate_chrome_trace
 
     trace = to_chrome_trace(events)
@@ -84,7 +110,8 @@ def _write_chrome_trace(events, default_name: str, trace_out: str | None) -> int
         for p in problems:
             print(f"  {p}", file=sys.stderr)
         return 1
-    path = Path(trace_out) if trace_out else results_dir() / default_name
+    trace_out = getattr(args, "trace_out", None)
+    path = Path(trace_out) if trace_out else _out_dir(args) / default_name
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(trace) + "\n")
     print(
@@ -94,24 +121,107 @@ def _write_chrome_trace(events, default_name: str, trace_out: str | None) -> int
     return 0
 
 
-def _run_trace(args) -> int:
-    import json
-
-    from .obs import metrics_dict, render_summary
+def _traced_run(args):
     from .obs.workload import run_traced_mixed
 
-    t0 = time.perf_counter()
-    run = run_traced_mixed(
+    return run_traced_mixed(
         threads=args.threads,
         ops=args.ops,
         k=args.capacity,
         seed=args.trace_seed,
         storage=args.storage,
     )
+
+
+def _run_trace_analyze(args) -> int:
+    import json
+
+    from .obs import analyze, render_analysis
+
+    t0 = time.perf_counter()
+    run = _traced_run(args)
+    analysis = analyze(run.events, run.makespan_ns)
+    wall = time.perf_counter() - t0
+    print(render_analysis(analysis))
+    path = _out_dir(args) / "trace_analysis.json"
+    path.write_text(json.dumps(analysis, indent=2, sort_keys=True) + "\n")
+    print(f"\nanalysis saved {path}  (diff two captures with `repro trace diff`)")
+    print(f"[{wall:.1f}s host]")
+    return 0
+
+
+def _run_trace_flame(args) -> int:
+    from .obs import collapsed_stacks, render_flame, validate_collapsed
+
+    t0 = time.perf_counter()
+    run = _traced_run(args)
+    lines = collapsed_stacks(run.events, run.makespan_ns)
+    wall = time.perf_counter() - t0
+    text = "\n".join(lines) + "\n"
+    problems = validate_collapsed(text)
+    if problems:
+        print("INVALID collapsed-stack output:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    path = _out_dir(args) / "trace_flame.txt"
+    path.write_text(text)
+    print(render_flame(lines))
+    print(
+        f"\ncollapsed stacks saved {path} ({len(lines)} stacks)"
+        " — feed to flamegraph.pl or speedscope"
+    )
+    print(f"[{wall:.1f}s host]")
+    return 0
+
+
+def _run_trace_diff(args) -> int:
+    from .obs import AnalysisFormatError, diff_analyses, load_analysis, render_diff
+
+    paths = args.extra
+    if len(paths) != 2:
+        print(
+            "error: `repro trace diff` takes exactly two analysis JSON paths "
+            f"(got {len(paths)})",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        a = load_analysis(paths[0])
+        b = load_analysis(paths[1])
+    except AnalysisFormatError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    diff = diff_analyses(a, b, a_name=paths[0], b_name=paths[1])
+    print(render_diff(diff))
+    return 0
+
+
+def _run_trace(args) -> int:
+    import json
+
+    from .obs import metrics_dict, render_summary
+
+    if args.target == "analyze":
+        return _run_trace_analyze(args)
+    if args.target == "flame":
+        return _run_trace_flame(args)
+    if args.target == "diff":
+        return _run_trace_diff(args)
+    if args.target not in (None, "run"):
+        print(
+            f"error: unknown trace target {args.target!r} "
+            "(try 'analyze', 'flame', or 'diff A B')",
+            file=sys.stderr,
+        )
+        return 2
+
+    t0 = time.perf_counter()
+    run = _traced_run(args)
     wall = time.perf_counter() - t0
     print(render_summary(run.events, run.makespan_ns, buckets=args.buckets))
     print()
-    rc = _write_chrome_trace(run.events, "trace_mixed.json", args.trace_out)
+    rc = _write_chrome_trace(run.events, "trace_mixed.json", args)
     if rc:
         return rc
     print(f"[{wall:.1f}s host]")
@@ -160,11 +270,27 @@ def _run_faults(args) -> int:
                 if key.startswith("counter.") and isinstance(val, int):
                     agg[key] = agg.get(key, 0) + val
         meta["obs_counters"] = agg
+        # per-cell critical-path attributions, summed per phase — where
+        # the campaign's simulated time actually went (see repro.obs.analysis)
+        phases: dict[str, float] = {}
+        cells = 0
+        for o in result.outcomes:
+            if o.critical_path:
+                cells += 1
+                for phase, ns in o.critical_path.items():
+                    phases[phase] = phases.get(phase, 0.0) + ns
+        meta["critical_path_ns"] = {k: round(v, 3) for k, v in sorted(phases.items())}
+        meta["critical_path_cells"] = cells
         if args.metrics:
             print("aggregate obs counters over all cells:")
             for key in sorted(agg):
                 if agg[key]:
                     print(f"  {key:<36} {agg[key]}")
+            total = sum(phases.values())
+            if total > 0:
+                print(f"\ncritical-path attribution over {cells} traced cells:")
+                for phase, ns in sorted(phases.items(), key=lambda kv: -kv[1]):
+                    print(f"  {phase:<20} {ns:>16,.0f} ns {ns / total:>6.1%}")
             print()
     path = save_results("faults", result.rows(), meta=meta)
     print(f"[{wall:.1f}s host; saved {path}]\n")
@@ -179,7 +305,7 @@ def _run_faults(args) -> int:
             queues[0], plans[0], args.seed_base,
             threads=args.threads, ops=args.ops, k=args.capacity, obs=bus,
         )
-        rc = _write_chrome_trace(bus.events, "trace_faults.json", args.trace_out)
+        rc = _write_chrome_trace(bus.events, "trace_faults.json", args)
         if rc:
             return rc
     if not result.ok:
@@ -199,12 +325,55 @@ def _run_faults(args) -> int:
     return 0
 
 
+def _refresh_analysis_baseline() -> None:
+    """Rewrite BENCH_analysis.json (per-phase critical-path composition)."""
+    import json
+
+    from .bench.micro import analysis_baseline_path, capture_analysis
+
+    payload = capture_analysis()
+    path = analysis_baseline_path()
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"analysis baseline written to {path}")
+
+
+def _print_phase_diff() -> int:
+    """On a bench-gate failure, say *which phase* regressed.
+
+    The micro gate compares host-timed ratios; this recomputes the
+    engine-driven phase attribution (simulated ns, deterministic) and
+    diffs it against the committed ``BENCH_analysis.json`` — so a real
+    regression names the phase that grew, while pure host noise shows
+    an unchanged phase mix.
+    """
+    from .bench.micro import analysis_baseline_path, capture_analysis
+    from .obs import AnalysisFormatError, diff_analyses, load_analysis, render_diff
+
+    apath = analysis_baseline_path()
+    if not apath.exists():
+        print(
+            "\n(no phase-composition baseline to localize the regression; "
+            "record one with --update-baseline)"
+        )
+        return 1
+    try:
+        baseline = load_analysis(apath)
+    except AnalysisFormatError as err:
+        print(f"\n(cannot localize regression per phase: {err})")
+        return 1
+    current = capture_analysis(baseline.get("workload"))
+    diff = diff_analyses(baseline, current, a_name=str(apath), b_name="current")
+    print("\nper-phase critical-path composition (engine-driven, simulated ns):")
+    print(render_diff(diff))
+    return 0
+
+
 def _run_bench(args) -> int:
     import json
 
     from .bench.micro import MICRO_KS, baseline_path, compare_to_baseline, run_micro
 
-    if args.target != "micro":
+    if (args.target or "micro") != "micro":
         print(f"error: unknown bench target {args.target!r} (try 'micro')",
               file=sys.stderr)
         return 2
@@ -249,6 +418,7 @@ def _run_bench(args) -> int:
     if args.update_baseline or not base_file.exists():
         base_file.write_text(json.dumps(results, indent=2, default=str) + "\n")
         print(f"baseline written to {base_file}")
+        _refresh_analysis_baseline()
     else:
         baseline = json.loads(base_file.read_text())
         problems = compare_to_baseline(results, baseline)
@@ -256,6 +426,7 @@ def _run_bench(args) -> int:
             print(f"PERF REGRESSION vs {base_file}:")
             for p in problems:
                 print(f"  {p}")
+            _print_phase_diff()
             print("\n(re-baseline intentionally with: python -m repro bench micro "
                   "--update-baseline)")
             rc = 1
@@ -278,9 +449,7 @@ def _run_bench(args) -> int:
                 if metrics[key]:
                     print(f"  {key:<36} {metrics[key]}")
         if args.trace:
-            bad = _write_chrome_trace(
-                bus.events, "trace_bench_micro.json", args.trace_out
-            )
+            bad = _write_chrome_trace(bus.events, "trace_bench_micro.json", args)
             rc = rc or bad
     return rc
 
@@ -309,8 +478,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "target",
         nargs="?",
-        default="micro",
-        help="bench target (only 'micro' for now); ignored elsewhere",
+        default=None,
+        help=(
+            "subcommand target: bench takes 'micro' (default); trace takes "
+            "'analyze', 'flame', or 'diff'; ignored elsewhere"
+        ),
+    )
+    parser.add_argument(
+        "extra",
+        nargs="*",
+        default=[],
+        help="extra positionals (the two analysis JSONs for `trace diff A B`)",
+    )
+    from ._version import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     parser.add_argument(
         "--sizes",
@@ -382,6 +565,14 @@ def main(argv: list[str] | None = None) -> int:
         "--trace-out",
         default=None,
         help="path for the Chrome trace JSON (default: bench_results/trace_*.json)",
+    )
+    obs.add_argument(
+        "--output-dir",
+        default=None,
+        help=(
+            "directory for trace-family outputs — chrome trace, "
+            "trace_analysis.json, trace_flame.txt (default: the results dir)"
+        ),
     )
     obs.add_argument(
         "--trace-seed",

@@ -1,6 +1,6 @@
 """repro.obs — event-sourced observability for simulated runs.
 
-The layer has three parts, matching its three modules:
+The layer has two floors.  The *recording* floor:
 
 * :mod:`repro.obs.events` — the taxonomy and the :class:`EventBus` that
   the engine, the BGPQ op paths, and the fault injector emit into.
@@ -10,6 +10,21 @@ The layer has three parts, matching its three modules:
 * :mod:`repro.obs.export` — Chrome trace JSON, a flat metrics dict,
   and the terminal summary.
 
+And the *analysis* floor (PR 4), built entirely on the recorded
+stream — still pure folds, so it runs on a live bus or one rebuilt
+from disk:
+
+* :mod:`repro.obs.spans` — the span-tree builder (thread → op →
+  wait/hold/sort-split) and the five-phase partition of every
+  thread's timeline.
+* :mod:`repro.obs.analysis` — blocking wait-for graph, Coz-style
+  critical-path extraction, and per-phase makespan attribution whose
+  sums telescope exactly.
+* :mod:`repro.obs.flame` — collapsed-stack flamegraph export and a
+  terminal top-down view.
+* :mod:`repro.obs.compare` — run diffing: per-phase deltas between
+  two captures with a deterministic top-regressor ranking.
+
 Wiring a run::
 
     from repro.obs import EventBus
@@ -18,6 +33,7 @@ Wiring a run::
     eng = Engine(seed=1, obs=bus)
     ... spawn workers, makespan = eng.run() ...
     print(render_summary(bus.events, makespan))
+    print(render_analysis(analyze(bus.events, makespan)))
 
 :mod:`repro.obs.workload` bundles exactly that wiring for the
 ``repro trace`` CLI command; it imports :mod:`repro.core`, so it is
@@ -31,8 +47,22 @@ See ``docs/OBSERVABILITY.md`` for the full story.
 from .aggregate import (
     collaboration_counters,
     op_latencies,
+    percentile,
     utilization_timeline,
     wait_intervals,
+)
+from .analysis import (
+    ANALYSIS_SCHEMA,
+    analyze,
+    critical_path,
+    render_analysis,
+    wait_for_graph,
+)
+from .compare import (
+    AnalysisFormatError,
+    diff_analyses,
+    load_analysis,
+    render_diff,
 )
 from .events import EventBus, TraceEvent
 from .export import (
@@ -41,16 +71,35 @@ from .export import (
     to_chrome_trace,
     validate_chrome_trace,
 )
+from .flame import collapsed_stacks, render_flame, validate_collapsed
+from .spans import PHASES, Span, build_span_trees, phase_partition
 
 __all__ = [
+    "ANALYSIS_SCHEMA",
+    "AnalysisFormatError",
     "EventBus",
+    "PHASES",
+    "Span",
     "TraceEvent",
+    "analyze",
+    "build_span_trees",
     "collaboration_counters",
-    "op_latencies",
-    "utilization_timeline",
-    "wait_intervals",
+    "collapsed_stacks",
+    "critical_path",
+    "diff_analyses",
+    "load_analysis",
     "metrics_dict",
+    "op_latencies",
+    "percentile",
+    "phase_partition",
+    "render_analysis",
+    "render_diff",
+    "render_flame",
     "render_summary",
     "to_chrome_trace",
+    "utilization_timeline",
     "validate_chrome_trace",
+    "validate_collapsed",
+    "wait_for_graph",
+    "wait_intervals",
 ]

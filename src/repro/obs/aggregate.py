@@ -53,6 +53,7 @@ from .events import (
 __all__ = [
     "collaboration_counters",
     "op_latencies",
+    "percentile",
     "utilization_timeline",
     "wait_intervals",
 ]
@@ -134,8 +135,20 @@ def collaboration_counters(events: Iterable[TraceEvent]) -> dict[str, int]:
     return c
 
 
-def _percentile(sorted_vals: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of an already-sorted non-empty sequence."""
+def percentile(
+    sorted_vals: Sequence[float], q: float, default: float | None = None
+) -> float | None:
+    """Nearest-rank percentile of an already-sorted sequence.
+
+    An empty sequence returns ``default`` (None unless overridden) — a
+    deterministic sentinel rather than a NaN or an IndexError, so
+    callers folding histograms that may be empty (no completed ops of
+    a kind) get a testable value.  With a single sample every quantile
+    — p0 through p100 — is that sample, so p50 and p99 agree by
+    construction.  ``q`` is clamped into [0, 1].
+    """
+    if not sorted_vals:
+        return default
     idx = min(len(sorted_vals) - 1, max(0, round(q * (len(sorted_vals) - 1))))
     return sorted_vals[idx]
 
@@ -149,7 +162,10 @@ def op_latencies(events: Iterable[TraceEvent]) -> dict[str, dict]:
     that never complete (crashed or aborted operations) are dropped.
 
     Returns ``{kind: {count, total_ns, mean_ns, min_ns, p50_ns, p95_ns,
-    max_ns}}``.
+    p99_ns, max_ns}}``.  Kinds with no completed pairs are simply
+    absent — there is no empty histogram to query; use
+    :func:`percentile` directly when folding raw sample lists that may
+    be empty.
     """
     pending: dict[str, tuple[str, float]] = {}  # thread -> (kind, begin ts)
     samples: dict[str, list[float]] = {}
@@ -170,8 +186,9 @@ def op_latencies(events: Iterable[TraceEvent]) -> dict[str, dict]:
             "total_ns": total,
             "mean_ns": total / len(vals),
             "min_ns": vals[0],
-            "p50_ns": _percentile(vals, 0.50),
-            "p95_ns": _percentile(vals, 0.95),
+            "p50_ns": percentile(vals, 0.50),
+            "p95_ns": percentile(vals, 0.95),
+            "p99_ns": percentile(vals, 0.99),
             "max_ns": vals[-1],
         }
     return out

@@ -1,0 +1,317 @@
+"""Causal analysis: wait-for graph, critical path, phase attribution.
+
+This is the layer that turns a trace into an *answer*.  The paper's
+performance claims all reduce to where end-to-end time goes — root-lock
+serialization vs. hand-over-hand heapify vs. SORT_SPLIT compute vs. the
+deleter–inserter collaboration — and the makespan of a concurrent run
+is bounded not by any one thread but by the longest *blocking chain*
+through it.  Three pure folds over the event stream recover that chain:
+
+* :func:`wait_for_graph` — every blocking edge (who waited on whom, on
+  what, for how long), aggregated per (waiter, blocker, resource).
+* :func:`critical_path` — the longest blocking chain through the
+  makespan.  Starting from the thread that finishes last, walk
+  backward through time: across a thread's busy intervals, and at each
+  wait, *jump to the thread that ended the wait* (the lock releaser /
+  condition signaller, recovered from the events' ``by`` field) — the
+  Coz-style causal step: while a thread waits, the run's progress is
+  whatever its blocker is doing.  The result is a contiguous chain of
+  segments covering ``[0, makespan]`` exactly.
+* :func:`attribute` / :func:`analyze` — label every segment with one of
+  the five phases (:data:`repro.obs.spans.PHASES`) and sum.  Segment
+  endpoints are shared values, so summing with :class:`fractions.Fraction`
+  telescopes *exactly* to the makespan — the cross-check
+  ``attribution_exact`` asserts it, no epsilon.
+
+Everything is deterministic: ties (equal finish times, equal deltas)
+break lexicographically, and the output dict round-trips through JSON
+byte-identically for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from .aggregate import collaboration_counters
+from .events import THREAD_FINISH, TraceEvent
+from .spans import PHASES, lifetimes, phase_partition, wait_records
+
+__all__ = [
+    "ANALYSIS_SCHEMA",
+    "analyze",
+    "critical_path",
+    "render_analysis",
+    "wait_for_graph",
+]
+
+#: schema tag embedded in every analysis payload; `repro trace diff`
+#: refuses to compare captures whose schemas differ
+ANALYSIS_SCHEMA = "repro.obs.analysis/v1"
+
+
+# ---------------------------------------------------------------------------
+def wait_for_graph(events: Sequence[TraceEvent]) -> dict:
+    """Aggregate blocking edges from the wait records.
+
+    Returns ``{"edges": [...], "by_resource": [...]}`` where each edge
+    is ``{waiter, blocker, resource, kind, wait_ns, count}`` summed
+    over all waits of that (waiter, blocker, resource) triple, sorted
+    by descending ``wait_ns`` (ties: waiter, blocker, resource), and
+    ``by_resource`` rolls the same time up per contended resource.
+    ``blocker`` is ``"?"`` for waits whose ender is unknowable
+    (timeouts, barrier releases).
+    """
+    edges: dict[tuple[str, str, str, str], list[float]] = {}
+    per_res: dict[tuple[str, str], list[float]] = {}
+    for waiter, recs in wait_records(events).items():
+        for rec in recs:
+            blocker = rec["blocker"] or "?"
+            key = (waiter, blocker, rec["resource"], rec["kind"])
+            cell = edges.setdefault(key, [0.0, 0])
+            cell[0] += rec["t1"] - rec["t0"]
+            cell[1] += 1
+            rcell = per_res.setdefault((rec["resource"], rec["kind"]), [0.0, 0])
+            rcell[0] += rec["t1"] - rec["t0"]
+            rcell[1] += 1
+    edge_rows = [
+        {
+            "waiter": w, "blocker": b, "resource": r, "kind": k,
+            "wait_ns": round(ns, 3), "count": n,
+        }
+        for (w, b, r, k), (ns, n) in edges.items()
+    ]
+    edge_rows.sort(key=lambda e: (-e["wait_ns"], e["waiter"], e["blocker"],
+                                  e["resource"]))
+    res_rows = [
+        {"resource": r, "kind": k, "wait_ns": round(ns, 3), "count": n}
+        for (r, k), (ns, n) in per_res.items()
+    ]
+    res_rows.sort(key=lambda e: (-e["wait_ns"], e["resource"]))
+    return {"edges": edge_rows, "by_resource": res_rows}
+
+
+# ---------------------------------------------------------------------------
+def _last_finisher(events: Sequence[TraceEvent], makespan_ns: float) -> str | None:
+    """The thread whose finish is latest (ties: lexicographically first)."""
+    best: tuple[float, str] | None = None
+    for ev in events:
+        if ev.etype == THREAD_FINISH:
+            key = (ev.ts, ev.thread)
+            if best is None or key[0] > best[0] or (
+                key[0] == best[0] and key[1] < best[1]
+            ):
+                best = key
+    return best[1] if best else None
+
+
+def critical_path(
+    events: Sequence[TraceEvent], makespan_ns: float
+) -> list[dict]:
+    """Extract the longest blocking chain through ``[0, makespan]``.
+
+    Returns time-ordered, contiguous segments
+    ``{"thread", "t0_ns", "t1_ns", "phase"}`` whose endpoints coincide
+    exactly (each segment starts where the previous ends) and which
+    cover ``[0, makespan]`` completely.  ``thread`` is None for the
+    leading idle stretch before the chain's first thread spawns.
+
+    Walk (backward from the last finisher at the makespan):
+
+    1. Across busy time, follow the thread and label each slice with
+       its phase from :func:`~repro.obs.spans.phase_partition`.
+    2. At a wait whose ender is known (``by`` on the grant/wake), jump
+       to that blocker at the hand-off instant — the wait itself never
+       appears on the path; the blocker's work does, which is what
+       makes the path *causal*.
+    3. At a wait whose ender is unknown (timeout) or self-caused, keep
+       the wait on the path labeled with its own kind.
+
+    A visited-set guards against zero-width hand-off cycles (two
+    grants at the same timestamp); on a revisit the wait is kept on
+    the path instead of jumping, so the walk always progresses.
+    """
+    if makespan_ns <= 0:
+        return []
+    life = lifetimes(events, makespan_ns)
+    waits = wait_records(events)
+    partition = phase_partition(events, makespan_ns)
+    cur = _last_finisher(events, makespan_ns)
+    if cur is None and life:
+        cur = sorted(life)[0]
+    segments: list[dict] = []  # built in reverse time order
+
+    def emit(t0: float, t1: float, thread: str | None, phase: str) -> None:
+        if t1 > t0:
+            segments.append(
+                {"thread": thread, "t0_ns": t0, "t1_ns": t1, "phase": phase}
+            )
+
+    def emit_busy(thread: str, lo: float, hi: float) -> None:
+        """Label (lo, hi] on ``thread`` from its phase partition.
+
+        Pieces are appended newest-first — ``segments`` is built in
+        reverse time order and flipped once at the end.
+        """
+        pieces = partition.get(thread, [(0.0, makespan_ns, "compute")])
+        for a, b, phase in reversed(pieces):
+            p0, p1 = max(a, lo), min(b, hi)
+            if p1 > p0:
+                # waits inside (lo, hi] cannot occur (lo is the latest
+                # wait end), but the partition labels them anyway —
+                # keep whatever label the slice carries.
+                emit(p0, p1, thread, phase)
+
+    visited: set[tuple[str, float, float]] = set()
+    t = makespan_ns
+    guard = 4 * len(events) + 64
+    while t > 0 and guard:
+        guard -= 1
+        if cur is None:
+            emit(0.0, t, None, "idle")
+            break
+        s, f = life.get(cur, (0.0, makespan_ns))
+        if t <= s:
+            # walked past the spawn; nothing upstream is recorded
+            emit(0.0, t, None, "idle")
+            break
+        # the wait governing position t: either containing t (blocked
+        # at t) or the latest one ending at/before t
+        containing = None
+        latest = None
+        for rec in waits.get(cur, []):
+            if rec["t0"] < t <= rec["t1"]:
+                containing = rec
+            if rec["t1"] <= t and (latest is None or rec["t1"] > latest["t1"]):
+                latest = rec
+        if containing is not None:
+            rec = containing
+            key = (cur, rec["t0"], t)
+            blocker = rec["blocker"]
+            if blocker and blocker != cur and key not in visited:
+                visited.add(key)
+                cur = blocker
+                continue  # same t, new thread: the blocker was running
+            emit(rec["t0"], t, cur, rec["kind"])
+            t = rec["t0"]
+            continue
+        lo = latest["t1"] if latest is not None else s
+        lo = min(lo, t)
+        if lo < t:
+            emit_busy(cur, lo, t)
+            t = lo
+            continue
+        if latest is None:
+            emit(0.0, s, None, "idle")
+            break
+        blocker = latest["blocker"]
+        key = (cur, latest["t0"], latest["t1"])
+        if blocker and blocker != cur and key not in visited:
+            visited.add(key)
+            cur = blocker
+        else:
+            emit(latest["t0"], latest["t1"], cur, latest["kind"])
+            t = latest["t0"]
+    segments.reverse()
+    return segments
+
+
+def attribute(segments: Sequence[dict], makespan_ns: float) -> tuple[dict, bool]:
+    """Sum segment durations per phase; verify exactness with Fractions.
+
+    Returns ``({phase: ns}, exact)`` where ``exact`` is True iff the
+    per-phase sums — accumulated as exact rationals over the shared
+    segment endpoints — telescope to precisely ``makespan_ns``.  The
+    float dict is derived from the same rationals, so reported numbers
+    and the exactness check cannot drift apart.
+    """
+    sums: dict[str, Fraction] = {p: Fraction(0) for p in PHASES}
+    for seg in segments:
+        sums[seg["phase"]] += Fraction(seg["t1_ns"]) - Fraction(seg["t0_ns"])
+    total = sum(sums.values(), Fraction(0))
+    exact = total == Fraction(makespan_ns)
+    return {p: float(v) for p, v in sums.items()}, exact
+
+
+# ---------------------------------------------------------------------------
+def analyze(events: Sequence[TraceEvent], makespan_ns: float) -> dict:
+    """The full analysis payload for one traced run (JSON-ready).
+
+    Keys: ``schema``, ``makespan_ns``, ``attribution`` (per-phase ns on
+    the critical path), ``attribution_frac``, ``attribution_exact``
+    (the Fraction cross-check), ``critical_path_ns`` (non-idle path
+    time), ``n_segments``, ``segments`` (the chain itself), ``wait_for``
+    (the blocking graph), and ``counters`` (mechanism counts, for
+    context in diffs).  Deterministic: same events + makespan => same
+    payload, byte-identical once JSON-dumped with sorted keys.
+    """
+    segments = critical_path(events, makespan_ns)
+    attr, exact = attribute(segments, makespan_ns)
+    attr_rounded = {p: round(v, 3) for p, v in attr.items()}
+    frac = {
+        p: (round(v / makespan_ns, 6) if makespan_ns > 0 else 0.0)
+        for p, v in attr.items()
+    }
+    non_idle = sum(v for p, v in attr.items() if p != "idle")
+    return {
+        "schema": ANALYSIS_SCHEMA,
+        "makespan_ns": round(float(makespan_ns), 3),
+        "attribution": attr_rounded,
+        "attribution_frac": frac,
+        "attribution_exact": bool(exact),
+        "critical_path_ns": round(non_idle, 3),
+        "n_segments": len(segments),
+        "segments": [
+            {
+                "thread": seg["thread"],
+                "t0_ns": round(seg["t0_ns"], 3),
+                "t1_ns": round(seg["t1_ns"], 3),
+                "phase": seg["phase"],
+            }
+            for seg in segments
+        ],
+        "wait_for": wait_for_graph(events),
+        "counters": collaboration_counters(events),
+    }
+
+
+def render_analysis(analysis: dict, max_edges: int = 8) -> str:
+    """Terminal report: attribution table, top blocking edges, chain."""
+    lines: list[str] = []
+    mk = analysis["makespan_ns"]
+    lines.append(
+        f"critical-path analysis over {mk:.0f} ns makespan "
+        f"({analysis['n_segments']} segments, attribution "
+        f"{'exact' if analysis['attribution_exact'] else 'INEXACT'})"
+    )
+    lines.append("")
+    lines.append("phase attribution (every ns of the makespan, once)")
+    width = max(len(p) for p in PHASES)
+    for phase in PHASES:
+        ns = analysis["attribution"].get(phase, 0.0)
+        frac = analysis["attribution_frac"].get(phase, 0.0)
+        bar = "#" * int(round(frac * 40))
+        lines.append(f"  {phase:<{width}} {ns:>14,.0f} ns {frac:>7.1%} |{bar}")
+    lines.append("")
+    edges = analysis["wait_for"]["edges"][:max_edges]
+    if edges:
+        lines.append(f"top blocking edges (of {len(analysis['wait_for']['edges'])})")
+        for e in edges:
+            lines.append(
+                f"  {e['waiter']:<6} waited {e['wait_ns']:>12,.0f} ns on "
+                f"{e['resource']:<18} held by {e['blocker']:<6} "
+                f"x{e['count']} [{e['kind']}]"
+            )
+        lines.append("")
+    segs = analysis["segments"]
+    lines.append(f"critical path ({len(segs)} segments, oldest first)")
+    shown = segs if len(segs) <= 12 else segs[:6] + [None] + segs[-6:]
+    for seg in shown:
+        if seg is None:
+            lines.append(f"  ... {len(segs) - 12} more ...")
+            continue
+        lines.append(
+            f"  {seg['t0_ns']:>12,.0f} -> {seg['t1_ns']:>12,.0f}  "
+            f"{(seg['thread'] or '-'):<8} {seg['phase']}"
+        )
+    return "\n".join(lines)

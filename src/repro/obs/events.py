@@ -31,12 +31,16 @@ Engine-level (emitted by :class:`repro.sim.engine.Engine`):
 =====================  ====================================================
 ``lock.acquire``       uncontended lock grant (fields: ``lock``)
 ``lock.contend``       acquisition had to queue (``lock``)
-``lock.grant``         queued acquisition granted (``lock``, ``waited``)
+``lock.grant``         queued acquisition granted (``lock``, ``waited``,
+                       ``by`` — the releasing thread that handed the
+                       lock over; the causal edge the analysis layer's
+                       wait-for graph walks)
 ``lock.release``       lock released (``lock``)
 ``lock.timeout``       bounded wait expired (``lock``, ``waited``)
 ``lock.try_fail``      TryAcquire probe found the lock held (``lock``)
 ``cond.wait``          thread blocked on a condition (``cond``)
-``cond.wake``          condition wait ended (``cond``, ``waited``)
+``cond.wake``          condition wait ended (``cond``, ``waited``,
+                       ``by`` — the signalling thread)
 ``barrier.wait``       thread arrived at a barrier (``barrier``)
 ``barrier.leave``      barrier released the thread (``barrier``)
 ``thread.start``       simulated thread spawned

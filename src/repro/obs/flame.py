@@ -1,0 +1,161 @@
+"""Flamegraph export: collapsed stacks + a terminal top-down view.
+
+Folds the per-thread phase partitions (:mod:`repro.obs.spans`) into
+Brendan Gregg's collapsed-stack format — one ``frame;frame;... value``
+line per unique stack, values in integer simulated nanoseconds — which
+``flamegraph.pl`` / speedscope / inferno all consume directly.  Stack
+shape::
+
+    <thread>;<op>;<phase>[;sort_split:<site>]   <ns>
+    <thread>;idle                               <ns>
+
+Every thread's full ``[0, makespan]`` is emitted (idle included), so
+frame widths are comparable across threads and the total equals
+``n_threads * makespan``.  SORT_SPLIT leaves are carved out of their
+enclosing phase slice, so a stack's children never exceed the parent.
+
+All outputs are deterministic: lines sorted lexicographically, values
+integral, no wall-clock anywhere — the golden-file test pins the exact
+bytes for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .events import TraceEvent
+from .spans import op_intervals, phase_partition, sort_split_leaves
+
+__all__ = [
+    "collapsed_stacks",
+    "render_flame",
+    "validate_collapsed",
+]
+
+
+def _clip(a0: float, a1: float, b0: float, b1: float) -> float:
+    return max(0.0, min(a1, b1) - max(a0, b0))
+
+
+def collapsed_stacks(
+    events: Sequence[TraceEvent], makespan_ns: float
+) -> list[str]:
+    """Collapsed-stack lines for one traced run (sorted, integer ns)."""
+    partition = phase_partition(events, makespan_ns)
+    ops = op_intervals(events, makespan_ns)
+    leaves = sort_split_leaves(events)
+    acc: dict[str, float] = {}
+
+    def add(stack: str, ns: float) -> None:
+        if ns > 0:
+            acc[stack] = acc.get(stack, 0.0) + ns
+
+    for thread, pieces in partition.items():
+        t_ops = ops.get(thread, [])
+        t_leaves = leaves.get(thread, [])
+        for a, b, phase in pieces:
+            if phase == "idle":
+                add(f"{thread};idle", b - a)
+                continue
+            # split the phase piece along op boundaries
+            cuts = [a, b]
+            for o0, o1, _ in t_ops:
+                for c in (o0, o1):
+                    if a < c < b:
+                        cuts.append(c)
+            cuts = sorted(set(cuts))
+            for p0, p1 in zip(cuts, cuts[1:]):
+                mid = p0 + (p1 - p0) / 2
+                op = "outside-op"
+                for o0, o1, name in t_ops:
+                    if o0 <= mid < o1:
+                        op = name
+                        break
+                base = f"{thread};{op};{phase}"
+                carved = 0.0
+                for l0, l1, site in t_leaves:
+                    ns = _clip(l0, l1, p0, p1)
+                    if ns > 0:
+                        add(f"{base};sort_split:{site}", ns)
+                        carved += ns
+                add(base, (p1 - p0) - carved)
+    lines = [
+        f"{stack} {int(round(ns))}"
+        for stack, ns in acc.items()
+        if int(round(ns)) > 0
+    ]
+    return sorted(lines)
+
+
+def validate_collapsed(text: str) -> list[str]:
+    """Check collapsed-stack text; returns problems (empty when valid).
+
+    Rules: every non-empty line is ``stack value`` separated by a
+    single space; the stack is one or more ``;``-separated non-empty
+    frames containing no whitespace; the value is a non-negative
+    integer.  Shared with ``scripts/check_collapsed_stack.py`` and CI.
+    """
+    problems: list[str] = []
+    for i, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        parts = line.rsplit(" ", 1)
+        if len(parts) != 2:
+            problems.append(f"line {i}: expected 'stack value', got {line!r}")
+            continue
+        stack, value = parts
+        if not value.isdigit():
+            problems.append(f"line {i}: value {value!r} is not a non-negative int")
+        frames = stack.split(";")
+        if not frames or any(not f or " " in f or "\t" in f for f in frames):
+            problems.append(f"line {i}: malformed stack {stack!r}")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+def _build_trie(lines: Sequence[str]) -> dict:
+    root: dict = {"value": 0, "children": {}}
+    for line in lines:
+        stack, value = line.rsplit(" ", 1)
+        ns = int(value)
+        node = root
+        node["value"] += ns
+        for frame in stack.split(";"):
+            node = node["children"].setdefault(frame, {"value": 0, "children": {}})
+            node["value"] += ns
+    return root
+
+
+def render_flame(
+    lines: Sequence[str], width: int = 32, max_depth: int = 6
+) -> str:
+    """SVG-free top-down flamegraph for the terminal.
+
+    Each row is one frame: indented by depth, with a bar proportional
+    to its share of total thread-time and its inclusive ns.  Children
+    sort by descending value (ties: name), mirroring how a flamegraph
+    SVG orders its boxes.
+    """
+    trie = _build_trie(lines)
+    total = trie["value"]
+    out = [f"flamegraph (total thread-time {total:,} ns)"]
+    if total <= 0:
+        out.append("(empty)")
+        return "\n".join(out)
+
+    def walk(node: dict, depth: int) -> None:
+        children = sorted(
+            node["children"].items(), key=lambda kv: (-kv[1]["value"], kv[0])
+        )
+        for name, child in children:
+            frac = child["value"] / total
+            bar = "#" * max(1, int(round(frac * width)))
+            out.append(
+                f"  {'  ' * depth}{name:<{max(1, 38 - 2 * depth)}} "
+                f"{child['value']:>14,} ns {frac:>6.1%} {bar}"
+            )
+            if depth + 1 < max_depth:
+                walk(child, depth + 1)
+
+    walk(trie, 0)
+    return "\n".join(out)

@@ -1,0 +1,462 @@
+"""Span-tree builder: fold the flat event list into per-operation spans.
+
+The event stream (:mod:`repro.obs.events`) is flat — one timestamped
+fact per line.  Profiling questions ("where did this DELETEMIN spend
+its time?") need *intervals with structure*: an operation span that
+contains its root-lock wait, the hand-over-hand lock holds of the
+heapify descent, and the SORT_SPLIT leaves inside them.  This module
+recovers that structure as a pure fold over the list:
+
+* :func:`build_span_trees` — one span tree per simulated thread:
+  thread lifetime → op spans (insert / deletemin) → wait / hold /
+  sort-split / mark children.  Hand-over-hand holds *overlap* (the
+  next lock is taken before the previous is dropped), so children of
+  an op span are ordered siblings, not strictly nested.
+* :func:`phase_partition` — for every thread, an exact partition of
+  ``[0, makespan]`` into the five phases the paper's performance story
+  is told in: ``root_serialization`` / ``hand_over_hand`` /
+  ``steal_protocol`` / ``compute`` / ``idle``.  The partition's pieces
+  share endpoints exactly, which is what lets the critical-path
+  attribution in :mod:`repro.obs.analysis` sum to the makespan with no
+  float dust.
+* :func:`sort_split_leaves` — per-thread SORT_SPLIT leaf intervals.
+  The emit site fires at the *start* of the merge and the cost-model
+  charge advances the clock immediately after, so a leaf runs from its
+  timestamp to the thread's next event.
+
+Everything here is a pure function of the event list: no queue, no
+engine, so it works identically on a live bus or a stream rebuilt from
+a Chrome trace's source events.
+
+Phase semantics
+---------------
+``root_serialization``
+    Blocked on, or holding, the root/pBuffer lock (``*.n1``).  Work
+    done under the root lock serializes every other operation — this
+    is the paper's root-contention bottleneck, whether the time is
+    spent waiting for the lock or merging under it.
+``hand_over_hand``
+    Blocked on, or holding, any non-root node lock: the heapify
+    descents of Algorithms 1–3.
+``steal_protocol``
+    Blocked on a condition variable — the deleter side of the
+    TARGET/MARKED collaboration (waiting for an inserter to refill the
+    root) and its ablation variant.
+``compute``
+    Running with no BGPQ lock held: the pre-insert bitonic sort,
+    between-lock compute charges.
+``idle``
+    Outside the thread's lifetime (before spawn / after finish), plus
+    barrier waits (none occur in BGPQ runs).
+
+A thread both *waiting* on one lock and *holding* another (blocked
+mid-descent) counts as waiting — it is doing no work.  Wait labels
+therefore take precedence over hold labels; root holds take precedence
+over node holds (the root lock is the scarcer resource).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .events import (
+    BARRIER_LEAVE,
+    BARRIER_WAIT,
+    COLLAB_FILL,
+    COLLAB_STEAL,
+    COND_WAIT,
+    COND_WAKE,
+    FAULT_ABORT,
+    FAULT_CRASH,
+    FAULT_ROLLBACK,
+    LOCK_ACQUIRE,
+    LOCK_CONTEND,
+    LOCK_GRANT,
+    LOCK_RELEASE,
+    LOCK_TIMEOUT,
+    OP_BEGIN,
+    OP_END,
+    PBUFFER_HIT,
+    PBUFFER_OVERFLOW,
+    ROOT_REFILL,
+    SORT_SPLIT,
+    THREAD_FINISH,
+    THREAD_START,
+    TraceEvent,
+)
+
+__all__ = [
+    "PHASES",
+    "Span",
+    "build_span_trees",
+    "is_root_lock",
+    "lifetimes",
+    "op_intervals",
+    "phase_partition",
+    "sort_split_leaves",
+    "wait_records",
+]
+
+#: the five attribution phases, in report order
+PHASES = (
+    "root_serialization",
+    "hand_over_hand",
+    "steal_protocol",
+    "compute",
+    "idle",
+)
+
+#: sort_split / pbuffer / refill / collab / fault events become zero-width
+#: "mark" leaves on the span tree
+_MARK_TYPES = {
+    PBUFFER_HIT,
+    PBUFFER_OVERFLOW,
+    ROOT_REFILL,
+    COLLAB_STEAL,
+    COLLAB_FILL,
+    FAULT_CRASH,
+    FAULT_ROLLBACK,
+    FAULT_ABORT,
+}
+
+
+def is_root_lock(name: str) -> bool:
+    """True for the root/pBuffer lock of a :class:`HeapStorage`.
+
+    Storage locks are named ``<heap>.n<i>`` with the root at index 1
+    (``locks[1]`` protects both the root node and the partial buffer),
+    so the root lock of every queue instance ends in ``.n1``.
+    """
+    return name.endswith(".n1")
+
+
+class Span:
+    """One recovered interval: ``[t0, t1]`` on a thread, with children.
+
+    ``cat`` is the span's structural category (``thread``, ``op``,
+    ``wait``, ``hold``, ``sort_split``, ``mark``); ``name`` carries the
+    specifics (``insert``, ``wait:bgpq.n1``, ``sort_split:delete.heapify_pair``).
+    """
+
+    __slots__ = ("name", "cat", "thread", "t0", "t1", "children", "meta")
+
+    def __init__(self, name: str, cat: str, thread: str, t0: float, t1: float,
+                 meta: dict | None = None):
+        self.name = name
+        self.cat = cat
+        self.thread = thread
+        self.t0 = t0
+        self.t1 = t1
+        self.children: list[Span] = []
+        self.meta = meta or {}
+
+    @property
+    def dur(self) -> float:
+        return self.t1 - self.t0
+
+    def walk(self):
+        """Yield this span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Span({self.name!r}, {self.cat}, {self.thread}, "
+            f"[{self.t0:g}, {self.t1:g}], {len(self.children)} children)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# flat interval extractors (shared by the tree builder and the partition)
+# ---------------------------------------------------------------------------
+def lifetimes(
+    events: Iterable[TraceEvent], makespan_ns: float | None = None
+) -> dict[str, tuple[float, float]]:
+    """Per-thread ``(start, finish)``; unfinished threads run to the
+    stream's last timestamp (or ``makespan_ns`` when given)."""
+    starts: dict[str, float] = {}
+    finishes: dict[str, float] = {}
+    last = 0.0
+    for ev in events:
+        last = max(last, ev.ts)
+        if ev.etype == THREAD_START:
+            starts[ev.thread] = ev.ts
+        elif ev.etype == THREAD_FINISH:
+            finishes[ev.thread] = ev.ts
+    end = makespan_ns if makespan_ns is not None else last
+    return {t: (s, finishes.get(t, end)) for t, s in starts.items()}
+
+
+def op_intervals(
+    events: Iterable[TraceEvent], makespan_ns: float | None = None
+) -> dict[str, list[tuple[float, float, str]]]:
+    """Per-thread ``(t0, t1, op)`` operation intervals.
+
+    A begin with no matching end (a crashed/aborted operation at
+    stream end) is closed at the thread's last event so its time is
+    still attributable.
+    """
+    life = lifetimes(events, makespan_ns)
+    pending: dict[str, tuple[float, str]] = {}
+    out: dict[str, list[tuple[float, float, str]]] = {}
+    for ev in events:
+        if ev.etype == OP_BEGIN:
+            pending[ev.thread] = (ev.ts, ev.get("op", "op"))
+        elif ev.etype == OP_END:
+            start = pending.pop(ev.thread, None)
+            if start is not None and start[1] == ev.get("op", "op"):
+                out.setdefault(ev.thread, []).append((start[0], ev.ts, start[1]))
+    for thread, (t0, op) in pending.items():
+        t1 = life.get(thread, (t0, t0))[1]
+        out.setdefault(thread, []).append((t0, t1, op))
+        out[thread].sort()
+    return out
+
+
+def wait_records(
+    events: Iterable[TraceEvent],
+) -> dict[str, list[dict]]:
+    """Per-thread wait records with blocker identity, sorted by end time.
+
+    Each record: ``{"t0", "t1", "kind", "resource", "blocker", "how"}``
+    where ``kind`` is the phase the wait belongs to (see module
+    docstring), ``blocker`` is the thread that ended the wait (the
+    lock releaser / condition signaller, from the events' ``by``
+    field) or None when unknowable (timeouts), and ``how`` is
+    ``grant`` / ``timeout`` / ``wake`` / ``leave``.
+    """
+    open_wait: dict[str, tuple[float, str, str]] = {}  # thread -> (t0, kind, res)
+    out: dict[str, list[dict]] = {}
+
+    def close(thread: str, t1: float, blocker, how: str) -> None:
+        start = open_wait.pop(thread, None)
+        if start is None:
+            return
+        t0, kind, resource = start
+        out.setdefault(thread, []).append({
+            "t0": t0, "t1": t1, "kind": kind, "resource": resource,
+            "blocker": blocker, "how": how,
+        })
+
+    for ev in events:
+        et = ev.etype
+        if et == LOCK_CONTEND:
+            lock = ev.get("lock", "?")
+            kind = "root_serialization" if is_root_lock(lock) else "hand_over_hand"
+            open_wait[ev.thread] = (ev.ts, kind, lock)
+        elif et == COND_WAIT:
+            open_wait[ev.thread] = (ev.ts, "steal_protocol", ev.get("cond", "?"))
+        elif et == BARRIER_WAIT:
+            open_wait[ev.thread] = (ev.ts, "idle", ev.get("barrier", "?"))
+        elif et == LOCK_GRANT:
+            close(ev.thread, ev.ts, ev.get("by"), "grant")
+        elif et == LOCK_TIMEOUT:
+            close(ev.thread, ev.ts, None, "timeout")
+        elif et == COND_WAKE:
+            close(ev.thread, ev.ts, ev.get("by"), "wake")
+        elif et == BARRIER_LEAVE:
+            close(ev.thread, ev.ts, None, "leave")
+    for recs in out.values():
+        recs.sort(key=lambda r: (r["t1"], r["t0"]))
+    return out
+
+
+def _hold_intervals(
+    events: Iterable[TraceEvent],
+) -> dict[str, list[tuple[float, float, str]]]:
+    """Per-thread ``(t0, t1, lock)`` lock-hold intervals.
+
+    A hold opens at ``lock.acquire`` or ``lock.grant`` and closes at
+    the same thread's ``lock.release`` of the same lock.  Holds still
+    open at stream end (a crashed holder) are dropped — the rollback
+    path releases cleanly, so this only loses deadlock tails.
+    """
+    open_hold: dict[tuple[str, str], float] = {}
+    out: dict[str, list[tuple[float, float, str]]] = {}
+    for ev in events:
+        et = ev.etype
+        if et == LOCK_ACQUIRE or et == LOCK_GRANT:
+            open_hold[(ev.thread, ev.get("lock", "?"))] = ev.ts
+        elif et == LOCK_RELEASE:
+            t0 = open_hold.pop((ev.thread, ev.get("lock", "?")), None)
+            if t0 is not None:
+                out.setdefault(ev.thread, []).append((t0, ev.ts, ev.get("lock", "?")))
+    for ivs in out.values():
+        ivs.sort()
+    return out
+
+
+def sort_split_leaves(
+    events: Sequence[TraceEvent],
+) -> dict[str, list[tuple[float, float, str]]]:
+    """Per-thread ``(t0, t1, site)`` SORT_SPLIT leaf intervals.
+
+    The op paths emit ``sort_split`` at the current clock and charge
+    the merge's cost-model time immediately after, so the merge runs
+    from the emit timestamp to the thread's next event.  (A thread
+    with no later event contributes a zero-width leaf.)
+    """
+    out: dict[str, list[tuple[float, float, str]]] = {}
+    open_split: dict[str, tuple[float, str]] = {}
+    for ev in events:
+        prev = open_split.pop(ev.thread, None)
+        if prev is not None:
+            out.setdefault(ev.thread, []).append(
+                (prev[0], max(prev[0], ev.ts), prev[1])
+            )
+        if ev.etype == SORT_SPLIT:
+            open_split[ev.thread] = (ev.ts, ev.get("site", "?"))
+    for thread, (t0, site) in open_split.items():
+        out.setdefault(thread, []).append((t0, t0, site))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the tree
+# ---------------------------------------------------------------------------
+def build_span_trees(
+    events: Sequence[TraceEvent], makespan_ns: float | None = None
+) -> dict[str, Span]:
+    """Fold the stream into one span tree per simulated thread.
+
+    Tree shape::
+
+        thread (lifetime)
+        └── op span (insert / deletemin)
+            ├── wait:<lock|cond>      (root wait, descent wait, steal wait)
+            ├── hold:<lock>           (root hold, per-level heapify hold)
+            │   └── sort_split:<site> (the merge run under that hold)
+            └── <mark>                (pbuffer / refill / collab / fault)
+
+    Children of an op are ordered by start time; hand-over-hand holds
+    overlap by design.  Sort-split leaves nest under the innermost
+    hold open at their timestamp (falling back to the op, then the
+    thread).  Events outside any op attach to the thread span.
+    """
+    life = lifetimes(events, makespan_ns)
+    ops = op_intervals(events, makespan_ns)
+    waits = wait_records(events)
+    holds = _hold_intervals(events)
+    leaves = sort_split_leaves(events)
+
+    trees: dict[str, Span] = {}
+    # include threads that emitted events but never THREAD_START (host)
+    seen = {ev.thread for ev in events}
+    for t in sorted(seen - set(life)):
+        first = min(ev.ts for ev in events if ev.thread == t)
+        last = max(ev.ts for ev in events if ev.thread == t)
+        life[t] = (first, last)
+    for thread in sorted(life):
+        t0, t1 = life[thread]
+        root = Span(thread, "thread", thread, t0, t1)
+        op_spans = [
+            Span(op, "op", thread, a, b) for a, b, op in ops.get(thread, [])
+        ]
+        root.children.extend(op_spans)
+
+        def container(ts: float) -> Span:
+            # half-open: a wait/hold starting exactly at an op's end
+            # belongs to what follows the op, not to the op itself
+            for sp in op_spans:
+                if sp.t0 <= ts < sp.t1:
+                    return sp
+            return root
+
+        hold_spans: list[Span] = []
+        for a, b, lock in holds.get(thread, []):
+            cat = "hold"
+            sp = Span(f"hold:{lock}", cat, thread, a, b,
+                      meta={"lock": lock, "root": is_root_lock(lock)})
+            container(a).children.append(sp)
+            hold_spans.append(sp)
+        for rec in waits.get(thread, []):
+            sp = Span(
+                f"wait:{rec['resource']}", "wait", thread, rec["t0"], rec["t1"],
+                meta={"kind": rec["kind"], "blocker": rec["blocker"],
+                      "how": rec["how"]},
+            )
+            container(rec["t0"]).children.append(sp)
+        for a, b, site in leaves.get(thread, []):
+            sp = Span(f"sort_split:{site}", "sort_split", thread, a, b,
+                      meta={"site": site})
+            # innermost hold open at the merge start; latest-opened wins
+            # (hand-over-hand: that is the node being rebalanced)
+            best = None
+            for h in hold_spans:
+                if h.t0 <= a < h.t1 and (best is None or h.t0 >= best.t0):
+                    best = h
+            (best if best is not None else container(a)).children.append(sp)
+        for ev in events:
+            if ev.thread == thread and ev.etype in _MARK_TYPES:
+                sp = Span(ev.etype, "mark", thread, ev.ts, ev.ts,
+                          meta=dict(ev.fields or {}))
+                container(ev.ts).children.append(sp)
+        for sp in root.walk():
+            sp.children.sort(key=lambda s: (s.t0, s.t1))
+        trees[thread] = root
+    return trees
+
+
+# ---------------------------------------------------------------------------
+# the partition
+# ---------------------------------------------------------------------------
+def phase_partition(
+    events: Sequence[TraceEvent], makespan_ns: float
+) -> dict[str, list[tuple[float, float, str]]]:
+    """Partition ``[0, makespan]`` per thread into the five phases.
+
+    Pieces are returned in time order, contiguous, and share endpoint
+    *values* exactly (each piece starts at the previous piece's end),
+    so downstream sums telescope without float error.  Threads that
+    never started (no ``thread.start``) are omitted.
+    """
+    life = lifetimes(events, makespan_ns)
+    waits = wait_records(events)
+    holds = _hold_intervals(events)
+    out: dict[str, list[tuple[float, float, str]]] = {}
+    for thread in sorted(life):
+        s, f = life[thread]
+        s = min(max(0.0, s), makespan_ns)
+        f = min(max(s, f), makespan_ns)
+        w_ivs = [(r["t0"], r["t1"], r["kind"]) for r in waits.get(thread, [])]
+        root_holds = [
+            (a, b) for a, b, lock in holds.get(thread, []) if is_root_lock(lock)
+        ]
+        node_holds = [
+            (a, b) for a, b, lock in holds.get(thread, []) if not is_root_lock(lock)
+        ]
+        cuts = {0.0, s, f, makespan_ns}
+        for a, b, _ in w_ivs:
+            cuts.add(min(a, makespan_ns))
+            cuts.add(min(b, makespan_ns))
+        for a, b in root_holds + node_holds:
+            cuts.add(min(a, makespan_ns))
+            cuts.add(min(b, makespan_ns))
+        edges = sorted(cuts)
+        pieces: list[tuple[float, float, str]] = []
+        for a, b in zip(edges, edges[1:]):
+            if b <= a:
+                continue
+            mid = a + (b - a) / 2
+            if mid < s or mid > f:
+                label = "idle"
+            else:
+                label = None
+                for w0, w1, kind in w_ivs:
+                    if w0 <= mid < w1:
+                        label = kind
+                        break
+                if label is None:
+                    if any(h0 <= mid < h1 for h0, h1 in root_holds):
+                        label = "root_serialization"
+                    elif any(h0 <= mid < h1 for h0, h1 in node_holds):
+                        label = "hand_over_hand"
+                    else:
+                        label = "compute"
+            if pieces and pieces[-1][2] == label and pieces[-1][1] == a:
+                pieces[-1] = (pieces[-1][0], b, label)
+            else:
+                pieces.append((a, b, label))
+        out[thread] = pieces
+    return out

@@ -373,6 +373,7 @@ class Engine:
                             COND_WAKE, t.clock, w.name,
                             cond=cond.name,
                             waited=max(0.0, t.clock - w.wait_started),
+                            by=t.name,
                         )
                     self._unblock(w, t.clock, eff.value)
                 cond.waiters.extend(still_waiting)
@@ -440,6 +441,7 @@ class Engine:
                     LOCK_GRANT, t.clock, nxt.name,
                     lock=lock.name,
                     waited=max(0.0, t.clock - nxt.wait_started),
+                    by=t.name,
                 )
             timed = nxt.pending_timeout is not None
             if timed:  # granted before the deadline: retire the timer

@@ -1,0 +1,55 @@
+"""Latency-histogram edge cases (repro.obs.aggregate.percentile).
+
+Empty populations must yield the deterministic sentinel (never NaN or
+an IndexError), and a single sample must answer every percentile with
+itself — p50 and p99 agree by construction.
+"""
+
+import pytest
+
+from repro.obs import percentile
+from repro.obs.aggregate import op_latencies
+from repro.obs.events import EventBus
+
+
+def test_percentile_empty_returns_default_sentinel():
+    assert percentile([], 0.5) is None
+    assert percentile([], 0.99, default=-1.0) == -1.0
+    assert percentile((), 0.0) is None
+
+
+def test_percentile_single_sample_all_quantiles_agree():
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert percentile([42.0], q) == 42.0
+
+
+def test_percentile_is_monotone_and_clamped():
+    vals = [1.0, 2.0, 3.0, 4.0, 5.0]
+    got = [percentile(vals, q) for q in (0.0, 0.25, 0.5, 0.75, 1.0)]
+    assert got == sorted(got)
+    assert percentile(vals, 0.0) == 1.0
+    assert percentile(vals, 1.0) == 5.0
+    # out-of-range quantiles clamp rather than index out of bounds
+    assert percentile(vals, -0.5) == 1.0
+    assert percentile(vals, 7.0) == 5.0
+
+
+def test_percentile_is_nearest_rank_on_real_samples():
+    # no interpolation: the answer is always an observed sample
+    vals = [1.0, 10.0, 100.0]
+    for q in (0.0, 0.3, 0.5, 0.9, 1.0):
+        assert percentile(vals, q) in vals
+
+
+def test_op_latencies_empty_stream_has_no_rows():
+    assert op_latencies([]) == {}
+
+
+def test_op_latencies_single_op_p50_equals_p99():
+    bus = EventBus()
+    bus.emit("op.begin", 0.0, "w0", op="insert")
+    bus.emit("op.end", 10.0, "w0", op="insert")
+    rows = op_latencies(bus.events)
+    row = rows["insert"]
+    assert row["count"] == 1
+    assert row["p50_ns"] == row["p99_ns"] == row["max_ns"] == 10.0

@@ -1,0 +1,93 @@
+"""Critical-path / attribution properties (repro.obs.analysis).
+
+The load-bearing invariants from the issue's acceptance criteria:
+attribution sums *exactly* to the makespan (no epsilon — the Fraction
+cross-check), the non-idle critical path never exceeds the makespan,
+and the whole payload is byte-deterministic for a fixed seed.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import PHASES, analyze, critical_path, render_analysis, wait_for_graph
+from repro.obs.workload import run_traced_mixed
+
+
+@pytest.fixture(scope="module")
+def run():
+    return run_traced_mixed(threads=4, ops=6, k=8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def analysis(run):
+    return analyze(run.events, run.makespan_ns)
+
+
+def test_attribution_sums_exactly_to_makespan(analysis):
+    assert analysis["attribution_exact"] is True
+    # the rounded floats also agree to rounding precision
+    total = sum(analysis["attribution"].values())
+    assert abs(total - analysis["makespan_ns"]) < 1e-6 * len(analysis["attribution"])
+
+
+def test_critical_path_never_exceeds_makespan(analysis):
+    assert 0 < analysis["critical_path_ns"] <= analysis["makespan_ns"]
+
+
+def test_segments_tile_the_makespan_contiguously(run):
+    segs = critical_path(run.events, run.makespan_ns)
+    assert segs[0]["t0_ns"] == 0.0
+    assert segs[-1]["t1_ns"] == run.makespan_ns
+    for a, b in zip(segs, segs[1:]):
+        assert a["t1_ns"] == b["t0_ns"]
+    for seg in segs:
+        assert seg["t0_ns"] < seg["t1_ns"]
+        assert seg["phase"] in PHASES
+
+
+def test_analyze_is_byte_deterministic_for_a_seed():
+    def capture():
+        run = run_traced_mixed(threads=4, ops=4, k=8, seed=7)
+        return json.dumps(analyze(run.events, run.makespan_ns), sort_keys=True)
+
+    assert capture() == capture()
+
+
+def test_wait_for_graph_edges_are_ranked_and_causal(run):
+    graph = wait_for_graph(run.events)
+    edges = graph["edges"]
+    assert edges, "contended run must produce blocking edges"
+    waits = [e["wait_ns"] for e in edges]
+    assert waits == sorted(waits, reverse=True)
+    for e in edges:
+        assert e["count"] >= 1
+        assert e["wait_ns"] >= 0
+        if e["kind"] == "root_serialization":
+            assert e["resource"].endswith(".n1")
+        if e["blocker"] != "?":
+            assert e["blocker"] != e["waiter"]
+    total_edge = sum(e["wait_ns"] for e in edges)
+    total_res = sum(r["wait_ns"] for r in graph["by_resource"])
+    assert total_edge == pytest.approx(total_res)
+
+
+def test_root_serialization_dominates_contended_run(analysis):
+    """The paper's bottleneck story: at k=8 with 4 threads, the root
+    lock dominates the critical path."""
+    attr = analysis["attribution"]
+    assert attr["root_serialization"] > analysis["makespan_ns"] / 2
+
+
+def test_render_analysis_mentions_the_essentials(analysis):
+    text = render_analysis(analysis)
+    assert "attribution exact" in text
+    assert "root_serialization" in text
+    assert "critical path" in text
+
+
+def test_analyze_empty_makespan_degenerates_cleanly():
+    payload = analyze([], 0.0)
+    assert payload["attribution_exact"] is True
+    assert payload["segments"] == []
+    assert payload["critical_path_ns"] == 0.0

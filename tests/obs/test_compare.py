@@ -1,0 +1,118 @@
+"""Run-diff engine tests (repro.obs.compare)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    ANALYSIS_SCHEMA,
+    AnalysisFormatError,
+    analyze,
+    diff_analyses,
+    load_analysis,
+    render_diff,
+)
+from repro.obs.compare import validate_analysis
+from repro.obs.workload import run_traced_mixed
+
+
+def _capture(seed: int) -> dict:
+    run = run_traced_mixed(threads=4, ops=4, k=8, seed=seed)
+    return analyze(run.events, run.makespan_ns)
+
+
+def _payload(attribution, makespan=100.0, **extra):
+    return {
+        "schema": ANALYSIS_SCHEMA,
+        "makespan_ns": makespan,
+        "attribution": attribution,
+        **extra,
+    }
+
+
+def test_diff_names_top_regressor_deterministically():
+    a, b = _capture(1), _capture(2)
+    d1 = diff_analyses(a, b)
+    d2 = diff_analyses(a, b)
+    assert d1 == d2
+    assert json.dumps(d1, sort_keys=True) == json.dumps(d2, sort_keys=True)
+    grew = [r for r in d1["phases"] if r["delta_ns"] > 0]
+    if grew:
+        worst = max(grew, key=lambda r: r["delta_ns"])
+        assert d1["top_regressor"] == worst["phase"]
+    else:
+        assert d1["top_regressor"] is None
+
+
+def test_diff_tie_breaks_alphabetically():
+    a = _payload({"compute": 10.0, "idle": 10.0})
+    b = _payload({"compute": 15.0, "idle": 15.0})
+    assert diff_analyses(a, b)["top_regressor"] == "compute"
+
+
+def test_diff_no_growth_means_no_regressor():
+    a = _payload({"compute": 10.0})
+    assert diff_analyses(a, a)["top_regressor"] is None
+
+
+def test_diff_identity_is_all_zero():
+    a = _capture(1)
+    d = diff_analyses(a, a)
+    assert d["makespan_delta_ns"] == 0
+    assert all(r["delta_ns"] == 0 for r in d["phases"])
+    assert d["counter_deltas"] == {}
+
+
+def test_diff_phase_rows_follow_canonical_order():
+    a, b = _capture(1), _capture(2)
+    d = diff_analyses(a, b)
+    names = [r["phase"] for r in d["phases"]]
+    assert names == sorted(names, key=lambda n: (
+        ("root_serialization", "hand_over_hand", "steal_protocol",
+         "compute", "idle").index(n) if n in (
+            "root_serialization", "hand_over_hand", "steal_protocol",
+            "compute", "idle") else 99,
+        n,
+    ))
+
+
+def test_render_diff_prints_delta_table():
+    text = render_diff(diff_analyses(_capture(1), _capture(2), "base", "cur"))
+    assert "run diff base -> cur" in text
+    assert "top regressor:" in text
+    assert "root_serialization" in text
+
+
+@pytest.mark.parametrize(
+    "payload, fragment",
+    [
+        ([], "top level must be a JSON object"),
+        ({"schema": "other/v9"}, "does not match"),
+        ({"schema": ANALYSIS_SCHEMA, "makespan_ns": -1,
+          "attribution": {"compute": 1}}, "makespan_ns"),
+        ({"schema": ANALYSIS_SCHEMA, "makespan_ns": 1, "attribution": {}},
+         "non-empty"),
+        ({"schema": ANALYSIS_SCHEMA, "makespan_ns": 1,
+          "attribution": {"compute": "lots"}}, "phase -> ns"),
+    ],
+)
+def test_validate_analysis_rejects_bad_payloads(payload, fragment):
+    with pytest.raises(AnalysisFormatError, match=fragment):
+        validate_analysis(payload)
+
+
+def test_load_analysis_errors_are_format_errors(tmp_path):
+    missing = tmp_path / "nope.json"
+    with pytest.raises(AnalysisFormatError, match="cannot read"):
+        load_analysis(missing)
+    bad = tmp_path / "bad.json"
+    bad.write_text("{truncated")
+    with pytest.raises(AnalysisFormatError, match="not valid JSON"):
+        load_analysis(bad)
+
+
+def test_load_analysis_roundtrips_a_real_capture(tmp_path):
+    payload = _capture(1)
+    path = tmp_path / "cap.json"
+    path.write_text(json.dumps(payload, sort_keys=True))
+    assert load_analysis(path) == payload

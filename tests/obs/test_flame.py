@@ -1,0 +1,91 @@
+"""Collapsed-stack export tests (repro.obs.flame), incl. the golden file."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs import collapsed_stacks, render_flame, validate_collapsed
+from repro.obs.workload import run_traced_mixed
+
+GOLDEN = Path(__file__).parent / "golden" / "flame_seed1.txt"
+
+
+def _small_run():
+    return run_traced_mixed(threads=2, ops=2, k=4, seed=1)
+
+
+def test_collapsed_output_matches_golden_file():
+    """Byte-identical collapsed stacks for the pinned small workload.
+
+    Regenerate intentionally with:
+        python - <<'EOF'
+        from repro.obs import collapsed_stacks
+        from repro.obs.workload import run_traced_mixed
+        run = run_traced_mixed(threads=2, ops=2, k=4, seed=1)
+        print("\\n".join(collapsed_stacks(run.events, run.makespan_ns)))
+        EOF
+    """
+    run = _small_run()
+    text = "\n".join(collapsed_stacks(run.events, run.makespan_ns)) + "\n"
+    assert text == GOLDEN.read_text()
+
+
+def test_collapsed_output_validates_and_is_sorted():
+    run = run_traced_mixed(threads=4, ops=4, k=8, seed=2)
+    lines = collapsed_stacks(run.events, run.makespan_ns)
+    assert validate_collapsed("\n".join(lines)) == []
+    assert lines == sorted(lines)
+
+
+def test_collapsed_totals_account_for_every_thread():
+    """Per-thread stack values sum to the makespan (up to per-line
+    integer rounding), so frame widths are comparable across threads."""
+    run = run_traced_mixed(threads=4, ops=4, k=8, seed=2)
+    lines = collapsed_stacks(run.events, run.makespan_ns)
+    per_thread: dict[str, int] = {}
+    for line in lines:
+        stack, value = line.rsplit(" ", 1)
+        thread = stack.split(";", 1)[0]
+        per_thread[thread] = per_thread.get(thread, 0) + int(value)
+    assert set(per_thread) == {f"w{i}" for i in range(4)}
+    for thread, total in per_thread.items():
+        assert abs(total - run.makespan_ns) <= len(lines)
+
+
+def test_collapsed_is_deterministic():
+    runs = [_small_run() for _ in range(2)]
+    outs = [collapsed_stacks(r.events, r.makespan_ns) for r in runs]
+    assert outs[0] == outs[1]
+
+
+@pytest.mark.parametrize(
+    "bad, fragment",
+    [
+        ("stackonly\n", "expected 'stack value'"),
+        ("a;b -12\n", "not a non-negative int"),
+        ("a;b 1.5\n", "not a non-negative int"),
+        ("a;;b 3\n", "malformed stack"),
+        ("a b;c 3\n", "malformed stack"),
+    ],
+)
+def test_validate_collapsed_rejects_malformed_lines(bad, fragment):
+    problems = validate_collapsed(bad)
+    assert problems
+    assert fragment in problems[0]
+
+
+def test_validate_collapsed_accepts_blank_lines():
+    assert validate_collapsed("a;b 3\n\nc 4\n") == []
+
+
+def test_render_flame_shows_hierarchy_and_totals():
+    run = _small_run()
+    lines = collapsed_stacks(run.events, run.makespan_ns)
+    text = render_flame(lines)
+    assert "flamegraph (total thread-time" in text
+    assert "root_serialization" in text
+    assert "w0" in text and "w1" in text
+
+
+def test_render_flame_empty_input():
+    assert "(empty)" in render_flame([])

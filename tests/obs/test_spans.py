@@ -1,0 +1,85 @@
+"""Span-tree builder and phase-partition tests (repro.obs.spans)."""
+
+import pytest
+
+from repro.obs.spans import (
+    PHASES,
+    build_span_trees,
+    is_root_lock,
+    lifetimes,
+    op_intervals,
+    phase_partition,
+    wait_records,
+)
+from repro.obs.workload import run_traced_mixed
+
+
+@pytest.fixture(scope="module")
+def run():
+    return run_traced_mixed(threads=4, ops=4, k=8, seed=1)
+
+
+def test_is_root_lock_matches_storage_naming():
+    assert is_root_lock("bgpq.n1")
+    assert is_root_lock("pq2.n1")
+    assert not is_root_lock("bgpq.n2")
+    assert not is_root_lock("bgpq.n10")
+    assert not is_root_lock("bgpq.root_avail")
+
+
+def test_lifetimes_cover_every_worker(run):
+    life = lifetimes(run.events, run.makespan_ns)
+    assert set(life) == {f"w{i}" for i in range(4)}
+    for start, finish in life.values():
+        assert 0 <= start <= finish <= run.makespan_ns
+
+
+def test_op_intervals_are_disjoint_and_in_lifetime(run):
+    life = lifetimes(run.events, run.makespan_ns)
+    ops = op_intervals(run.events, run.makespan_ns)
+    for thread, ivals in ops.items():
+        start, finish = life[thread]
+        prev_end = start
+        for t0, t1, op in ivals:
+            assert op in ("insert", "deletemin")
+            assert prev_end <= t0 <= t1 <= finish
+            prev_end = t1
+
+
+def test_wait_records_blockers_are_other_threads(run):
+    recs = wait_records(run.events)
+    assert recs, "contended default workload must produce waits"
+    threads = set(recs)
+    for waiter, rows in recs.items():
+        for rec in rows:
+            assert rec["t0"] <= rec["t1"]
+            if rec["how"] in ("grant", "wake"):
+                assert rec["blocker"] in threads
+                assert rec["blocker"] != waiter
+
+
+def test_phase_partition_is_exact_cover(run):
+    """Every thread's partition tiles [0, makespan] with shared endpoints."""
+    partition = phase_partition(run.events, run.makespan_ns)
+    for thread, pieces in partition.items():
+        assert pieces[0][0] == 0.0
+        assert pieces[-1][1] == run.makespan_ns
+        for (a0, a1, phase), (b0, _b1, _p) in zip(pieces, pieces[1:]):
+            assert a1 == b0, f"{thread}: gap/overlap at {a1} vs {b0}"
+        for a, b, phase in pieces:
+            assert a < b
+            assert phase in PHASES
+
+
+def test_span_tree_children_nest_inside_parents(run):
+    trees = build_span_trees(run.events, run.makespan_ns)
+    assert set(trees) == {f"w{i}" for i in range(4)}
+    kinds = set()
+    for root in trees.values():
+        for span in root.walk():
+            kinds.add(span.cat)
+            for child in span.children:
+                assert span.t0 <= child.t0 <= child.t1 <= span.t1
+    assert "op" in kinds
+    assert "sort_split" in kinds
+    assert "wait" in kinds or "hold" in kinds
