@@ -212,6 +212,45 @@ def main() -> None:
                 "allocation-free (tracemalloc-verified with floor "
                 "calibration) at every k swept.\n")
 
+    nbase = Path("BENCH_native.json")
+    if nbase.exists():
+        native = json.loads(nbase.read_text())
+        nspeed = native.get("speedups", {})
+        a("\n## Native engine benchmarks (`python -m repro bench native`)\n")
+        a("Host wall-clock again, for `NativeBGPQ` — the sequential engine "
+          "behind the knapsack/A*/SSSP drivers and the P-Sync baseline — "
+          "comparing its arena backend (payload-aware `NodeArena`, fused "
+          "in-place SORT_SPLIT, docs/ARCHITECTURE.md §6) against the legacy "
+          "allocate-per-merge `storage=\"list\"` path. `BENCH_native.json` "
+          "is the committed baseline; refresh it deliberately with "
+          "`python -m repro bench native --update-baseline` (the suite runs "
+          "twice and keeps the conservative minimum). CI gates `--quick` "
+          "runs on the same >20% geomean-ratio rule and uploads a "
+          "current-vs-baseline delta table when the gate fails.\n")
+        gm = native.get("geomean_core")
+        if gm:
+            a(f"Baseline core-queue-op geomean (insert/delete/mixed/bulk/"
+              f"build over k ∈ {{{', '.join(str(k) for k in native.get('meta', {}).get('ks', []))}}}): "
+              f"**{gm:.2f}x arena over list** (acceptance bar: ≥1.5x).\n")
+        for bench in ("insert", "delete", "mixed", "bulk", "build",
+                      "knapsack", "astar"):
+            cells = sorted(
+                ((k, v) for k, v in nspeed.items() if k.startswith(f"{bench}/")),
+                key=lambda kv: int(kv[0].split("=")[1]),
+            )
+            if cells:
+                a(f"* {bench}: "
+                  + ", ".join(f"{k.split('/')[1]}: {v:.2f}x" for k, v in cells))
+        za = native.get("zero_alloc", {})
+        if za and all(za.values()):
+            a("\nThe steady-state mixed loop (full-batch insert + deletemin, "
+              "both heapifying) retains zero data arrays on the arena "
+              "backend at every k swept (tracemalloc-verified after garbage "
+              "collection; the list backend retains 47-378 KB scaling with "
+              "k). The end-to-end knapsack/A* cells are dominated by driver "
+              "kernels, so their ratios hover near 1x by design — they "
+              "guard engine integration, not speedup.\n")
+
     abase = Path("BENCH_analysis.json")
     if abase.exists():
         analysis = json.loads(abase.read_text())

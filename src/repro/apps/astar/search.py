@@ -98,6 +98,7 @@ def astar_batched(
     heuristic="manhattan",
     ctx: GpuContext | None = None,
     batch: int = 1024,
+    storage: str = "arena",
 ) -> PathResult:
     """Batched GPU-style A* on NativeBGPQ.
 
@@ -114,7 +115,7 @@ def astar_batched(
 
     best = np.full(grid.n_cells, UNREACHED, dtype=np.int64)
     best[start_id] = 0
-    pq = NativeBGPQ(node_capacity=batch, ctx=ctx, payload_width=2)
+    pq = NativeBGPQ(node_capacity=batch, ctx=ctx, payload_width=2, storage=storage)
     f0 = int(h(grid.start[0], grid.start[1], ty, tx))
     pq.insert(np.array([f0]), payload=np.array([[start_id, 0]]))
     expanded = pushed = 0
@@ -163,8 +164,7 @@ def astar_batched(
             + model.global_write_ns(max(1, int(ncells.size)))
         )
         payload_out = np.stack([ncells, ngs], axis=1)
-        for i in range(0, ncells.size, batch):
-            pq.insert(fs[i : i + batch], payload=payload_out[i : i + batch])
+        pq.insert_bulk(fs, payload=payload_out)
     return PathResult(best_target, expanded, pushed, pq.sim_time_ns + kernel_ns)
 
 

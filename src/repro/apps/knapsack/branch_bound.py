@@ -135,6 +135,7 @@ def solve_batched(
     inst: KnapsackInstance,
     ctx: GpuContext | None = None,
     batch: int = 1024,
+    storage: str = "arena",
 ) -> KnapsackResult:
     """GPU-style batched best-first B&B on NativeBGPQ.
 
@@ -143,7 +144,7 @@ def solve_batched(
     incumbent and the queue is drained to empty.
     """
     ctx = ctx if ctx is not None else GpuContext.default()
-    pq = NativeBGPQ(node_capacity=batch, ctx=ctx, payload_width=3)
+    pq = NativeBGPQ(node_capacity=batch, ctx=ctx, payload_width=3, storage=storage)
     model = ctx.model
     expansion_ns = 0.0
 
@@ -173,8 +174,7 @@ def solve_batched(
             + model.global_read_ns(4 * payload.shape[0])
             + model.global_write_ns(4 * max(1, cpayload.shape[0]))
         )
-        for i in range(0, ckeys.size, batch):
-            pq.insert(ckeys[i : i + batch], payload=cpayload[i : i + batch])
+        pq.insert_bulk(ckeys, payload=cpayload)
         max_queue = max(max_queue, len(pq))
     return KnapsackResult(
         incumbent, expanded, pruned, max_queue, pq.sim_time_ns + expansion_ns

@@ -107,6 +107,7 @@ def sssp_batched(
     source: int = 0,
     ctx: GpuContext | None = None,
     batch: int = 1024,
+    storage: str = "arena",
 ) -> tuple[np.ndarray, float]:
     """Batched Dijkstra on NativeBGPQ; returns (distances, sim_time_ns).
 
@@ -118,7 +119,7 @@ def sssp_batched(
     model = ctx.model
     dist = np.full(graph.n_vertices, UNREACHED, dtype=np.int64)
     dist[source] = 0
-    pq = NativeBGPQ(node_capacity=batch, ctx=ctx, payload_width=1)
+    pq = NativeBGPQ(node_capacity=batch, ctx=ctx, payload_width=1, storage=storage)
     pq.insert(np.array([0]), payload=np.array([[source]]))
     kernel_ns = 0.0
     while pq:
@@ -152,6 +153,5 @@ def sssp_batched(
             + model.global_read_ns(2 * n_edges)
             + model.global_write_ns(max(1, int(targets.size)))
         )
-        for i in range(0, targets.size, batch):
-            pq.insert(nd[i : i + batch], payload=targets[i : i + batch].reshape(-1, 1))
+        pq.insert_bulk(nd, payload=targets.reshape(-1, 1))
     return dist, pq.sim_time_ns + kernel_ns

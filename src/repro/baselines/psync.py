@@ -44,11 +44,12 @@ class PSyncHeapPQ(ConcurrentPQ):
         node_capacity: int = 1024,
         dtype=np.int64,
         pipeline_overlap: float = 1.0,
+        storage: str = "arena",
     ):
         self.ctx = ctx if ctx is not None else GpuContext.default()
         self.model = self.ctx.model
         self.k = node_capacity
-        self.heap = NativeBGPQ(node_capacity=node_capacity, key_dtype=dtype)
+        self.heap = NativeBGPQ(node_capacity=node_capacity, key_dtype=dtype, storage=storage)
         self.dtype = np.dtype(dtype)
         self.pipeline_lock = SimLock("psync.pipeline")
         self.pipeline_overlap = pipeline_overlap

@@ -1,0 +1,359 @@
+"""Native-engine perf-regression benchmarks: `repro bench native`.
+
+Times :class:`~repro.core.native.NativeBGPQ` — the host-speed engine
+behind every application benchmark — for both storage backends
+(``arena`` fused-in-place vs ``list`` allocate-per-merge) across
+k ∈ {32, 128, 512}:
+
+* ``insert`` / ``delete`` / ``mixed`` — full-batch queue operations at
+  steady state (every op heapifies), the engine's hot path.
+* ``bulk`` — :meth:`insert_bulk` of an 8k-record frontier plus the
+  deletemins that drain it (the post-expansion push every app driver
+  now performs).
+* ``build`` — Floyd-style initial-frontier load via :meth:`build`.
+* ``knapsack`` / ``astar`` — miniature end-to-end application runs
+  (dominated by driver kernels, so their ratios hover near 1x; they
+  are reported to catch engine-integration regressions, not gated for
+  speedup).
+
+The committed baseline lives at the repo root as ``BENCH_native.json``
+(env override ``REPRO_BENCH_NATIVE_BASELINE``); gating reuses
+:func:`repro.bench.micro.compare_to_baseline` — per-bench geomean
+speedup ratios plus the zero-allocation flags, never absolute ops/sec.
+
+Allocation methodology: as in :mod:`~repro.bench.micro`, timing runs
+untraced and allocations are measured in a separate tracemalloc pass.
+One difference: the windows here collect garbage before the final
+reading, because full queue operations (unlike the micro primitives)
+leave behind collectable cycle debris from numpy's ufunc machinery —
+k-independent noise that says nothing about the data path.  After
+collection the arena backend's steady-state mixed loop retains well
+under one k-key buffer (the zero-alloc criterion), while the
+allocate-per-merge backend retains tens to hundreds of KB that scale
+with k.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+import tracemalloc
+
+import numpy as np
+
+from ..core.native import NativeBGPQ
+from .micro import _time_loop
+
+__all__ = [
+    "NATIVE_KS",
+    "native_baseline_path",
+    "run_native",
+    "render_native_delta",
+]
+
+NATIVE_KS = (32, 128, 512)
+
+#: benches whose arena/list speedup the ≥1.5x headline geomean covers
+CORE_BENCHES = ("insert", "delete", "mixed", "bulk", "build")
+
+
+def native_baseline_path():
+    """Committed baseline location (repo root), env-overridable."""
+    import os
+    from pathlib import Path
+
+    return Path(os.environ.get("REPRO_BENCH_NATIVE_BASELINE", "BENCH_native.json"))
+
+
+# ---------------------------------------------------------------------------
+def _traced_window_gc(op, iters: int) -> tuple[int, int]:
+    """(retained, peak) bytes with garbage collected before each reading.
+
+    Collecting first distinguishes genuinely retained memory (the
+    allocate-per-merge backend's fresh node arrays) from cycle debris
+    the op merely hasn't had collected yet.
+    """
+    gc.collect()
+    tracemalloc.start()
+    try:
+        op(0)  # warm caches outside the window
+        gc.collect()
+        base = tracemalloc.get_traced_memory()[0]
+        tracemalloc.reset_peak()
+        for i in range(iters):
+            op(i)
+        gc.collect()
+        current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return current - base, max(0, peak - base)
+
+
+_floor_cache: dict[int, int] = {}
+
+
+def _alloc_loop(op, iters: int) -> tuple[int, int]:
+    if iters not in _floor_cache:
+        _floor_cache[iters] = _traced_window_gc(lambda i: None, iters)[0]
+    retained, peak = _traced_window_gc(op, iters)
+    return retained - _floor_cache[iters], peak
+
+
+def _batches(rng, n: int, k: int) -> list[np.ndarray]:
+    return [rng.integers(0, 1 << 30, size=k).astype(np.int64) for _ in range(n)]
+
+
+def _make_pq(storage: str, k: int, payload_width: int = 0) -> NativeBGPQ:
+    # no ctx: the bench times host work; device-charge accounting is
+    # identical across backends (tested) and would only add noise here
+    return NativeBGPQ(node_capacity=k, storage=storage, payload_width=payload_width)
+
+
+# ---------------------------------------------------------------------------
+# queue-op benchmarks: each returns {storage: op(i)} closures
+# ---------------------------------------------------------------------------
+def _bench_insert(k: int, rng, iters: int):
+    """Full-batch inserts: every op overflows the buffer and heapifies."""
+    ops = {}
+    for storage in ("list", "arena"):
+        pq = _make_pq(storage, k)
+        batches = _batches(rng, 300, k)
+        for b in batches[:32]:
+            pq.insert(b)
+
+        def op(i, pq=pq, batches=batches):
+            pq.insert(batches[i % 300])
+
+        ops[storage] = op
+    return ops
+
+
+def _bench_delete(k: int, rng, iters: int):
+    """Full-batch deletemins against a deep prefilled heap.
+
+    Prefill covers every op the harness performs: the warmup quarter-
+    loop, three timed repeats, and the allocation pass (~4.5x iters).
+    """
+    ops = {}
+    for storage in ("list", "arena"):
+        pq = _make_pq(storage, k)
+        for b in _batches(rng, 5 * iters + 8, k):
+            pq.insert(b)
+
+        def op(i, pq=pq):
+            pq.deletemin(pq.k)
+
+        ops[storage] = op
+    return ops
+
+
+def _bench_mixed(k: int, rng, iters: int):
+    """Steady-state insert+deletemin pairs at fixed occupancy.
+
+    This is the zero-allocation acceptance cell: both the insert and
+    the deletemin heapify every iteration, so a retained-memory residue
+    above one k-key buffer would mean the heapify path allocates.
+    """
+    ops = {}
+    for storage in ("list", "arena"):
+        pq = _make_pq(storage, k)
+        batches = _batches(rng, 300, k)
+        for b in batches[:64]:
+            pq.insert(b)
+
+        def op(i, pq=pq, batches=batches):
+            pq.insert(batches[i % 300])
+            pq.deletemin(pq.k)
+
+        ops[storage] = op
+    return ops
+
+
+def _bench_bulk(k: int, rng, iters: int):
+    """insert_bulk of an 8k-record frontier (with payloads) + drain.
+
+    The shape every app driver produces after a batch expansion: one
+    arbitrarily sized push, then full-batch pops.  Payload width 1
+    exercises the aligned payload columns on the bulk path.
+    """
+    frontier = rng.integers(0, 1 << 30, size=8 * k).astype(np.int64)
+    fpay = frontier.reshape(-1, 1)
+    ops = {}
+    for storage in ("list", "arena"):
+        pq = _make_pq(storage, k, payload_width=1)
+        for b in _batches(rng, 32, k):
+            pq.insert(b, payload=b.reshape(-1, 1))
+
+        def op(i, pq=pq):
+            pq.insert_bulk(frontier, payload=fpay)
+            for _ in range(8):
+                pq.deletemin(pq.k)
+
+        ops[storage] = op
+    return ops
+
+
+def _bench_build(k: int, rng, iters: int):
+    """Floyd-style O(n)-node-op initial frontier load (16k records)."""
+    keys = rng.integers(0, 1 << 30, size=16 * k).astype(np.int64)
+    ops = {}
+    for storage in ("list", "arena"):
+        pq = _make_pq(storage, k)
+
+        def op(i, pq=pq):
+            pq.clear()
+            pq.build(keys)
+
+        ops[storage] = op
+    return ops
+
+
+# ---------------------------------------------------------------------------
+# miniature end-to-end application runs
+# ---------------------------------------------------------------------------
+def _bench_knapsack(k: int, rng, iters: int):
+    from ..apps.knapsack.branch_bound import solve_batched
+    from ..apps.knapsack.instance import generate
+
+    inst = generate(36, family="weakly_correlated", seed=5)
+    expect = solve_batched(inst, batch=k).best_profit
+    ops = {}
+    for storage in ("list", "arena"):
+
+        def op(i, storage=storage):
+            got = solve_batched(inst, batch=k, storage=storage).best_profit
+            assert got == expect, f"knapsack answer changed: {got} != {expect}"
+
+        ops[storage] = op
+    return ops
+
+
+def _bench_astar(k: int, rng, iters: int):
+    from ..apps.astar.grid import generate_grid
+    from ..apps.astar.search import astar_batched
+
+    grid = generate_grid(48, 0.15, seed=3)
+    expect = astar_batched(grid, batch=k).cost
+    ops = {}
+    for storage in ("list", "arena"):
+
+        def op(i, storage=storage):
+            got = astar_batched(grid, batch=k, storage=storage).cost
+            assert got == expect, f"astar answer changed: {got} != {expect}"
+
+        ops[storage] = op
+    return ops
+
+
+# ---------------------------------------------------------------------------
+def _geomean(values) -> float:
+    import math
+
+    vals = list(values)
+    return math.prod(vals) ** (1.0 / len(vals)) if vals else float("nan")
+
+
+def run_native(
+    ks=NATIVE_KS,
+    quick: bool = False,
+    op_iters: int | None = None,
+    e2e_iters: int | None = None,
+) -> dict:
+    """Run the native-engine benchmarks; returns the BENCH_native payload.
+
+    ``op_iters``/``e2e_iters`` override the iteration counts (tests use
+    tiny loops; the quick/full presets serve CI and the baseline)."""
+    op_iters = op_iters if op_iters is not None else (40 if quick else 150)
+    e2e_iters = e2e_iters if e2e_iters is not None else (2 if quick else 4)
+
+    rows: list[dict] = []
+    for k in ks:
+        rng = np.random.default_rng(20260806 + k)
+        cells = {
+            "insert": (_bench_insert(k, rng, op_iters), op_iters, True),
+            "delete": (_bench_delete(k, rng, op_iters), op_iters, True),
+            "mixed": (_bench_mixed(k, rng, op_iters), op_iters, True),
+            "bulk": (_bench_bulk(k, rng, op_iters), max(8, op_iters // 4), True),
+            "build": (_bench_build(k, rng, op_iters), max(8, op_iters // 2), True),
+            "knapsack": (_bench_knapsack(k, rng, e2e_iters), e2e_iters, False),
+            "astar": (_bench_astar(k, rng, e2e_iters), e2e_iters, False),
+        }
+        for bench, (ops, iters, trace_allocs) in cells.items():
+            for storage, op in ops.items():
+                ops_per_sec = _time_loop(op, iters, repeats=3 if trace_allocs else 2)
+                if trace_allocs:
+                    retained, peak = _alloc_loop(op, iters)
+                else:
+                    retained = peak = -1  # e2e runs allocate by design
+                rows.append(
+                    {
+                        "bench": bench,
+                        "k": k,
+                        "storage": storage,
+                        "ops": iters,
+                        "ops_per_sec": round(ops_per_sec, 1),
+                        "retained_bytes": int(retained),
+                        "peak_alloc_bytes": int(peak),
+                    }
+                )
+
+    speedups: dict[str, float] = {}
+    zero_alloc: dict[str, bool] = {}
+    by_cell = {(r["bench"], r["k"], r["storage"]): r for r in rows}
+    for (bench, k, storage), r in by_cell.items():
+        if storage != "arena":
+            continue
+        ref = by_cell[(bench, k, "list")]
+        speedups[f"{bench}/k={k}"] = round(r["ops_per_sec"] / ref["ops_per_sec"], 3)
+        if bench == "mixed":
+            # the acceptance bar: steady-state insert+deletemin retains
+            # no data arrays.  Criterion: residue below one k-key buffer
+            # plus a fixed ~80 B of interpreter bookkeeping (k-independent;
+            # a retained array would add k*8-scaled bytes on top)
+            zero_alloc[f"{bench}/k={k}"] = r["retained_bytes"] < k * 8 + 256
+
+    geomean_core = _geomean(
+        v for key, v in speedups.items() if key.split("/")[0] in CORE_BENCHES
+    )
+    return {
+        "benchmark": "native",
+        "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "meta": {
+            "quick": quick,
+            "ks": list(ks),
+            "op_iters": op_iters,
+            "e2e_iters": e2e_iters,
+            "numpy": np.__version__,
+        },
+        "rows": rows,
+        "speedups": speedups,
+        "zero_alloc": zero_alloc,
+        "geomean_core": round(geomean_core, 3),
+    }
+
+
+def render_native_delta(current: dict, baseline: dict) -> str:
+    """Per-bench current-vs-baseline geomean table (the CI failure artifact)."""
+    by_bench: dict[str, list[tuple[float, float]]] = {}
+    for key, base_val in baseline.get("speedups", {}).items():
+        cur_val = current.get("speedups", {}).get(key)
+        if cur_val is not None:
+            by_bench.setdefault(key.split("/")[0], []).append((cur_val, base_val))
+    lines = [
+        "bench      geomean(now)  geomean(baseline)  ratio",
+        "-" * 51,
+    ]
+    for bench in sorted(by_bench):
+        pairs = by_bench[bench]
+        cur = _geomean(c for c, _ in pairs)
+        base = _geomean(b for _, b in pairs)
+        lines.append(
+            f"{bench:<10} {cur:>12.3f} {base:>18.3f} {cur / base:>6.2f}"
+        )
+    for key, flag in sorted(baseline.get("zero_alloc", {}).items()):
+        now = current.get("zero_alloc", {}).get(key)
+        lines.append(
+            f"zero-alloc {key}: baseline={'yes' if flag else 'no'} "
+            f"now={'yes' if now else 'NO' if now is False else '?'}"
+        )
+    return "\n".join(lines)

@@ -10,6 +10,7 @@ Usage::
     python -m repro fig6                   # Figure 6 sweeps
     python -m repro faults                 # fault-injection campaigns
     python -m repro bench micro            # perf-regression microbench
+    python -m repro bench native           # NativeBGPQ arena-vs-list gate
     python -m repro trace                  # traced run + chrome trace JSON
     python -m repro trace analyze          # critical path + phase attribution
     python -m repro trace flame            # collapsed stacks + terminal flame
@@ -24,7 +25,12 @@ the (queue, plan, seed) triple that reproduces it.
 ``bench micro`` times the storage hot paths for both backends (see
 :mod:`repro.bench.micro`), archives the results, and exits non-zero on
 a >20% speedup regression against the committed ``BENCH_micro.json``
-baseline (refresh it with ``--update-baseline``).
+baseline (refresh it with ``--update-baseline``).  ``bench native``
+does the same for the host-speed :class:`~repro.core.native.NativeBGPQ`
+application engine (see :mod:`repro.bench.native`) against
+``BENCH_native.json``, including the steady-state zero-allocation gate
+and miniature knapsack/A* end-to-end runs; on failure it saves a
+current-vs-baseline delta table next to the archived results.
 
 ``trace`` runs the canonical mixed workload with the observability bus
 attached (see :mod:`repro.obs`), prints collaboration counters, op
@@ -368,14 +374,99 @@ def _print_phase_diff() -> int:
     return 0
 
 
+def _run_bench_native(args) -> int:
+    """`repro bench native`: the NativeBGPQ arena-vs-list perf gate."""
+    import json
+
+    from .bench.micro import compare_to_baseline
+    from .bench.native import (
+        NATIVE_KS,
+        native_baseline_path,
+        render_native_delta,
+        run_native,
+    )
+    from .bench.reporting import results_dir
+
+    ks = (
+        tuple(int(k) for k in args.bench_ks.split(","))
+        if args.bench_ks
+        else NATIVE_KS
+    )
+    base_file = native_baseline_path()
+    rebaseline = args.update_baseline or not base_file.exists()
+    t0 = time.perf_counter()
+    results = run_native(ks=ks, quick=args.quick)
+    if rebaseline:
+        # conservative elementwise minimum of two runs (see bench micro)
+        second = run_native(ks=ks, quick=args.quick)
+        for key, val in second["speedups"].items():
+            prev = results["speedups"].get(key)
+            results["speedups"][key] = val if prev is None else min(prev, val)
+        for key, flag in second["zero_alloc"].items():
+            results["zero_alloc"][key] = bool(
+                flag and results["zero_alloc"].get(key, True)
+            )
+        import math
+
+        from .bench.native import CORE_BENCHES
+
+        core = [v for key, v in results["speedups"].items()
+                if key.split("/")[0] in CORE_BENCHES]
+        results["geomean_core"] = round(
+            math.prod(core) ** (1.0 / len(core)), 3
+        )
+    wall = time.perf_counter() - t0
+    print(render_rows(results["rows"], "bench native (arena vs list storage)"))
+    print()
+    for key, val in sorted(results["speedups"].items()):
+        print(f"  speedup {key}: {val:.2f}x")
+    for key, flag in sorted(results["zero_alloc"].items()):
+        print(f"  zero-alloc {key}: {'yes' if flag else 'NO'}")
+    print(f"  geomean (core queue ops): {results['geomean_core']:.2f}x")
+    path = save_results("bench_native", results["rows"], meta={
+        **results["meta"],
+        "speedups": results["speedups"],
+        "zero_alloc": results["zero_alloc"],
+        "geomean_core": results["geomean_core"],
+        "wall_s": round(wall, 1),
+    })
+    print(f"[{wall:.1f}s host; saved {path}]\n")
+
+    rc = 0
+    if rebaseline:
+        base_file.write_text(json.dumps(results, indent=2, default=str) + "\n")
+        print(f"baseline written to {base_file}")
+    else:
+        baseline = json.loads(base_file.read_text())
+        problems = compare_to_baseline(results, baseline)
+        if problems:
+            print(f"PERF REGRESSION vs {base_file}:")
+            for p in problems:
+                print(f"  {p}")
+            delta = render_native_delta(results, baseline)
+            delta_path = results_dir() / "bench_native_delta.txt"
+            delta_path.write_text(delta + "\n")
+            print("\n" + delta)
+            print(f"\n(delta table saved to {delta_path}; re-baseline "
+                  "intentionally with: python -m repro bench native "
+                  "--update-baseline)")
+            rc = 1
+        else:
+            print(f"no regression vs {base_file} (tolerance 20%)")
+    return rc
+
+
 def _run_bench(args) -> int:
     import json
 
     from .bench.micro import MICRO_KS, baseline_path, compare_to_baseline, run_micro
 
-    if (args.target or "micro") != "micro":
-        print(f"error: unknown bench target {args.target!r} (try 'micro')",
-              file=sys.stderr)
+    target = args.target or "micro"
+    if target == "native":
+        return _run_bench_native(args)
+    if target != "micro":
+        print(f"error: unknown bench target {args.target!r} "
+              "(try 'micro' or 'native')", file=sys.stderr)
         return 2
     ks = (
         tuple(int(k) for k in args.bench_ks.split(","))
@@ -480,8 +571,8 @@ def main(argv: list[str] | None = None) -> int:
         nargs="?",
         default=None,
         help=(
-            "subcommand target: bench takes 'micro' (default); trace takes "
-            "'analyze', 'flame', or 'diff'; ignored elsewhere"
+            "subcommand target: bench takes 'micro' (default) or 'native'; "
+            "trace takes 'analyze', 'flame', or 'diff'; ignored elsewhere"
         ),
     )
     parser.add_argument(
@@ -534,7 +625,7 @@ def main(argv: list[str] | None = None) -> int:
     faults.add_argument(
         "--capacity", type=int, default=8, help="batch node capacity k"
     )
-    bench = parser.add_argument_group("bench micro")
+    bench = parser.add_argument_group("bench micro/native")
     bench.add_argument(
         "--quick",
         action="store_true",
@@ -543,7 +634,7 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument(
         "--update-baseline",
         action="store_true",
-        help="rewrite BENCH_micro.json with this run's numbers",
+        help="rewrite the bench baseline (BENCH_micro.json / BENCH_native.json)",
     )
     bench.add_argument(
         "--bench-ks",

@@ -65,6 +65,31 @@ class NodeArena:
             + self.counts.nbytes + self.states.nbytes
         )
 
+    def grown(self, rows: int) -> "NodeArena":
+        """A copy of this arena with at least ``rows`` rows.
+
+        Row contents (keys, payload columns, counts, states) carry over
+        unchanged; new rows start EMPTY.  Growth reallocates — callers
+        that need an allocation-free steady state size the arena up
+        front (or, like :class:`~repro.core.native.NativeBGPQ`, grow by
+        doubling so reallocation amortises away before measurement).
+        """
+        if rows <= self.rows:
+            return self
+        new = NodeArena(
+            rows,
+            self.k,
+            dtype=self.dtype,
+            payload_width=self.payload_width,
+            payload_dtype=self.payload_dtype,
+        )
+        r = self.rows
+        new.keys[:r] = self.keys
+        new.pay[:r] = self.pay
+        new.counts[:r] = self.counts
+        new.states[:r] = self.states
+        return new
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"<NodeArena {self.rows}x{self.k} dtype={self.dtype.name} "

@@ -3,15 +3,37 @@
 The discrete-event :class:`~repro.core.bgpq.BGPQ` pays simulator
 overhead per effect, which is the right trade for studying concurrency
 but too slow to drive the paper's applications (branch-and-bound
-knapsack, A*) at realistic sizes.  ``NativeBGPQ`` implements the *same
-data structure* — batch nodes, partial buffer, SORT_SPLIT-based
+knapsack, A*, SSSP) at realistic sizes.  ``NativeBGPQ`` implements the
+*same data structure* — batch nodes, partial buffer, SORT_SPLIT-based
 insert/delete heapify — as plain sequential NumPy code, and charges
 what the operations would cost on the device through the GPU cost
-model, accumulated in :attr:`sim_time_ns`.
+model, accumulated exactly in :attr:`sim_time_ns`.
 
 It supports (key, payload) records: payloads are fixed-width NumPy
 rows that travel with their keys through every merge and split, which
 is how the applications store search-tree nodes.
+
+Two storage backends share the public API:
+
+* ``storage="arena"`` (default) — the whole heap lives in one
+  :class:`~repro.core.arena.NodeArena` (row 0 is the partial buffer,
+  row ``i`` is node ``i``), every SORT_SPLIT runs through the fused
+  in-place :func:`~repro.primitives.inplace.sort_split_into` path, and
+  the steady-state heapify loop performs zero traced allocations —
+  the application engines' hot path mirrors the paper's preallocated
+  device layout (§3.3).
+* ``storage="list"`` — the original allocate-per-merge path (one
+  ``_Slot`` of fresh ndarrays per split), kept as a differential-
+  testing reference: both backends produce bit-identical keys,
+  payloads, and simulated times on every operation sequence.
+
+Bulk operations amortise per-batch overhead the way the paper's
+batching amortises per-key overhead: :meth:`insert_bulk` accepts
+arbitrarily many records, sorts once, and feeds presorted full batches
+to the heap (one heapify per batch); :meth:`build` loads an initial
+frontier in O(n) node operations by laying the globally sorted keys
+out level by level (every BFS-ordered row then satisfies the batched
+heap property, the array-heap analogue of Floyd's bottom-up build).
 
 Because its per-operation behaviour is identical to the sequential
 semantics of BGPQ, it doubles as a second differential-testing
@@ -20,19 +42,36 @@ reference for the concurrent implementation.
 
 from __future__ import annotations
 
+from fractions import Fraction
+from functools import lru_cache
+
 import numpy as np
 
 from ..device.costmodel import GpuCostModel
 from ..device.kernels import GpuContext
 from ..errors import ConfigurationError
 from ..primitives import merge_with_payload
+from ..primitives.inplace import ScratchLedger, sort_split_into
+from .arena import NodeArena
 from .heap import left, level, parent, path_next, right
 
 __all__ = ["NativeBGPQ"]
 
 
+@lru_cache(maxsize=4096)
+def _exact_ns(ns: float) -> Fraction:
+    """Exact rational value of one device charge.
+
+    Charges repeat heavily (the cost model memoizes per (n, m) shape),
+    so the float→Fraction conversion is memoized too; accumulating
+    Fractions keeps long runs free of float-summation drift, matching
+    the analysis layer's exact-attribution discipline.
+    """
+    return Fraction(ns)
+
+
 class _Slot:
-    """One batch node: sorted keys plus aligned payload rows."""
+    """One batch node of the list backend: sorted keys + aligned rows."""
 
     __slots__ = ("keys", "payload")
 
@@ -53,6 +92,9 @@ class NativeBGPQ:
         device cost to :attr:`sim_time_ns`.
     key_dtype / payload_width / payload_dtype:
         Record layout.  ``payload_width=0`` stores bare keys.
+    storage:
+        ``"arena"`` (default) for the contiguous allocation-free
+        backend, ``"list"`` for the legacy allocate-per-merge path.
     """
 
     def __init__(
@@ -62,25 +104,59 @@ class NativeBGPQ:
         key_dtype=np.int64,
         payload_width: int = 0,
         payload_dtype=np.int64,
+        storage: str = "arena",
     ):
         if node_capacity < 2:
             raise ConfigurationError("node capacity must be >= 2")
+        if storage not in ("arena", "list"):
+            raise ConfigurationError(
+                f"unknown storage {storage!r}; choose 'arena' or 'list'"
+            )
         self.k = node_capacity
         self.key_dtype = np.dtype(key_dtype)
         self.payload_width = payload_width
         self.payload_dtype = np.dtype(payload_dtype)
+        self.storage = storage
         self.ctx = ctx
         self.model: GpuCostModel | None = ctx.model if ctx is not None else None
-        # nodes[1] is the root; nodes beyond _heap_size are dead slots
-        self._nodes: list[_Slot | None] = [None, self._empty_slot()]
         self._heap_size = 0
-        self._buf = self._empty_slot()
-        self.sim_time_ns = 0.0
+        self._sim_ns = Fraction(0)
         self.stats = {"insert_heapify": 0, "deletemin_heapify": 0, "ops": 0}
+        if storage == "arena":
+            # row 0 is the partial buffer, row i is node i; rows double
+            # on demand so steady-state operation never reallocates
+            self._arena = NodeArena(
+                8,
+                node_capacity,
+                dtype=key_dtype,
+                payload_width=payload_width,
+                payload_dtype=payload_dtype,
+            )
+            self._scratch = ScratchLedger(
+                node_capacity,
+                dtype=key_dtype,
+                payload_width=payload_width,
+                payload_dtype=payload_dtype,
+            )
+            # the travelling batch of both heapify loops (Alg. 1's `items`)
+            self._items_k = np.empty(node_capacity, dtype=key_dtype)
+            self._items_p = np.empty(
+                (node_capacity, payload_width), dtype=payload_dtype
+            )
+        else:
+            # nodes[1] is the root; nodes beyond _heap_size are dead slots
+            self._nodes: list[_Slot | None] = [None, self._empty_slot()]
+            self._buf = self._empty_slot()
 
-    # -- internals -------------------------------------------------------
+    # -- shared internals ------------------------------------------------
     def _empty_slot(self) -> _Slot:
         return _Slot(
+            np.empty(0, dtype=self.key_dtype),
+            np.empty((0, self.payload_width), dtype=self.payload_dtype),
+        )
+
+    def _empty_out(self) -> tuple[np.ndarray, np.ndarray]:
+        return (
             np.empty(0, dtype=self.key_dtype),
             np.empty((0, self.payload_width), dtype=self.payload_dtype),
         )
@@ -99,47 +175,436 @@ class NativeBGPQ:
 
     def _charge(self, ns: float) -> None:
         if self.model is not None:
-            self.sim_time_ns += ns
+            self._sim_ns += _exact_ns(ns)
 
+    def _charge_split(self, na: int, nb: int) -> None:
+        """One node-level SORT_SPLIT charge (both backends, either path)."""
+        if self.model is not None:
+            self._sim_ns += _exact_ns(self.model.node_sort_split_ns(na, nb))
+
+    def _charge_batch_entry(self, n: int) -> None:
+        """Per-batch entry cost: coalesced read, in-block sort, root lock."""
+        if self.model is not None:
+            self._charge(
+                self.model.global_read_ns(n)
+                + self.model.bitonic_sort_ns(n)
+                + self.model.lock_acquire_ns()
+                + self.model.lock_release_ns()
+            )
+
+    def _normalize(self, keys, payload) -> tuple[np.ndarray, np.ndarray]:
+        keys = np.asarray(keys, dtype=self.key_dtype)
+        if keys.ndim != 1:
+            raise ValueError("keys must be 1-D")
+        return keys, self._payload_for(keys, payload)
+
+    # -- public API --------------------------------------------------------
+    def insert(self, keys, payload=None) -> None:
+        """Insert any number of (key, payload) records.
+
+        Batches larger than k are pre-sorted once and fed to the heap
+        in full k-key slices (see :meth:`insert_bulk`); callers no
+        longer need to chunk by hand.
+        """
+        self.insert_bulk(keys, payload)
+
+    def insert_bulk(self, keys, payload=None) -> None:
+        """Insert arbitrarily many records with one global pre-sort.
+
+        The records are sorted once (stable, so equal keys keep their
+        payload order) and the sorted run is fed to the heap k at a
+        time: each slice is already sorted, so the per-batch host sort
+        disappears and each full batch costs exactly one heapify.
+        Device charges are identical to inserting the same slices one
+        ``insert`` call at a time — the bitonic network's cost is
+        data-independent — so simulated times stay comparable.
+        """
+        keys, pay = self._normalize(keys, payload)
+        if keys.size == 0:
+            return
+        order = np.argsort(keys, kind="stable")
+        skeys = keys[order]
+        spay = pay[order]
+        for i in range(0, skeys.size, self.k):
+            self._insert_sorted(skeys[i : i + self.k], spay[i : i + self.k])
+
+    def build(self, keys, payload=None) -> None:
+        """Load an initial frontier into an *empty* queue in O(n) node ops.
+
+        Sorts the records once and lays them out level by level: node 1
+        gets the k smallest, node 2 the next k, and so on, with the
+        trailing partial batch in the partial buffer.  Because rows are
+        filled in globally ascending order, every node's minimum is >=
+        its parent's maximum by construction — the batched-heap
+        analogue of Floyd's bottom-up heap construction, with no
+        per-node heapify at all.
+
+        Device charge: one coalesced read+write of the n records plus a
+        per-batch in-block sort and a merge tree over the batches (the
+        device would produce the global order with a batch merge sort).
+        """
+        if len(self):
+            raise ValueError("build requires an empty queue; use insert_bulk")
+        keys, pay = self._normalize(keys, payload)
+        n = keys.size
+        if n == 0:
+            return
+        order = np.argsort(keys, kind="stable")
+        skeys = keys[order]
+        spay = pay[order]
+        k = self.k
+        chunks = -(-n // k)
+        if self.model is not None:
+            m = self.model
+            self._charge(
+                m.global_read_ns(n)
+                + m.global_write_ns(n)
+                + chunks * m.bitonic_sort_ns(min(n, k))
+                + chunks * max(0, chunks.bit_length() - 1) * m.sort_split_ns(k, k)
+                + m.lock_acquire_ns()
+                + m.lock_release_ns()
+            )
+        self.stats["ops"] += 1
+        full = n // k
+        rest = n - full * k
+        # fewer than k keys: everything is the root, buffer stays empty
+        nodes = max(1, full)
+        body = nodes * k if full else n
+        if self.storage == "arena":
+            self._ensure_rows(nodes)
+            a = self._arena
+            if full:
+                a.keys[1 : full + 1] = skeys[:body].reshape(full, k)
+                if self.payload_width:
+                    a.pay[1 : full + 1] = spay[:body].reshape(
+                        full, k, self.payload_width
+                    )
+                a.counts[1 : full + 1] = k
+                a.keys[0, :rest] = skeys[body:]
+                if self.payload_width:
+                    a.pay[0, :rest] = spay[body:]
+                a.counts[0] = rest
+            else:
+                a.keys[1, :n] = skeys
+                if self.payload_width:
+                    a.pay[1, :n] = spay
+                a.counts[1] = n
+        else:
+            self._ensure_capacity(nodes)
+            if full:
+                for i in range(full):
+                    self._nodes[i + 1] = _Slot(
+                        skeys[i * k : (i + 1) * k], spay[i * k : (i + 1) * k]
+                    )
+                self._buf = _Slot(skeys[body:], spay[body:])
+            else:
+                self._nodes[1] = _Slot(skeys, spay)
+        self._heap_size = nodes
+
+    def deletemin(self, count: int):
+        """Remove up to ``count`` smallest records.
+
+        Returns ``(keys, payload)`` — ascending keys with their rows.
+        """
+        if not 1 <= count <= self.k:
+            raise ValueError(f"deletemin count must be in [1, {self.k}], got {count}")
+        if self.model is not None:
+            self._charge(self.model.lock_acquire_ns() + self.model.lock_release_ns())
+        self.stats["ops"] += 1
+        if self.storage == "arena":
+            return self._deletemin_arena(count)
+        return self._deletemin_list(count)
+
+    def clear(self) -> None:
+        """Reset to empty; storage, stats and the sim clock are retained."""
+        if self.storage == "arena":
+            self._arena.counts[:] = 0
+        else:
+            self._nodes = [None, self._empty_slot()]
+            self._buf = self._empty_slot()
+        self._heap_size = 0
+
+    # -- dispatch ---------------------------------------------------------
+    def _insert_sorted(self, skeys: np.ndarray, spay: np.ndarray) -> None:
+        """Insert one already-sorted batch of at most k records."""
+        self._charge_batch_entry(skeys.size)
+        self.stats["ops"] += 1
+        if self.storage == "arena":
+            self._insert_sorted_arena(skeys, spay)
+        else:
+            self._insert_sorted_list(skeys, spay)
+
+    # =====================================================================
+    # arena backend: contiguous rows, fused in-place SORT_SPLIT
+    # =====================================================================
+    def _ensure_rows(self, i: int) -> None:
+        a = self._arena
+        if i >= a.rows:
+            self._arena = a.grown(max(2 * a.rows, i + 1))
+
+    def _split_rows(self, i: int, j: int, small: int, large: int, ma: int) -> None:
+        """SORT_SPLIT rows ``i`` and ``j`` (merged in that order) in place:
+        row ``small`` receives the ``ma`` smallest records, row ``large``
+        the rest.  ``{small, large} == {i, j}``; ties keep ``i``'s keys
+        first, exactly like the list backend's ``merge_with_payload``.
+        """
+        a, s = self._arena, self._scratch
+        ni = int(a.counts[i])
+        nj = int(a.counts[j])
+        if ni and nj:
+            # already the requested split: the rewrite is the identity
+            if small == i and ma == ni and a.keys[i, ni - 1] <= a.keys[j, 0]:
+                return
+            if small == j and ma == nj and a.keys[j, nj - 1] < a.keys[i, 0]:
+                return
+        if self.payload_width:
+            sort_split_into(
+                a.keys[i, :ni], a.keys[j, :nj], ma,
+                a.keys[small], a.keys[large], s,
+                pa=a.pay[i, :ni], pb=a.pay[j, :nj],
+                x_p=a.pay[small], y_p=a.pay[large],
+            )
+        else:
+            sort_split_into(
+                a.keys[i, :ni], a.keys[j, :nj], ma,
+                a.keys[small], a.keys[large], s,
+            )
+        a.counts[small] = ma
+        a.counts[large] = ni + nj - ma
+
+    def _split_row_items(self, i: int, n: int, ma: int) -> None:
+        """SORT_SPLIT row ``i`` against the travelling batch, in place:
+        the row keeps the ``ma`` smallest of row ∪ items and the items
+        arrays are rewritten with the rest (``n`` stays the batch length).
+        """
+        a, s = self._arena, self._scratch
+        ik, ip = self._items_k, self._items_p
+        ni = int(a.counts[i])
+        if ni and n and ma == ni and a.keys[i, ni - 1] <= ik[0]:
+            return  # row already holds the ma smallest; batch unchanged
+        if self.payload_width:
+            sort_split_into(
+                a.keys[i, :ni], ik[:n], ma,
+                a.keys[i], ik, s,
+                pa=a.pay[i, :ni], pb=ip[:n],
+                x_p=a.pay[i], y_p=ip,
+            )
+        else:
+            sort_split_into(a.keys[i, :ni], ik[:n], ma, a.keys[i], ik, s)
+        a.counts[i] = ma
+
+    def _shift_row_left(self, i: int, take: int) -> None:
+        """Drop row ``i``'s first ``take`` records, staged through scratch
+        (an in-row move; direct overlapping assignment would make numpy
+        allocate a bounce buffer on the steady-state path)."""
+        a, s = self._arena, self._scratch
+        ni = int(a.counts[i])
+        m = ni - take
+        if m:
+            s.keys[:m] = a.keys[i, take:ni]
+            a.keys[i, :m] = s.keys[:m]
+            if self.payload_width:
+                s.pay[:m] = a.pay[i, take:ni]
+                a.pay[i, :m] = s.pay[:m]
+        a.counts[i] = m
+
+    def _insert_sorted_arena(self, skeys: np.ndarray, spay: np.ndarray) -> None:
+        a = self._arena
+        n = skeys.size
+        if self._heap_size == 0:
+            a.keys[1, :n] = skeys
+            if self.payload_width:
+                a.pay[1, :n] = spay
+            a.counts[1] = n
+            self._heap_size = 1
+            return
+        ik, ip = self._items_k, self._items_p
+        ik[:n] = skeys
+        if self.payload_width:
+            ip[:n] = spay
+        nroot = int(a.counts[1])
+        if nroot:
+            # root keeps its nroot smallest of root ∪ items
+            self._charge_split(nroot, n)
+            self._split_row_items(1, n, ma=nroot)
+        nbuf = int(a.counts[0])
+        if nbuf + n < self.k:
+            # fold the batch into the partial buffer (buffer keys first)
+            if self.model is not None:
+                self._charge(self.model.sort_split_ns(nbuf, n))
+            total = nbuf + n
+            if self.payload_width:
+                sort_split_into(
+                    a.keys[0, :nbuf], ik[:n], total,
+                    a.keys[0], ik, self._scratch,
+                    pa=a.pay[0, :nbuf], pb=ip[:n],
+                    x_p=a.pay[0], y_p=ip,
+                )
+            else:
+                sort_split_into(
+                    a.keys[0, :nbuf], ik[:n], total, a.keys[0], ik, self._scratch
+                )
+            a.counts[0] = total
+            return
+        # buffer overflow: detach a full batch (items keys first on ties),
+        # leave the rest in the buffer, heapify the full batch down
+        self._charge_split(n, nbuf)
+        if self.payload_width:
+            sort_split_into(
+                ik[:n], a.keys[0, :nbuf], self.k,
+                ik, a.keys[0], self._scratch,
+                pa=ip[:n], pb=a.pay[0, :nbuf],
+                x_p=ip, y_p=a.pay[0],
+            )
+        else:
+            sort_split_into(
+                ik[:n], a.keys[0, :nbuf], self.k, ik, a.keys[0], self._scratch
+            )
+        a.counts[0] = n + nbuf - self.k
+        self._insert_heapify_arena()
+
+    def _insert_heapify_arena(self) -> None:
+        """Heapify the full travelling batch down to a fresh last slot."""
+        self.stats["insert_heapify"] += 1
+        a = self._arena
+        k = self.k
+        tar = self._heap_size + 1
+        self._heap_size = tar
+        self._ensure_rows(tar)
+        a = self._arena  # _ensure_rows may have swapped the arena
+        cur = path_next(1, tar) if tar != 1 else 1
+        while cur != tar:
+            ni = int(a.counts[cur])
+            self._charge_split(ni, k)
+            self._split_row_items(cur, k, ma=ni)
+            cur = path_next(cur, tar)
+        a.keys[tar, :k] = self._items_k
+        if self.payload_width:
+            a.pay[tar, :k] = self._items_p
+        a.counts[tar] = k
+
+    def _deletemin_arena(self, count: int):
+        a = self._arena
+        k = self.k
+        if self._heap_size == 0:
+            return self._empty_out()
+        nroot = int(a.counts[1])
+        if count < nroot:
+            out_k = a.keys[1, :count].copy()
+            out_p = a.pay[1, :count].copy()
+            self._shift_row_left(1, count)
+            if self.model is not None:
+                self._charge(self.model.global_read_ns(count))
+            return out_k, out_p
+        if self._heap_size == 1:
+            # refill from the buffer
+            nbuf = int(a.counts[0])
+            take = min(count - nroot, nbuf)
+            total = nroot + take
+            out_k = np.empty(total, dtype=self.key_dtype)
+            out_p = np.empty((total, self.payload_width), dtype=self.payload_dtype)
+            out_k[:nroot] = a.keys[1, :nroot]
+            out_k[nroot:] = a.keys[0, :take]
+            if self.payload_width:
+                out_p[:nroot] = a.pay[1, :nroot]
+                out_p[nroot:] = a.pay[0, :take]
+            rest = nbuf - take
+            if rest:
+                a.keys[1, :rest] = a.keys[0, take:nbuf]
+                if self.payload_width:
+                    a.pay[1, :rest] = a.pay[0, take:nbuf]
+                a.counts[1] = rest
+                a.counts[0] = 0
+            else:
+                a.counts[0] = 0
+                a.counts[1] = 0
+                self._heap_size = 0
+            return out_k, out_p
+
+        remained = count - nroot
+        out_root_k = a.keys[1, :nroot].copy()
+        out_root_p = a.pay[1, :nroot].copy()
+        # move the last node into the root, fold the buffer in
+        last = self._heap_size
+        nlast = int(a.counts[last])
+        a.keys[1, :nlast] = a.keys[last, :nlast]
+        if self.payload_width:
+            a.pay[1, :nlast] = a.pay[last, :nlast]
+        a.counts[1] = nlast
+        a.counts[last] = 0
+        self._heap_size -= 1
+        if self.model is not None:
+            self._charge(self.model.global_read_ns(k) + self.model.global_write_ns(k))
+        if int(a.counts[0]):
+            self._charge_split(nlast, int(a.counts[0]))
+            self._split_rows(1, 0, small=1, large=0, ma=nlast)
+        ex_k, ex_p = self._deletemin_heapify_arena(remained)
+        out_k = np.concatenate([out_root_k, ex_k])
+        out_p = np.concatenate([out_root_p, ex_p])
+        return out_k, out_p
+
+    def _deletemin_heapify_arena(self, remained: int):
+        self.stats["deletemin_heapify"] += 1
+        a = self._arena
+        cur = 1
+        out: tuple[np.ndarray, np.ndarray] | None = None
+
+        def extract_root() -> tuple[np.ndarray, np.ndarray]:
+            take = min(remained, int(a.counts[1]))
+            got = (a.keys[1, :take].copy(), a.pay[1, :take].copy())
+            self._shift_row_left(1, take)
+            if self.model is not None:
+                self._charge(self.model.global_read_ns(take))
+            return got
+
+        while True:
+            ncur = int(a.counts[cur])
+            children = [
+                c
+                for c in (left(cur), right(cur))
+                if c <= self._heap_size and a.counts[c]
+            ]
+            if (
+                not children
+                or ncur == 0
+                or a.keys[cur, ncur - 1] <= min(a.keys[c, 0] for c in children)
+            ):
+                if out is None:
+                    out = extract_root()
+                return out
+            if len(children) == 2:
+                l, r = children
+                nl, nr = int(a.counts[l]), int(a.counts[r])
+                x, y = (l, r) if a.keys[l, nl - 1] > a.keys[r, nr - 1] else (r, l)
+                ma = min(self.k, nl + nr)
+                self._charge_split(nl, nr)
+                self._split_rows(l, r, small=y, large=x, ma=ma)
+            else:
+                y = children[0]
+            self._charge_split(ncur, int(a.counts[y]))
+            self._split_rows(cur, y, small=cur, large=y, ma=ncur)
+            if cur == 1 and out is None:
+                out = extract_root()
+            cur = y
+
+    # =====================================================================
+    # list backend: the legacy allocate-per-merge path (differential ref)
+    # =====================================================================
     def _split(self, a: _Slot, b: _Slot, ma: int) -> tuple[_Slot, _Slot]:
         """SORT_SPLIT with payloads; charges one node-level op."""
         keys, payload = merge_with_payload(a.keys, a.payload, b.keys, b.payload)
-        if self.model is not None:
-            self._charge(self.model.node_sort_split_ns(a.keys.size, b.keys.size))
+        self._charge_split(a.keys.size, b.keys.size)
         return (
             _Slot(keys[:ma], payload[:ma]),
             _Slot(keys[ma:], payload[ma:]),
         )
 
-    def _slot_at(self, i: int) -> _Slot:
-        return self._nodes[i]
-
     def _ensure_capacity(self, i: int) -> None:
         while len(self._nodes) <= i:
             self._nodes.append(None)
 
-    # -- public API --------------------------------------------------------
-    def insert(self, keys, payload=None) -> None:
-        """Insert up to k (key, payload) records."""
-        keys = np.asarray(keys, dtype=self.key_dtype)
-        if keys.ndim != 1:
-            raise ValueError("keys must be 1-D")
-        if keys.size == 0:
-            return
-        if keys.size > self.k:
-            raise ValueError(f"insert of {keys.size} keys exceeds batch size {self.k}")
-        pay = self._payload_for(keys, payload)
-        order = np.argsort(keys, kind="stable")
-        items = _Slot(keys[order], pay[order])
-        if self.model is not None:
-            self._charge(
-                self.model.global_read_ns(keys.size)
-                + self.model.bitonic_sort_ns(keys.size)
-                + self.model.lock_acquire_ns()
-                + self.model.lock_release_ns()
-            )
-        self.stats["ops"] += 1
-
+    def _insert_sorted_list(self, skeys: np.ndarray, spay: np.ndarray) -> None:
+        items = _Slot(skeys, spay)
         root = self._nodes[1]
         if self._heap_size == 0:
             self._nodes[1] = items
@@ -175,16 +640,7 @@ class NativeBGPQ:
             cur = path_next(cur, tar)
         self._nodes[tar] = items
 
-    def deletemin(self, count: int):
-        """Remove up to ``count`` smallest records.
-
-        Returns ``(keys, payload)`` — ascending keys with their rows.
-        """
-        if not 1 <= count <= self.k:
-            raise ValueError(f"deletemin count must be in [1, {self.k}], got {count}")
-        if self.model is not None:
-            self._charge(self.model.lock_acquire_ns() + self.model.lock_release_ns())
-        self.stats["ops"] += 1
+    def _deletemin_list(self, count: int):
         empty = self._empty_slot()
         if self._heap_size == 0:
             return empty.keys, empty.payload
@@ -280,6 +736,9 @@ class NativeBGPQ:
 
     # -- introspection ------------------------------------------------------
     def __len__(self) -> int:
+        if self.storage == "arena":
+            a = self._arena
+            return int(a.counts[0] + a.counts[1 : self._heap_size + 1].sum())
         total = self._buf.keys.size
         for i in range(1, self._heap_size + 1):
             slot = self._nodes[i]
@@ -291,15 +750,40 @@ class NativeBGPQ:
         return len(self) > 0
 
     @property
+    def sim_time_ns(self) -> float:
+        """Accumulated device time; exact internally, float at the API."""
+        return float(self._sim_ns)
+
+    @property
+    def sim_time_ns_exact(self) -> Fraction:
+        return self._sim_ns
+
+    @property
     def sim_time_ms(self) -> float:
         return self.sim_time_ns / 1e6
 
     def memory_bytes(self) -> int:
-        """Node array + buffer + payload rows (k + O(1) per record)."""
+        """Backing storage for nodes + buffer (k + O(1) per record)."""
+        if self.storage == "arena":
+            return int(
+                self._arena.nbytes()
+                + self._scratch.keys.nbytes
+                + self._scratch.pay.nbytes
+                + self._items_k.nbytes
+                + self._items_p.nbytes
+            )
         item = self.key_dtype.itemsize + self.payload_width * self.payload_dtype.itemsize
         return (self._heap_size + 1) * self.k * item + 16 * (self._heap_size + 1)
 
     def snapshot_keys(self) -> np.ndarray:
+        if self.storage == "arena":
+            a = self._arena
+            parts = [a.keys[0, : int(a.counts[0])]]
+            parts += [
+                a.keys[i, : int(a.counts[i])]
+                for i in range(1, self._heap_size + 1)
+            ]
+            return np.concatenate(parts) if parts else np.empty(0, dtype=self.key_dtype)
         parts = [self._buf.keys]
         for i in range(1, self._heap_size + 1):
             slot = self._nodes[i]
@@ -307,29 +791,42 @@ class NativeBGPQ:
                 parts.append(slot.keys)
         return np.concatenate(parts) if parts else np.empty(0, dtype=self.key_dtype)
 
+    # -- invariants (tests only) -------------------------------------------
+    def _node_keys(self, i: int) -> np.ndarray | None:
+        """Keys of node ``i`` (None for a dead slot); quiescent use only."""
+        if self.storage == "arena":
+            a = self._arena
+            if i >= a.rows:
+                return None
+            return a.keys[i, : int(a.counts[i])]
+        slot = self._nodes[i] if i < len(self._nodes) else None
+        return None if slot is None else slot.keys
+
+    def _buffer_keys(self) -> np.ndarray:
+        if self.storage == "arena":
+            a = self._arena
+            return a.keys[0, : int(a.counts[0])]
+        return self._buf.keys
+
     def check_invariants(self) -> list[str]:
         """Batched-heap invariants (tests only)."""
         problems = []
         for i in range(2, self._heap_size + 1):
-            n, p = self._nodes[i], self._nodes[parent(i)]
-            if n is None or p is None or not n.keys.size or not p.keys.size:
+            n, p = self._node_keys(i), self._node_keys(parent(i))
+            if n is None or p is None or not n.size or not p.size:
                 continue
-            if n.keys[0] < p.keys[-1]:
+            if n[0] < p[-1]:
                 problems.append(f"node {i} min < parent max")
         for i in range(1, self._heap_size + 1):
-            n = self._nodes[i]
-            if n is not None and n.keys.size > 1 and np.any(n.keys[:-1] > n.keys[1:]):
+            n = self._node_keys(i)
+            if n is not None and n.size > 1 and np.any(n[:-1] > n[1:]):
                 problems.append(f"node {i} unsorted")
-            if i > 1 and n is not None and n.keys.size != self.k:
-                problems.append(f"interior node {i} not full ({n.keys.size}/{self.k})")
-        if self._buf.keys.size >= self.k:
+            if i > 1 and n is not None and n.size != self.k:
+                problems.append(f"interior node {i} not full ({n.size}/{self.k})")
+        buf = self._buffer_keys()
+        if buf.size >= self.k:
             problems.append("buffer overflow")
-        root = self._nodes[1] if self._heap_size else None
-        if (
-            root is not None
-            and root.keys.size
-            and self._buf.keys.size
-            and self._buf.keys[0] < root.keys[-1]
-        ):
+        root = self._node_keys(1) if self._heap_size else None
+        if root is not None and root.size and buf.size and buf[0] < root[-1]:
             problems.append("buffer min < root max")
         return problems

@@ -1,0 +1,125 @@
+"""Native-engine perf harness: structure, zero-alloc gate, CLI exits."""
+
+import json
+
+import pytest
+
+from repro.bench.micro import compare_to_baseline
+from repro.bench.native import (
+    NATIVE_KS,
+    _alloc_loop,
+    native_baseline_path,
+    render_native_delta,
+    run_native,
+)
+
+BENCHES = {"insert", "delete", "mixed", "bulk", "build", "knapsack", "astar"}
+
+
+@pytest.fixture(scope="module")
+def quick_results():
+    """One tiny real run shared by the structural tests."""
+    return run_native(ks=(8,), quick=True, op_iters=12, e2e_iters=1)
+
+
+def test_payload_structure(quick_results):
+    r = quick_results
+    assert r["benchmark"] == "native"
+    assert r["meta"]["quick"] is True
+    assert {row["bench"] for row in r["rows"]} == BENCHES
+    # one row per (bench, storage)
+    assert len(r["rows"]) == 2 * len(BENCHES)
+    for row in r["rows"]:
+        assert row["storage"] in ("arena", "list")
+        assert row["ops_per_sec"] > 0
+    assert set(r["speedups"]) == {f"{b}/k=8" for b in BENCHES}
+    assert list(r["zero_alloc"]) == ["mixed/k=8"]
+    assert r["geomean_core"] > 0
+
+
+def test_arena_steady_state_is_allocation_free(quick_results):
+    """The acceptance bar, at a small k so CI stays fast: the arena
+    backend's steady-state insert+deletemin loop retains less than one
+    key-buffer across the loop."""
+    assert quick_results["zero_alloc"]["mixed/k=8"] is True
+
+
+def test_e2e_rows_skip_alloc_tracing(quick_results):
+    for row in quick_results["rows"]:
+        if row["bench"] in ("knapsack", "astar"):
+            assert row["retained_bytes"] == -1
+
+
+def test_gating_reuses_micro_comparator(quick_results):
+    """BENCH_native.json gates through the same ratio comparator as
+    micro; a doctored 10x baseline must flag every bench."""
+    doctored = json.loads(json.dumps(quick_results))
+    doctored["speedups"] = {k: v * 10 for k, v in doctored["speedups"].items()}
+    problems = compare_to_baseline(quick_results, doctored)
+    assert len(problems) == len(BENCHES)
+    assert compare_to_baseline(quick_results, quick_results) == []
+
+
+def test_render_native_delta(quick_results):
+    doctored = json.loads(json.dumps(quick_results))
+    doctored["speedups"] = {k: v * 2 for k, v in doctored["speedups"].items()}
+    doctored["zero_alloc"] = {"mixed/k=8": True}
+    table = render_native_delta(quick_results, doctored)
+    for bench in BENCHES:
+        assert bench in table
+    assert "0.50" in table  # current/baseline ratio column
+    assert "zero-alloc mixed/k=8" in table
+
+
+def test_baseline_path_env_override(monkeypatch, tmp_path):
+    target = tmp_path / "other.json"
+    monkeypatch.setenv("REPRO_BENCH_NATIVE_BASELINE", str(target))
+    assert native_baseline_path() == target
+
+
+def test_alloc_loop_detects_retention():
+    kept = []
+    retained, peak = _alloc_loop(lambda i: kept.append(bytearray(1024)), 50)
+    assert retained > 50 * 1000
+    assert peak >= retained
+
+
+def test_cli_bench_native_exit_codes(tmp_path, monkeypatch, capsys):
+    import functools
+
+    import repro.bench.native as native
+    from repro.cli import main
+
+    monkeypatch.setenv(
+        "REPRO_BENCH_NATIVE_BASELINE", str(tmp_path / "BENCH_native.json")
+    )
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    monkeypatch.setattr(
+        native, "run_native",
+        functools.partial(native.run_native, op_iters=12, e2e_iters=1),
+    )
+    # first run: no baseline yet -> writes it, exits 0
+    assert main(["bench", "native", "--quick", "--bench-ks", "8"]) == 0
+    assert (tmp_path / "BENCH_native.json").exists()
+    capsys.readouterr()
+    # a doctored baseline makes the gate fail and saves the delta table
+    doctored = json.loads((tmp_path / "BENCH_native.json").read_text())
+    doctored["speedups"] = {k: v * 10 for k, v in doctored["speedups"].items()}
+    (tmp_path / "BENCH_native.json").write_text(json.dumps(doctored))
+    assert main(["bench", "native", "--quick", "--bench-ks", "8"]) == 1
+    out = capsys.readouterr().out
+    assert "PERF REGRESSION" in out
+    assert (tmp_path / "results" / "bench_native_delta.txt").exists()
+    # --update-baseline rewrites and exits 0 again
+    assert main(["bench", "native", "--quick", "--bench-ks", "8",
+                 "--update-baseline"]) == 0
+
+
+def test_unknown_bench_target_exits_2():
+    from repro.cli import main
+
+    assert main(["bench", "nope"]) == 2
+
+
+def test_default_ks_constant():
+    assert NATIVE_KS == (32, 128, 512)

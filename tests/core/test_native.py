@@ -35,15 +35,25 @@ def test_bool_and_len():
 def test_validation():
     with pytest.raises(ConfigurationError):
         NativeBGPQ(node_capacity=1)
+    with pytest.raises(ConfigurationError):
+        NativeBGPQ(node_capacity=4, storage="rope")
     pq = NativeBGPQ(node_capacity=4)
-    with pytest.raises(ValueError):
-        pq.insert(np.arange(5))
     with pytest.raises(ValueError):
         pq.deletemin(0)
     with pytest.raises(ValueError):
         pq.deletemin(5)
     with pytest.raises(ValueError):
         pq.insert(np.zeros((2, 2)))
+
+
+def test_oversize_insert_chunks_internally():
+    # >k batches used to raise; now they chunk via the bulk path
+    pq = NativeBGPQ(node_capacity=4)
+    pq.insert(np.arange(11)[::-1])
+    assert len(pq) == 11
+    keys, _ = pq.deletemin(4)
+    assert list(keys) == [0, 1, 2, 3]
+    assert pq.check_invariants() == []
 
 
 def test_payload_travels_with_keys():
