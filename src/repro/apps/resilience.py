@@ -8,8 +8,10 @@ solvers' correctness argument (every open node must eventually be
 expanded), so the helpers here implement the two-tier recovery the
 drivers share:
 
-1. **retry** — re-attempt the operation a few times with exponential
-   backoff (most aborts are transient root contention);
+1. **retry** — re-attempt the operation with capped exponential
+   backoff and deterministic jitter (most aborts are transient root
+   contention; jitter decorrelates retriers so they don't re-collide
+   in lockstep);
 2. **degrade** — a permanently failing insert routes its keys to a
    host-side :class:`OverflowList` that workers poll whenever the
    queue comes up empty.  Overflow nodes stay "outstanding", so the
@@ -19,44 +21,90 @@ drivers share:
 A permanently failing deletemin degrades to an empty result: the
 caller already treats empty as "retry after backoff", which is exactly
 the right behaviour.
+
+The same backoff policy (:func:`jittered_backoff_ns`) is what serve
+clients use to honor ``RetryAfter`` shed responses — one backoff
+discipline across the abort path and the admission path.
 """
 
 from __future__ import annotations
+
+import heapq
+import random
 
 import numpy as np
 
 from ..errors import OperationAborted
 from ..sim import Compute
 
-__all__ = ["OverflowList", "deletemin_with_retries", "insert_with_retries"]
+__all__ = [
+    "OverflowList",
+    "deletemin_with_retries",
+    "insert_with_retries",
+    "jittered_backoff_ns",
+]
+
+
+def jittered_backoff_ns(
+    attempt: int,
+    base_ns: float = 2_000.0,
+    cap_ns: float = 1_000_000.0,
+    rng: random.Random | None = None,
+    jitter: float = 0.5,
+) -> float:
+    """Capped exponential backoff with deterministic equal-jitter.
+
+    The raw delay doubles per attempt (``base * 2**attempt``) and is
+    capped at ``cap_ns``; with an ``rng`` the returned delay is drawn
+    uniformly from ``[raw * (1 - jitter), raw]``, so retriers that
+    aborted together spread out instead of re-colliding in lockstep.
+    Determinism comes from the caller seeding the ``random.Random`` —
+    the same seed replays the same delays, which is what keeps fault
+    campaigns reproducible from their reported seed alone.  Without an
+    ``rng`` the raw capped delay is returned.
+    """
+    if attempt < 0:
+        raise ValueError(f"attempt must be >= 0, got {attempt}")
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+    # cap the exponent too, so huge attempt counts can't overflow floats
+    raw = min(cap_ns, base_ns * (2.0 ** min(attempt, 60)))
+    if rng is None or jitter == 0.0:
+        return raw
+    return raw * (1.0 - jitter) + rng.random() * raw * jitter
 
 
 class OverflowList:
     """Host-side escape hatch for keys a faulty queue refused.
 
-    Plain-Python mutations; callers touch it through ``Atomic`` effects
-    (or between yields), which makes access atomic under the simulator's
-    interleaving semantics.
+    Keys live in a binary heap, so :meth:`pop_one` always returns the
+    current minimum — degraded keys re-enter the computation in key
+    order, preserving the best-first discipline of the solvers even
+    for work that took the degraded path.  Plain-Python mutations;
+    callers touch it through ``Atomic`` effects (or between yields),
+    which makes access atomic under the simulator's interleaving
+    semantics.
     """
 
     __slots__ = ("keys", "routed", "drained")
 
     def __init__(self):
-        self.keys: list[int] = []
+        self.keys: list[int] = []  # heapified; keys[0] is the minimum
         self.routed = 0  # keys ever routed here
         self.drained = 0  # keys taken back out
 
     def push(self, keys: np.ndarray) -> None:
-        self.keys.extend(int(k) for k in np.asarray(keys).ravel())
-        self.routed += int(np.asarray(keys).size)
+        arr = np.asarray(keys).ravel()
+        for k in arr:
+            heapq.heappush(self.keys, int(k))
+        self.routed += int(arr.size)
 
     def pop_one(self):
         """Smallest overflow key, or None when empty."""
         if not self.keys:
             return None
-        i = self.keys.index(min(self.keys))
         self.drained += 1
-        return self.keys.pop(i)
+        return heapq.heappop(self.keys)
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -68,22 +116,26 @@ def insert_with_retries(
     retries: int = 3,
     backoff_ns: float = 2_000.0,
     overflow: OverflowList | None = None,
+    rng: random.Random | None = None,
+    cap_ns: float = 1_000_000.0,
 ):
     """Insert with retry + overflow degradation; generator returning
     True (queue took the keys) or False (routed to ``overflow``).
 
-    Without an ``overflow`` list the final abort propagates — the
-    caller opted out of degradation.
+    Retries back off exponentially from ``backoff_ns`` (capped at
+    ``cap_ns``), with deterministic jitter when the caller supplies a
+    seeded ``rng``.  Without an ``overflow`` list the final abort
+    propagates — the caller opted out of degradation.
     """
-    delay = backoff_ns
     for attempt in range(retries + 1):
         try:
             yield from pq.insert_op(keys)
             return True
         except OperationAborted:
             if attempt < retries:
-                yield Compute(delay)
-                delay *= 2.0
+                yield Compute(
+                    jittered_backoff_ns(attempt, backoff_ns, cap_ns, rng)
+                )
     if overflow is None:
         raise OperationAborted("insert", f"gave up after {retries + 1} attempts")
     overflow.push(keys)
@@ -95,15 +147,17 @@ def deletemin_with_retries(
     count: int,
     retries: int = 3,
     backoff_ns: float = 2_000.0,
+    rng: random.Random | None = None,
+    cap_ns: float = 1_000_000.0,
 ):
     """Deletemin with retry; degrades to an empty result on permanent
     abort (callers treat empty as "back off and re-poll")."""
-    delay = backoff_ns
     for attempt in range(retries + 1):
         try:
             return (yield from pq.deletemin_op(count))
         except OperationAborted:
             if attempt < retries:
-                yield Compute(delay)
-                delay *= 2.0
+                yield Compute(
+                    jittered_backoff_ns(attempt, backoff_ns, cap_ns, rng)
+                )
     return np.empty(0, dtype=np.int64)

@@ -15,6 +15,11 @@ Usage::
     python -m repro trace analyze          # critical path + phase attribution
     python -m repro trace flame            # collapsed stacks + terminal flame
     python -m repro trace diff A.json B.json   # per-phase run diff
+    python -m repro serve                  # durable service mode
+    python -m repro serve --faults         # ... with server crashes injected
+    python -m repro runs list              # the persistent run registry
+    python -m repro runs show <run-id>
+    python -m repro runs gc --keep 20
     python -m repro all                    # everything, archived
 
 ``faults`` runs seed-swept crash/timeout/jitter campaigns (see
@@ -53,6 +58,18 @@ analysis captures and names the top regressing phase; malformed or
 schema-mismatched input exits 2 without a traceback.  All trace
 outputs land in ``--output-dir`` when given (else the results dir).
 
+``serve`` runs the durable service mode (see :mod:`repro.serve`):
+concurrent client sessions against a BGPQ behind admission control,
+with a write-ahead log and periodic checkpoints underneath; with
+``--faults`` the fault injector crashes the server mid-run and a
+supervisor recovers it from checkpoint + WAL replay, verified by an
+end-of-run recovery drill (byte-identical state digest) and the heap
+audit.  Exits non-zero when any seed's durability story fails.
+
+Every entrypoint above records into the persistent run registry
+(``repro runs list|show|gc``; see :mod:`repro.registry`), rooted at
+``$REPRO_REGISTRY_DIR`` (default ``runs/``; set empty to disable).
+
 ``REPRO_SCALE`` (default 2048) divides the paper's workload sizes;
 results are archived under ``bench_results/`` and EXPERIMENTS.md can
 be refreshed with ``python scripts/make_experiments_md.py``.
@@ -78,6 +95,26 @@ from .bench import (
 )
 
 __all__ = ["main"]
+
+
+def _record_registry(kind: str, config: dict, status: str, summary: dict,
+                     artifacts: dict | None = None) -> str | None:
+    """Best-effort registry recording — a broken registry must never
+    fail the experiment that ran fine."""
+    try:
+        from .registry import registry_from_env
+
+        reg = registry_from_env()
+        if reg is None:
+            return None
+        run_id = reg.record(kind, status=status, config=config, summary=summary)
+        for name, content in (artifacts or {}).items():
+            reg.add_artifact(run_id, name, content)
+        print(f"[registry: {run_id}]")
+        return run_id
+    except Exception as err:  # noqa: BLE001 - recording is best-effort
+        print(f"(registry recording failed: {err})", file=sys.stderr)
+        return None
 
 
 def _run(name: str, fn, title: str) -> None:
@@ -231,11 +268,203 @@ def _run_trace(args) -> int:
     if rc:
         return rc
     print(f"[{wall:.1f}s host]")
+    _record_registry(
+        "trace",
+        config={"seed": args.trace_seed, "storage": args.storage},
+        status="completed",
+        summary={
+            "events": len(run.events),
+            "makespan_ns": run.makespan_ns,
+            "wall_s": round(wall, 1),
+        },
+    )
+    # the metrics JSON stays the last thing on stdout — callers parse it
     if args.metrics:
         metrics = metrics_dict(run.events, run.makespan_ns, buckets=args.buckets)
         print()
         print(json.dumps(metrics, indent=2, sort_keys=True))
     return 0
+
+
+def _run_serve(args) -> int:
+    """`repro serve`: durable service mode (admission + WAL + checkpoints)."""
+    from .registry import registry_from_env
+    from .serve import ServeConfig, run_serve_campaign
+
+    cfg = ServeConfig(
+        backend=args.backend,
+        sessions=args.sessions,
+        ops=args.ops,
+        k=args.capacity,
+        window=args.window,
+        budget=args.budget,
+        checkpoint_every=args.checkpoint_every,
+        data_dir=args.data_dir,
+        plan=args.serve_faults,
+        max_backoffs=args.max_backoffs,
+    )
+    config = {
+        "backend": cfg.backend, "sessions": cfg.sessions, "ops": cfg.ops,
+        "k": cfg.k, "window": cfg.window, "budget": cfg.budget,
+        "checkpoint_every": cfg.checkpoint_every, "plan": cfg.plan,
+        "seeds": args.seeds, "seed_base": args.seed_base,
+    }
+    reg = registry_from_env()
+    run_id = None
+    try:
+        if reg is not None:
+            run_id = reg.open_run("serve", config=config)
+            if cfg.data_dir is None:
+                # durable state lives with the run it belongs to
+                cfg.data_dir = str(reg.artifact_dir(run_id) / "data")
+    except Exception as err:  # noqa: BLE001
+        print(f"(registry recording failed: {err})", file=sys.stderr)
+        reg = None
+
+    t0 = time.perf_counter()
+    outcomes = run_serve_campaign(cfg, seeds=args.seeds,
+                                  seed_base=args.seed_base)
+    wall = time.perf_counter() - t0
+    rows = [
+        {
+            "Seed": o.seed,
+            "Status": o.status,
+            "Journaled": o.ops_journaled,
+            "Recoveries": o.recoveries,
+            "Shed": o.shed,
+            "PeakPending": o.peak_pending,
+            "Drill": "ok" if o.drill_ok else "FAIL",
+        }
+        for o in outcomes
+    ]
+    print(render_rows(
+        rows, f"serve campaign ({cfg.backend} backend, plan={cfg.plan})"
+    ))
+    failures = [o for o in outcomes if not o.survived]
+    total_rec = sum(o.recoveries for o in outcomes)
+    total_shed = sum(o.shed for o in outcomes)
+    print(
+        f"\n{len(outcomes)} runs: {len(outcomes) - len(failures)} survived, "
+        f"{total_rec} crash recoveries, {total_shed} sheds"
+    )
+    path = save_results("serve", rows, meta={**config, "wall_s": round(wall, 1)})
+    print(f"[{wall:.1f}s host; saved {path}]\n")
+
+    summary = {
+        "runs": len(outcomes),
+        "survived": len(outcomes) - len(failures),
+        "recoveries": total_rec,
+        "shed": total_shed,
+        "status": "ok" if not failures else "failed",
+    }
+    if reg is not None and run_id is not None:
+        try:
+            reg.add_artifact(run_id, "serve_outcomes.json", [
+                {k: v for k, v in vars(o).items() if k != "shed_by_reason"}
+                | {"shed_by_reason": dict(o.shed_by_reason)}
+                for o in outcomes
+            ])
+            reg.finish(run_id, status="completed" if not failures else "failed",
+                       summary=summary)
+            print(f"[registry: {run_id}]")
+        except Exception as err:  # noqa: BLE001
+            print(f"(registry recording failed: {err})", file=sys.stderr)
+
+    if args.trace:
+        # traced re-run of the first seed on a fresh data dir (a WAL is
+        # one history — the traced rerun must not append to a finished
+        # one); serve events ride the same bus as engine/queue events,
+        # so the whole trace toolchain works on service runs
+        import json
+        from dataclasses import replace
+        from pathlib import Path
+
+        from .obs import EventBus, analyze
+        from .serve import run_serve
+
+        bus = EventBus()
+        rerun_dir = Path(cfg.data_dir) / "trace-rerun" if cfg.data_dir else None
+        cell = replace(cfg, seed=args.seed_base,
+                       data_dir=str(rerun_dir) if rerun_dir else None)
+        traced = run_serve(cell, obs=bus)
+        rc = _write_chrome_trace(bus.events, "trace_serve.json", args)
+        if rc:
+            return rc
+        if traced.makespan_ns > 0:
+            analysis = analyze(bus.events, traced.makespan_ns)
+            apath = _out_dir(args) / "trace_serve_analysis.json"
+            apath.write_text(json.dumps(analysis, indent=2, sort_keys=True) + "\n")
+            print(f"analysis saved {apath}")
+
+    if failures:
+        print(f"{len(failures)} of {len(outcomes)} serve runs FAILED:")
+        for o in failures:
+            detail = o.failure or "; ".join(o.audit_problems)
+            print(f"  backend={o.backend} plan={o.plan} seed={o.seed} "
+                  f"[{o.status}] {detail}")
+        print("\nreproduce with: python -m repro serve "
+              f"--backend {cfg.backend} --faults {cfg.plan} "
+              "--seeds 1 --seed-base <seed>")
+        return 1
+    print("all serve runs survived: audit + recovery drill passed on every seed")
+    return 0
+
+
+def _run_runs(args) -> int:
+    """`repro runs list|show|gc`: inspect the persistent run registry."""
+    import json
+
+    from .registry import REGISTRY_ENV, registry_from_env
+
+    reg = registry_from_env()
+    if reg is None:
+        print(f"run registry disabled ({REGISTRY_ENV} is empty)", file=sys.stderr)
+        return 2
+    target = args.target or "list"
+    if target == "list":
+        runs = reg.list_runs()
+        if not runs:
+            print(f"no recorded runs under {reg.root}/")
+            return 0
+        rows = [
+            {
+                "Run": r["run_id"],
+                "Kind": r.get("kind", "?"),
+                "Status": r.get("status", "?"),
+                "When": r.get("created_iso", "")[:19],
+            }
+            for r in runs
+        ]
+        print(render_rows(rows, f"run registry ({reg.root}/)"))
+        return 0
+    if target == "show":
+        if not args.extra:
+            print("error: `repro runs show` needs a run id (or unique prefix)",
+                  file=sys.stderr)
+            return 2
+        record = reg.get(args.extra[0])
+        if record is None:
+            print(f"error: no run matching {args.extra[0]!r}", file=sys.stderr)
+            return 2
+        print(json.dumps(record, indent=2, sort_keys=True))
+        artifact_dir = reg.root / record["run_id"]
+        if artifact_dir.is_dir():
+            files = sorted(p.relative_to(artifact_dir).as_posix()
+                           for p in artifact_dir.rglob("*") if p.is_file())
+            if files:
+                print(f"\nartifacts under {artifact_dir}/:")
+                for f in files:
+                    print(f"  {f}")
+        return 0
+    if target == "gc":
+        dropped = reg.gc(keep=args.keep)
+        print(f"kept {args.keep} newest runs; dropped {len(dropped)}")
+        for rid in dropped:
+            print(f"  {rid}")
+        return 0
+    print(f"error: unknown runs target {target!r} (try 'list', 'show', 'gc')",
+          file=sys.stderr)
+    return 2
 
 
 def _run_faults(args) -> int:
@@ -300,6 +529,19 @@ def _run_faults(args) -> int:
             print()
     path = save_results("faults", result.rows(), meta=meta)
     print(f"[{wall:.1f}s host; saved {path}]\n")
+    _record_registry(
+        "faults",
+        config={"queues": queues, "plans": plans, **{
+            k: meta[k] for k in ("seeds", "seed_base", "threads", "ops", "capacity")
+        }},
+        status="completed" if result.ok else "failed",
+        summary={
+            "runs": len(result.outcomes),
+            "failed": result.failed,
+            "wall_s": round(wall, 1),
+        },
+        artifacts={"faults_rows.json": result.rows()},
+    )
     if args.trace:
         # re-run the campaign's first cell with a bus — same seed, same
         # schedule (tracing is pure observation) — for the chrome trace
@@ -453,6 +695,16 @@ def _run_bench_native(args) -> int:
             rc = 1
         else:
             print(f"no regression vs {base_file} (tolerance 20%)")
+    _record_registry(
+        "bench-native",
+        config={"ks": list(ks), "quick": args.quick, "rebaseline": rebaseline},
+        status="completed" if rc == 0 else "failed",
+        summary={
+            "speedups": results["speedups"],
+            "geomean_core": results["geomean_core"],
+            "wall_s": round(wall, 1),
+        },
+    )
     return rc
 
 
@@ -542,6 +794,12 @@ def _run_bench(args) -> int:
         if args.trace:
             bad = _write_chrome_trace(bus.events, "trace_bench_micro.json", args)
             rc = rc or bad
+    _record_registry(
+        "bench-micro",
+        config={"ks": list(ks), "quick": args.quick, "rebaseline": rebaseline},
+        status="completed" if rc == 0 else "failed",
+        summary={"speedups": results["speedups"], "wall_s": round(wall, 1)},
+    )
     return rc
 
 
@@ -562,6 +820,8 @@ def main(argv: list[str] | None = None) -> int:
             "faults",
             "bench",
             "trace",
+            "serve",
+            "runs",
             "all",
         ],
         help="which experiment to run",
@@ -572,7 +832,8 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help=(
             "subcommand target: bench takes 'micro' (default) or 'native'; "
-            "trace takes 'analyze', 'flame', or 'diff'; ignored elsewhere"
+            "trace takes 'analyze', 'flame', or 'diff'; runs takes 'list' "
+            "(default), 'show <id>', or 'gc'; ignored elsewhere"
         ),
     )
     parser.add_argument(
@@ -641,6 +902,54 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="comma-separated node capacities (default: 32,128,512)",
     )
+    serve = parser.add_argument_group("durable service (serve)")
+    serve.add_argument(
+        "--backend",
+        choices=("native", "sim"),
+        default="native",
+        help="serve backend: durable NativeBGPQ server or concurrent sim BGPQ",
+    )
+    serve.add_argument(
+        "--sessions", type=int, default=4, help="concurrent client sessions"
+    )
+    serve.add_argument(
+        "--window", type=int, default=4, help="per-session inflight window"
+    )
+    serve.add_argument(
+        "--budget", type=int, default=16, help="global pending-op budget"
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=16,
+        help="checkpoint after this many journaled ops",
+    )
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        help="durable state directory (default: the run's registry artifact dir)",
+    )
+    serve.add_argument(
+        "--faults",
+        dest="serve_faults",
+        nargs="?",
+        const="crash",
+        default="none",
+        help=(
+            "inject faults into the serve run; bare --faults means the "
+            "crash preset (also: timeout, jitter, mixed, none)"
+        ),
+    )
+    serve.add_argument(
+        "--max-backoffs",
+        type=int,
+        default=None,
+        help="sessions drop an op after this many sheds (default: retry forever)",
+    )
+    runs = parser.add_argument_group("run registry (runs)")
+    runs.add_argument(
+        "--keep", type=int, default=20, help="`runs gc`: newest runs to keep"
+    )
     obs = parser.add_argument_group("observability (trace; faults/bench flags)")
     obs.add_argument(
         "--trace",
@@ -690,6 +999,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_bench(args)
     if want == "trace":
         return _run_trace(args)
+    if want == "serve":
+        return _run_serve(args)
+    if want == "runs":
+        return _run_runs(args)
 
     print(f"workload scale: 1/{scale()} of the paper's sizes (REPRO_SCALE)\n")
 

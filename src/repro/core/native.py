@@ -734,6 +734,125 @@ class NativeBGPQ:
                 out = extract_root()
             cur = y
 
+    # -- durable state ------------------------------------------------------
+    def export_state(self) -> dict:
+        """Canonical, storage-agnostic snapshot of the logical queue state.
+
+        Everything an identical replay needs — layout, heap shape, the
+        live records of every node and the partial buffer, the exact
+        simulated clock (as a ``Fraction`` string, so no float rounding
+        sneaks in), and the op counters — as plain JSON-serializable
+        types.  Arena capacity, scratch contents, and dead rows are
+        deliberately *not* part of the state: two queues that played the
+        same op sequence export identical dicts even if one grew its
+        arena in different steps, which is what lets the durable service
+        layer compare a recovered queue to an uninterrupted oracle
+        byte-for-byte (via the canonical-JSON digest in
+        :mod:`repro.serve.checkpoint`).
+        """
+        nodes = []
+        if self.storage == "arena":
+            a = self._arena
+            buf_n = int(a.counts[0])
+            buffer = {
+                "keys": a.keys[0, :buf_n].tolist(),
+                "pay": a.pay[0, :buf_n].tolist(),
+            }
+            for i in range(1, self._heap_size + 1):
+                n = int(a.counts[i])
+                nodes.append(
+                    {"keys": a.keys[i, :n].tolist(), "pay": a.pay[i, :n].tolist()}
+                )
+        else:
+            buffer = {
+                "keys": self._buf.keys.tolist(),
+                "pay": self._buf.payload.tolist(),
+            }
+            for i in range(1, self._heap_size + 1):
+                slot = self._nodes[i]
+                if slot is None:
+                    nodes.append({"keys": [], "pay": []})
+                else:
+                    nodes.append(
+                        {"keys": slot.keys.tolist(), "pay": slot.payload.tolist()}
+                    )
+        return {
+            "k": self.k,
+            "key_dtype": self.key_dtype.name,
+            "payload_width": self.payload_width,
+            "payload_dtype": self.payload_dtype.name,
+            "heap_size": self._heap_size,
+            "buffer": buffer,
+            "nodes": nodes,
+            "sim_ns": str(self._sim_ns),
+            "stats": dict(self.stats),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite this queue with an :meth:`export_state` snapshot.
+
+        The snapshot is layout-checked (k, dtypes, payload width must
+        match this queue's construction parameters) and then written
+        straight into whichever storage backend this queue uses — a
+        restore never replays inserts, so the resulting node layout,
+        clock, and stats are exactly the exported ones regardless of
+        which backend produced the snapshot.
+        """
+        if state["k"] != self.k:
+            raise ConfigurationError(
+                f"snapshot k={state['k']} != queue k={self.k}"
+            )
+        if (
+            state["key_dtype"] != self.key_dtype.name
+            or state["payload_width"] != self.payload_width
+            or state["payload_dtype"] != self.payload_dtype.name
+        ):
+            raise ConfigurationError(
+                "snapshot record layout does not match this queue: "
+                f"snapshot ({state['key_dtype']}, w={state['payload_width']} "
+                f"{state['payload_dtype']}) vs queue ({self.key_dtype.name}, "
+                f"w={self.payload_width} {self.payload_dtype.name})"
+            )
+        heap_size = int(state["heap_size"])
+        nodes = state["nodes"]
+        if len(nodes) != heap_size:
+            raise ConfigurationError(
+                f"snapshot lists {len(nodes)} nodes for heap_size={heap_size}"
+            )
+
+        def _row(rec) -> tuple[np.ndarray, np.ndarray]:
+            keys = np.asarray(rec["keys"], dtype=self.key_dtype).reshape(-1)
+            pay = np.asarray(rec["pay"], dtype=self.payload_dtype).reshape(
+                keys.size, self.payload_width
+            )
+            return keys, pay
+
+        self.clear()
+        if self.storage == "arena":
+            self._ensure_rows(max(1, heap_size))
+            a = self._arena
+            bk, bp = _row(state["buffer"])
+            a.keys[0, : bk.size] = bk
+            if self.payload_width:
+                a.pay[0, : bk.size] = bp
+            a.counts[0] = bk.size
+            for i, rec in enumerate(nodes, start=1):
+                nk, npay = _row(rec)
+                a.keys[i, : nk.size] = nk
+                if self.payload_width:
+                    a.pay[i, : nk.size] = npay
+                a.counts[i] = nk.size
+        else:
+            self._ensure_capacity(max(1, heap_size))
+            bk, bp = _row(state["buffer"])
+            self._buf = _Slot(bk, bp)
+            for i, rec in enumerate(nodes, start=1):
+                nk, npay = _row(rec)
+                self._nodes[i] = _Slot(nk, npay)
+        self._heap_size = heap_size
+        self._sim_ns = Fraction(state["sim_ns"])
+        self.stats = dict(state["stats"])
+
     # -- introspection ------------------------------------------------------
     def __len__(self) -> int:
         if self.storage == "arena":

@@ -106,6 +106,18 @@ class OperationAborted(ReproError):
         super().__init__(f"{op} aborted: {reason}")
 
 
+class DurabilityError(ReproError):
+    """The durable service layer found its persistent state unusable.
+
+    Raised when a checkpoint fails integrity verification with no older
+    valid checkpoint to fall back to, or when write-ahead-log replay
+    diverges from the recorded history (a deletemin whose replayed
+    result differs from the journaled one) — both mean the on-disk
+    state cannot reproduce the run and recovery must stop rather than
+    serve from a corrupt queue.
+    """
+
+
 class AuditError(ReproError):
     """A post-campaign audit found invariant or conservation violations."""
 

@@ -76,6 +76,22 @@ Fault-path (emitted by the op guards and the injector):
 ``fault.abort``        bounded root wait exhausted; operation aborted
                        clean (``op``)
 =====================  ====================================================
+
+Service-level (emitted by :mod:`repro.serve` — the durable ``repro
+serve`` driver; all of these ride the same bus, so ``repro trace
+analyze`` works unchanged on service runs):
+
+=====================  ====================================================
+``serve.shed``         admission control refused an op with RetryAfter
+                       (``session``, ``reason``, ``pending``)
+``serve.apply``        the server applied one journaled op
+                       (``kind``, ``session``, ``lsn``)
+``wal.append``         one record appended to the write-ahead log
+                       (``kind``, ``lsn``)
+``serve.checkpoint``   a checkpoint was written (``lsn``, ``keys``)
+``serve.recover``      a crashed server was rebuilt from checkpoint+WAL
+                       (``ckpt_lsn``, ``replayed``)
+=====================  ====================================================
 """
 
 from __future__ import annotations
@@ -108,6 +124,11 @@ __all__ = [
     "FAULT_CRASH",
     "FAULT_ROLLBACK",
     "FAULT_ABORT",
+    "SERVE_SHED",
+    "SERVE_APPLY",
+    "WAL_APPEND",
+    "SERVE_CHECKPOINT",
+    "SERVE_RECOVER",
     "WAIT_STARTS",
     "WAIT_ENDS",
 ]
@@ -140,6 +161,13 @@ COLLAB_FILL = "collab.fill"
 FAULT_CRASH = "fault.crash"
 FAULT_ROLLBACK = "fault.rollback"
 FAULT_ABORT = "fault.abort"
+
+# -- service-level (repro.serve) ---------------------------------------------
+SERVE_SHED = "serve.shed"
+SERVE_APPLY = "serve.apply"
+WAL_APPEND = "wal.append"
+SERVE_CHECKPOINT = "serve.checkpoint"
+SERVE_RECOVER = "serve.recover"
 
 #: event types that open a wait interval for the utilization timeline,
 #: mapped to the types that close it (same thread)

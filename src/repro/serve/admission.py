@@ -1,0 +1,110 @@
+"""Admission control: bounded windows, a global budget, load shedding.
+
+The server admits an op only if (a) the submitting session has fewer
+than ``window`` ops in flight and (b) the global pending count is
+under ``budget``.  Otherwise the submit is *shed* with a
+:class:`RetryAfter` telling the client how long to back off before
+retrying — overload becomes a first-class, gracefully-degraded regime
+(the PIPQ/CBPQ stance) instead of an error or an unbounded queue.
+
+The controller is plain host state mutated only inside the engine's
+atomic steps (sessions submit via ``Atomic``), so admit/shed decisions
+are linearized with the queue they guard.  Crucially, admission happens
+*before* an op exists anywhere durable: a shed op was never accepted,
+so shedding can never lose an admitted key — the conservation property
+the acceptance tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AdmissionController", "RetryAfter"]
+
+
+@dataclass(frozen=True)
+class RetryAfter:
+    """A shed response: come back after ``backoff_hint_ns``.
+
+    ``reason`` is ``"session-window"`` (this session has its full
+    window in flight — backing off harder won't help others) or
+    ``"global-budget"`` (the server as a whole is saturated).
+    """
+
+    backoff_hint_ns: float
+    reason: str
+
+
+@dataclass
+class AdmissionStats:
+    admitted: int = 0
+    shed: int = 0
+    shed_by_reason: dict = field(default_factory=dict)
+    peak_pending: int = 0
+
+
+class AdmissionController:
+    """Tracks in-flight ops per session and globally; admits or sheds.
+
+    ``try_admit`` / ``complete`` bracket an op's pending lifetime:
+    admit at submit, complete when the server finishes applying it (or
+    when a dead session's pending ops are reaped).  ``base_backoff_ns``
+    scales the hint returned with a shed; the hint grows with how far
+    over budget the server is, so clients back off harder the deeper
+    the overload.
+    """
+
+    def __init__(self, window: int = 4, budget: int = 64,
+                 base_backoff_ns: float = 2_000.0):
+        if window < 1:
+            raise ValueError("per-session window must be >= 1")
+        if budget < 1:
+            raise ValueError("global pending budget must be >= 1")
+        self.window = window
+        self.budget = budget
+        self.base_backoff_ns = base_backoff_ns
+        self.pending = 0
+        self.per_session: dict[str, int] = {}
+        self.stats = AdmissionStats()
+
+    def _shed(self, reason: str) -> RetryAfter:
+        self.stats.shed += 1
+        self.stats.shed_by_reason[reason] = (
+            self.stats.shed_by_reason.get(reason, 0) + 1
+        )
+        # deeper overload -> larger hint (at least one base interval)
+        over = max(1.0, self.pending / self.budget)
+        return RetryAfter(backoff_hint_ns=self.base_backoff_ns * over,
+                          reason=reason)
+
+    def try_admit(self, sid: str) -> RetryAfter | None:
+        """Admit one op for session ``sid``; None means admitted."""
+        if self.per_session.get(sid, 0) >= self.window:
+            return self._shed("session-window")
+        if self.pending >= self.budget:
+            return self._shed("global-budget")
+        self.per_session[sid] = self.per_session.get(sid, 0) + 1
+        self.pending += 1
+        self.stats.admitted += 1
+        if self.pending > self.stats.peak_pending:
+            self.stats.peak_pending = self.pending
+        return None
+
+    def complete(self, sid: str) -> None:
+        """Release one in-flight slot for ``sid`` (op applied)."""
+        n = self.per_session.get(sid, 0)
+        if n <= 0 or self.pending <= 0:
+            raise ValueError(f"complete() without matching admit for {sid!r}")
+        self.per_session[sid] = n - 1
+        self.pending -= 1
+
+    def inflight(self, sid: str) -> int:
+        return self.per_session.get(sid, 0)
+
+    def snapshot_stats(self) -> dict:
+        return {
+            "admitted": self.stats.admitted,
+            "shed": self.stats.shed,
+            "shed_by_reason": dict(self.stats.shed_by_reason),
+            "peak_pending": self.stats.peak_pending,
+        }

@@ -1,0 +1,331 @@
+"""Client sessions and the server as simulated threads.
+
+The serve driver runs the whole service *inside* the discrete-event
+engine: client sessions and the queue server are generators yielding
+effects, so the fault injector can kill the server at a crashpoint and
+a supervisor thread can recover it — crash-recovery is exercised under
+the same deterministic scheduler as everything else in the tree.
+
+Native backend (the durable path)
+---------------------------------
+Shared host state (:class:`Frontend`) carries a pending deque, a
+response map, and the admission controller; sessions submit through
+one ``Atomic`` (admission check + enqueue linearized), honor
+``RetryAfter`` sheds with :func:`jittered_backoff_ns`, and await
+responses on a condition with a predicate.  The server thread pops and
+dispatches one request per ``Atomic`` step — journal, apply, post
+response, release the admission slot, all indivisible — and yields
+crashpoints only *between* dispatches, so an admitted request is
+always either still pending or fully journaled+applied: a crash can
+delay an admitted key, never lose it.
+
+Sim backend (the concurrency path)
+----------------------------------
+Sessions drive the concurrent :class:`~repro.core.bgpq.BGPQ` ops
+directly (there is no server thread to serialize through), with the
+same admission gate in front of every op and the WAL appended in the
+op's success step — ledger-grade durability: the journal reconstructs
+the key multiset, not the byte-exact layout (which for the concurrent
+queue depends on the interleaving anyway).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from collections import deque
+
+import numpy as np
+
+from ..apps.resilience import jittered_backoff_ns
+from ..errors import OperationAborted
+from ..obs.events import SERVE_SHED
+from ..sim import Atomic, Compute, Signal, Wait, crashpoint
+from ..sim.sync import Condition
+from .admission import AdmissionController, RetryAfter
+
+__all__ = ["Frontend", "native_session", "server_loop", "sim_session"]
+
+
+class Frontend:
+    """Host-side shared state between sessions and the server.
+
+    Every mutation happens inside an ``Atomic`` effect (or the
+    engine's single-step granularity), so the members need no locks of
+    their own.  The frontend survives server crashes — only the server
+    *thread* dies; in-flight requests stay pending and are drained by
+    the recovered server.
+    """
+
+    def __init__(self, admission: AdmissionController, obs=None):
+        self.admission = admission
+        self.pending: deque[dict] = deque()
+        self.responses: dict[tuple[str, int], dict] = {}
+        self.work = Condition("serve:work")
+        self.resp = Condition("serve:resp")
+        self.live_sessions = 0
+        self.closed = False
+        self._obs = obs
+
+    # -- session side (called inside Atomic) -----------------------------
+    def submit(self, request: dict) -> RetryAfter | None:
+        """Admission-check and enqueue one request; None means admitted."""
+        sid = request["sid"]
+        verdict = self.admission.try_admit(sid)
+        if verdict is not None:
+            if self._obs is not None:
+                self._obs.emit_here(
+                    SERVE_SHED, session=sid, reason=verdict.reason,
+                    pending=self.admission.pending,
+                )
+            return verdict
+        self.pending.append(request)
+        return None
+
+    def take_response(self, sid: str, op_id: int) -> dict:
+        return self.responses.pop((sid, op_id))
+
+    def session_done(self) -> None:
+        self.live_sessions -= 1
+        if self.live_sessions <= 0:
+            self.closed = True
+
+    # -- server side (called inside Atomic) ------------------------------
+    def step(self, service) -> float | None:
+        """Dispatch one pending request; returns its device cost in ns,
+        or None when nothing is pending.  Journal + apply + response +
+        admission release happen in this one host step — under the
+        simulator's crash model the dispatch is indivisible."""
+        if not self.pending:
+            return None
+        request = self.pending.popleft()
+        response = service.apply(request)
+        self.responses[(request["sid"], request["op_id"])] = response
+        self.admission.complete(request["sid"])
+        return response["cost_ns"]
+
+
+def server_loop(frontend: Frontend, service, think_ns: float = 50.0):
+    """The queue server: drain pending requests until close; generator.
+
+    Crashpoints bracket every dispatch (never splitting one), so the
+    fault injector can kill the server at any op boundary.  The
+    opening ``Signal`` on the response condition re-checks waiters'
+    predicates after a recovery, so no session stays parked on a
+    response that was posted just before a crash.
+    """
+    yield Signal(frontend.resp)
+    while True:
+        yield Wait(
+            frontend.work,
+            predicate=lambda: bool(frontend.pending) or frontend.closed,
+        )
+        yield crashpoint()
+        cost = yield Atomic(lambda: frontend.step(service))
+        if cost is None:
+            if frontend.closed and not frontend.pending:
+                return "drained"
+            continue
+        yield Compute(cost + think_ns)
+        yield Signal(frontend.resp)
+        yield crashpoint()
+
+
+def _session_ops(sid: str, seed: int, ops: int, k: int, key_space: int):
+    """The deterministic op script of one session: mixed insert batches
+    and deletemins, derived from (seed, sid) alone."""
+    # crc32, not hash(): string hashing is salted per process and the
+    # script must be a pure function of (seed, sid)
+    rng = np.random.default_rng([seed, zlib.crc32(sid.encode("utf-8"))])
+    script = []
+    for op_id in range(ops):
+        if rng.random() < 0.6:
+            n = int(rng.integers(1, k + 1))
+            keys = rng.integers(0, key_space, size=n).astype(np.int64)
+            script.append({"sid": sid, "op_id": op_id, "kind": "insert",
+                           "keys": keys.tolist()})
+        else:
+            script.append({"sid": sid, "op_id": op_id, "kind": "deletemin",
+                           "count": int(rng.integers(1, k + 1))})
+    return script
+
+
+def native_session(
+    frontend: Frontend,
+    sid: str,
+    seed: int,
+    ops: int,
+    k: int,
+    record: dict,
+    key_space: int = 100_000,
+    window: int | None = None,
+    base_backoff_ns: float = 2_000.0,
+    max_backoffs: int | None = None,
+    think_ns: float = 20.0,
+):
+    """One client session against the durable server; generator.
+
+    Submits its script through admission (backing off on ``RetryAfter``
+    with seeded jitter), pipelines up to ``window`` ops before awaiting
+    the oldest response, and records what it observed into ``record``:
+    ``admitted_inserts`` (key lists the server accepted — the "no
+    admitted key is ever lost" ledger), ``received`` (deletemin
+    results), ``shed`` (backoff count), and ``dropped`` (ops abandoned
+    after ``max_backoffs``, only possible when the caller bounds
+    retries for an overload demo).
+    """
+    rng = random.Random(f"serve:{seed}:{sid}")
+    window = window or frontend.admission.window
+    record.setdefault("admitted_inserts", [])
+    record.setdefault("received", [])
+    record.setdefault("shed", 0)
+    record.setdefault("dropped", 0)
+    outstanding: deque[dict] = deque()
+
+    def _await(request: dict):
+        key = (sid, request["op_id"])
+        yield Wait(frontend.resp, predicate=lambda: key in frontend.responses)
+        response = yield Atomic(lambda: frontend.take_response(sid, request["op_id"]))
+        if request["kind"] == "deletemin":
+            record["received"].append(list(response["keys"]))
+
+    try:
+        for request in _session_ops(sid, seed, ops, k, key_space):
+            attempt = 0
+            while True:
+                verdict = yield Atomic(lambda: frontend.submit(request))
+                if verdict is None:
+                    break
+                record["shed"] += 1
+                if max_backoffs is not None and attempt >= max_backoffs:
+                    record["dropped"] += 1
+                    request = None
+                    break
+                delay = max(
+                    verdict.backoff_hint_ns,
+                    jittered_backoff_ns(attempt, base_backoff_ns, rng=rng),
+                )
+                yield Compute(delay)
+                attempt += 1
+            if request is None:
+                continue
+            if request["kind"] == "insert":
+                record["admitted_inserts"].append(list(request["keys"]))
+            yield Signal(frontend.work)
+            outstanding.append(request)
+            while len(outstanding) >= window:
+                yield from _await(outstanding.popleft())
+            yield Compute(think_ns)
+        while outstanding:
+            yield from _await(outstanding.popleft())
+    finally:
+        # plain-python teardown (safe even if this generator is closed
+        # early): retire the session and let the server see `closed`
+        frontend.session_done()
+    yield Signal(frontend.work)
+    return "done"
+
+
+def sim_session(
+    pq,
+    admission: AdmissionController,
+    wal,
+    sid: str,
+    seed: int,
+    ops: int,
+    k: int,
+    record: dict,
+    key_space: int = 100_000,
+    base_backoff_ns: float = 2_000.0,
+    retries: int = 3,
+):
+    """One session driving the concurrent sim BGPQ directly; generator.
+
+    The admission gate brackets every queue op; the op itself is the
+    regular concurrent protocol (so it can abort under bounded waits —
+    retried with the same jittered backoff, then dropped to the record
+    as ``aborted``).  The WAL append rides the op's success step: only
+    completed ops enter the journal, which is exactly the
+    append-after-success ledger discipline of the fault campaigns.
+    """
+    rng = random.Random(f"serve:{seed}:{sid}")
+    record.setdefault("admitted_inserts", [])
+    record.setdefault("received", [])
+    record.setdefault("shed", 0)
+    record.setdefault("aborted", 0)
+
+    def _admit():
+        verdict = admission.try_admit(sid)
+        if verdict is None:
+            return None
+        record["shed"] += 1
+        return verdict
+
+    try:
+        for request in _session_ops(sid, seed, ops, k, key_space):
+            yield crashpoint()
+            attempt = 0
+            while True:
+                verdict = yield Atomic(_admit)
+                if verdict is None:
+                    break
+                delay = max(
+                    verdict.backoff_hint_ns,
+                    jittered_backoff_ns(attempt, base_backoff_ns, rng=rng),
+                )
+                yield Compute(delay)
+                attempt += 1
+            op_id = request["op_id"]
+            if request["kind"] == "insert":
+                keys = np.asarray(request["keys"], dtype=np.int64)
+                done = False
+                for attempt in range(retries + 1):
+                    try:
+                        yield from pq.insert_op(keys)
+                        done = True
+                        break
+                    except OperationAborted:
+                        if attempt < retries:
+                            yield Compute(
+                                jittered_backoff_ns(attempt, base_backoff_ns,
+                                                    rng=rng)
+                            )
+                if done:
+                    yield Atomic(lambda: (
+                        wal.append(sid, op_id, "insert", keys=request["keys"]),
+                        record["admitted_inserts"].append(list(request["keys"])),
+                    ))
+                else:
+                    record["aborted"] += 1
+                yield Atomic(lambda: admission.complete(sid))
+            else:
+                got = None
+                for attempt in range(retries + 1):
+                    try:
+                        got = yield from pq.deletemin_op(request["count"])
+                        break
+                    except OperationAborted:
+                        if attempt < retries:
+                            yield Compute(
+                                jittered_backoff_ns(attempt, base_backoff_ns,
+                                                    rng=rng)
+                            )
+                if got is None:
+                    record["aborted"] += 1
+                else:
+                    got_l = [int(x) for x in np.asarray(got).ravel()]
+                    yield Atomic(lambda: (
+                        wal.append(sid, op_id, "deletemin",
+                                   count=request["count"],
+                                   result={"keys": got_l, "pay": []}),
+                        record["received"].append(got_l),
+                    ))
+                yield Atomic(lambda: admission.complete(sid))
+    finally:
+        # a crashed session must not strand its admission slot: reap
+        # whatever this sid still holds (plain python, no effects)
+        leaked = admission.inflight(sid)
+        for _ in range(leaked):
+            admission.complete(sid)
+    yield crashpoint()
+    return "done"

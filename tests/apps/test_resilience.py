@@ -1,0 +1,107 @@
+"""Backoff policy and overflow-list guarantees (satellite of serve)."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.resilience import OverflowList, jittered_backoff_ns
+
+
+# -- jittered_backoff_ns ---------------------------------------------------
+
+def test_no_rng_reproduces_fixed_doubling():
+    # the historical retry schedule of the fault campaigns — changing
+    # it would shift every committed campaign result
+    assert [jittered_backoff_ns(a, 2_000.0) for a in range(3)] == [
+        2_000.0, 4_000.0, 8_000.0
+    ]
+
+
+def test_cap_applies():
+    assert jittered_backoff_ns(50, 2_000.0, cap_ns=10_000.0) == 10_000.0
+
+
+def test_huge_attempt_does_not_overflow():
+    val = jittered_backoff_ns(10_000, 2_000.0, cap_ns=1e6)
+    assert val == 1e6
+
+
+def test_deterministic_given_seed():
+    a = [jittered_backoff_ns(i, rng=random.Random(42)) for i in range(5)]
+    b = [jittered_backoff_ns(i, rng=random.Random(42)) for i in range(5)]
+    assert a == b
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        jittered_backoff_ns(-1)
+    with pytest.raises(ValueError):
+        jittered_backoff_ns(0, jitter=1.5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(attempt=st.integers(min_value=0, max_value=100),
+       seed=st.integers(min_value=0, max_value=1000),
+       jitter=st.floats(min_value=0.0, max_value=1.0))
+def test_jitter_bounds(attempt, seed, jitter):
+    """The jittered delay always lands in [raw*(1-jitter), raw]."""
+    raw = jittered_backoff_ns(attempt)
+    val = jittered_backoff_ns(attempt, rng=random.Random(seed), jitter=jitter)
+    assert raw * (1.0 - jitter) <= val <= raw
+
+
+def test_zero_jitter_is_exact():
+    assert jittered_backoff_ns(3, rng=random.Random(1), jitter=0.0) == \
+        jittered_backoff_ns(3)
+
+
+# -- OverflowList ordered drain --------------------------------------------
+
+def test_pop_one_returns_minimum():
+    ov = OverflowList()
+    ov.push(np.array([9, 2, 7], dtype=np.int64))
+    ov.push(np.array([1], dtype=np.int64))
+    assert ov.pop_one() == 1
+    assert ov.pop_one() == 2
+    assert ov.routed == 4
+    assert ov.drained == 2
+    assert len(ov) == 2
+
+
+def test_empty_pop_is_none():
+    ov = OverflowList()
+    assert ov.pop_one() is None
+    assert ov.drained == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(batches=st.lists(
+    st.lists(st.integers(min_value=-1000, max_value=1000),
+             min_size=1, max_size=8),
+    max_size=10,
+))
+def test_drain_is_globally_sorted(batches):
+    """Interleaved pushes then a full drain yield the sorted multiset —
+    degraded keys re-enter the solvers in best-first order."""
+    ov = OverflowList()
+    everything = []
+    for batch in batches:
+        ov.push(np.array(batch, dtype=np.int64))
+        everything.extend(batch)
+    drained = []
+    while (k := ov.pop_one()) is not None:
+        drained.append(k)
+    assert drained == sorted(everything)
+    assert ov.routed == ov.drained == len(everything)
+
+
+def test_drain_interleaved_with_pushes_stays_min_first():
+    ov = OverflowList()
+    ov.push(np.array([5, 3], dtype=np.int64))
+    assert ov.pop_one() == 3
+    ov.push(np.array([1], dtype=np.int64))  # smaller key arrives late
+    assert ov.pop_one() == 1
+    assert ov.pop_one() == 5

@@ -1,0 +1,15 @@
+"""Repo-wide test fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_registry(monkeypatch, tmp_path):
+    """Keep the run registry out of the working tree during tests.
+
+    CLI entrypoints record into ``$REPRO_REGISTRY_DIR`` (default
+    ``runs/`` under the CWD); without this, any test driving ``main()``
+    would drop registry state into the repository.  Tests that need a
+    specific registry location override the variable themselves.
+    """
+    monkeypatch.setenv("REPRO_REGISTRY_DIR", str(tmp_path / "test-registry"))

@@ -1,0 +1,69 @@
+"""Admission controller: windows, budget, shed hints, accounting."""
+
+import pytest
+
+from repro.serve.admission import AdmissionController, RetryAfter
+
+
+def test_admits_within_window_and_budget():
+    adm = AdmissionController(window=2, budget=10)
+    assert adm.try_admit("a") is None
+    assert adm.try_admit("a") is None
+    assert adm.inflight("a") == 2
+
+
+def test_session_window_shed():
+    adm = AdmissionController(window=2, budget=10)
+    adm.try_admit("a")
+    adm.try_admit("a")
+    verdict = adm.try_admit("a")
+    assert isinstance(verdict, RetryAfter)
+    assert verdict.reason == "session-window"
+    # a different session is unaffected
+    assert adm.try_admit("b") is None
+
+
+def test_global_budget_shed():
+    adm = AdmissionController(window=10, budget=3)
+    for sid in ("a", "b", "c"):
+        assert adm.try_admit(sid) is None
+    verdict = adm.try_admit("d")
+    assert isinstance(verdict, RetryAfter)
+    assert verdict.reason == "global-budget"
+
+
+def test_complete_frees_both_limits():
+    adm = AdmissionController(window=1, budget=1)
+    assert adm.try_admit("a") is None
+    assert adm.try_admit("a") is not None
+    adm.complete("a")
+    assert adm.try_admit("a") is None
+    assert adm.inflight("a") == 1
+
+
+def test_complete_unmatched_raises():
+    adm = AdmissionController()
+    with pytest.raises(ValueError):
+        adm.complete("ghost")
+
+
+def test_backoff_hint_scales_with_overload():
+    adm = AdmissionController(window=100, budget=4, base_backoff_ns=1000.0)
+    for i in range(4):
+        adm.try_admit(f"s{i}")
+    first = adm.try_admit("x")
+    # deepen the overload: hint must not shrink
+    assert first.backoff_hint_ns >= 1000.0
+
+
+def test_stats_accounting():
+    adm = AdmissionController(window=1, budget=2)
+    adm.try_admit("a")
+    adm.try_admit("b")
+    adm.try_admit("a")  # session-window shed
+    adm.try_admit("c")  # global-budget shed
+    stats = adm.snapshot_stats()
+    assert stats["admitted"] == 2
+    assert stats["shed"] == 2
+    assert stats["shed_by_reason"] == {"session-window": 1, "global-budget": 1}
+    assert stats["peak_pending"] == 2

@@ -1,0 +1,177 @@
+"""Checkpoint store integrity + the export/restore differential.
+
+The hypothesis suite is the checkpoint half of the durability story:
+``export_state`` → JSON → ``restore_state`` must reproduce the queue
+*exactly* — same digest, same contents, same simulated clock — and a
+restored replica must stay behaviourally identical to the
+uninterrupted oracle for arbitrary continued operation, on both
+storage backends.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.native import NativeBGPQ
+from repro.errors import ConfigurationError, DurabilityError
+from repro.serve.checkpoint import CheckpointStore, state_digest
+
+
+def _mk(storage="arena", k=4, payload_width=0):
+    return NativeBGPQ(node_capacity=k, storage=storage,
+                      payload_width=payload_width)
+
+
+# -- store mechanics -------------------------------------------------------
+
+def test_save_load_round_trip(tmp_path):
+    store = CheckpointStore(tmp_path)
+    pq = _mk()
+    pq.insert_bulk(np.array([5, 1, 9, 3], dtype=np.int64))
+    state = pq.export_state()
+    store.save(state, lsn=7)
+    loaded, lsn = store.load_latest()
+    assert lsn == 7
+    assert state_digest(loaded) == state_digest(state)
+
+
+def test_load_latest_empty_dir(tmp_path):
+    assert CheckpointStore(tmp_path).load_latest() is None
+
+
+def test_prune_keeps_newest(tmp_path):
+    store = CheckpointStore(tmp_path, keep=2)
+    pq = _mk()
+    for lsn in (1, 2, 3, 4):
+        store.save(pq.export_state(), lsn=lsn)
+    names = sorted(p.name for p in tmp_path.glob("ckpt-*.json"))
+    assert names == ["ckpt-000000000003.json", "ckpt-000000000004.json"]
+
+
+def test_corrupt_newest_falls_back(tmp_path):
+    store = CheckpointStore(tmp_path, keep=2)
+    pq = _mk()
+    pq.insert_bulk(np.array([1, 2], dtype=np.int64))
+    store.save(pq.export_state(), lsn=1)
+    pq.insert_bulk(np.array([3], dtype=np.int64))
+    newest = store.save(pq.export_state(), lsn=2)
+    newest.write_text(newest.read_text()[:-40])  # half-written save
+    state, lsn = store.load_latest()
+    assert lsn == 1  # fell back to the older, intact checkpoint
+
+
+def test_all_corrupt_raises(tmp_path):
+    store = CheckpointStore(tmp_path)
+    pq = _mk()
+    path = store.save(pq.export_state(), lsn=1)
+    doc = json.loads(path.read_text())
+    doc["state"]["heap_size"] = 99  # tamper: digest no longer matches
+    path.write_text(json.dumps(doc))
+    with pytest.raises(DurabilityError, match="integrity"):
+        store.load_latest()
+
+
+def test_digest_covers_lsn(tmp_path):
+    store = CheckpointStore(tmp_path)
+    pq = _mk()
+    path = store.save(pq.export_state(), lsn=5)
+    doc = json.loads(path.read_text())
+    doc["lsn"] = 6  # swap the covered LSN without touching the state
+    path.write_text(json.dumps(doc))
+    with pytest.raises(DurabilityError):
+        store.load_latest()
+
+
+def test_digest_is_deterministic():
+    a = _mk()
+    b = _mk()
+    keys = np.array([4, 4, 1, 7], dtype=np.int64)
+    a.insert_bulk(keys)
+    b.insert_bulk(keys)
+    assert state_digest(a.export_state()) == state_digest(b.export_state())
+
+
+# -- export/restore layout guards ------------------------------------------
+
+def test_restore_rejects_wrong_k():
+    state = _mk(k=4).export_state()
+    with pytest.raises(ConfigurationError):
+        _mk(k=8).restore_state(state)
+
+
+def test_restore_rejects_wrong_payload_width():
+    state = _mk(payload_width=0).export_state()
+    with pytest.raises(ConfigurationError):
+        _mk(payload_width=2).restore_state(state)
+
+
+def test_restore_crosses_storage_backends():
+    src = _mk(storage="arena")
+    src.insert_bulk(np.arange(17, dtype=np.int64)[::-1].copy())
+    dst = _mk(storage="list")
+    dst.restore_state(src.export_state())
+    assert state_digest(dst.export_state()) == state_digest(src.export_state())
+    np.testing.assert_array_equal(
+        np.sort(dst.snapshot_keys()), np.sort(src.snapshot_keys())
+    )
+
+
+# -- hypothesis differential: restore == uninterrupted oracle --------------
+
+# batch sizes and deletemin counts are capped at the k=4 the tests use
+ops_strategy = st.lists(
+    st.one_of(
+        st.lists(st.integers(min_value=0, max_value=500),
+                 min_size=1, max_size=4).map(lambda ks: ("insert", ks)),
+        st.integers(min_value=1, max_value=4).map(lambda n: ("deletemin", n)),
+    ),
+    max_size=24,
+)
+
+
+def _apply(pq, op):
+    kind, arg = op
+    if kind == "insert":
+        keys = np.asarray(arg, dtype=np.int64)
+        pay = (np.stack([keys * 2, keys * 3], axis=1)
+               if pq.payload_width else None)
+        pq.insert_bulk(keys, pay)
+        return None
+    got_k, got_p = pq.deletemin(arg)
+    return got_k.tolist(), got_p.tolist()
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=ops_strategy, cut=st.integers(min_value=0, max_value=24),
+       storage=st.sampled_from(["arena", "list"]),
+       payload_width=st.sampled_from([0, 2]))
+def test_checkpoint_restore_differential(ops, cut, storage, payload_width):
+    """Snapshot at an arbitrary cut; the restored replica must replay
+    the remaining ops with byte-identical results, state, and clock."""
+    oracle = _mk(storage=storage, k=4, payload_width=payload_width)
+    cut = min(cut, len(ops))
+    for op in ops[:cut]:
+        _apply(oracle, op)
+
+    # snapshot through JSON, exactly as the checkpoint store does
+    state = json.loads(json.dumps(oracle.export_state()))
+    replica = _mk(storage=storage, k=4, payload_width=payload_width)
+    replica.restore_state(state)
+
+    assert state_digest(replica.export_state()) == state_digest(
+        oracle.export_state()
+    )
+    assert replica.sim_time_ns_exact == oracle.sim_time_ns_exact
+    assert len(replica) == len(oracle)
+
+    for op in ops[cut:]:
+        assert _apply(replica, op) == _apply(oracle, op)
+    assert state_digest(replica.export_state()) == state_digest(
+        oracle.export_state()
+    )
+    np.testing.assert_array_equal(
+        np.sort(replica.snapshot_keys()), np.sort(oracle.snapshot_keys())
+    )
