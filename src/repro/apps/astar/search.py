@@ -99,12 +99,18 @@ def astar_batched(
     ctx: GpuContext | None = None,
     batch: int = 1024,
     storage: str = "arena",
+    pq_factory=None,
 ) -> PathResult:
     """Batched GPU-style A* on NativeBGPQ.
 
     Per iteration: one DELETEMIN of up to ``batch`` nodes, one
     vectorised expansion over all their neighbours, one dedup+relax
     pass on the g-array, and batched INSERTs of the improved frontier.
+
+    ``pq_factory(node_capacity, ctx, payload_width, storage)``, when
+    given, supplies the queue instead of NativeBGPQ — the shard bench
+    injects a recording subclass here to capture the app's exact PQ
+    op trace for fleet replay.
     """
     h = _heuristic_fn(heuristic)
     ctx = ctx if ctx is not None else GpuContext.default()
@@ -115,7 +121,11 @@ def astar_batched(
 
     best = np.full(grid.n_cells, UNREACHED, dtype=np.int64)
     best[start_id] = 0
-    pq = NativeBGPQ(node_capacity=batch, ctx=ctx, payload_width=2, storage=storage)
+    if pq_factory is None:
+        pq = NativeBGPQ(node_capacity=batch, ctx=ctx, payload_width=2,
+                        storage=storage)
+    else:
+        pq = pq_factory(batch, ctx, 2, storage)
     f0 = int(h(grid.start[0], grid.start[1], ty, tx))
     pq.insert(np.array([f0]), payload=np.array([[start_id, 0]]))
     expanded = pushed = 0

@@ -136,15 +136,25 @@ def solve_batched(
     ctx: GpuContext | None = None,
     batch: int = 1024,
     storage: str = "arena",
+    pq_factory=None,
 ) -> KnapsackResult:
     """GPU-style batched best-first B&B on NativeBGPQ.
 
     Exact: relaxation of the pop order never sacrifices optimality
     because pruning happens against the monotonically growing
     incumbent and the queue is drained to empty.
+
+    ``pq_factory(node_capacity, ctx, payload_width, storage)``, when
+    given, supplies the queue instead of NativeBGPQ — the shard bench
+    injects a recording subclass here to capture the app's exact PQ
+    op trace for fleet replay.
     """
     ctx = ctx if ctx is not None else GpuContext.default()
-    pq = NativeBGPQ(node_capacity=batch, ctx=ctx, payload_width=3, storage=storage)
+    if pq_factory is None:
+        pq = NativeBGPQ(node_capacity=batch, ctx=ctx, payload_width=3,
+                        storage=storage)
+    else:
+        pq = pq_factory(batch, ctx, 3, storage)
     model = ctx.model
     expansion_ns = 0.0
 

@@ -11,6 +11,7 @@ Usage::
     python -m repro faults                 # fault-injection campaigns
     python -m repro bench micro            # perf-regression microbench
     python -m repro bench native           # NativeBGPQ arena-vs-list gate
+    python -m repro bench shard            # sharded-fleet throughput gate
     python -m repro trace                  # traced run + chrome trace JSON
     python -m repro trace analyze          # critical path + phase attribution
     python -m repro trace flame            # collapsed stacks + terminal flame
@@ -36,6 +37,13 @@ application engine (see :mod:`repro.bench.native`) against
 ``BENCH_native.json``, including the steady-state zero-allocation gate
 and miniature knapsack/A* end-to-end runs; on failure it saves a
 current-vs-baseline delta table next to the archived results.
+``bench shard`` gates the sharded fleet (see :mod:`repro.bench.shard`
+and :mod:`repro.fleet`): simulated throughput at 1/2/4/8 shards vs the
+single-queue baseline on mixed/knapsack/A* workloads against
+``BENCH_shard.json``, with two hard floors — a >=2x 4-shard mixed
+speedup and a passing k-relaxed correctness check on every cell; the
+run is fully deterministic (simulated clocks, seeded router), so the
+baseline ratios are machine-portable.
 
 ``trace`` runs the canonical mixed workload with the observability bus
 attached (see :mod:`repro.obs`), prints collaboration counters, op
@@ -708,6 +716,114 @@ def _run_bench_native(args) -> int:
     return rc
 
 
+def _run_bench_shard(args) -> int:
+    """`repro bench shard`: the sharded-fleet simulated-throughput gate."""
+    import json
+
+    from .bench.micro import compare_to_baseline
+    from .bench.reporting import results_dir
+    from .bench.shard import (
+        SHARD_COUNTS,
+        render_shard_delta,
+        run_shard,
+        shard_baseline_path,
+        shard_gate_problems,
+    )
+
+    shard_counts = (
+        tuple(int(n) for n in args.shard_counts.split(","))
+        if args.shard_counts
+        else SHARD_COUNTS
+    )
+    base_file = shard_baseline_path()
+    rebaseline = args.update_baseline or not base_file.exists()
+    t0 = time.perf_counter()
+    # one run suffices even for the baseline: simulated clocks + seeded
+    # router make the payload a pure function of its arguments
+    results = run_shard(
+        shard_counts=shard_counts,
+        k=args.shard_k,
+        sessions=args.shard_sessions,
+        requests=args.shard_requests,
+        policy=args.shard_policy,
+        quick=args.quick,
+    )
+    wall = time.perf_counter() - t0
+    print(render_rows(results["rows"], "bench shard (fleet vs single queue)"))
+    print()
+    for key, val in sorted(results["speedups"].items()):
+        print(f"  speedup {key}: {val:.2f}x")
+    for cell, rep in sorted(results["relaxation"].items()):
+        print(f"  relaxed {cell}: minimal_k={rep['minimal_k']} "
+              f"budget={rep['budget']} {'ok' if rep['ok'] else 'FAILED'}")
+    if results.get("spraylist"):
+        spray = results["spraylist"]
+        print(f"  spraylist (reduced mixed): {spray['keys_per_us']:.3f} keys/us")
+    if results.get("mixed_4shard") is not None:
+        print(f"  mixed 4-shard speedup: {results['mixed_4shard']:.2f}x "
+              "(floor 2.0x)")
+    path = save_results("bench_shard", results["rows"], meta={
+        **results["meta"],
+        "speedups": results["speedups"],
+        "geomean_4shard": results["geomean_4shard"],
+        "mixed_4shard": results["mixed_4shard"],
+        "wall_s": round(wall, 1),
+    })
+    print(f"[{wall:.1f}s host; saved {path}]\n")
+
+    rc = 0
+    problems = shard_gate_problems(results)
+    if problems:
+        print("SHARD GATE FAILURE:")
+        for p in problems:
+            print(f"  {p}")
+        rc = 1
+    if rebaseline:
+        if rc == 0:
+            base_file.write_text(json.dumps(results, indent=2, default=str) + "\n")
+            print(f"baseline written to {base_file}")
+        else:
+            print("(baseline NOT written: hard gates failed)")
+    else:
+        baseline = json.loads(base_file.read_text())
+        drift = compare_to_baseline(results, baseline)
+        if drift:
+            print(f"PERF REGRESSION vs {base_file}:")
+            for p in drift:
+                print(f"  {p}")
+            rc = 1
+        else:
+            print(f"no regression vs {base_file} (tolerance 20%)")
+        if rc:
+            delta = render_shard_delta(results, baseline)
+            delta_path = results_dir() / "bench_shard_delta.txt"
+            delta_path.write_text(delta + "\n")
+            print("\n" + delta)
+            print(f"\n(delta table saved to {delta_path}; re-baseline "
+                  "intentionally with: python -m repro bench shard "
+                  "--update-baseline)")
+    _record_registry(
+        "bench-shard",
+        config={
+            "shard_counts": list(shard_counts),
+            "k": args.shard_k,
+            "sessions": args.shard_sessions,
+            "requests": args.shard_requests,
+            "policy": args.shard_policy,
+            "quick": args.quick,
+            "rebaseline": rebaseline,
+        },
+        status="completed" if rc == 0 else "failed",
+        summary={
+            "speedups": results["speedups"],
+            "geomean_4shard": results["geomean_4shard"],
+            "mixed_4shard": results["mixed_4shard"],
+            "wall_s": round(wall, 1),
+        },
+    )
+    return rc
+
+
 def _run_bench(args) -> int:
     import json
 
@@ -716,9 +832,11 @@ def _run_bench(args) -> int:
     target = args.target or "micro"
     if target == "native":
         return _run_bench_native(args)
+    if target == "shard":
+        return _run_bench_shard(args)
     if target != "micro":
         print(f"error: unknown bench target {args.target!r} "
-              "(try 'micro' or 'native')", file=sys.stderr)
+              "(try 'micro', 'native', or 'shard')", file=sys.stderr)
         return 2
     ks = (
         tuple(int(k) for k in args.bench_ks.split(","))
@@ -831,9 +949,9 @@ def main(argv: list[str] | None = None) -> int:
         nargs="?",
         default=None,
         help=(
-            "subcommand target: bench takes 'micro' (default) or 'native'; "
-            "trace takes 'analyze', 'flame', or 'diff'; runs takes 'list' "
-            "(default), 'show <id>', or 'gc'; ignored elsewhere"
+            "subcommand target: bench takes 'micro' (default), 'native', or "
+            "'shard'; trace takes 'analyze', 'flame', or 'diff'; runs takes "
+            "'list' (default), 'show <id>', or 'gc'; ignored elsewhere"
         ),
     )
     parser.add_argument(
@@ -886,7 +1004,7 @@ def main(argv: list[str] | None = None) -> int:
     faults.add_argument(
         "--capacity", type=int, default=8, help="batch node capacity k"
     )
-    bench = parser.add_argument_group("bench micro/native")
+    bench = parser.add_argument_group("bench micro/native/shard")
     bench.add_argument(
         "--quick",
         action="store_true",
@@ -895,12 +1013,42 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument(
         "--update-baseline",
         action="store_true",
-        help="rewrite the bench baseline (BENCH_micro.json / BENCH_native.json)",
+        help="rewrite the bench baseline (BENCH_micro.json / "
+             "BENCH_native.json / BENCH_shard.json)",
     )
     bench.add_argument(
         "--bench-ks",
         default=None,
         help="comma-separated node capacities (default: 32,128,512)",
+    )
+    bench.add_argument(
+        "--shard-counts",
+        default=None,
+        help="bench shard: comma-separated fleet widths (default: 1,2,4,8)",
+    )
+    bench.add_argument(
+        "--shard-policy",
+        choices=("hash", "spray"),
+        default="spray",
+        help="bench shard: insert placement policy (default: spray)",
+    )
+    bench.add_argument(
+        "--shard-k",
+        type=int,
+        default=512,
+        help="bench shard: batch node capacity k (default: 512)",
+    )
+    bench.add_argument(
+        "--shard-sessions",
+        type=int,
+        default=64,
+        help="bench shard: concurrent client sessions (default: 64)",
+    )
+    bench.add_argument(
+        "--shard-requests",
+        type=int,
+        default=16,
+        help="bench shard: requests per session (default: 16)",
     )
     serve = parser.add_argument_group("durable service (serve)")
     serve.add_argument(

@@ -15,6 +15,7 @@ from .audit import AuditReport, HeapAuditor
 from .bgpq import BGPQ
 from .bottomup import BGPQBottomUp
 from .heap import HeapStorage, left, level, parent, path_next, right
+from .linearizability import KRelaxedReport, assert_k_relaxed, check_k_relaxed
 from .node import AVAIL, EMPTY, MARKED, TARGET, BatchNode
 from .recovery import OpGuard, bounded_acquire
 from .sequential import SequentialPQ
@@ -29,11 +30,14 @@ __all__ = [
     "EMPTY",
     "HeapAuditor",
     "HeapStorage",
+    "KRelaxedReport",
     "MARKED",
     "OpGuard",
     "SequentialPQ",
     "TARGET",
+    "assert_k_relaxed",
     "bounded_acquire",
+    "check_k_relaxed",
     "left",
     "level",
     "parent",

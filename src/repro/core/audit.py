@@ -23,7 +23,9 @@ conservation
 The auditor is duck-typed: structure/state/lock checks engage only
 when the queue exposes the relevant attributes (``check_invariants``,
 ``store``), so the same auditor runs over the baselines, which get the
-conservation and length checks.
+conservation and length checks.  A :class:`~repro.fleet.ShardedBGPQ`
+is recognised automatically and routed to :meth:`HeapAuditor.audit_fleet`,
+which audits every shard and cross-checks the router's size accounting.
 """
 
 from __future__ import annotations
@@ -83,11 +85,52 @@ class HeapAuditor:
         removed: Iterable[np.ndarray] | None = None,
         context: str = "",
     ) -> AuditReport:
+        if hasattr(self.pq, "shards") and hasattr(self.pq, "router"):
+            return self.audit_fleet(inserted=inserted, removed=removed,
+                                    context=context)
         report = AuditReport(context=context)
         self._check_structure(report)
         self._check_node_states(report)
         self._check_arena(report)
         self._check_locks(report)
+        self._check_length(report)
+        if inserted is not None:
+            self._check_conservation(report, inserted, removed or ())
+        return report
+
+    # ------------------------------------------------------------------
+    def audit_fleet(
+        self,
+        inserted: Iterable[np.ndarray] | None = None,
+        removed: Iterable[np.ndarray] | None = None,
+        context: str = "",
+    ) -> AuditReport:
+        """Audit a :class:`~repro.fleet.ShardedBGPQ`: every shard + router.
+
+        Runs the full per-heap audit on each shard's underlying queue
+        (problems prefixed ``shard {i}:``), then cross-checks the
+        router's size accounting — the fleet's ``len`` is maintained
+        incrementally by the routed-execution paths and must equal the
+        sum of the shards' own lengths *and* the fleet snapshot size.
+        Conservation, when ``inserted`` is given, is fleet-global:
+        routing moves keys between shards, so only the union multiset
+        is conserved.
+        """
+        report = AuditReport(context=context)
+        for i, shard in enumerate(self.pq.shards):
+            sub = HeapAuditor(shard.pq).audit(context=context)
+            report.problems.extend(f"shard {i}: {p}" for p in sub.problems)
+            report.checks_run.extend(
+                f"shard{i}:{c}" for c in sub.checks_run
+            )
+        report.checks_run.append("router-accounting")
+        routed = len(self.pq)
+        summed = sum(len(s) for s in self.pq.shards)
+        if routed != summed:
+            report.problems.append(
+                f"router size accounting drift: len(fleet)={routed} but "
+                f"shard sizes sum to {summed}"
+            )
         self._check_length(report)
         if inserted is not None:
             self._check_conservation(report, inserted, removed or ())

@@ -21,12 +21,38 @@ the tests generate; ``max_states`` bounds the search explicitly.
 :func:`check_necessary_conditions` runs cheap whole-history sanity
 checks (key conservation, no invented keys) usable at scales where the
 full search is infeasible.
+
+k-relaxed correctness
+---------------------
+The sharded fleet (:mod:`repro.fleet`) deliberately gives up strict
+linearizability: a global ``delete_min`` probes a few shards and may
+miss a smaller key sitting on an unprobed one.  The right spec for
+that design is *k-relaxation* (SprayList / MultiQueue style): every
+returned key must be among the ``k`` smallest keys outstanding at the
+moment the operation executes.  :func:`check_k_relaxed` replays a
+history **in execution order** against an exact oracle multiset and
+measures, for every deleted key, its *rank* — the number of strictly
+smaller keys still outstanding when it was returned (duplicate-safe;
+an exact queue always scores rank 0).  The report carries the achieved
+``max_rank`` and the minimal ``k`` for which the history satisfies the
+spec, so benches can both assert a budget and record the gap actually
+achieved.  Structural violations (invented keys, unsorted results,
+over- or under-returning) fail the spec at any ``k``.
+
+Unlike the Wing–Gong search above, this check is linear-time: the
+fleet driver's histories are *sequential at the fleet level* (one
+router decision at a time, per-shard clocks only model device time),
+so the execution order is the linearization order and no search over
+permutations is needed.
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
+
+import numpy as np
 
 from ..errors import LinearizabilityError
 from ..sim.trace import OpRecord
@@ -36,6 +62,9 @@ __all__ = [
     "assert_linearizable",
     "find_linearization",
     "check_necessary_conditions",
+    "KRelaxedReport",
+    "check_k_relaxed",
+    "assert_k_relaxed",
 ]
 
 
@@ -170,3 +199,158 @@ def check_necessary_conditions(history: Sequence[OpRecord]) -> list[str]:
     if extra:
         problems.append(f"keys deleted but never inserted: {dict(extra)}")
     return problems
+
+
+# ---------------------------------------------------------------------------
+# k-relaxed correctness (relaxed-semantics fleets)
+# ---------------------------------------------------------------------------
+@dataclass
+class KRelaxedReport:
+    """Outcome of one k-relaxed replay.
+
+    ``max_rank`` is the worst rank any deleted key achieved: the number
+    of strictly smaller keys still outstanding when it was returned,
+    measured *sequentially* within a batch (a batch deletemin(count) is
+    scored as count consecutive single deletes, so returning the exact
+    ``count`` smallest keys scores rank 0 for every one of them).
+    ``minimal_k`` is the smallest relaxation parameter the history
+    satisfies; an exact queue reports ``minimal_k == 1``.
+    """
+
+    k: int | None
+    ops: int = 0
+    deletes: int = 0
+    keys_deleted: int = 0
+    max_rank: int = 0
+    mean_rank: float = 0.0
+    rank_violations: int = 0
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Spec holds: no structural violation, every rank within k."""
+        return not self.problems and self.rank_violations == 0
+
+    @property
+    def minimal_k(self) -> int:
+        """Smallest k for which this history passes the rank spec."""
+        return self.max_rank + 1
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise LinearizabilityError(
+                f"k-relaxed spec (k={self.k}) violated: "
+                f"max_rank={self.max_rank}, "
+                f"{self.rank_violations} rank violations, "
+                + "; ".join(self.problems[:10])
+            )
+
+
+def _run_offsets(sorted_vals: np.ndarray) -> np.ndarray:
+    """Position of each element within its run of equal values."""
+    n = sorted_vals.size
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    new_run = np.empty(n, dtype=bool)
+    new_run[0] = True
+    np.not_equal(sorted_vals[1:], sorted_vals[:-1], out=new_run[1:])
+    idx = np.arange(n, dtype=np.int64)
+    run_start = np.maximum.accumulate(np.where(new_run, idx, 0))
+    return idx - run_start
+
+
+def check_k_relaxed(
+    history: Sequence, k: int | None = None, max_problems: int = 20
+) -> KRelaxedReport:
+    """Replay ``history`` in execution order and measure deletemin ranks.
+
+    ``history`` is any sequence of records exposing ``.kind`` /
+    ``.args`` / ``.result`` (``OpRecord`` or the fleet driver's
+    ``FleetOpRecord``), **already in the order the operations executed**
+    — for fleet runs that is exactly the order the driver serviced them.
+
+    For every key a deletemin returned, its rank is the count of
+    strictly smaller keys outstanding at that moment (after the keys
+    returned earlier in the same batch are removed).  ``k=None``
+    measures without asserting a budget; otherwise any rank ``>= k``
+    counts as a ``rank_violation``.  Structural problems — returning a
+    key that is not outstanding, an unsorted result, more keys than
+    asked, or fewer keys than were available — are reported regardless
+    of ``k``.
+    """
+    report = KRelaxedReport(k=k)
+    outstanding = np.empty(0, dtype=np.int64)
+    rank_sum = 0
+    for op in history:
+        report.ops += 1
+        if op.kind == "insert":
+            keys = np.sort(np.asarray(op.args, dtype=np.int64).ravel())
+            if keys.size == 0:
+                continue
+            pos = np.searchsorted(outstanding, keys)
+            outstanding = np.insert(outstanding, pos, keys)
+            continue
+        if op.kind != "deletemin":
+            if len(report.problems) < max_problems:
+                report.problems.append(f"op {report.ops}: unknown kind {op.kind!r}")
+            continue
+        report.deletes += 1
+        res = np.asarray(op.result, dtype=np.int64).ravel()
+        args = getattr(op, "args", ())
+        count = int(args[0]) if len(args) else res.size
+        if res.size > count:
+            if len(report.problems) < max_problems:
+                report.problems.append(
+                    f"delete {report.deletes}: asked {count}, returned {res.size}"
+                )
+        if res.size > 1 and np.any(res[:-1] > res[1:]):
+            if len(report.problems) < max_problems:
+                report.problems.append(
+                    f"delete {report.deletes}: result not sorted"
+                )
+            res = np.sort(res)
+        if res.size < min(count, outstanding.size):
+            if len(report.problems) < max_problems:
+                report.problems.append(
+                    f"delete {report.deletes}: returned {res.size} keys with "
+                    f"{outstanding.size} outstanding (asked {count})"
+                )
+        if res.size == 0:
+            continue
+        # rank of each returned key: strictly smaller outstanding keys,
+        # scored sequentially within the batch (earlier returns removed)
+        ranks = np.searchsorted(outstanding, res, side="left")
+        offsets = _run_offsets(res)
+        idxs = ranks + offsets
+        valid = idxs < outstanding.size
+        if outstanding.size:
+            safe = np.minimum(idxs, outstanding.size - 1)
+            valid &= outstanding[safe] == res
+        if not valid.all():
+            bad = res[~valid]
+            if len(report.problems) < max_problems:
+                report.problems.append(
+                    f"delete {report.deletes}: {bad.size} returned keys not "
+                    f"outstanding (invented or double-deleted), e.g. {bad[0]}"
+                )
+        vres = res[valid]
+        if vres.size:
+            # sequential rank: subtract the strictly-smaller keys this
+            # same batch already removed (= start index of the key's run)
+            seq_ranks = (ranks - (np.arange(res.size) - offsets))[valid]
+            seq_ranks = np.maximum(seq_ranks, 0)
+            report.keys_deleted += vres.size
+            rank_sum += int(seq_ranks.sum())
+            report.max_rank = max(report.max_rank, int(seq_ranks.max()))
+            if k is not None:
+                report.rank_violations += int((seq_ranks >= k).sum())
+            outstanding = np.delete(outstanding, idxs[valid])
+    report.mean_rank = rank_sum / report.keys_deleted if report.keys_deleted else 0.0
+    return report
+
+
+def assert_k_relaxed(history: Sequence, k: int) -> KRelaxedReport:
+    """Check the k-relaxed spec and raise on violation; returns the report."""
+    report = check_k_relaxed(history, k=k)
+    report.raise_if_failed()
+    return report

@@ -315,6 +315,27 @@ class NativeBGPQ:
             return self._deletemin_arena(count)
         return self._deletemin_list(count)
 
+    def peek(self):
+        """Smallest key without removing it (``None`` when empty).
+
+        A quiescent read for routers and spray probes: the root's first
+        key is the global minimum whenever the heap is non-empty (the
+        partial buffer's min is >= the root's max by invariant), so no
+        traversal happens and no device time is charged here — a
+        fleet-level caller models its own probe cost explicitly.
+        """
+        if self.storage == "arena":
+            a = self._arena
+            if self._heap_size and a.counts[1]:
+                return a.keys[1, 0].item()
+            nbuf = int(a.counts[0])
+            return a.keys[0, 0].item() if nbuf else None
+        if self._heap_size:
+            root = self._nodes[1]
+            if root is not None and root.keys.size:
+                return root.keys[0].item()
+        return self._buf.keys[0].item() if self._buf.keys.size else None
+
     def clear(self) -> None:
         """Reset to empty; storage, stats and the sim clock are retained."""
         if self.storage == "arena":

@@ -1,0 +1,27 @@
+"""Sharded BGPQ fleet: multi-queue router + relaxed global deletemin.
+
+Scaling *around* the root lock instead of through it: N independent
+BGPQ shards (native or sim backend, each with its own partial buffer
+and arena) behind a placement router.  Inserts are shard-local; the
+global ``delete_min`` is k-relaxed — a spray probe over shard minima
+plus a steal-from-fullest fallback — and
+:func:`repro.core.check_k_relaxed` verifies the relaxation bound on
+every run.  ``repro bench shard`` gates the fleet's simulated
+throughput against the committed ``BENCH_shard.json`` baseline.
+"""
+
+from .driver import FleetOpRecord, FleetRunResult, mixed_scripts, run_fleet
+from .router import POLICIES, Router
+from .sharded import BACKENDS, OpTicket, ShardedBGPQ
+
+__all__ = [
+    "Router",
+    "POLICIES",
+    "ShardedBGPQ",
+    "OpTicket",
+    "BACKENDS",
+    "FleetOpRecord",
+    "FleetRunResult",
+    "run_fleet",
+    "mixed_scripts",
+]

@@ -1,0 +1,104 @@
+"""Placement and probe policies for the sharded BGPQ fleet.
+
+The router answers two questions, both without touching any shard's
+root lock:
+
+* **Where does an insert batch go?**  ``policy="hash"`` splits the
+  batch by a per-key multiplicative hash (splitmix64's finalizer
+  constant), spreading the key space uniformly over shards so every
+  shard's minimum tracks the global distribution — the property the
+  relaxed delete side relies on.  ``policy="spray"`` sends the whole
+  batch to one uniformly random shard, preserving batch locality (one
+  shard heapify per batch instead of N partial ones) at the price of
+  coarser balance.
+
+* **Which shards does a relaxed delete_min look at?**  A *spray probe*:
+  ``spray_width`` distinct shards chosen uniformly at random (SprayList
+  transplanted to the shard dimension — instead of spraying down a
+  skip list, we spray across shard minima).  The fleet peeks those
+  shards' root minima and services the delete on the best one; when
+  every probed shard is empty it falls back to stealing from the
+  fullest shard, PIPQ's delete-steal split.
+
+All randomness comes from one seeded :class:`random.Random`, so a
+fleet run is a pure function of (seed, workload) — which is what makes
+the shard bench's simulated-throughput ratios committable as a CI
+baseline.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["Router", "POLICIES"]
+
+POLICIES = ("hash", "spray")
+
+#: splitmix64 finalizer multiplier — odd, so the map is a bijection on
+#: the 64-bit ring; the xor-shift folds high entropy into the low bits
+#: the modulo reads
+_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
+_HASH_SHIFT = np.uint64(32)
+
+
+def _hash_shards(keys: np.ndarray, n_shards: int) -> np.ndarray:
+    """Vectorised per-key shard assignment (stable across runs)."""
+    h = keys.astype(np.uint64) * _HASH_MULT
+    h ^= h >> _HASH_SHIFT
+    return (h % np.uint64(n_shards)).astype(np.intp)
+
+
+class Router:
+    """Deterministic placement + probe-set policy for N shards."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        policy: str = "hash",
+        spray_width: int = 2,
+        seed: int = 0,
+    ):
+        if n_shards < 1:
+            raise ConfigurationError("fleet needs at least one shard")
+        if policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown placement policy {policy!r}; choose one of {POLICIES}"
+            )
+        if spray_width < 1:
+            raise ConfigurationError("spray width must be >= 1")
+        self.n_shards = n_shards
+        self.policy = policy
+        self.spray_width = min(spray_width, n_shards)
+        self._rng = random.Random(seed ^ 0xF1EE7)
+
+    # -- insert placement ---------------------------------------------------
+    def place(self, keys: np.ndarray) -> list[tuple[int, np.ndarray]]:
+        """Split an insert batch into per-shard sub-batches.
+
+        Returns ``[(shard, sub_keys), ...]`` with empty shards omitted;
+        sub-batches preserve the incoming key order (the queues sort
+        internally anyway).
+        """
+        if keys.size == 0:
+            return []
+        if self.n_shards == 1:
+            return [(0, keys)]
+        if self.policy == "spray":
+            return [(self._rng.randrange(self.n_shards), keys)]
+        shards = _hash_shards(keys, self.n_shards)
+        return [
+            (s, keys[shards == s])
+            for s in range(self.n_shards)
+            if np.any(shards == s)
+        ]
+
+    # -- delete probe -------------------------------------------------------
+    def probe_set(self) -> tuple[int, ...]:
+        """``spray_width`` distinct shards to peek for a relaxed delete."""
+        if self.spray_width >= self.n_shards:
+            return tuple(range(self.n_shards))
+        return tuple(self._rng.sample(range(self.n_shards), self.spray_width))

@@ -1,0 +1,440 @@
+"""ShardedBGPQ: N independent BGPQ shards behind a relaxed router.
+
+The causal profiler's verdict on the single-queue design is that the
+root lock is the makespan ceiling: every operation, batched or not,
+serialises through node 1.  The fleet goes *around* that lock instead
+of through it — following PIPQ's insert-local/delete-steal split and
+the bounded-staleness framing of multiresolution priority queues:
+
+* **Inserts are shard-local.**  The router places each batch (hash or
+  spray policy, see :mod:`.router`) and the sub-batches proceed on
+  their shards' own clocks — two inserts on different shards overlap
+  perfectly, because there is nothing shared to wait on.
+
+* **delete_min is relaxed.**  It spray-probes ``spray_width`` shard
+  minima (lock-free peeks), services the delete on the probed shard
+  with the smallest minimum, and — when it comes up short — *steals*
+  the remainder from the fullest shard so a fleet delete still returns
+  ``min(count, len(fleet))`` keys, exactly like a single queue.  The
+  price is bounded staleness, not lost keys: an unprobed shard may
+  hold smaller keys, so a returned key is only guaranteed to be among
+  the smallest few shards' minima.  :func:`repro.core.check_k_relaxed`
+  measures the rank gap actually achieved.
+
+Time model: each shard runs at host speed (NativeBGPQ) or as a driven
+sim generator (BGPQ), charging device cost to its *own* simulated
+clock.  A fleet operation starts at ``max(arrival, shard clock)`` and
+advances only that shard's clock; the fleet makespan is the max over
+shard clocks.  Everything is deterministic — cost model, seeded router
+— so fleet speedups are machine-portable and exact.
+
+The fleet is keys-only (``payload_width=0``): the applications that
+need payloads pin them to a single queue; the fleet targets the
+service-style mixed workloads where the key *is* the message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.bgpq import BGPQ
+from ..core.native import NativeBGPQ
+from ..device.kernels import GpuContext
+from ..errors import ConfigurationError
+from ..obs.events import (
+    SHARD_OP_BEGIN,
+    SHARD_OP_END,
+    SHARD_PROBE,
+    SHARD_STEAL,
+)
+from ..sim import effects as fx
+from .router import Router
+
+__all__ = ["ShardedBGPQ", "OpTicket", "BACKENDS"]
+
+BACKENDS = ("native", "sim")
+
+
+# ---------------------------------------------------------------------------
+# shard adapters: one uniform surface over both queue engines
+# ---------------------------------------------------------------------------
+class _NativeShard:
+    """NativeBGPQ with per-op device-cost deltas (host-speed engine)."""
+
+    backend = "native"
+
+    def __init__(self, node_capacity: int, storage: str, ctx: GpuContext):
+        self.pq = NativeBGPQ(node_capacity=node_capacity, ctx=ctx, storage=storage)
+        self._mark = self.pq.sim_time_ns_exact
+
+    def _delta_ns(self) -> float:
+        now = self.pq.sim_time_ns_exact
+        d = float(now - self._mark)
+        self._mark = now
+        return d
+
+    def insert(self, keys: np.ndarray) -> float:
+        self.pq.insert(keys)
+        return self._delta_ns()
+
+    def deletemin(self, count: int) -> tuple[np.ndarray, float]:
+        keys, _pay = self.pq.deletemin(count)
+        return keys, self._delta_ns()
+
+    def peek(self):
+        return self.pq.peek()
+
+    def probe_ns(self) -> float:
+        m = self.pq.model
+        return float(m.global_read_ns(1)) if m is not None else 1.0
+
+    def __len__(self) -> int:
+        return len(self.pq)
+
+    def snapshot_keys(self) -> np.ndarray:
+        return self.pq.snapshot_keys()
+
+    def check_invariants(self) -> list[str]:
+        return self.pq.check_invariants()
+
+
+def _drive_timed(gen) -> tuple[object, float]:
+    """Drain one sim-queue generator, summing its charged time.
+
+    Single-shard-threaded, so locks are always free (the whole point of
+    sharding: no cross-shard lock exists) and predicate waits must
+    already hold; Compute and Atomic carry the device charges.
+    """
+    ns = 0.0
+    send = None
+    try:
+        while True:
+            eff = gen.send(send)
+            cls = eff.__class__
+            if cls is fx.Compute:
+                ns += eff.ns
+                send = None
+            elif cls is fx.Atomic:
+                ns += eff.ns
+                send = eff.fn()
+            elif cls is fx.TryAcquire or cls is fx.AcquireTimeout:
+                send = True
+            elif cls is fx.Wait:
+                if eff.predicate is not None and not eff.predicate():
+                    raise RuntimeError("fleet shard driver: Wait would block")
+                send = None
+            else:
+                send = None
+    except StopIteration as stop:
+        return stop.value, ns
+
+
+class _SimShard:
+    """Discrete-event BGPQ driven per-op by a timed effect interpreter."""
+
+    backend = "sim"
+
+    def __init__(
+        self, node_capacity: int, storage: str, ctx: GpuContext, max_keys: int
+    ):
+        self.pq = BGPQ(
+            ctx=ctx,
+            node_capacity=node_capacity,
+            max_keys=max_keys,
+            storage=storage,
+        )
+
+    def insert(self, keys: np.ndarray) -> float:
+        total = 0.0
+        k = self.pq.k
+        for i in range(0, keys.size, k):
+            _, ns = _drive_timed(self.pq.insert_op(keys[i : i + k]))
+            total += ns
+        return total
+
+    def deletemin(self, count: int) -> tuple[np.ndarray, float]:
+        keys, ns = _drive_timed(self.pq.deletemin_op(count))
+        return keys, ns
+
+    def peek(self):
+        store = self.pq.store
+        best = None
+        if store.heap_size >= 1 and store.root.count:
+            best = int(store.root.min_key())
+        buf = self.pq.pbuffer
+        if buf.size and (best is None or buf[0] < best):
+            best = int(buf[0])
+        return best
+
+    def probe_ns(self) -> float:
+        return float(self.pq.model.global_read_ns(1))
+
+    def __len__(self) -> int:
+        return len(self.pq)
+
+    def snapshot_keys(self) -> np.ndarray:
+        return self.pq.snapshot_keys()
+
+    def check_invariants(self) -> list[str]:
+        return self.pq.check_invariants()
+
+
+# ---------------------------------------------------------------------------
+@dataclass
+class OpTicket:
+    """Receipt for one serviced fleet operation (driver bookkeeping).
+
+    ``t_arrive`` is when the request reached the fleet, ``t_start``
+    when its shard began servicing it (the gap is routing + queueing),
+    ``t_end`` when it completed including any steal top-ups.  For a
+    delete, ``keys`` is the merged ascending result.
+    """
+
+    kind: str
+    shard: int
+    keys: np.ndarray
+    t_arrive: float
+    t_start: float
+    t_end: float
+    probed: tuple[int, ...] = ()
+    stole: tuple[int, ...] = ()
+
+
+class ShardedBGPQ:
+    """N independent BGPQ shards behind a hash/spray router.
+
+    Parameters
+    ----------
+    n_shards:
+        Fleet width.  ``n_shards=1`` *is* the single-queue baseline —
+        the router degenerates to the identity and delete_min probes
+        the only shard — which is what the shard bench's speedups are
+        measured against.
+    node_capacity:
+        Per-shard batch node capacity (the paper's k); also the upper
+        bound on a single delete_min's ``count``.
+    backend / storage:
+        ``"native"`` (host-speed NativeBGPQ, default) or ``"sim"`` (the
+        discrete-event BGPQ driven per-op); both use the shared arena
+        or list storage underneath.
+    policy / spray_width / seed:
+        Router configuration (see :class:`~repro.fleet.router.Router`).
+    obs:
+        Optional :class:`~repro.obs.events.EventBus`; shard-level
+        events (op begin/end, probes, steals) are emitted with explicit
+        fleet timestamps so ``repro trace analyze`` can attribute
+        cross-shard waits.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        node_capacity: int = 512,
+        backend: str = "native",
+        storage: str = "arena",
+        policy: str = "hash",
+        spray_width: int = 2,
+        seed: int = 0,
+        max_keys: int = 1 << 16,
+        ctx: GpuContext | None = None,
+        obs=None,
+    ):
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown fleet backend {backend!r}; choose one of {BACKENDS}"
+            )
+        self.k = node_capacity
+        self.backend = backend
+        self.router = Router(
+            n_shards, policy=policy, spray_width=spray_width, seed=seed
+        )
+        ctx = ctx if ctx is not None else GpuContext.default()
+        self.ctx = ctx
+        if backend == "native":
+            self.shards = [
+                _NativeShard(node_capacity, storage, ctx) for _ in range(n_shards)
+            ]
+        else:
+            self.shards = [
+                _SimShard(node_capacity, storage, ctx, max_keys)
+                for _ in range(n_shards)
+            ]
+        #: per-shard simulated clocks; the fleet makespan is their max
+        self.clocks = [0.0] * n_shards
+        #: router-side size accounting, cross-checked by audit_fleet
+        #: against the sum of shard sizes
+        self._size = 0
+        self.obs = obs
+        self.stats = {
+            "inserts": 0,
+            "deletes": 0,
+            "probes": 0,
+            "empty_probes": 0,
+            "steals": 0,
+        }
+
+    # -- properties ---------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return self.router.n_shards
+
+    @property
+    def makespan_ns(self) -> float:
+        return max(self.clocks)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def shard_sizes(self) -> list[int]:
+        return [len(s) for s in self.shards]
+
+    def imbalance(self) -> float:
+        """Max/mean shard occupancy (1.0 == perfectly balanced)."""
+        sizes = self.shard_sizes()
+        total = sum(sizes)
+        if not total:
+            return 1.0
+        return max(sizes) * self.n_shards / total
+
+    def snapshot_keys(self) -> np.ndarray:
+        parts = [s.snapshot_keys() for s in self.shards]
+        return (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+
+    def check_invariants(self) -> list[str]:
+        problems = []
+        for i, shard in enumerate(self.shards):
+            problems.extend(f"shard {i}: {p}" for p in shard.check_invariants())
+        return problems
+
+    # -- routed execution (ticket API, used by the request driver) ----------
+    def route_insert(self, keys) -> list[tuple[int, np.ndarray]]:
+        """Router placement only — no execution, no clock movement."""
+        keys = np.asarray(keys, dtype=np.int64).ravel()
+        return self.router.place(keys)
+
+    def exec_insert(self, shard: int, keys: np.ndarray, at: float = 0.0) -> OpTicket:
+        """Service one placed sub-batch on its shard at arrival ``at``."""
+        s = self.shards[shard]
+        start = max(at, self.clocks[shard])
+        cost = s.insert(keys)
+        end = start + cost
+        self.clocks[shard] = end
+        self._size += keys.size
+        self.stats["inserts"] += 1
+        if self.obs is not None:
+            name = f"shard{shard}"
+            self.obs.emit(SHARD_OP_BEGIN, start, name, shard=shard, op="insert",
+                          n=int(keys.size))
+            self.obs.emit(SHARD_OP_END, end, name, shard=shard, op="insert",
+                          n=int(keys.size))
+        return OpTicket("insert", shard, keys, at, start, end)
+
+    def plan_delete(self) -> tuple[int, tuple[int, ...]]:
+        """Spray-probe shard minima and pick the primary shard.
+
+        The probe is *optimistic*: it reads each probed shard's root
+        minimum without taking any lock, so by service time the minimum
+        may have moved — exactly the staleness the k-relaxed checker
+        measures.  All probed shards empty → steal-from-fullest over
+        the whole fleet (PIPQ's fallback).
+        """
+        probe = self.router.probe_set()
+        self.stats["probes"] += len(probe)
+        best = None
+        best_key = None
+        for p in probe:
+            m = self.shards[p].peek()
+            if m is not None and (best_key is None or m < best_key):
+                best, best_key = p, m
+        if best is None:
+            self.stats["empty_probes"] += 1
+            sizes = self.shard_sizes()
+            fullest = max(range(len(sizes)), key=lambda i: (sizes[i], -i))
+            best = fullest if sizes[fullest] else probe[0]
+        return best, probe
+
+    def exec_deletemin(
+        self,
+        count: int,
+        at: float = 0.0,
+        plan: tuple[int, tuple[int, ...]] | None = None,
+    ) -> OpTicket:
+        """Service one relaxed delete: probe, pop, steal top-ups.
+
+        Returns ``min(count, len(fleet))`` keys merged ascending.  The
+        probe's read cost is part of the op's latency (added to its
+        arrival), not of any shard's busy time — probes don't hold
+        locks, so they never serialise behind shard operations.
+        """
+        if not 1 <= count <= self.k:
+            raise ValueError(
+                f"delete_min count must be in [1, {self.k}], got {count}"
+            )
+        primary, probe = plan if plan is not None else self.plan_delete()
+        probe_cost = sum(self.shards[p].probe_ns() for p in probe)
+        s = self.shards[primary]
+        start = max(at + probe_cost, self.clocks[primary])
+        if self.obs is not None:
+            self.obs.emit(SHARD_PROBE, at, "router",
+                          shards=list(probe), primary=primary)
+            self.obs.emit(SHARD_OP_BEGIN, start, f"shard{primary}",
+                          shard=primary, op="deletemin", want=count)
+        keys, cost = s.deletemin(count)
+        end = start + cost
+        self.clocks[primary] = end
+        parts = [keys]
+        got = keys.size
+        stole: list[int] = []
+        # top-up: the primary drained before satisfying the request —
+        # steal the remainder from the fullest shard(s) so a fleet
+        # delete is never artificially short (exact-drain guarantee)
+        while got < count:
+            sizes = self.shard_sizes()
+            victim = max(range(len(sizes)), key=lambda i: (sizes[i], -i))
+            if not sizes[victim]:
+                break
+            v = self.shards[victim]
+            vstart = max(end, self.clocks[victim])
+            vkeys, vcost = v.deletemin(min(count - got, self.k))
+            vend = vstart + vcost
+            self.clocks[victim] = vend
+            end = vend
+            parts.append(vkeys)
+            got += vkeys.size
+            stole.append(victim)
+            self.stats["steals"] += 1
+            if self.obs is not None:
+                self.obs.emit(SHARD_STEAL, vstart, f"shard{victim}",
+                              shard=victim, want=count - got + vkeys.size,
+                              got=int(vkeys.size))
+        out = np.sort(np.concatenate(parts)) if len(parts) > 1 else keys
+        self._size -= out.size
+        self.stats["deletes"] += 1
+        if self.obs is not None:
+            self.obs.emit(SHARD_OP_END, end, f"shard{primary}",
+                          shard=primary, op="deletemin", got=int(out.size))
+        return OpTicket(
+            "deletemin", primary, out, at, start, end,
+            probed=probe, stole=tuple(stole),
+        )
+
+    # -- convenience API (immediate execution) ------------------------------
+    def insert(self, keys) -> list[OpTicket]:
+        """Route and service an insert now; returns one ticket per shard."""
+        return [
+            self.exec_insert(shard, part) for shard, part in self.route_insert(keys)
+        ]
+
+    def delete_min(self, count: int = 1) -> np.ndarray:
+        """Relaxed global deletemin; returns merged ascending keys."""
+        return self.exec_deletemin(count).keys
+
+    # deletemin alias, matching the single-queue engines' spelling
+    deletemin = delete_min

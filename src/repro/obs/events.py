@@ -92,6 +92,23 @@ analyze`` works unchanged on service runs):
 ``serve.recover``      a crashed server was rebuilt from checkpoint+WAL
                        (``ckpt_lsn``, ``replayed``)
 =====================  ====================================================
+
+Fleet-level (emitted by :mod:`repro.fleet` — the sharded multi-queue
+router and its request driver; shard events carry the shard index so
+``repro trace analyze`` can attribute cross-shard waits):
+
+=====================  ====================================================
+``shard.op.begin``     one shard started servicing a routed sub-op
+                       (``shard``, ``op``, ``n``/``want``)
+``shard.op.end``       the sub-op finished (``shard``, ``op``,
+                       ``n``/``got``)
+``shard.probe``        a relaxed delete_min sprayed its probe set
+                       (``shards``, ``primary``)
+``shard.steal``        delete_min topped up by stealing from the fullest
+                       shard (``shard`` — the victim, ``want``, ``got``)
+``shard.imbalance``    periodic fleet occupancy gauge from the driver
+                       (``gauge`` — max/mean shard size, ``sizes``)
+=====================  ====================================================
 """
 
 from __future__ import annotations
@@ -129,6 +146,11 @@ __all__ = [
     "WAL_APPEND",
     "SERVE_CHECKPOINT",
     "SERVE_RECOVER",
+    "SHARD_OP_BEGIN",
+    "SHARD_OP_END",
+    "SHARD_PROBE",
+    "SHARD_STEAL",
+    "SHARD_IMBALANCE",
     "WAIT_STARTS",
     "WAIT_ENDS",
 ]
@@ -168,6 +190,13 @@ SERVE_APPLY = "serve.apply"
 WAL_APPEND = "wal.append"
 SERVE_CHECKPOINT = "serve.checkpoint"
 SERVE_RECOVER = "serve.recover"
+
+# -- fleet-level (repro.fleet) ------------------------------------------------
+SHARD_OP_BEGIN = "shard.op.begin"
+SHARD_OP_END = "shard.op.end"
+SHARD_PROBE = "shard.probe"
+SHARD_STEAL = "shard.steal"
+SHARD_IMBALANCE = "shard.imbalance"
 
 #: event types that open a wait interval for the utilization timeline,
 #: mapped to the types that close it (same thread)

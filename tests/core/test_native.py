@@ -156,3 +156,22 @@ def test_property_oracle_equivalence(script):
             assert np.array_equal(got, oracle.deletemin(arg))
     assert pq.check_invariants() == []
     assert np.array_equal(np.sort(pq.snapshot_keys()), oracle.snapshot_keys())
+
+
+@pytest.mark.parametrize("storage", ["arena", "list"])
+def test_peek_tracks_global_min_without_mutating(storage):
+    pq = NativeBGPQ(node_capacity=4, storage=storage)
+    assert pq.peek() is None
+    pq.insert([7])  # buffered only: heap still empty
+    assert pq.peek() == 7 and len(pq) == 1
+    pq.insert([5, 9, 1, 3, 8])  # overflows into the heap
+    before = len(pq)
+    assert pq.peek() == 1
+    assert len(pq) == before  # peek is read-only
+    keys, _ = pq.deletemin(pq.k)
+    assert keys[0] == 1
+    while pq:
+        expect = np.sort(pq.snapshot_keys())[0]
+        assert pq.peek() == expect
+        pq.deletemin(1)
+    assert pq.peek() is None

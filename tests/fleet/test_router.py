@@ -1,0 +1,84 @@
+"""Router placement and probe-set policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.router import POLICIES, Router, _hash_shards
+
+
+def test_hash_placement_partitions_batch():
+    r = Router(4, policy="hash")
+    keys = np.arange(1000, dtype=np.int64)
+    parts = r.place(keys)
+    assert 1 < len(parts) <= 4
+    back = np.sort(np.concatenate([sub for _, sub in parts]))
+    assert np.array_equal(back, keys)
+    for shard, sub in parts:
+        assert 0 <= shard < 4
+        assert sub.size > 0  # empty shards are omitted
+
+
+def test_hash_placement_is_deterministic_across_routers():
+    keys = np.random.default_rng(0).integers(0, 1 << 40, 500, dtype=np.int64)
+    a = _hash_shards(keys, 8)
+    b = _hash_shards(keys, 8)
+    assert np.array_equal(a, b)
+    # roughly uniform: no shard starves on random keys
+    counts = np.bincount(a, minlength=8)
+    assert counts.min() > 0
+
+
+def test_hash_handles_negative_keys():
+    keys = np.array([-5, -1, 0, 3, -(1 << 50)], dtype=np.int64)
+    shards = _hash_shards(keys, 4)
+    assert ((shards >= 0) & (shards < 4)).all()
+
+
+def test_spray_placement_keeps_batch_whole():
+    r = Router(8, policy="spray", seed=7)
+    keys = np.arange(100, dtype=np.int64)
+    for _ in range(20):
+        parts = r.place(keys)
+        assert len(parts) == 1
+        shard, sub = parts[0]
+        assert 0 <= shard < 8
+        assert sub is keys
+
+
+def test_spray_is_seed_deterministic():
+    keys = np.arange(10, dtype=np.int64)
+    seq = [Router(8, policy="spray", seed=3).place(keys)[0][0] for _ in range(3)]
+    assert seq[0] == seq[1] == seq[2]
+
+
+def test_single_shard_short_circuits():
+    r = Router(1, policy="hash")
+    keys = np.arange(5, dtype=np.int64)
+    assert r.place(keys) == [(0, keys)]
+    assert r.probe_set() == (0,)
+
+
+def test_empty_batch_places_nowhere():
+    assert Router(4).place(np.empty(0, dtype=np.int64)) == []
+
+
+def test_probe_set_distinct_and_clamped():
+    r = Router(4, spray_width=2, seed=1)
+    for _ in range(50):
+        probe = r.probe_set()
+        assert len(probe) == 2
+        assert len(set(probe)) == 2
+    wide = Router(3, spray_width=16)
+    assert wide.spray_width == 3
+    assert wide.probe_set() == (0, 1, 2)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        Router(0)
+    with pytest.raises(ConfigurationError):
+        Router(4, policy="round-robin")
+    with pytest.raises(ConfigurationError):
+        Router(4, spray_width=0)
+    assert POLICIES == ("hash", "spray")
