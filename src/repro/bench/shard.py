@@ -37,6 +37,16 @@ al.'s relaxed skip list — the classic relaxed-semantics design the
 fleet's spray probe borrows its name from) runs a reduced serial mixed
 workload for scale comparison; informational, never gated.
 
+A *skewed placement* section runs all four router policies at the gate
+shard count on a Zipf-skewed mixed workload (hot keys pin to hot
+shards under hash).  It is gated two ways on full runs: the best
+load-aware policy (shortest/d-choice) must beat the hash policy on the
+same skewed scripts *and* clear ``GATE_PLACEMENT_FLOOR`` — the uniform
+spray baseline PR 7 committed — so load-aware routing provably erases
+the skew penalty.  ``repro bench frontier``
+(:mod:`repro.bench.frontier`) extends this into the full
+quality-vs-throughput sweep over ``spray_width`` × policy.
+
 Because all time is simulated (deterministic cost model, seeded
 router), the committed baseline ``BENCH_shard.json`` (env override
 ``REPRO_BENCH_SHARD_BASELINE``) is machine-portable and the CI gate
@@ -59,6 +69,7 @@ from ..sim import effects as fx
 __all__ = [
     "SHARD_COUNTS",
     "SHARD_WORKLOADS",
+    "PLACEMENT_POLICIES",
     "shard_baseline_path",
     "run_shard",
     "shard_gate_problems",
@@ -71,6 +82,15 @@ SHARD_WORKLOADS = ("mixed", "knapsack", "astar")
 #: the acceptance floor: 4-shard mixed throughput vs single queue
 GATE_SHARDS = 4
 GATE_MIN_SPEEDUP = 2.0
+
+#: skewed-placement section: Zipf exponent for the hot-key workload and
+#: the floor the best load-aware policy must clear at 4 shards on full
+#: (non-quick) runs — the spray-policy mixed_4shard baseline PR 7
+#: committed, i.e. load-aware placement on a *skewed* workload must be
+#: at least as good as blind placement on a uniform one
+PLACEMENT_SKEW = 1.1
+GATE_PLACEMENT_FLOOR = 4.48
+PLACEMENT_POLICIES = ("hash", "spray", "shortest", "d-choice")
 
 
 def shard_baseline_path():
@@ -261,6 +281,51 @@ def _spraylist_column(sessions: int, requests: int, k: int, seed: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# skewed placement comparison (the load-aware acceptance cell)
+# ---------------------------------------------------------------------------
+def _placement_section(
+    k: int, sessions: int, requests: int, seed: int
+) -> dict:
+    """All four policies at GATE_SHARDS shards on a skewed-key workload.
+
+    A Zipf-like key distribution concentrates volume on a few hot keys;
+    hash pins every copy of a hot key to one shard, so the blind
+    policies leave throughput on the table that shortest/d-choice
+    recover by routing on ``(clock, backlog)``.  Speedups are measured
+    against the same scripts on one shard, like the main table.
+    """
+    scripts = mixed_scripts(
+        sessions, requests, k, seed=seed, skew=PLACEMENT_SKEW
+    )
+    base = _run_cell(scripts, 1, k, "hash", seed)
+    cells: dict[str, dict] = {}
+    for pol in PLACEMENT_POLICIES:
+        row = _run_cell(scripts, GATE_SHARDS, k, pol, seed)
+        cells[pol] = {
+            "speedup": round(row["keys_per_us"] / base["keys_per_us"], 3)
+            if base["keys_per_us"]
+            else 0.0,
+            "keys_per_us": row["keys_per_us"],
+            "minimal_k": row["minimal_k"],
+            "relax_budget": row["relax_budget"],
+            "imbalance": row["imbalance"],
+            "steals": row["steals"],
+            "ok": row["relax_ok"] and row["audit_ok"],
+        }
+    best_pol = max(
+        ("shortest", "d-choice"), key=lambda p: cells[p]["speedup"]
+    )
+    return {
+        "skew": PLACEMENT_SKEW,
+        "shards": GATE_SHARDS,
+        "base_keys_per_us": base["keys_per_us"],
+        "cells": cells,
+        "best_load_aware": best_pol,
+        "best_speedup": cells[best_pol]["speedup"],
+    }
+
+
+# ---------------------------------------------------------------------------
 def _geomean(values) -> float:
     import math
 
@@ -331,6 +396,11 @@ def run_shard(
         if "mixed" in workloads
         else None
     )
+    placement = (
+        _placement_section(k, sessions, requests, seed)
+        if "mixed" in workloads and GATE_SHARDS in shard_counts
+        else None
+    )
     return {
         "benchmark": "shard",
         "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S"),
@@ -356,6 +426,7 @@ def run_shard(
         "geomean_4shard": round(_geomean(gate_cells), 3) if gate_cells else None,
         "mixed_4shard": speedups.get(f"mixed/shards={GATE_SHARDS}"),
         "spraylist": spray,
+        "placement": placement,
     }
 
 
@@ -374,6 +445,34 @@ def shard_gate_problems(results: dict) -> list[str]:
                 f"{cell}: k-relaxed/audit verification failed "
                 f"(minimal_k={rep.get('minimal_k')}, budget={rep.get('budget')})"
             )
+    placement = results.get("placement")
+    if placement:
+        for pol, cell in sorted(placement.get("cells", {}).items()):
+            if not cell.get("ok"):
+                problems.append(
+                    f"placement/{pol}: k-relaxed/audit verification failed "
+                    f"(minimal_k={cell.get('minimal_k')}, "
+                    f"budget={cell.get('relax_budget')})"
+                )
+        # the speedup floors only bind at full scale — a --quick run's
+        # tiny workload doesn't develop enough load for placement to
+        # matter (verification above still applies)
+        if not results.get("meta", {}).get("quick"):
+            best = placement.get("best_speedup") or 0.0
+            hash_speedup = (
+                placement.get("cells", {}).get("hash", {}).get("speedup", 0.0)
+            )
+            if best < hash_speedup:
+                problems.append(
+                    f"skewed placement: best load-aware policy "
+                    f"({placement.get('best_load_aware')}, {best:.2f}x) below "
+                    f"the hash policy ({hash_speedup:.2f}x)"
+                )
+            if best < GATE_PLACEMENT_FLOOR:
+                problems.append(
+                    f"skewed placement: best load-aware speedup {best:.2f}x "
+                    f"below the {GATE_PLACEMENT_FLOOR:.2f}x acceptance floor"
+                )
     return problems
 
 
@@ -400,4 +499,17 @@ def render_shard_delta(current: dict, baseline: dict) -> str:
             lines.append(f"relaxation FAILED: {cell} "
                          f"(minimal_k={rep.get('minimal_k')}, "
                          f"budget={rep.get('budget')})")
+    placement = current.get("placement")
+    if placement:
+        lines.append("")
+        lines.append(
+            f"skewed placement (skew={placement.get('skew')}, "
+            f"{placement.get('shards')} shards):"
+        )
+        for pol, cell in sorted(placement.get("cells", {}).items()):
+            lines.append(
+                f"  {pol:<9} {cell.get('speedup', 0):>6.2f}x  "
+                f"minimal_k={cell.get('minimal_k')}  "
+                f"{'ok' if cell.get('ok') else 'FAILED'}"
+            )
     return "\n".join(lines)

@@ -12,6 +12,7 @@ Usage::
     python -m repro bench micro            # perf-regression microbench
     python -m repro bench native           # NativeBGPQ arena-vs-list gate
     python -m repro bench shard            # sharded-fleet throughput gate
+    python -m repro bench frontier         # quality-vs-throughput sweep gate
     python -m repro trace                  # traced run + chrome trace JSON
     python -m repro trace analyze          # critical path + phase attribution
     python -m repro trace flame            # collapsed stacks + terminal flame
@@ -40,10 +41,17 @@ current-vs-baseline delta table next to the archived results.
 ``bench shard`` gates the sharded fleet (see :mod:`repro.bench.shard`
 and :mod:`repro.fleet`): simulated throughput at 1/2/4/8 shards vs the
 single-queue baseline on mixed/knapsack/A* workloads against
-``BENCH_shard.json``, with two hard floors — a >=2x 4-shard mixed
-speedup and a passing k-relaxed correctness check on every cell; the
-run is fully deterministic (simulated clocks, seeded router), so the
-baseline ratios are machine-portable.
+``BENCH_shard.json``, with hard floors — a >=2x 4-shard mixed speedup,
+a passing k-relaxed correctness check on every cell, and (full runs)
+the skewed-placement section where the best load-aware policy
+(shortest/d-choice) must beat hash and clear the 4.48x floor; the run
+is fully deterministic (simulated clocks, seeded router), so the
+baseline ratios are machine-portable.  ``bench frontier`` sweeps the
+quality-vs-throughput surface (see :mod:`repro.bench.frontier`):
+``spray_width`` x placement policy on the skewed workload, each cell
+reporting measured ``minimal_k`` next to makespan, plus an elastic
+grow-under-load cell verified with the migration-aware relaxation
+budget, gated against ``BENCH_frontier.json``.
 
 ``trace`` runs the canonical mixed workload with the observability bus
 attached (see :mod:`repro.obs`), prints collaboration counters, op
@@ -762,6 +770,16 @@ def _run_bench_shard(args) -> int:
     if results.get("mixed_4shard") is not None:
         print(f"  mixed 4-shard speedup: {results['mixed_4shard']:.2f}x "
               "(floor 2.0x)")
+    if results.get("placement"):
+        placement = results["placement"]
+        print(f"  skewed placement (skew={placement['skew']}, "
+              f"{placement['shards']} shards):")
+        for pol, cell in sorted(placement["cells"].items()):
+            print(f"    {pol:<9} {cell['speedup']:>6.2f}x  "
+                  f"minimal_k={cell['minimal_k']}  "
+                  f"{'ok' if cell['ok'] else 'FAILED'}")
+        print(f"    best load-aware: {placement['best_load_aware']} "
+              f"({placement['best_speedup']:.2f}x)")
     path = save_results("bench_shard", results["rows"], meta={
         **results["meta"],
         "speedups": results["speedups"],
@@ -824,6 +842,98 @@ def _run_bench_shard(args) -> int:
     return rc
 
 
+def _run_bench_frontier(args) -> int:
+    """`repro bench frontier`: the quality-vs-throughput sweep gate."""
+    import json
+
+    from .bench.frontier import (
+        frontier_baseline_path,
+        frontier_gate_problems,
+        render_frontier_delta,
+        run_frontier,
+    )
+    from .bench.micro import compare_to_baseline
+    from .bench.reporting import results_dir
+
+    base_file = frontier_baseline_path()
+    rebaseline = args.update_baseline or not base_file.exists()
+    t0 = time.perf_counter()
+    results = run_frontier(
+        k=args.shard_k,
+        sessions=args.shard_sessions,
+        requests=args.shard_requests,
+        quick=args.quick,
+    )
+    wall = time.perf_counter() - t0
+    print(render_rows(results["rows"],
+                      "bench frontier (minimal_k vs makespan per cell)"))
+    print()
+    for key, val in sorted(results["speedups"].items()):
+        print(f"  speedup {key}: {val:.2f}x")
+    elastic = results["elastic"]
+    print(f"  elastic 2->{results['meta']['shards']}: grows={elastic['grows']} "
+          f"migrated={elastic['migrated']} minimal_k={elastic['minimal_k']} "
+          f"budget={elastic['relax_budget']} "
+          f"{'ok' if elastic['relax_ok'] and elastic['audit_ok'] else 'FAILED'}")
+    path = save_results("bench_frontier", results["rows"], meta={
+        **results["meta"],
+        "speedups": results["speedups"],
+        "elastic": {k: v for k, v in elastic.items()
+                    if k not in ("relax_problems", "audit_problems")},
+        "wall_s": round(wall, 1),
+    })
+    print(f"[{wall:.1f}s host; saved {path}]\n")
+
+    rc = 0
+    problems = frontier_gate_problems(results)
+    if problems:
+        print("FRONTIER GATE FAILURE:")
+        for p in problems:
+            print(f"  {p}")
+        rc = 1
+    if rebaseline:
+        if rc == 0:
+            base_file.write_text(json.dumps(results, indent=2, default=str) + "\n")
+            print(f"baseline written to {base_file}")
+        else:
+            print("(baseline NOT written: hard gates failed)")
+    else:
+        baseline = json.loads(base_file.read_text())
+        drift = compare_to_baseline(results, baseline)
+        if drift:
+            print(f"PERF REGRESSION vs {base_file}:")
+            for p in drift:
+                print(f"  {p}")
+            rc = 1
+        else:
+            print(f"no regression vs {base_file} (tolerance 20%)")
+        if rc:
+            delta = render_frontier_delta(results, baseline)
+            delta_path = results_dir() / "bench_frontier_delta.txt"
+            delta_path.write_text(delta + "\n")
+            print("\n" + delta)
+            print(f"\n(delta table saved to {delta_path}; re-baseline "
+                  "intentionally with: python -m repro bench frontier "
+                  "--update-baseline)")
+    _record_registry(
+        "bench-frontier",
+        config={
+            "k": args.shard_k,
+            "sessions": args.shard_sessions,
+            "requests": args.shard_requests,
+            "quick": args.quick,
+            "rebaseline": rebaseline,
+        },
+        status="completed" if rc == 0 else "failed",
+        summary={
+            "speedups": results["speedups"],
+            "elastic_grows": elastic["grows"],
+            "wall_s": round(wall, 1),
+        },
+    )
+    return rc
+
+
 def _run_bench(args) -> int:
     import json
 
@@ -834,9 +944,12 @@ def _run_bench(args) -> int:
         return _run_bench_native(args)
     if target == "shard":
         return _run_bench_shard(args)
+    if target == "frontier":
+        return _run_bench_frontier(args)
     if target != "micro":
         print(f"error: unknown bench target {args.target!r} "
-              "(try 'micro', 'native', or 'shard')", file=sys.stderr)
+              "(try 'micro', 'native', 'shard', or 'frontier')",
+              file=sys.stderr)
         return 2
     ks = (
         tuple(int(k) for k in args.bench_ks.split(","))
@@ -949,9 +1062,10 @@ def main(argv: list[str] | None = None) -> int:
         nargs="?",
         default=None,
         help=(
-            "subcommand target: bench takes 'micro' (default), 'native', or "
-            "'shard'; trace takes 'analyze', 'flame', or 'diff'; runs takes "
-            "'list' (default), 'show <id>', or 'gc'; ignored elsewhere"
+            "subcommand target: bench takes 'micro' (default), 'native', "
+            "'shard', or 'frontier'; trace takes 'analyze', 'flame', or "
+            "'diff'; runs takes 'list' (default), 'show <id>', or 'gc'; "
+            "ignored elsewhere"
         ),
     )
     parser.add_argument(
@@ -1004,7 +1118,7 @@ def main(argv: list[str] | None = None) -> int:
     faults.add_argument(
         "--capacity", type=int, default=8, help="batch node capacity k"
     )
-    bench = parser.add_argument_group("bench micro/native/shard")
+    bench = parser.add_argument_group("bench micro/native/shard/frontier")
     bench.add_argument(
         "--quick",
         action="store_true",
@@ -1013,8 +1127,8 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument(
         "--update-baseline",
         action="store_true",
-        help="rewrite the bench baseline (BENCH_micro.json / "
-             "BENCH_native.json / BENCH_shard.json)",
+        help="rewrite the bench baseline (BENCH_micro.json / BENCH_native.json"
+             " / BENCH_shard.json / BENCH_frontier.json)",
     )
     bench.add_argument(
         "--bench-ks",
@@ -1028,9 +1142,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     bench.add_argument(
         "--shard-policy",
-        choices=("hash", "spray"),
+        choices=("hash", "spray", "shortest", "d-choice"),
         default="spray",
-        help="bench shard: insert placement policy (default: spray)",
+        help="bench shard: insert placement policy for the main table "
+             "(default: spray; the placement section always compares all 4)",
     )
     bench.add_argument(
         "--shard-k",

@@ -15,7 +15,12 @@ from .audit import AuditReport, HeapAuditor
 from .bgpq import BGPQ
 from .bottomup import BGPQBottomUp
 from .heap import HeapStorage, left, level, parent, path_next, right
-from .linearizability import KRelaxedReport, assert_k_relaxed, check_k_relaxed
+from .linearizability import (
+    KRelaxedReport,
+    assert_k_relaxed,
+    check_k_relaxed,
+    relaxation_budget,
+)
 from .node import AVAIL, EMPTY, MARKED, TARGET, BatchNode
 from .recovery import OpGuard, bounded_acquire
 from .sequential import SequentialPQ
@@ -38,6 +43,7 @@ __all__ = [
     "assert_k_relaxed",
     "bounded_acquire",
     "check_k_relaxed",
+    "relaxation_budget",
     "left",
     "level",
     "parent",

@@ -27,6 +27,17 @@ the engine: sessions appear as ``client{i}`` threads with
 ``lock.contend``/``lock.grant`` on ``fleet.s{i}.n1`` (so ``repro trace
 analyze`` attributes cross-shard waits with zero new analysis code),
 and the driver emits a periodic ``shard.imbalance`` gauge.
+
+The gauge cadence doubles as the elastic fleet's *safe point*: pass
+``elastic=ElasticController(...)`` and every ``imbalance_every``
+executed sub-ops the controller may grow, shrink, or rebalance the
+fleet.  The driver then remaps its shard FIFOs — a retiring shard's
+queued inserts are reassigned to the least-loaded survivor, every
+queued delete is re-planned against the new topology (its old probe
+set names stale shard indices), and surviving queues keep their FIFO
+order — and appends a ``kind="reshard"`` record to the history so
+:func:`repro.core.check_k_relaxed` can charge the migrated keys
+against the relaxation budget.
 """
 
 from __future__ import annotations
@@ -89,7 +100,12 @@ class FleetRunResult:
 
 
 def mixed_scripts(
-    sessions: int, requests: int, k: int, seed: int = 0
+    sessions: int,
+    requests: int,
+    k: int,
+    seed: int = 0,
+    skew: float | None = None,
+    universe: int = 4096,
 ) -> list[list[tuple]]:
     """The bench's mixed workload: alternating insert/deletemin scripts.
 
@@ -98,15 +114,31 @@ def mixed_scripts(
     the fleet stays near steady-state occupancy and every delete has
     material to return.  Keys are drawn below 2^30 from one seeded
     generator — the whole workload is a pure function of its arguments.
+
+    ``skew`` switches to a Zipf-like key distribution: batches sample
+    (with replacement) from a fixed pool of ``universe`` keys with
+    probability proportional to ``rank**-skew``.  A handful of hot keys
+    then dominate the volume, and because the hash policy pins every
+    copy of a key to the same shard, the skewed workload concentrates
+    load on a few hot shards — the regime the load-aware placement
+    policies exist for (and what ``repro bench shard``'s placement
+    section and the frontier lane measure).
     """
     rng = np.random.default_rng(seed)
+    if skew:
+        pool = rng.integers(0, 1 << 30, size=universe, dtype=np.int64)
+        probs = np.arange(1, universe + 1, dtype=np.float64) ** -float(skew)
+        probs /= probs.sum()
     scripts: list[list[tuple]] = []
     for _ in range(sessions):
         script: list[tuple] = []
         for r in range(requests):
             if r % 2 == 0:
-                script.append(("insert", rng.integers(0, 1 << 30, size=k,
-                                                      dtype=np.int64)))
+                if skew:
+                    batch = rng.choice(pool, size=k, p=probs)
+                else:
+                    batch = rng.integers(0, 1 << 30, size=k, dtype=np.int64)
+                script.append(("insert", batch))
             else:
                 script.append(("deletemin", k))
         scripts.append(script)
@@ -142,13 +174,18 @@ def run_fleet(
     scripts: list[list[tuple]],
     think_ns: float = 0.0,
     imbalance_every: int = 64,
+    elastic=None,
 ) -> FleetRunResult:
     """Drive ``fleet`` with one script per client session to completion.
 
     Script entries are ``("insert", keys)`` or ``("deletemin", count)``.
     Returns the execution-ordered history plus throughput accounting;
     the fleet is left at its final occupancy (callers drain or audit it
-    as they like).
+    as they like).  ``elastic`` (an
+    :class:`~repro.fleet.elastic.ElasticController`) is evaluated at
+    every gauge boundary — ``imbalance_every`` executed sub-ops — and
+    any resize it performs triggers the queue remap described in the
+    module docstring.
     """
     obs = fleet.obs
     queues: list[deque[_SubOp]] = [deque() for _ in range(fleet.n_shards)]
@@ -156,6 +193,53 @@ def run_fleet(
     history: list[FleetOpRecord] = []
     keys_in = keys_out = requests = executed = 0
     last_holder: list[str] = ["" for _ in range(fleet.n_shards)]
+
+    def apply_reshard(tickets, now: float) -> None:
+        """Record elastic tickets and remap queues to the new topology."""
+        for t in tickets:
+            history.append(
+                FleetOpRecord(
+                    len(history), -1, "reshard", (t.action, t.moved), (),
+                    now, t.t_start, t.t_end, t.src,
+                )
+            )
+            if t.action == "grow":
+                for _ in range(t.n_after - t.n_before):
+                    queues.append(deque())
+                    last_holder.append("")
+            elif t.action == "shrink":
+                v = t.src
+                backlog = [(s, sub) for s, q in enumerate(queues) for sub in q]
+                del last_holder[v]
+                new_queues: list[deque[_SubOp]] = [
+                    deque() for _ in range(fleet.n_shards)
+                ]
+                # rebuild in collection order: survivors keep FIFO
+                # order under the index remap; the victim's inserts go
+                # to the least-loaded survivor; every queued delete is
+                # re-planned (its probe set names stale indices)
+                for s, sub in backlog:
+                    if sub.kind == "insert":
+                        if s == v:
+                            loads = fleet.shard_loads()
+                            tgt = min(
+                                range(fleet.n_shards),
+                                key=lambda i: (loads[i], i),
+                            )
+                        else:
+                            tgt = s if s < v else s - 1
+                        new_queues[tgt].append(sub)
+                    else:
+                        sub.plan = fleet.plan_delete()
+                        new_queues[sub.plan[0]].append(sub)
+                queues[:] = new_queues
+                fleet.reset_pending(
+                    [
+                        sum(x.keys.size for x in q if x.kind == "insert")
+                        for q in queues
+                    ]
+                )
+            # rebalance: no topology change, nothing to remap
 
     def dispatch(sess: _Session, now: float) -> None:
         nonlocal requests
@@ -165,7 +249,7 @@ def run_fleet(
         name = f"client{sess.idx}"
         if kind == "insert":
             keys = np.asarray(arg, dtype=np.int64).ravel()
-            parts = fleet.route_insert(keys)
+            parts = fleet.route_insert(keys, at=now)
             if obs is not None:
                 obs.emit(OP_BEGIN, now, name, op="insert", n=int(keys.size))
             if not parts:
@@ -256,12 +340,17 @@ def run_fleet(
             else:
                 obs.emit(LOCK_ACQUIRE, ticket.t_start, name, lock=lock)
             obs.emit(LOCK_RELEASE, ticket.t_end, name, lock=lock)
-            if executed % imbalance_every == 0:
+        last_holder[best_shard] = name
+        if executed % imbalance_every == 0:
+            if obs is not None:
                 obs.emit(
                     SHARD_IMBALANCE, ticket.t_end, "router",
                     gauge=fleet.imbalance(), sizes=fleet.shard_sizes(),
                 )
-        last_holder[best_shard] = name
+            if elastic is not None:
+                tickets = elastic.maybe_act(fleet, now=ticket.t_end)
+                if tickets:
+                    apply_reshard(tickets, ticket.t_end)
         sess.outstanding -= 1
         sess.req_end = max(sess.req_end, ticket.t_end)
         if sess.outstanding == 0:

@@ -1,0 +1,141 @@
+"""ElasticController: gauge-driven fleet resizing and rebalancing.
+
+PR 7's fleet fixes N at construction, so one mis-sized fleet is either
+wasting shards (deletes spray over near-empty queues) or capping on a
+hot one.  The controller closes that loop.  It consumes the same
+signal the observability layer already emits — the ``shard.imbalance``
+gauge the request driver computes every ``imbalance_every`` executed
+sub-ops — and turns it into three actions on the fleet, all executed
+at the driver's *safe points* (between serviced sub-ops, never inside
+one):
+
+* **Grow** when average shard occupancy exceeds ``grow_above`` keys:
+  :meth:`ShardedBGPQ.grow` appends an empty shard, which the
+  load-aware placement policies immediately favour.  Costless — no
+  keys move.
+* **Shrink** when average occupancy falls below ``shrink_below``:
+  :meth:`ShardedBGPQ.shrink` drains the emptiest shard through the
+  steal path and re-places its keys on the survivors.  The migrated
+  keys are charged to the k-relaxed budget via the ``kind="reshard"``
+  history record the driver appends (see
+  :func:`repro.core.relaxation_budget`).
+* **Rebalance** when the max/mean occupancy ratio exceeds
+  ``rebalance_above``: :meth:`ShardedBGPQ.rebalance` steals one batch
+  from the fullest shard into the emptiest — proactive, gauge-driven,
+  instead of waiting for a delete to come up short.
+
+Structural actions (grow/shrink) are separated by a ``cooldown`` of
+controller evaluations so one burst doesn't thrash the fleet width;
+rebalancing is cheap and exempt.  Everything is deterministic — the
+controller reads only fleet state and its own counters — so an elastic
+run is still a pure function of (seed, workload, controller config),
+which is what lets the frontier bench commit elastic cells as CI
+baselines.
+
+Defaults are derived from the fleet's node capacity ``k`` at first
+evaluation: grow above ``4k`` keys/shard (two full batches queued past
+steady state), shrink below ``k // 2`` (a shard that cannot even fill
+one delete batch is dead weight).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .sharded import ReshardTicket, ShardedBGPQ
+
+__all__ = ["ElasticController"]
+
+
+class ElasticController:
+    """Watches fleet occupancy and resizes/rebalances at safe points.
+
+    Parameters
+    ----------
+    min_shards / max_shards:
+        Hard bounds on fleet width; grow/shrink never cross them.
+    grow_above / shrink_below:
+        Average-occupancy water marks in keys per shard.  ``None``
+        (default) derives them from the fleet's ``k`` at first
+        evaluation: ``4 * k`` and ``k // 2``.
+    rebalance_above:
+        Max/mean occupancy ratio (the imbalance gauge) above which a
+        proactive rebalancing steal fires.  1.0 is perfectly balanced;
+        the 1.5 default tolerates normal spray jitter.
+    cooldown:
+        Number of controller evaluations that must pass between two
+        structural (grow/shrink) actions.
+
+    Use ``maybe_act(fleet, now)`` from driver code; ``run_fleet(...,
+    elastic=controller)`` wires it to the gauge cadence automatically.
+    All actions taken are appended to :attr:`actions` for inspection.
+    """
+
+    def __init__(
+        self,
+        min_shards: int = 1,
+        max_shards: int = 16,
+        grow_above: float | None = None,
+        shrink_below: float | None = None,
+        rebalance_above: float = 1.5,
+        cooldown: int = 2,
+    ):
+        if min_shards < 1:
+            raise ConfigurationError("min_shards must be >= 1")
+        if max_shards < min_shards:
+            raise ConfigurationError("max_shards must be >= min_shards")
+        if rebalance_above < 1.0:
+            raise ConfigurationError("rebalance_above must be >= 1.0")
+        if cooldown < 0:
+            raise ConfigurationError("cooldown must be >= 0")
+        self.min_shards = min_shards
+        self.max_shards = max_shards
+        self.grow_above = grow_above
+        self.shrink_below = shrink_below
+        self.rebalance_above = rebalance_above
+        self.cooldown = cooldown
+        self._cool = 0
+        #: every ReshardTicket this controller caused, in order
+        self.actions: list[ReshardTicket] = []
+
+    def _derive_marks(self, fleet: ShardedBGPQ) -> None:
+        if self.grow_above is None:
+            self.grow_above = 4.0 * fleet.k
+        if self.shrink_below is None:
+            self.shrink_below = fleet.k // 2
+        if self.shrink_below >= self.grow_above:
+            raise ConfigurationError(
+                "shrink_below must be < grow_above "
+                f"({self.shrink_below} >= {self.grow_above})"
+            )
+
+    def maybe_act(
+        self, fleet: ShardedBGPQ, now: float = 0.0
+    ) -> list[ReshardTicket]:
+        """Evaluate the fleet once; perform and return any actions.
+
+        Called at a safe point (no sub-op mid-service).  At most one
+        structural action plus at most one rebalance per evaluation;
+        the caller (the driver) remaps its shard queues when the
+        returned tickets changed the fleet width.
+        """
+        self._derive_marks(fleet)
+        tickets: list[ReshardTicket] = []
+        n = fleet.n_shards
+        avg = len(fleet) / n
+        if self._cool > 0:
+            self._cool -= 1
+        elif avg > self.grow_above and n < self.max_shards:
+            tickets.append(fleet.grow(1, at=now))
+            self._cool = self.cooldown
+        elif avg < self.shrink_below and n > self.min_shards:
+            tickets.append(fleet.shrink(at=now))
+            self._cool = self.cooldown
+        if (
+            fleet.n_shards >= 2
+            and fleet.imbalance() > self.rebalance_above
+        ):
+            ticket = fleet.rebalance(at=now)
+            if ticket is not None:
+                tickets.append(ticket)
+        self.actions.extend(tickets)
+        return tickets

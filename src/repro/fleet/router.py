@@ -3,14 +3,29 @@
 The router answers two questions, both without touching any shard's
 root lock:
 
-* **Where does an insert batch go?**  ``policy="hash"`` splits the
-  batch by a per-key multiplicative hash (splitmix64's finalizer
-  constant), spreading the key space uniformly over shards so every
-  shard's minimum tracks the global distribution — the property the
-  relaxed delete side relies on.  ``policy="spray"`` sends the whole
-  batch to one uniformly random shard, preserving batch locality (one
-  shard heapify per batch instead of N partial ones) at the price of
-  coarser balance.
+* **Where does an insert batch go?**  Four policies, two blind and two
+  load-aware:
+
+  - ``policy="hash"`` splits the batch by a per-key multiplicative
+    hash (splitmix64's finalizer constant), spreading the *key space*
+    uniformly over shards so every shard's minimum tracks the global
+    distribution — the property the relaxed delete side relies on.
+    Blind to load: a skewed key distribution (many duplicates of a few
+    hot keys) lands every copy of a hot key on the same shard.
+  - ``policy="spray"`` sends the whole batch to one uniformly random
+    shard, preserving batch locality (one shard heapify per batch
+    instead of N partial ones) at the price of coarser balance.
+  - ``policy="shortest"`` is join-shortest-simulated-queue: the whole
+    batch goes to the shard with the smallest *load* — the lexical
+    minimum of ``(simulated clock, pending + stored keys, index)``
+    as supplied by the fleet.  Clocks dominate in steady state; the
+    backlog term breaks cold-start ties so simultaneous dispatches do
+    not herd onto one shard.  Deterministic: no RNG is consulted.
+  - ``policy="d-choice"`` is power-of-d-choices: sample ``spray_width``
+    distinct shards uniformly (same RNG as the probe) and send the
+    batch to the least loaded of that sample — near-``shortest``
+    balance while only comparing d loads, and with spray's seeded
+    randomness keeping placement history diverse.
 
 * **Which shards does a relaxed delete_min look at?**  A *spray probe*:
   ``spray_width`` distinct shards chosen uniformly at random (SprayList
@@ -23,7 +38,10 @@ root lock:
 All randomness comes from one seeded :class:`random.Random`, so a
 fleet run is a pure function of (seed, workload) — which is what makes
 the shard bench's simulated-throughput ratios committable as a CI
-baseline.
+baseline.  :meth:`Router.resize` supports the elastic fleet
+(:mod:`repro.fleet.elastic`): it re-targets the policy at a new shard
+count while keeping the RNG stream intact, so an elastic run is still
+a pure function of (seed, workload, controller config).
 """
 
 from __future__ import annotations
@@ -34,9 +52,13 @@ import numpy as np
 
 from ..errors import ConfigurationError
 
-__all__ = ["Router", "POLICIES"]
+__all__ = ["Router", "POLICIES", "LOAD_AWARE_POLICIES"]
 
-POLICIES = ("hash", "spray")
+POLICIES = ("hash", "spray", "shortest", "d-choice")
+
+#: policies whose :meth:`Router.place` needs the fleet's per-shard
+#: ``loads`` snapshot (the blind policies ignore it)
+LOAD_AWARE_POLICIES = ("shortest", "d-choice")
 
 #: splitmix64 finalizer multiplier — odd, so the map is a bijection on
 #: the 64-bit ring; the xor-shift folds high entropy into the low bits
@@ -53,7 +75,24 @@ def _hash_shards(keys: np.ndarray, n_shards: int) -> np.ndarray:
 
 
 class Router:
-    """Deterministic placement + probe-set policy for N shards."""
+    """Deterministic placement + probe-set policy for N shards.
+
+    Parameters
+    ----------
+    n_shards:
+        Current fleet width; changed in place by :meth:`resize` when
+        the elastic controller grows or shrinks the fleet.
+    policy:
+        One of :data:`POLICIES` — see the module docstring for the
+        placement matrix.
+    spray_width:
+        Probe-set size for relaxed deletes, and the ``d`` of
+        ``d-choice`` placement.  Clamped to ``n_shards``; the requested
+        width is remembered so a grown fleet re-expands it.
+    seed:
+        Seeds the single :class:`random.Random` behind spray placement,
+        d-choice sampling, and probe sets.
+    """
 
     def __init__(
         self,
@@ -72,29 +111,74 @@ class Router:
             raise ConfigurationError("spray width must be >= 1")
         self.n_shards = n_shards
         self.policy = policy
+        self._want_width = spray_width
         self.spray_width = min(spray_width, n_shards)
         self._rng = random.Random(seed ^ 0xF1EE7)
+        #: shards the most recent load-aware placement compared
+        #: (empty for hash/spray) — read by the fleet's ``shard.place``
+        #: obs emission right after :meth:`place` returns
+        self.last_candidates: tuple[int, ...] = ()
+
+    # -- elasticity ---------------------------------------------------------
+    def resize(self, n_shards: int) -> None:
+        """Re-target the router at a grown/shrunk fleet.
+
+        Keeps the RNG stream (determinism is preserved as a pure
+        function of the call sequence) and re-derives ``spray_width``
+        from the originally requested width, so a fleet that shrank to
+        one shard and grew back probes at full width again.
+        """
+        if n_shards < 1:
+            raise ConfigurationError("fleet needs at least one shard")
+        self.n_shards = n_shards
+        self.spray_width = min(self._want_width, n_shards)
 
     # -- insert placement ---------------------------------------------------
-    def place(self, keys: np.ndarray) -> list[tuple[int, np.ndarray]]:
+    def place(
+        self, keys: np.ndarray, loads: list | None = None
+    ) -> list[tuple[int, np.ndarray]]:
         """Split an insert batch into per-shard sub-batches.
 
         Returns ``[(shard, sub_keys), ...]`` with empty shards omitted;
         sub-batches preserve the incoming key order (the queues sort
-        internally anyway).
+        internally anyway).  ``loads`` is the fleet's per-shard load
+        snapshot (any per-shard sequence ordered so that smaller
+        compares as less loaded — the fleet supplies
+        ``(clock, backlog)`` tuples); required by the load-aware
+        policies, ignored by ``hash``/``spray``.
         """
+        self.last_candidates = ()
         if keys.size == 0:
             return []
         if self.n_shards == 1:
             return [(0, keys)]
         if self.policy == "spray":
             return [(self._rng.randrange(self.n_shards), keys)]
+        if self.policy in LOAD_AWARE_POLICIES:
+            return [(self._place_loaded(loads), keys)]
         shards = _hash_shards(keys, self.n_shards)
         return [
             (s, keys[shards == s])
             for s in range(self.n_shards)
             if np.any(shards == s)
         ]
+
+    def _place_loaded(self, loads: list | None) -> int:
+        """Least-loaded shard over all (shortest) or d sampled (d-choice)."""
+        if loads is None:
+            raise ConfigurationError(
+                f"policy {self.policy!r} needs the fleet's per-shard loads"
+            )
+        if self.policy == "shortest":
+            candidates = tuple(range(self.n_shards))
+        elif self.spray_width >= self.n_shards:
+            candidates = tuple(range(self.n_shards))
+        else:  # d-choice: sample d = spray_width distinct shards
+            candidates = tuple(
+                self._rng.sample(range(self.n_shards), self.spray_width)
+            )
+        self.last_candidates = candidates
+        return min(candidates, key=lambda i: (tuple(loads[i]), i))
 
     # -- delete probe -------------------------------------------------------
     def probe_set(self) -> tuple[int, ...]:

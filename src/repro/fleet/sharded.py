@@ -6,10 +6,14 @@ serialises through node 1.  The fleet goes *around* that lock instead
 of through it — following PIPQ's insert-local/delete-steal split and
 the bounded-staleness framing of multiresolution priority queues:
 
-* **Inserts are shard-local.**  The router places each batch (hash or
-  spray policy, see :mod:`.router`) and the sub-batches proceed on
-  their shards' own clocks — two inserts on different shards overlap
-  perfectly, because there is nothing shared to wait on.
+* **Inserts are shard-local.**  The router places each batch (hash,
+  spray, or the load-aware shortest/d-choice policies, see
+  :mod:`.router`) and the sub-batches proceed on their shards' own
+  clocks — two inserts on different shards overlap perfectly, because
+  there is nothing shared to wait on.  The load-aware policies read
+  :meth:`ShardedBGPQ.shard_loads` — per-shard ``(clock, backlog)``
+  snapshots — so a hot shard sheds future arrivals instead of
+  capping the fleet.
 
 * **delete_min is relaxed.**  It spray-probes ``spray_width`` shard
   minima (lock-free peeks), services the delete on the probed shard
@@ -20,6 +24,16 @@ the bounded-staleness framing of multiresolution priority queues:
   hold smaller keys, so a returned key is only guaranteed to be among
   the smallest few shards' minima.  :func:`repro.core.check_k_relaxed`
   measures the rank gap actually achieved.
+
+* **The fleet is elastic.**  :meth:`ShardedBGPQ.grow` appends fresh
+  shards, :meth:`ShardedBGPQ.shrink` retires one by draining it
+  through the existing steal path and re-placing its keys on the
+  survivors, and :meth:`ShardedBGPQ.rebalance` moves one batch from
+  the fullest to the emptiest shard.  All three return a
+  :class:`ReshardTicket` and conserve the key multiset (checked by
+  ``audit_fleet``); :class:`~repro.fleet.elastic.ElasticController`
+  drives them from the ``shard.imbalance`` gauge at the request
+  driver's safe points.
 
 Time model: each shard runs at host speed (NativeBGPQ) or as a driven
 sim generator (BGPQ), charging device cost to its *own* simulated
@@ -44,15 +58,19 @@ from ..core.native import NativeBGPQ
 from ..device.kernels import GpuContext
 from ..errors import ConfigurationError
 from ..obs.events import (
+    SHARD_GROW,
     SHARD_OP_BEGIN,
     SHARD_OP_END,
+    SHARD_PLACE,
     SHARD_PROBE,
+    SHARD_REBALANCE,
+    SHARD_SHRINK,
     SHARD_STEAL,
 )
 from ..sim import effects as fx
-from .router import Router
+from .router import LOAD_AWARE_POLICIES, Router
 
-__all__ = ["ShardedBGPQ", "OpTicket", "BACKENDS"]
+__all__ = ["ShardedBGPQ", "OpTicket", "ReshardTicket", "BACKENDS"]
 
 BACKENDS = ("native", "sim")
 
@@ -202,16 +220,41 @@ class OpTicket:
     stole: tuple[int, ...] = ()
 
 
+@dataclass(frozen=True)
+class ReshardTicket:
+    """Receipt for one elastic action (grow / shrink / rebalance).
+
+    ``src`` is the retired/stolen-from shard (``-1`` for a grow),
+    ``dst`` the receiving shard (``-1`` when a shrink spread its keys
+    over the survivors via the router), ``moved`` the number of
+    migrated keys — the quantity the migration-aware k-relaxed budget
+    (:func:`repro.core.relaxation_budget`) charges.  ``n_before`` /
+    ``n_after`` bracket the fleet width; the driver replays tickets
+    into ``kind="reshard"`` history records so the checker sees them
+    in execution order.
+    """
+
+    action: str
+    src: int
+    dst: int
+    moved: int
+    n_before: int
+    n_after: int
+    t_start: float
+    t_end: float
+
+
 class ShardedBGPQ:
-    """N independent BGPQ shards behind a hash/spray router.
+    """N independent BGPQ shards behind a policy router.
 
     Parameters
     ----------
     n_shards:
-        Fleet width.  ``n_shards=1`` *is* the single-queue baseline —
-        the router degenerates to the identity and delete_min probes
-        the only shard — which is what the shard bench's speedups are
-        measured against.
+        Fleet width at construction; :meth:`grow` / :meth:`shrink`
+        change it at runtime.  ``n_shards=1`` *is* the single-queue
+        baseline — the router degenerates to the identity and
+        delete_min probes the only shard — which is what the shard
+        bench's speedups are measured against.
     node_capacity:
         Per-shard batch node capacity (the paper's k); also the upper
         bound on a single delete_min's ``count``.
@@ -247,22 +290,19 @@ class ShardedBGPQ:
             )
         self.k = node_capacity
         self.backend = backend
+        self._storage = storage
+        self._max_keys = max_keys
         self.router = Router(
             n_shards, policy=policy, spray_width=spray_width, seed=seed
         )
         ctx = ctx if ctx is not None else GpuContext.default()
         self.ctx = ctx
-        if backend == "native":
-            self.shards = [
-                _NativeShard(node_capacity, storage, ctx) for _ in range(n_shards)
-            ]
-        else:
-            self.shards = [
-                _SimShard(node_capacity, storage, ctx, max_keys)
-                for _ in range(n_shards)
-            ]
+        self.shards = [self._make_shard() for _ in range(n_shards)]
         #: per-shard simulated clocks; the fleet makespan is their max
         self.clocks = [0.0] * n_shards
+        #: per-shard routed-but-not-yet-serviced key counts — the
+        #: backlog half of the load signal the load-aware policies read
+        self._pending = [0] * n_shards
         #: router-side size accounting, cross-checked by audit_fleet
         #: against the sum of shard sizes
         self._size = 0
@@ -273,7 +313,17 @@ class ShardedBGPQ:
             "probes": 0,
             "empty_probes": 0,
             "steals": 0,
+            "grows": 0,
+            "shrinks": 0,
+            "rebalances": 0,
+            "migrated": 0,
         }
+
+    def _make_shard(self):
+        """One fresh shard with the fleet's backend/storage config."""
+        if self.backend == "native":
+            return _NativeShard(self.k, self._storage, self.ctx)
+        return _SimShard(self.k, self._storage, self.ctx, self._max_keys)
 
     # -- properties ---------------------------------------------------------
     @property
@@ -292,6 +342,27 @@ class ShardedBGPQ:
 
     def shard_sizes(self) -> list[int]:
         return [len(s) for s in self.shards]
+
+    def shard_loads(self) -> list[tuple[float, int]]:
+        """Per-shard ``(clock, backlog)`` load snapshot.
+
+        The lexical ordering is what the load-aware router policies
+        compare: the simulated clock dominates (join the shard that
+        frees up first), and the backlog — routed-but-unserviced keys
+        plus stored occupancy — breaks cold-start ties so simultaneous
+        dispatches at clock 0 don't herd onto one shard.
+        """
+        return [
+            (self.clocks[i], self._pending[i] + len(s))
+            for i, s in enumerate(self.shards)
+        ]
+
+    def reset_pending(self, counts: list[int] | None = None) -> None:
+        """Overwrite the backlog hint (driver calls this after a reshard)."""
+        if counts is None:
+            self._pending = [0] * self.n_shards
+        else:
+            self._pending = list(counts)
 
     def imbalance(self) -> float:
         """Max/mean shard occupancy (1.0 == perfectly balanced)."""
@@ -314,10 +385,29 @@ class ShardedBGPQ:
         return problems
 
     # -- routed execution (ticket API, used by the request driver) ----------
-    def route_insert(self, keys) -> list[tuple[int, np.ndarray]]:
-        """Router placement only — no execution, no clock movement."""
+    def route_insert(self, keys, at: float = 0.0) -> list[tuple[int, np.ndarray]]:
+        """Router placement only — no execution, no clock movement.
+
+        Updates the backlog hint for the chosen shards (so back-to-back
+        load-aware placements see each other's unserviced work) and
+        emits one ``shard.place`` event per placed sub-batch.
+        """
         keys = np.asarray(keys, dtype=np.int64).ravel()
-        return self.router.place(keys)
+        loads = (
+            self.shard_loads()
+            if self.router.policy in LOAD_AWARE_POLICIES
+            else None
+        )
+        parts = self.router.place(keys, loads=loads)
+        for shard, part in parts:
+            self._pending[shard] += part.size
+            if self.obs is not None:
+                self.obs.emit(
+                    SHARD_PLACE, at, "router",
+                    policy=self.router.policy, shard=shard, n=int(part.size),
+                    candidates=list(self.router.last_candidates),
+                )
+        return parts
 
     def exec_insert(self, shard: int, keys: np.ndarray, at: float = 0.0) -> OpTicket:
         """Service one placed sub-batch on its shard at arrival ``at``."""
@@ -327,6 +417,7 @@ class ShardedBGPQ:
         end = start + cost
         self.clocks[shard] = end
         self._size += keys.size
+        self._pending[shard] = max(0, self._pending[shard] - keys.size)
         self.stats["inserts"] += 1
         if self.obs is not None:
             name = f"shard{shard}"
@@ -423,6 +514,132 @@ class ShardedBGPQ:
         return OpTicket(
             "deletemin", primary, out, at, start, end,
             probed=probe, stole=tuple(stole),
+        )
+
+    # -- elasticity (grow / shrink / rebalance) -----------------------------
+    def grow(self, count: int = 1, at: float = 0.0) -> ReshardTicket:
+        """Append ``count`` fresh empty shards at time ``at``.
+
+        New shards start with clock ``at`` and no keys, so they are
+        immediately the least-loaded targets for the load-aware
+        policies (and new members of hash's key space).  No keys move;
+        structurally instant — growing costs nothing but future routing
+        changes.
+        """
+        if count < 1:
+            raise ConfigurationError("grow count must be >= 1")
+        before = self.n_shards
+        for _ in range(count):
+            self.shards.append(self._make_shard())
+            self.clocks.append(float(at))
+            self._pending.append(0)
+        after = before + count
+        self.router.resize(after)
+        self.stats["grows"] += 1
+        if self.obs is not None:
+            self.obs.emit(SHARD_GROW, at, "router", before=before, after=after)
+        return ReshardTicket("grow", -1, -1, 0, before, after, at, at)
+
+    def shrink(self, victim: int | None = None, at: float = 0.0) -> ReshardTicket:
+        """Retire one shard: drain it and re-place its keys on survivors.
+
+        The victim (default: the emptiest shard) is drained through its
+        own deletemin path — the same code a steal runs — charged to
+        its clock; the drained keys are then re-placed through the
+        router in ``k``-sized chunks (so the load-aware policies spread
+        them) and bulk-inserted into the surviving shards, *without*
+        touching the fleet's size accounting: the key multiset is
+        conserved, which ``audit_fleet`` verifies.  The migration is
+        visible to the k-relaxed checker as a ``kind="reshard"``
+        history record carrying ``moved`` (see
+        :func:`repro.core.relaxation_budget`): a delete planned before
+        the shrink may have probed the retiring shard, so its measured
+        rank can be inflated by up to ``moved`` in-flight keys.
+        """
+        n = self.n_shards
+        if n < 2:
+            raise ConfigurationError("cannot shrink a 1-shard fleet")
+        sizes = self.shard_sizes()
+        if victim is None:
+            victim = min(range(n), key=lambda i: (sizes[i], i))
+        if not 0 <= victim < n:
+            raise ConfigurationError(f"victim {victim} out of range [0, {n})")
+        shard = self.shards[victim]
+        t0 = max(at, self.clocks[victim])
+        end = t0
+        drained: list[np.ndarray] = []
+        while len(shard):
+            keys, cost = shard.deletemin(min(len(shard), self.k))
+            end += cost
+            drained.append(keys)
+        moved = (
+            np.concatenate(drained) if drained else np.empty(0, dtype=np.int64)
+        )
+        del self.shards[victim]
+        del self.clocks[victim]
+        del self._pending[victim]
+        self.router.resize(n - 1)
+        # re-place on the survivors in k-sized chunks; clocks advance,
+        # _size does not — the keys never left the fleet
+        drain_end = end
+        for i in range(0, moved.size, self.k):
+            chunk = moved[i : i + self.k]
+            loads = (
+                self.shard_loads()
+                if self.router.policy in LOAD_AWARE_POLICIES
+                else None
+            )
+            for dst, part in self.router.place(chunk, loads=loads):
+                start = max(drain_end, self.clocks[dst])
+                self.clocks[dst] = start + self.shards[dst].insert(part)
+                end = max(end, self.clocks[dst])
+        self.stats["shrinks"] += 1
+        self.stats["migrated"] += int(moved.size)
+        if self.obs is not None:
+            self.obs.emit(
+                SHARD_SHRINK, t0, "router",
+                victim=victim, moved=int(moved.size), before=n, after=n - 1,
+            )
+        return ReshardTicket(
+            "shrink", victim, -1, int(moved.size), n, n - 1, t0, end
+        )
+
+    def rebalance(self, at: float = 0.0) -> ReshardTicket | None:
+        """Proactively steal one batch from the fullest to the emptiest.
+
+        Moves ``min(k, gap // 2)`` of the fullest shard's smallest keys
+        into the emptiest shard (deletemin + bulk insert — the same
+        primitives a reactive steal uses, but triggered by the
+        imbalance gauge instead of a short primary).  Returns ``None``
+        when the fleet is already balanced enough that moving keys
+        would be churn.  Conserves the key multiset; visible to the
+        checker as a ``kind="reshard"`` record like :meth:`shrink`.
+        """
+        n = self.n_shards
+        if n < 2:
+            return None
+        sizes = self.shard_sizes()
+        src = max(range(n), key=lambda i: (sizes[i], -i))
+        dst = min(range(n), key=lambda i: (sizes[i], i))
+        gap = sizes[src] - sizes[dst]
+        want = min(self.k, gap // 2)
+        if src == dst or want < 1:
+            return None
+        t0 = max(at, self.clocks[src])
+        keys, cost = self.shards[src].deletemin(want)
+        self.clocks[src] = t0 + cost
+        start = max(t0 + cost, self.clocks[dst])
+        end = start + self.shards[dst].insert(keys)
+        self.clocks[dst] = end
+        self.stats["rebalances"] += 1
+        self.stats["migrated"] += int(keys.size)
+        if self.obs is not None:
+            self.obs.emit(
+                SHARD_REBALANCE, t0, "router",
+                src=src, dst=dst, moved=int(keys.size),
+            )
+        return ReshardTicket(
+            "rebalance", src, dst, int(keys.size), n, n, t0, end
         )
 
     # -- convenience API (immediate execution) ------------------------------

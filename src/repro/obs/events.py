@@ -108,6 +108,19 @@ router and its request driver; shard events carry the shard index so
                        shard (``shard`` — the victim, ``want``, ``got``)
 ``shard.imbalance``    periodic fleet occupancy gauge from the driver
                        (``gauge`` — max/mean shard size, ``sizes``)
+``shard.place``        one placement decision by the router (``policy``,
+                       ``shard`` — the chosen target, ``n`` — keys
+                       placed there, ``candidates`` — shards the
+                       load-aware policies compared, empty for
+                       hash/spray)
+``shard.grow``         the elastic controller added shards (``before``,
+                       ``after``)
+``shard.shrink``       a shard was retired: drained via the steal path
+                       and its keys re-placed on the survivors
+                       (``victim``, ``moved``, ``before``, ``after``)
+``shard.rebalance``    a proactive rebalancing steal moved one batch
+                       from the fullest to the emptiest shard
+                       (``src``, ``dst``, ``moved``)
 =====================  ====================================================
 """
 
@@ -151,6 +164,10 @@ __all__ = [
     "SHARD_PROBE",
     "SHARD_STEAL",
     "SHARD_IMBALANCE",
+    "SHARD_PLACE",
+    "SHARD_GROW",
+    "SHARD_SHRINK",
+    "SHARD_REBALANCE",
     "WAIT_STARTS",
     "WAIT_ENDS",
 ]
@@ -197,6 +214,10 @@ SHARD_OP_END = "shard.op.end"
 SHARD_PROBE = "shard.probe"
 SHARD_STEAL = "shard.steal"
 SHARD_IMBALANCE = "shard.imbalance"
+SHARD_PLACE = "shard.place"
+SHARD_GROW = "shard.grow"
+SHARD_SHRINK = "shard.shrink"
+SHARD_REBALANCE = "shard.rebalance"
 
 #: event types that open a wait interval for the utilization timeline,
 #: mapped to the types that close it (same thread)

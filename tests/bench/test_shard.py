@@ -93,6 +93,22 @@ def test_app_traces_ride_the_fleet():
     assert r["spraylist"] is None  # mixed not benched here
 
 
+def test_placement_section_gated_on_full_grid(tiny_results):
+    # TINY never reaches GATE_SHARDS, so no skewed comparison is run
+    assert tiny_results["placement"] is None
+    r = run_shard(shard_counts=(1, 4), k=32, sessions=8, requests=4,
+                  quick=True, workloads=("mixed",))
+    placement = r["placement"]
+    assert set(placement["cells"]) == {"hash", "spray", "shortest", "d-choice"}
+    for cell in placement["cells"].values():
+        assert cell["ok"]
+        assert cell["speedup"] > 0 and cell["minimal_k"] >= 0
+    assert placement["best_load_aware"] in ("shortest", "d-choice")
+    # the placement sweep stays out of `speedups` so drift gating on the
+    # main table is unaffected
+    assert not any(k.startswith("placement") for k in r["speedups"])
+
+
 def test_deal_round_robin_preserves_order():
     trace = [("insert", i) for i in range(7)]
     scripts = _deal(trace, 3)

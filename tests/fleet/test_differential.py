@@ -22,7 +22,7 @@ from repro.fleet import ShardedBGPQ, mixed_scripts, run_fleet
 
 CELLS = [
     (policy, n, backend)
-    for policy in ("hash", "spray")
+    for policy in ("hash", "spray", "shortest", "d-choice")
     for n in (1, 2, 4)
     for backend in ("native", "sim")
 ]

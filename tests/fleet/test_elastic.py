@@ -1,0 +1,287 @@
+"""Elastic fleet: grow/shrink/rebalance, the controller, and the
+migration-aware relaxation budget."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import check_k_relaxed, relaxation_budget
+from repro.core.audit import HeapAuditor
+from repro.errors import ConfigurationError
+from repro.fleet import (
+    ElasticController,
+    ShardedBGPQ,
+    mixed_scripts,
+    run_fleet,
+)
+from repro.obs.events import (
+    SHARD_GROW,
+    SHARD_PLACE,
+    SHARD_REBALANCE,
+    SHARD_SHRINK,
+    EventBus,
+)
+
+
+def _drain(fleet):
+    out = []
+    while fleet:
+        out.append(fleet.delete_min(min(fleet.k, len(fleet))))
+    return np.sort(np.concatenate(out)) if out else np.empty(0, dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# grow / shrink primitives
+# ---------------------------------------------------------------------------
+def test_grow_from_one_shard_and_back():
+    fleet = ShardedBGPQ(n_shards=1, node_capacity=8, policy="shortest", seed=0)
+    keys = np.arange(40, dtype=np.int64)
+    fleet.insert(keys)
+    ticket = fleet.grow(1)
+    assert ticket.action == "grow" and (ticket.n_before, ticket.n_after) == (1, 2)
+    assert fleet.n_shards == 2 and len(fleet.clocks) == 2
+    fleet.insert(np.arange(40, 60, dtype=np.int64))
+    back = fleet.shrink()  # retire the emptier shard again
+    assert back.action == "shrink" and back.n_after == 1
+    assert len(fleet) == 60
+    assert np.array_equal(_drain(fleet), np.arange(60, dtype=np.int64))
+    assert HeapAuditor(fleet).audit().ok
+
+
+def test_shrink_conserves_multiset_and_size_accounting():
+    fleet = ShardedBGPQ(n_shards=4, node_capacity=8, policy="hash", seed=3)
+    keys = np.random.default_rng(7).integers(0, 1 << 20, 200).astype(np.int64)
+    fleet.insert(keys)
+    before = len(fleet)
+    ticket = fleet.shrink(victim=1)
+    assert ticket.src == 1 and ticket.moved >= 0
+    assert fleet.n_shards == 3
+    assert len(fleet) == before  # migration never changes the fleet size
+    assert HeapAuditor(fleet).audit().ok
+    assert np.array_equal(_drain(fleet), np.sort(keys))
+
+
+def test_shrink_one_shard_fleet_refused():
+    fleet = ShardedBGPQ(n_shards=1, node_capacity=8)
+    with pytest.raises(ConfigurationError):
+        fleet.shrink()
+    with pytest.raises(ConfigurationError):
+        ShardedBGPQ(n_shards=2, node_capacity=8).shrink(victim=5)
+
+
+def test_rebalance_moves_batch_from_fullest_to_emptiest():
+    fleet = ShardedBGPQ(n_shards=2, node_capacity=8, policy="spray", seed=1)
+    # load shard 0 directly so the fleet is maximally imbalanced
+    fleet.exec_insert(0, np.arange(64, dtype=np.int64))
+    assert fleet.imbalance() == 2.0
+    ticket = fleet.rebalance()
+    assert ticket is not None and ticket.action == "rebalance"
+    assert ticket.src == 0 and ticket.dst == 1
+    assert 1 <= ticket.moved <= 8
+    assert len(fleet) == 64
+    assert HeapAuditor(fleet).audit().ok
+    # a balanced fleet refuses to churn
+    balanced = ShardedBGPQ(n_shards=2, node_capacity=8)
+    balanced.exec_insert(0, np.arange(4, dtype=np.int64))
+    balanced.exec_insert(1, np.arange(4, 8, dtype=np.int64))
+    assert balanced.rebalance() is None
+
+
+def test_elastic_actions_emit_obs_events():
+    bus = EventBus()
+    fleet = ShardedBGPQ(
+        n_shards=2, node_capacity=8, policy="d-choice", seed=2, obs=bus
+    )
+    fleet.insert(np.arange(64, dtype=np.int64))
+    fleet.grow(1)
+    fleet.rebalance()
+    fleet.shrink()
+    etypes = [e.etype for e in bus]
+    assert SHARD_PLACE in etypes
+    assert SHARD_GROW in etypes and SHARD_SHRINK in etypes
+    place = next(e for e in bus if e.etype == SHARD_PLACE)
+    assert place.get("policy") == "d-choice"
+    assert place.get("candidates")  # load-aware policies record the sample
+    shrinkev = next(e for e in bus if e.etype == SHARD_SHRINK)
+    assert shrinkev.get("before") == shrinkev.get("after") + 1
+
+
+# ---------------------------------------------------------------------------
+# controller
+# ---------------------------------------------------------------------------
+def test_controller_grows_on_high_water_and_respects_bounds():
+    fleet = ShardedBGPQ(n_shards=2, node_capacity=8)
+    fleet.insert(np.arange(100, dtype=np.int64))
+    ctl = ElasticController(max_shards=3, grow_above=20, shrink_below=1,
+                            cooldown=0)
+    tickets = ctl.maybe_act(fleet)
+    assert [t.action for t in tickets][0] == "grow"
+    assert fleet.n_shards == 3
+    # at max_shards the controller stops growing
+    assert all(t.action != "grow" for t in ctl.maybe_act(fleet))
+    assert fleet.n_shards == 3
+
+
+def test_controller_shrinks_on_low_water_and_cooldown_separates():
+    fleet = ShardedBGPQ(n_shards=4, node_capacity=8)
+    fleet.insert(np.arange(6, dtype=np.int64))
+    ctl = ElasticController(min_shards=2, grow_above=1000, shrink_below=4,
+                            cooldown=1)
+    first = ctl.maybe_act(fleet)
+    assert any(t.action == "shrink" for t in first)
+    assert fleet.n_shards == 3
+    # cooldown swallows the immediately following structural action
+    assert all(t.action == "rebalance" for t in ctl.maybe_act(fleet))
+    assert fleet.n_shards == 3
+    ctl.maybe_act(fleet)
+    assert fleet.n_shards == 2  # min_shards floor
+    assert all(t.action != "shrink" for t in ctl.maybe_act(fleet))
+
+
+def test_controller_config_validation():
+    with pytest.raises(ConfigurationError):
+        ElasticController(min_shards=0)
+    with pytest.raises(ConfigurationError):
+        ElasticController(min_shards=4, max_shards=2)
+    with pytest.raises(ConfigurationError):
+        ElasticController(rebalance_above=0.5)
+    with pytest.raises(ConfigurationError):
+        ElasticController(cooldown=-1)
+    with pytest.raises(ConfigurationError):
+        ElasticController(grow_above=8, shrink_below=8).maybe_act(
+            ShardedBGPQ(n_shards=2, node_capacity=8)
+        )
+
+
+# ---------------------------------------------------------------------------
+# driver integration: resharding under load
+# ---------------------------------------------------------------------------
+def test_grow_under_load_passes_checker_and_audit():
+    fleet = ShardedBGPQ(n_shards=2, node_capacity=16, policy="shortest", seed=4)
+    ctl = ElasticController(min_shards=2, max_shards=4, grow_above=32,
+                            shrink_below=1, cooldown=0)
+    scripts = mixed_scripts(8, 8, 16, seed=5)
+    res = run_fleet(fleet, scripts, imbalance_every=8, elastic=ctl)
+    assert any(t.action == "grow" for t in ctl.actions)
+    budget = relaxation_budget(16, 8, 4, migrated=fleet.stats["migrated"])
+    report = check_k_relaxed(res.history, k=budget)
+    assert report.ok, report.problems
+    assert report.reshards == len(ctl.actions)
+    assert res.keys_in - res.keys_out == len(fleet)
+    assert HeapAuditor(fleet).audit().ok
+
+
+def test_shrink_during_in_flight_steals():
+    """Shrink fires while queued deletes (with stale plans) are waiting.
+
+    Narrow capacity + many sessions keeps deletemins queued (and
+    stealing) at every gauge boundary; an aggressive shrink_below
+    retires shards mid-run.  Every queued delete must be re-planned
+    against the new topology — an index error or a lost key here is
+    exactly the bug this guards against.
+    """
+    fleet = ShardedBGPQ(n_shards=4, node_capacity=8, policy="spray", seed=6)
+    ctl = ElasticController(min_shards=2, max_shards=4, grow_above=10**6,
+                            shrink_below=500, cooldown=0)
+    scripts = mixed_scripts(12, 10, 8, seed=7)
+    res = run_fleet(fleet, scripts, imbalance_every=4, elastic=ctl)
+    assert fleet.stats["shrinks"] >= 1
+    assert res.stats["steals"] >= 1
+    budget = relaxation_budget(8, 12, 4, migrated=fleet.stats["migrated"])
+    report = check_k_relaxed(res.history, k=budget)
+    assert report.ok, report.problems
+    assert report.migrated_keys == fleet.stats["migrated"]
+    assert res.keys_in - res.keys_out == len(fleet)
+    assert HeapAuditor(fleet).audit().ok
+
+
+def test_elastic_run_is_deterministic():
+    def one_run():
+        fleet = ShardedBGPQ(n_shards=2, node_capacity=16, policy="d-choice",
+                            seed=9)
+        ctl = ElasticController(min_shards=1, max_shards=4, grow_above=48,
+                                shrink_below=4, cooldown=1)
+        res = run_fleet(fleet, mixed_scripts(6, 8, 16, seed=10),
+                        imbalance_every=8, elastic=ctl)
+        return (
+            res.makespan_ns,
+            [t.action for t in ctl.actions],
+            [(r.kind, r.args if r.kind != "insert" else len(r.args))
+             for r in res.history],
+        )
+
+    assert one_run() == one_run()
+
+
+@given(
+    keys=st.lists(
+        st.integers(min_value=-(1 << 40), max_value=1 << 40),
+        min_size=1, max_size=120,
+    ),
+    extra=st.lists(
+        st.integers(min_value=-(1 << 40), max_value=1 << 40), max_size=60
+    ),
+    seed=st.integers(min_value=0, max_value=7),
+    action=st.sampled_from(["grow", "shrink", "rebalance"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_drain_exact_multiset_across_reshard_boundary(keys, extra, seed, action):
+    """Insert, reshard, insert more, drain: nothing lost or invented."""
+    fleet = ShardedBGPQ(n_shards=2, node_capacity=8, policy="shortest",
+                        seed=seed)
+    arr = np.array(keys, dtype=np.int64)
+    fleet.insert(arr)
+    if action == "grow":
+        fleet.grow(1)
+    elif action == "shrink":
+        fleet.shrink()
+    else:
+        fleet.rebalance()
+    more = np.array(extra, dtype=np.int64)
+    if more.size:
+        fleet.insert(more)
+    expect = np.sort(np.concatenate([arr, more]))
+    assert np.array_equal(_drain(fleet), expect)
+    assert fleet.check_invariants() == []
+
+
+# ---------------------------------------------------------------------------
+# migration-aware checker semantics
+# ---------------------------------------------------------------------------
+def test_reshard_records_grant_rank_slack():
+    """A delete invoked before a migration gets `moved` extra slack."""
+    from dataclasses import dataclass
+
+    @dataclass
+    class Rec:
+        kind: str
+        args: tuple
+        result: tuple
+        invoke: float = 0.0
+        respond: float = 0.0
+
+    history = [
+        Rec("insert", tuple(range(10)), ()),
+        # delete planned at t=1, but 5 keys migrated at t=2 before it ran:
+        # returning key 5 (rank 5) is within the k=1 spec + slack 5
+        Rec("reshard", ("rebalance", 5), (), invoke=2.0, respond=2.0),
+        Rec("deletemin", (1,), (5,), invoke=1.0, respond=3.0),
+    ]
+    report = check_k_relaxed(history, k=1)
+    assert report.reshards == 1 and report.migrated_keys == 5
+    assert report.max_rank == 5  # measured rank is still reported raw
+    assert report.rank_violations == 0  # ...but the slack absorbs it
+    # a delete invoked after the migration gets no slack
+    late = [
+        history[0],
+        Rec("reshard", ("rebalance", 5), (), invoke=0.5, respond=0.5),
+        Rec("deletemin", (1,), (5,), invoke=1.0, respond=3.0),
+    ]
+    late_report = check_k_relaxed(late, k=1)
+    assert late_report.rank_violations == 1
+
+
+def test_relaxation_budget_closed_form():
+    assert relaxation_budget(8, 4, 2) == 2 * 8 * (4 + 2)
+    assert relaxation_budget(8, 4, 2, migrated=100) == 2 * 8 * 6 + 100

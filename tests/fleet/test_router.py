@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.fleet.router import POLICIES, Router, _hash_shards
+from repro.fleet.router import (
+    LOAD_AWARE_POLICIES,
+    POLICIES,
+    Router,
+    _hash_shards,
+)
 
 
 def test_hash_placement_partitions_batch():
@@ -81,4 +86,48 @@ def test_config_validation():
         Router(4, policy="round-robin")
     with pytest.raises(ConfigurationError):
         Router(4, spray_width=0)
-    assert POLICIES == ("hash", "spray")
+    assert POLICIES == ("hash", "spray", "shortest", "d-choice")
+    assert LOAD_AWARE_POLICIES == ("shortest", "d-choice")
+
+
+def test_shortest_picks_least_loaded_deterministically():
+    r = Router(4, policy="shortest")
+    keys = np.arange(10, dtype=np.int64)
+    loads = [(5.0, 2), (1.0, 9), (1.0, 3), (7.0, 0)]
+    # lexical (clock, backlog): shard 2 beats shard 1 on backlog
+    assert r.place(keys, loads=loads) == [(2, keys)]
+    assert r.last_candidates == (0, 1, 2, 3)
+    # exact ties break to the lowest index
+    flat = [(0.0, 0)] * 4
+    assert r.place(keys, loads=flat) == [(0, keys)]
+
+
+def test_load_aware_policies_require_loads():
+    keys = np.arange(4, dtype=np.int64)
+    for pol in LOAD_AWARE_POLICIES:
+        with pytest.raises(ConfigurationError):
+            Router(4, policy=pol).place(keys)
+
+
+def test_d_choice_samples_width_candidates_and_picks_min():
+    r = Router(8, policy="d-choice", spray_width=3, seed=2)
+    keys = np.arange(10, dtype=np.int64)
+    loads = [(float(i), 0) for i in range(8)]  # shard 0 globally best
+    for _ in range(30):
+        [(shard, _sub)] = r.place(keys, loads=loads)
+        cands = r.last_candidates
+        assert len(cands) == 3 and len(set(cands)) == 3
+        # picked the least-loaded of the sampled candidates
+        assert shard == min(cands)
+
+
+def test_resize_reclamps_spray_width_and_keeps_rng():
+    r = Router(8, policy="spray", spray_width=4, seed=9)
+    r.resize(2)
+    assert r.n_shards == 2 and r.spray_width == 2
+    r.resize(8)
+    assert r.spray_width == 4  # requested width restored after regrow
+    keys = np.arange(3, dtype=np.int64)
+    assert all(0 <= r.place(keys)[0][0] < 8 for _ in range(10))
+    with pytest.raises(ConfigurationError):
+        r.resize(0)
