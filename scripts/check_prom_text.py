@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Validate Prometheus text-exposition files (CI gate).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_prom_text.py FILE [FILE ...]
+
+Exit 0 when every file passes the structural checks in
+:func:`repro.obs.metrics.validate_prometheus_text` (HELP/TYPE headers
+before samples, parseable label sets, finite values, cumulative
+non-decreasing histogram buckets ending in ``+Inf`` consistent with
+``_count``); exit 1 listing every problem otherwise.  CI runs this
+over the ``.prom`` artifacts of ``repro metrics`` and
+``repro serve --metrics`` so an exposition drift breaks the build, not
+the downstream Prometheus scrape.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.obs.metrics import validate_prometheus_text
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    rc = 0
+    for name in argv:
+        path = Path(name)
+        try:
+            text = path.read_text()
+        except OSError as err:
+            print(f"{path}: cannot read ({err})", file=sys.stderr)
+            rc = 1
+            continue
+        problems = validate_prometheus_text(text)
+        if problems:
+            rc = 1
+            print(f"{path}: INVALID prometheus exposition:", file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+        else:
+            n = sum(
+                1
+                for line in text.splitlines()
+                if line.strip() and not line.startswith("#")
+            )
+            print(f"{path}: ok ({n} samples)")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

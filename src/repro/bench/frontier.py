@@ -36,7 +36,8 @@ import numpy as np
 from ..core.audit import HeapAuditor
 from ..core.linearizability import check_k_relaxed, relaxation_budget
 from ..fleet import ElasticController, ShardedBGPQ, mixed_scripts, run_fleet
-from .shard import GATE_SHARDS, PLACEMENT_SKEW, _geomean
+from .reporting import geomean as _geomean
+from .shard import GATE_SHARDS, PLACEMENT_SKEW
 
 __all__ = [
     "FRONTIER_WIDTHS",

@@ -43,6 +43,7 @@ import numpy as np
 
 from ..core.native import NativeBGPQ
 from .micro import _time_loop
+from .reporting import geomean as _geomean
 
 __all__ = [
     "NATIVE_KS",
@@ -246,13 +247,6 @@ def _bench_astar(k: int, rng, iters: int):
 
 
 # ---------------------------------------------------------------------------
-def _geomean(values) -> float:
-    import math
-
-    vals = list(values)
-    return math.prod(vals) ** (1.0 / len(vals)) if vals else float("nan")
-
-
 def run_native(
     ks=NATIVE_KS,
     quick: bool = False,

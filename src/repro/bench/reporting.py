@@ -9,12 +9,45 @@ from the run that produced them.
 from __future__ import annotations
 
 import json
+import math
 import os
 import time
 from pathlib import Path
 from typing import Iterable
 
-__all__ = ["render_rows", "save_results", "results_dir", "speedup_summary"]
+__all__ = [
+    "gate_meta",
+    "geomean",
+    "render_rows",
+    "save_results",
+    "results_dir",
+    "speedup_summary",
+]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; NaN for an empty input.
+
+    The one shared definition the native/shard/frontier gates compare
+    speedup ratios with (previously re-implemented per bench module).
+    """
+    vals = list(values)
+    return math.prod(vals) ** (1.0 / len(vals)) if vals else float("nan")
+
+
+def gate_meta(passed: bool, baseline_file, rebaseline: bool,
+              ratios: dict | None = None) -> dict:
+    """The bench-gate outcome block every bench lane records into its
+    registry summary, so ``repro runs trend`` has perf history to fold:
+    pass/fail, which baseline file judged it, whether this run rewrote
+    the baseline, and the headline geomean ratio(s)."""
+    return {
+        "passed": bool(passed),
+        "baseline_file": str(baseline_file),
+        "rebaseline": bool(rebaseline),
+        "geomean_ratios": {k: v for k, v in (ratios or {}).items()
+                           if v is not None},
+    }
 
 
 def results_dir() -> Path:

@@ -65,6 +65,7 @@ from ..core.linearizability import check_k_relaxed
 from ..core.native import NativeBGPQ
 from ..fleet import ShardedBGPQ, mixed_scripts, run_fleet
 from ..sim import effects as fx
+from .reporting import geomean as _geomean
 
 __all__ = [
     "SHARD_COUNTS",
@@ -326,13 +327,6 @@ def _placement_section(
 
 
 # ---------------------------------------------------------------------------
-def _geomean(values) -> float:
-    import math
-
-    vals = list(values)
-    return math.prod(vals) ** (1.0 / len(vals)) if vals else float("nan")
-
-
 def run_shard(
     shard_counts=SHARD_COUNTS,
     k: int = 512,

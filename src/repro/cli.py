@@ -318,13 +318,24 @@ def _run_serve(args) -> int:
         data_dir=args.data_dir,
         plan=args.serve_faults,
         max_backoffs=args.max_backoffs,
+        admission_smoothing_ns=args.admission_smoothing_ns,
     )
     config = {
         "backend": cfg.backend, "sessions": cfg.sessions, "ops": cfg.ops,
         "k": cfg.k, "window": cfg.window, "budget": cfg.budget,
         "checkpoint_every": cfg.checkpoint_every, "plan": cfg.plan,
         "seeds": args.seeds, "seed_base": args.seed_base,
+        "admission_smoothing_ns": cfg.admission_smoothing_ns,
     }
+    metrics = slo = None
+    if args.metrics:
+        # one registry + tracker across the whole campaign: counters sum
+        # and histograms merge across seeds
+        from .obs.metrics import MetricsRegistry
+        from .obs.slo import SloTracker
+
+        metrics = MetricsRegistry()
+        slo = SloTracker()
     reg = registry_from_env()
     run_id = None
     try:
@@ -339,7 +350,8 @@ def _run_serve(args) -> int:
 
     t0 = time.perf_counter()
     outcomes = run_serve_campaign(cfg, seeds=args.seeds,
-                                  seed_base=args.seed_base)
+                                  seed_base=args.seed_base,
+                                  metrics=metrics, slo=slo)
     wall = time.perf_counter() - t0
     rows = [
         {
@@ -373,6 +385,31 @@ def _run_serve(args) -> int:
         "shed": total_shed,
         "status": "ok" if not failures else "failed",
     }
+    metrics_artifacts: dict = {}
+    if metrics is not None:
+        from .obs.metrics import validate_prometheus_text
+        from .obs.slo import render_slo
+
+        prom = metrics.to_prometheus()
+        problems = validate_prometheus_text(prom)
+        if problems:
+            print("INVALID prometheus exposition:", file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            return 1
+        slo_report = slo.report()
+        print(render_slo(slo_report))
+        out = _out_dir(args)
+        prom_path = out / "serve_metrics.prom"
+        prom_path.write_text(prom)
+        print(f"prometheus text saved {prom_path} (validated)\n")
+        summary["slo_ok"] = slo_report["ok"]
+        summary["metric_families"] = len(metrics.names())
+        metrics_artifacts = {
+            "metrics.prom": prom,
+            "metrics.json": {"metrics": metrics.snapshot(),
+                             "slo": slo_report},
+        }
     if reg is not None and run_id is not None:
         try:
             reg.add_artifact(run_id, "serve_outcomes.json", [
@@ -380,6 +417,8 @@ def _run_serve(args) -> int:
                 | {"shed_by_reason": dict(o.shed_by_reason)}
                 for o in outcomes
             ])
+            for name, content in metrics_artifacts.items():
+                reg.add_artifact(run_id, name, content)
             reg.finish(run_id, status="completed" if not failures else "failed",
                        summary=summary)
             print(f"[registry: {run_id}]")
@@ -427,7 +466,7 @@ def _run_serve(args) -> int:
 
 
 def _run_runs(args) -> int:
-    """`repro runs list|show|gc`: inspect the persistent run registry."""
+    """`repro runs list|show|gc|trend`: inspect the persistent run registry."""
     import json
 
     from .registry import REGISTRY_ENV, registry_from_env
@@ -478,9 +517,210 @@ def _run_runs(args) -> int:
         for rid in dropped:
             print(f"  {rid}")
         return 0
-    print(f"error: unknown runs target {target!r} (try 'list', 'show', 'gc')",
-          file=sys.stderr)
+    if target == "trend":
+        from .obs.trend import render_trend, trend_report
+
+        all_runs = reg.list_runs()
+        kinds = sorted({r.get("kind", "?") for r in all_runs})
+        if args.extra:
+            unknown = [k for k in args.extra if k not in kinds]
+            if unknown:
+                print(f"error: no recorded runs of kind(s) {unknown}; "
+                      f"recorded kinds: {kinds}", file=sys.stderr)
+                return 2
+            kinds = list(args.extra)
+        if not kinds:
+            print(f"no recorded runs under {reg.root}/")
+            return 0
+        regressions = 0
+        for kind in kinds:
+            report = trend_report(
+                [r for r in all_runs if r.get("kind") == kind],
+                tolerance=args.trend_tolerance,
+                min_points=args.trend_min_points,
+            )
+            print(render_trend(kind, report))
+            print()
+            regressions += len(report["regressions"])
+        if regressions:
+            print(f"{regressions} regressed series (newest run vs "
+                  "median of its predecessors)")
+            return 1
+        print("no cross-run regressions detected")
+        return 0
+    print(f"error: unknown runs target {target!r} "
+          "(try 'list', 'show', 'gc', 'trend')", file=sys.stderr)
     return 2
+
+
+def _derive_slo(samples, objective_ns=None, target: float = 0.95):
+    """SloTracker over ``(op_class, latency_ns, ts)`` samples.
+
+    Objectives are auto-derived per class — twice the class's observed
+    p95, i.e. "keep doing roughly what this run did" — unless an
+    explicit ``objective_ns`` overrides them all.  Auto-derivation keeps
+    the verb usable on any workload without pre-declaring a taxonomy;
+    pinning real objectives is what the flag is for.
+    """
+    from .obs.aggregate import percentile
+    from .obs.slo import SloSpec, SloTracker
+
+    by_class: dict = {}
+    for op, latency, _ts in samples:
+        by_class.setdefault(op, []).append(latency)
+    specs = []
+    for op in sorted(by_class):
+        obj = objective_ns if objective_ns else 2.0 * percentile(
+            sorted(by_class[op]), 0.95
+        )
+        specs.append(SloSpec(op, obj if obj else None, target=target))
+    slo = SloTracker(specs)
+    for op, latency, ts in samples:
+        slo.observe(op, latency, ts=ts)
+    return slo
+
+
+def _run_metrics(args) -> int:
+    """`repro metrics [mixed|fleet]`: run one workload with the live
+    metrics layer attached, print + export the registry, judge SLOs."""
+    import json
+
+    from .obs.metrics import (
+        MetricsRegistry,
+        fold_events,
+        validate_prometheus_text,
+    )
+    from .obs.slo import render_slo
+
+    target = args.target or "mixed"
+    t0 = time.perf_counter()
+    if target == "mixed":
+        # the trace workload, folded into metric families after the run
+        from .obs.events import OP_BEGIN, OP_END
+
+        run = _traced_run(args)
+        registry = fold_events(run.events)
+        samples = []
+        open_ops: dict = {}
+        for ev in run.events:
+            if ev.etype == OP_BEGIN:
+                open_ops[ev.thread] = (ev.get("op", "unknown"), ev.ts)
+            elif ev.etype == OP_END:
+                begun = open_ops.pop(ev.thread, None)
+                if begun is not None:
+                    samples.append((begun[0], ev.ts - begun[1], ev.ts))
+        slo = _derive_slo(samples, objective_ns=args.slo_objective_ns)
+        config = {"target": "mixed", "threads": args.threads, "ops": args.ops,
+                  "k": args.capacity, "seed": args.trace_seed,
+                  "storage": args.storage}
+        headline = {"makespan_ns": run.makespan_ns, "events": len(run.events)}
+    elif target == "fleet":
+        # live emission: the fleet carries the registry through the run
+        from .core.linearizability import check_k_relaxed, relaxation_budget
+        from .fleet import (
+            ElasticController,
+            ShardedBGPQ,
+            mixed_scripts,
+            run_fleet,
+        )
+
+        registry = MetricsRegistry()
+        k = args.shard_k
+        fleet = ShardedBGPQ(
+            n_shards=4, node_capacity=k, policy=args.shard_policy,
+            seed=args.trace_seed, metrics=registry,
+        )
+        elastic = ElasticController(
+            smoothing_half_life_ns=args.admission_smoothing_ns
+        )
+        scripts = mixed_scripts(args.shard_sessions, args.shard_requests, k,
+                                seed=args.trace_seed)
+        slo = None  # samples are replayed below with derived objectives
+        result = run_fleet(fleet, scripts, imbalance_every=32, elastic=elastic)
+        fleet.observe_gauges(at=result.makespan_ns)
+        samples = [
+            (rec.kind, rec.respond - rec.invoke, rec.respond)
+            for rec in result.history if rec.kind != "reshard"
+        ]
+        slo = _derive_slo(samples, objective_ns=args.slo_objective_ns)
+        relax = check_k_relaxed(result.history, k=k)
+        budget = relaxation_budget(k, args.shard_sessions, fleet.n_shards,
+                                   migrated=result.stats["migrated"])
+        slo.set_quality(relax.minimal_k, budget)
+        registry.gauge(
+            "repro_fleet_minimal_k",
+            help="measured rank relaxation of the fleet run",
+        ).set(relax.minimal_k)
+        config = {"target": "fleet", "k": k, "shards": 4,
+                  "sessions": args.shard_sessions,
+                  "requests": args.shard_requests,
+                  "policy": args.shard_policy, "seed": args.trace_seed}
+        headline = {"makespan_ns": result.makespan_ns,
+                    "requests": result.requests,
+                    "minimal_k": relax.minimal_k,
+                    "relax_budget": budget}
+    else:
+        print(f"error: unknown metrics target {target!r} "
+              "(try 'mixed' or 'fleet')", file=sys.stderr)
+        return 2
+    wall = time.perf_counter() - t0
+
+    prom = registry.to_prometheus()
+    problems = validate_prometheus_text(prom)
+    if problems:
+        print("INVALID prometheus exposition:", file=sys.stderr)
+        for prob in problems:
+            print(f"  {prob}", file=sys.stderr)
+        return 1
+    slo_report = slo.report()
+    snapshot = {
+        "target": target,
+        "config": config,
+        "headline": headline,
+        "metrics": registry.snapshot(),
+        "slo": slo_report,
+    }
+    out = _out_dir(args)
+    prom_path = out / "metrics.prom"
+    prom_path.write_text(prom)
+    json_path = out / "metrics.json"
+    json_path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+
+    families = registry.snapshot()
+    print(f"metrics: {target} — {len(families)} families, "
+          f"{sum(len(f['series']) for f in families.values())} series")
+    for name in sorted(families):
+        fam = families[name]
+        for series in fam["series"]:
+            labels = ",".join(f"{k}={v}" for k, v in
+                              sorted(series["labels"].items()))
+            tag = f"{name}{{{labels}}}" if labels else name
+            if fam["type"] == "histogram":
+                if series["count"]:
+                    print(f"  {tag:<56} count={series['count']} "
+                          f"p50={series['p50']:g} p95={series['p95']:g}")
+                else:
+                    print(f"  {tag:<56} count=0")
+            else:
+                print(f"  {tag:<56} {series['value']:g}")
+    print()
+    print(render_slo(slo_report))
+    print(f"\nprometheus text saved {prom_path} (validated)")
+    print(f"json snapshot saved {json_path}")
+    print(f"[{wall:.1f}s host]")
+    _record_registry(
+        "metrics",
+        config=config,
+        status="completed" if slo_report["ok"] else "failed",
+        summary={
+            **headline,
+            "slo_ok": slo_report["ok"],
+            "families": len(families),
+            "wall_s": round(wall, 1),
+        },
+        artifacts={"metrics.prom": prom, "metrics.json": snapshot},
+    )
+    return 0 if slo_report["ok"] else 1
 
 
 def _run_faults(args) -> int:
@@ -711,6 +951,8 @@ def _run_bench_native(args) -> int:
             rc = 1
         else:
             print(f"no regression vs {base_file} (tolerance 20%)")
+    from .bench.reporting import gate_meta
+
     _record_registry(
         "bench-native",
         config={"ks": list(ks), "quick": args.quick, "rebaseline": rebaseline},
@@ -718,6 +960,8 @@ def _run_bench_native(args) -> int:
         summary={
             "speedups": results["speedups"],
             "geomean_core": results["geomean_core"],
+            "gate": gate_meta(rc == 0, base_file, rebaseline,
+                              ratios={"core": results["geomean_core"]}),
             "wall_s": round(wall, 1),
         },
     )
@@ -820,6 +1064,8 @@ def _run_bench_shard(args) -> int:
             print(f"\n(delta table saved to {delta_path}; re-baseline "
                   "intentionally with: python -m repro bench shard "
                   "--update-baseline)")
+    from .bench.reporting import gate_meta
+
     _record_registry(
         "bench-shard",
         config={
@@ -836,6 +1082,8 @@ def _run_bench_shard(args) -> int:
             "speedups": results["speedups"],
             "geomean_4shard": results["geomean_4shard"],
             "mixed_4shard": results["mixed_4shard"],
+            "gate": gate_meta(rc == 0, base_file, rebaseline,
+                              ratios={"4shard": results["geomean_4shard"]}),
             "wall_s": round(wall, 1),
         },
     )
@@ -915,6 +1163,8 @@ def _run_bench_frontier(args) -> int:
             print(f"\n(delta table saved to {delta_path}; re-baseline "
                   "intentionally with: python -m repro bench frontier "
                   "--update-baseline)")
+    from .bench.reporting import gate_meta, geomean
+
     _record_registry(
         "bench-frontier",
         config={
@@ -928,6 +1178,12 @@ def _run_bench_frontier(args) -> int:
         summary={
             "speedups": results["speedups"],
             "elastic_grows": elastic["grows"],
+            "gate": gate_meta(
+                rc == 0, base_file, rebaseline,
+                ratios={"frontier": round(geomean(
+                    results["speedups"].values()), 3)
+                    if results["speedups"] else None},
+            ),
             "wall_s": round(wall, 1),
         },
     )
@@ -1025,11 +1281,22 @@ def _run_bench(args) -> int:
         if args.trace:
             bad = _write_chrome_trace(bus.events, "trace_bench_micro.json", args)
             rc = rc or bad
+    from .bench.reporting import gate_meta, geomean
+
     _record_registry(
         "bench-micro",
         config={"ks": list(ks), "quick": args.quick, "rebaseline": rebaseline},
         status="completed" if rc == 0 else "failed",
-        summary={"speedups": results["speedups"], "wall_s": round(wall, 1)},
+        summary={
+            "speedups": results["speedups"],
+            "gate": gate_meta(
+                rc == 0, base_file, rebaseline,
+                ratios={"micro": round(geomean(
+                    results["speedups"].values()), 3)
+                    if results["speedups"] else None},
+            ),
+            "wall_s": round(wall, 1),
+        },
     )
     return rc
 
@@ -1053,6 +1320,7 @@ def main(argv: list[str] | None = None) -> int:
             "trace",
             "serve",
             "runs",
+            "metrics",
             "all",
         ],
         help="which experiment to run",
@@ -1064,8 +1332,9 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "subcommand target: bench takes 'micro' (default), 'native', "
             "'shard', or 'frontier'; trace takes 'analyze', 'flame', or "
-            "'diff'; runs takes 'list' (default), 'show <id>', or 'gc'; "
-            "ignored elsewhere"
+            "'diff'; runs takes 'list' (default), 'show <id>', 'gc', or "
+            "'trend [kinds...]'; metrics takes 'mixed' (default) or "
+            "'fleet'; ignored elsewhere"
         ),
     )
     parser.add_argument(
@@ -1209,9 +1478,40 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="sessions drop an op after this many sheds (default: retry forever)",
     )
+    serve.add_argument(
+        "--admission-smoothing-ns",
+        type=float,
+        default=None,
+        help=(
+            "EWMA half life (simulated ns) for the admission controller's "
+            "global-budget load signal (default: raw instantaneous reads)"
+        ),
+    )
     runs = parser.add_argument_group("run registry (runs)")
     runs.add_argument(
         "--keep", type=int, default=20, help="`runs gc`: newest runs to keep"
+    )
+    runs.add_argument(
+        "--trend-tolerance",
+        type=float,
+        default=0.25,
+        help="`runs trend`: regression threshold as a fraction (default: 0.25)",
+    )
+    runs.add_argument(
+        "--trend-min-points",
+        type=int,
+        default=3,
+        help="`runs trend`: min runs in a series before judging (default: 3)",
+    )
+    metrics_grp = parser.add_argument_group("live metrics (metrics)")
+    metrics_grp.add_argument(
+        "--slo-objective-ns",
+        type=float,
+        default=None,
+        help=(
+            "`repro metrics`: latency objective applied to every op class "
+            "(default: auto-derive 2x the observed p95 per class)"
+        ),
     )
     obs = parser.add_argument_group("observability (trace; faults/bench flags)")
     obs.add_argument(
@@ -1266,6 +1566,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(args)
     if want == "runs":
         return _run_runs(args)
+    if want == "metrics":
+        return _run_metrics(args)
 
     print(f"workload scale: 1/{scale()} of the paper's sizes (REPRO_SCALE)\n")
 

@@ -175,6 +175,7 @@ def run_fleet(
     think_ns: float = 0.0,
     imbalance_every: int = 64,
     elastic=None,
+    slo=None,
 ) -> FleetRunResult:
     """Drive ``fleet`` with one script per client session to completion.
 
@@ -186,8 +187,18 @@ def run_fleet(
     every gauge boundary — ``imbalance_every`` executed sub-ops — and
     any resize it performs triggers the queue remap described in the
     module docstring.
+
+    When the fleet carries a metrics registry (``fleet.metrics``), every
+    serviced sub-op lands in a per-op latency histogram and the fleet's
+    live gauges refresh at the same ``imbalance_every`` safe points the
+    elastic controller uses; ``slo`` (a
+    :class:`~repro.obs.slo.SloTracker`) additionally judges each sub-op
+    latency against its op-class objective.  Both default to off and
+    touch only host state — the history and makespan are byte-identical
+    either way.
     """
     obs = fleet.obs
+    metrics = getattr(fleet, "metrics", None)
     queues: list[deque[_SubOp]] = [deque() for _ in range(fleet.n_shards)]
     sessions = [_Session(i, s) for i, s in enumerate(scripts)]
     history: list[FleetOpRecord] = []
@@ -328,6 +339,15 @@ def run_fleet(
                 )
             )
         executed += 1
+        if metrics is not None:
+            metrics.histogram(
+                "repro_fleet_op_latency_ns",
+                help="dispatch-to-respond latency of fleet sub-ops",
+                op=sub.kind,
+            ).observe(ticket.t_end - sub.arrival)
+        if slo is not None:
+            slo.observe(sub.kind, ticket.t_end - sub.arrival,
+                        ts=ticket.t_end)
         if obs is not None:
             lock = f"fleet.s{best_shard}.n1"
             if ticket.t_start > sub.arrival:
@@ -347,6 +367,8 @@ def run_fleet(
                     SHARD_IMBALANCE, ticket.t_end, "router",
                     gauge=fleet.imbalance(), sizes=fleet.shard_sizes(),
                 )
+            if metrics is not None:
+                fleet.observe_gauges(at=ticket.t_end)
             if elastic is not None:
                 tickets = elastic.maybe_act(fleet, now=ticket.t_end)
                 if tickets:

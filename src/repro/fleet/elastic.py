@@ -41,6 +41,7 @@ one delete batch is dead weight).
 from __future__ import annotations
 
 from ..errors import ConfigurationError
+from ..obs.windows import EwmaValue
 from .sharded import ReshardTicket, ShardedBGPQ
 
 __all__ = ["ElasticController"]
@@ -64,6 +65,14 @@ class ElasticController:
     cooldown:
         Number of controller evaluations that must pass between two
         structural (grow/shrink) actions.
+    smoothing_half_life_ns:
+        When set, the controller steers by EWMA-smoothed occupancy and
+        imbalance signals (:class:`~repro.obs.windows.EwmaValue`,
+        observed at the fleet's safe-point timestamps) instead of raw
+        instantaneous reads: a workload that oscillates across a water
+        mark between evaluations no longer flaps grow/shrink on every
+        crossing.  ``None`` (default) keeps raw reads — existing
+        behavior, byte for byte.
 
     Use ``maybe_act(fleet, now)`` from driver code; ``run_fleet(...,
     elastic=controller)`` wires it to the gauge cadence automatically.
@@ -78,6 +87,7 @@ class ElasticController:
         shrink_below: float | None = None,
         rebalance_above: float = 1.5,
         cooldown: int = 2,
+        smoothing_half_life_ns: float | None = None,
     ):
         if min_shards < 1:
             raise ConfigurationError("min_shards must be >= 1")
@@ -94,6 +104,15 @@ class ElasticController:
         self.rebalance_above = rebalance_above
         self.cooldown = cooldown
         self._cool = 0
+        self.smoothing_half_life_ns = smoothing_half_life_ns
+        self._avg_ewma = (
+            EwmaValue(smoothing_half_life_ns)
+            if smoothing_half_life_ns else None
+        )
+        self._imb_ewma = (
+            EwmaValue(smoothing_half_life_ns)
+            if smoothing_half_life_ns else None
+        )
         #: every ReshardTicket this controller caused, in order
         self.actions: list[ReshardTicket] = []
 
@@ -122,6 +141,10 @@ class ElasticController:
         tickets: list[ReshardTicket] = []
         n = fleet.n_shards
         avg = len(fleet) / n
+        imb = fleet.imbalance()
+        if self._avg_ewma is not None:
+            avg = self._avg_ewma.observe(now, avg)
+            imb = self._imb_ewma.observe(now, imb)
         if self._cool > 0:
             self._cool -= 1
         elif avg > self.grow_above and n < self.max_shards:
@@ -130,10 +153,7 @@ class ElasticController:
         elif avg < self.shrink_below and n > self.min_shards:
             tickets.append(fleet.shrink(at=now))
             self._cool = self.cooldown
-        if (
-            fleet.n_shards >= 2
-            and fleet.imbalance() > self.rebalance_above
-        ):
+        if fleet.n_shards >= 2 and imb > self.rebalance_above:
             ticket = fleet.rebalance(at=now)
             if ticket is not None:
                 tickets.append(ticket)

@@ -283,6 +283,7 @@ class ShardedBGPQ:
         max_keys: int = 1 << 16,
         ctx: GpuContext | None = None,
         obs=None,
+        metrics=None,
     ):
         if backend not in BACKENDS:
             raise ConfigurationError(
@@ -307,6 +308,9 @@ class ShardedBGPQ:
         #: against the sum of shard sizes
         self._size = 0
         self.obs = obs
+        self.metrics = metrics
+        #: delete-plan rounds (denominator of the probe hit ratio gauge)
+        self._plan_rounds = 0
         self.stats = {
             "inserts": 0,
             "deletes": 0,
@@ -399,6 +403,12 @@ class ShardedBGPQ:
             else None
         )
         parts = self.router.place(keys, loads=loads)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_fleet_place_total",
+                help="sub-batches placed by the router",
+                policy=self.router.policy,
+            ).inc(len(parts))
         for shard, part in parts:
             self._pending[shard] += part.size
             if self.obs is not None:
@@ -438,6 +448,12 @@ class ShardedBGPQ:
         """
         probe = self.router.probe_set()
         self.stats["probes"] += len(probe)
+        self._plan_rounds += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_fleet_probes_total",
+                help="shard minima probed by relaxed deletes",
+            ).inc(len(probe))
         best = None
         best_key = None
         for p in probe:
@@ -446,6 +462,11 @@ class ShardedBGPQ:
                 best, best_key = p, m
         if best is None:
             self.stats["empty_probes"] += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "repro_fleet_empty_probes_total",
+                    help="probe rounds where every probed shard was empty",
+                ).inc()
             sizes = self.shard_sizes()
             fullest = max(range(len(sizes)), key=lambda i: (sizes[i], -i))
             best = fullest if sizes[fullest] else probe[0]
@@ -501,6 +522,11 @@ class ShardedBGPQ:
             got += vkeys.size
             stole.append(victim)
             self.stats["steals"] += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "repro_fleet_steals_total",
+                    help="steal top-ups taken by short relaxed deletes",
+                ).inc()
             if self.obs is not None:
                 self.obs.emit(SHARD_STEAL, vstart, f"shard{victim}",
                               shard=victim, want=count - got + vkeys.size,
@@ -536,6 +562,7 @@ class ShardedBGPQ:
         after = before + count
         self.router.resize(after)
         self.stats["grows"] += 1
+        self._count_reshard("grow", 0)
         if self.obs is not None:
             self.obs.emit(SHARD_GROW, at, "router", before=before, after=after)
         return ReshardTicket("grow", -1, -1, 0, before, after, at, at)
@@ -595,6 +622,7 @@ class ShardedBGPQ:
                 end = max(end, self.clocks[dst])
         self.stats["shrinks"] += 1
         self.stats["migrated"] += int(moved.size)
+        self._count_reshard("shrink", int(moved.size))
         if self.obs is not None:
             self.obs.emit(
                 SHARD_SHRINK, t0, "router",
@@ -633,6 +661,7 @@ class ShardedBGPQ:
         self.clocks[dst] = end
         self.stats["rebalances"] += 1
         self.stats["migrated"] += int(keys.size)
+        self._count_reshard("rebalance", int(keys.size))
         if self.obs is not None:
             self.obs.emit(
                 SHARD_REBALANCE, t0, "router",
@@ -641,6 +670,66 @@ class ShardedBGPQ:
         return ReshardTicket(
             "rebalance", src, dst, int(keys.size), n, n, t0, end
         )
+
+    def _count_reshard(self, action: str, moved: int) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            "repro_fleet_reshard_total",
+            help="elastic actions taken (grow/shrink/rebalance)",
+            action=action,
+        ).inc()
+        if moved:
+            self.metrics.counter(
+                "repro_fleet_migrated_keys_total",
+                help="keys moved by shrinks and rebalances",
+            ).inc(moved)
+
+    def observe_gauges(self, at: float = 0.0) -> None:
+        """Refresh the fleet's live gauges (driver calls this at its
+        imbalance safe points; pure host-state writes).
+
+        Per-shard occupancy and clock gauges are labeled by shard index;
+        :meth:`~repro.obs.metrics.MetricsRegistry.drop` retires the
+        series of shards a shrink removed, so the exposition never shows
+        ghost shards.
+        """
+        m = self.metrics
+        if m is None:
+            return
+        n = self.n_shards
+        sizes = self.shard_sizes()
+        for i in range(n):
+            m.gauge(
+                "repro_shard_occupancy",
+                help="keys stored per shard",
+                shard=str(i),
+            ).set(sizes[i])
+            m.gauge(
+                "repro_shard_clock_ns",
+                help="per-shard simulated clock",
+                shard=str(i),
+            ).set(self.clocks[i])
+        # retire gauge series of shards that no longer exist
+        i = n
+        while m.drop("repro_shard_occupancy", shard=str(i)):
+            m.drop("repro_shard_clock_ns", shard=str(i))
+            i += 1
+        m.gauge("repro_fleet_width",
+                help="current number of shards").set(n)
+        m.gauge(
+            "repro_fleet_clock_skew_ns",
+            help="max - min shard clock (how unevenly time advanced)",
+        ).set(max(self.clocks) - min(self.clocks) if self.clocks else 0.0)
+        m.gauge(
+            "repro_fleet_imbalance",
+            help="max/mean shard occupancy (1.0 = balanced)",
+        ).set(self.imbalance())
+        rounds = self._plan_rounds
+        m.gauge(
+            "repro_fleet_probe_hit_ratio",
+            help="fraction of probe rounds that found a non-empty shard",
+        ).set(1.0 - self.stats["empty_probes"] / rounds if rounds else 1.0)
 
     # -- convenience API (immediate execution) ------------------------------
     def insert(self, keys) -> list[OpTicket]:

@@ -41,6 +41,22 @@ deliberately *not* re-exported here — this package's own imports stay
 stdlib-only, which lets the sim and core layers import the event
 constants without cycles.
 
+The *metrics* floor (PR 9) adds live telemetry next to the event
+stream — same purity discipline, different shape:
+
+* :mod:`repro.obs.metrics` — counters, gauges, and log-bucketed
+  latency histograms in a :class:`MetricsRegistry`, exported as
+  Prometheus text or a JSON snapshot; ``fold_events`` bridges a
+  recorded event stream into the registry.
+* :mod:`repro.obs.windows` — irregular-interval EWMAs and sliding
+  windows keyed to simulated time: the smoothed signals the admission
+  and elastic controllers steer by.
+* :mod:`repro.obs.slo` — per-op-class latency objectives with error
+  budget and burn-rate accounting, plus the fleet's minimal_k quality
+  gauge.
+* :mod:`repro.obs.trend` — cross-run series from registry summaries
+  with median-baseline regression detection (``repro runs trend``).
+
 See ``docs/OBSERVABILITY.md`` for the full story.
 """
 
@@ -48,6 +64,8 @@ from .aggregate import (
     collaboration_counters,
     op_latencies,
     percentile,
+    quantile_from_counts,
+    summarize_ns,
     utilization_timeline,
     wait_intervals,
 )
@@ -72,34 +90,71 @@ from .export import (
     validate_chrome_trace,
 )
 from .flame import collapsed_stacks, render_flame, validate_collapsed
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    fold_events,
+    validate_prometheus_text,
+)
+from .slo import SloSpec, SloTracker, render_slo
 from .spans import PHASES, Span, build_span_trees, phase_partition
+from .trend import (
+    build_series,
+    detect_regressions,
+    flatten_numeric,
+    render_trend,
+    trend_report,
+)
+from .windows import EwmaRate, EwmaValue, SlidingWindow, WindowSnapshot
 
 __all__ = [
     "ANALYSIS_SCHEMA",
     "AnalysisFormatError",
+    "Counter",
     "EventBus",
+    "EwmaRate",
+    "EwmaValue",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
     "PHASES",
+    "SlidingWindow",
+    "SloSpec",
+    "SloTracker",
     "Span",
     "TraceEvent",
+    "WindowSnapshot",
     "analyze",
+    "build_series",
     "build_span_trees",
     "collaboration_counters",
     "collapsed_stacks",
     "critical_path",
+    "detect_regressions",
     "diff_analyses",
+    "flatten_numeric",
+    "fold_events",
     "load_analysis",
     "metrics_dict",
     "op_latencies",
     "percentile",
     "phase_partition",
+    "quantile_from_counts",
     "render_analysis",
     "render_diff",
     "render_flame",
+    "render_slo",
     "render_summary",
+    "render_trend",
+    "summarize_ns",
     "to_chrome_trace",
+    "trend_report",
     "utilization_timeline",
     "validate_chrome_trace",
     "validate_collapsed",
+    "validate_prometheus_text",
     "wait_for_graph",
     "wait_intervals",
 ]

@@ -54,6 +54,8 @@ __all__ = [
     "collaboration_counters",
     "op_latencies",
     "percentile",
+    "quantile_from_counts",
+    "summarize_ns",
     "utilization_timeline",
     "wait_intervals",
 ]
@@ -135,6 +137,18 @@ def collaboration_counters(events: Iterable[TraceEvent]) -> dict[str, int]:
     return c
 
 
+def _nearest_rank(total: int, q: float) -> int:
+    """Index of the nearest-rank quantile among ``total`` samples.
+
+    The one shared rank rule: ``q`` clamped into [0, 1], index rounded
+    to the nearest sample position.  Both :func:`percentile` (sorted
+    raw samples) and :func:`quantile_from_counts` (bucketed counts) use
+    it, so a histogram quantile and the same data's sorted-list
+    quantile pick the identical rank.
+    """
+    return min(total - 1, max(0, round(q * (total - 1))))
+
+
 def percentile(
     sorted_vals: Sequence[float], q: float, default: float | None = None
 ) -> float | None:
@@ -149,8 +163,57 @@ def percentile(
     """
     if not sorted_vals:
         return default
-    idx = min(len(sorted_vals) - 1, max(0, round(q * (len(sorted_vals) - 1))))
-    return sorted_vals[idx]
+    return sorted_vals[_nearest_rank(len(sorted_vals), q)]
+
+
+def quantile_from_counts(
+    pairs: Sequence[tuple[float, int]], q: float,
+    default: float | None = None,
+) -> float | None:
+    """Nearest-rank quantile from ascending ``(value, count)`` pairs.
+
+    The counts-shaped twin of :func:`percentile` — same empty sentinel,
+    same single-sample behaviour (one pair of count 1 answers every
+    quantile), same rank rule — used by the log-bucketed histogram
+    snapshots in :mod:`repro.obs.metrics` where materialising the raw
+    sample list would defeat the point of bucketing.
+    """
+    total = sum(c for _, c in pairs)
+    if total <= 0:
+        return default
+    idx = _nearest_rank(total, q)
+    seen = 0
+    for value, count in pairs:
+        seen += count
+        if idx < seen:
+            return value
+    return pairs[-1][0]  # pragma: no cover - unreachable (idx < total)
+
+
+def summarize_ns(vals: Sequence[float]) -> dict:
+    """The standard latency summary of one *sorted* sample list.
+
+    Shared by :func:`op_latencies` and the windowed estimators' tests:
+    ``{count, total_ns, mean_ns, min_ns, p50_ns, p95_ns, p99_ns,
+    max_ns}``.  Empty input returns an all-zero/None summary rather
+    than raising, matching the sentinel discipline above.
+    """
+    if not vals:
+        return {
+            "count": 0, "total_ns": 0.0, "mean_ns": None, "min_ns": None,
+            "p50_ns": None, "p95_ns": None, "p99_ns": None, "max_ns": None,
+        }
+    total = sum(vals)
+    return {
+        "count": len(vals),
+        "total_ns": total,
+        "mean_ns": total / len(vals),
+        "min_ns": vals[0],
+        "p50_ns": percentile(vals, 0.50),
+        "p95_ns": percentile(vals, 0.95),
+        "p99_ns": percentile(vals, 0.99),
+        "max_ns": vals[-1],
+    }
 
 
 def op_latencies(events: Iterable[TraceEvent]) -> dict[str, dict]:
@@ -177,21 +240,9 @@ def op_latencies(events: Iterable[TraceEvent]) -> dict[str, dict]:
             if start is None or start[0] != ev.get("op", "unknown"):
                 continue
             samples.setdefault(start[0], []).append(ev.ts - start[1])
-    out: dict[str, dict] = {}
-    for kind in sorted(samples):
-        vals = sorted(samples[kind])
-        total = sum(vals)
-        out[kind] = {
-            "count": len(vals),
-            "total_ns": total,
-            "mean_ns": total / len(vals),
-            "min_ns": vals[0],
-            "p50_ns": percentile(vals, 0.50),
-            "p95_ns": percentile(vals, 0.95),
-            "p99_ns": percentile(vals, 0.99),
-            "max_ns": vals[-1],
-        }
-    return out
+    return {
+        kind: summarize_ns(sorted(samples[kind])) for kind in sorted(samples)
+    }
 
 
 def wait_intervals(

@@ -1,0 +1,480 @@
+"""Schedule-neutral metrics: counters, gauges, log-bucketed histograms.
+
+Where :mod:`repro.obs.events` records *facts* for post-hoc analysis,
+this module maintains *live aggregates* a running system can steer by:
+the admission controller reads a smoothed load, the elastic controller
+reads windowed occupancy (:mod:`repro.obs.windows`), and the SLO layer
+(:mod:`repro.obs.slo`) folds per-op-class latencies into error budgets.
+
+The same zero-cost discipline as the EventBus applies: every emit site
+is guarded by ``if metrics is not None`` on an attribute defaulting to
+``None``, and recording only mutates plain host state — no effects, no
+simulated time, no RNG — so attaching a registry changes neither
+schedules nor results nor makespans (``tests/serve`` and
+``tests/fleet`` assert byte-identical outcomes with metrics on vs off).
+
+Histograms are log-bucketed: bucket ``i`` holds values in
+``(2**(i-1), 2**i]`` (everything ``<= 1`` lands in bucket 0), stored as
+a sparse ``{index: count}`` dict.  Merging two histograms adds their
+per-bucket counts — an exact, associative, commutative operation — so
+per-seed registries fold into campaign totals without approximation
+drift.  Quantile estimates come from the shared nearest-rank helper
+(:func:`repro.obs.aggregate.quantile_from_counts`) over bucket upper
+bounds, so an estimate is exact up to one bucket's resolution (a factor
+of 2) and always an attainable bound, never an interpolation artifact.
+
+Export is Prometheus text exposition (:meth:`MetricsRegistry.to_prometheus`,
+validated by :func:`validate_prometheus_text` and
+``scripts/check_prom_text.py``) plus a JSON snapshot
+(:meth:`MetricsRegistry.snapshot`) that the run registry archives.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Iterable
+
+from .aggregate import quantile_from_counts
+from .events import (
+    COND_WAKE,
+    LOCK_GRANT,
+    LOCK_TIMEOUT,
+    OP_BEGIN,
+    OP_END,
+    TraceEvent,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "bucket_index",
+    "bucket_upper_bound",
+    "fold_events",
+    "validate_prometheus_text",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def bucket_index(value: float) -> int:
+    """Index of the log-2 bucket holding ``value``.
+
+    Bucket ``i`` covers ``(2**(i-1), 2**i]``; every value ``<= 1``
+    (including zero and negatives — latencies can legitimately be 0)
+    collapses into bucket 0.  Uses ``frexp`` so the boundary cases are
+    exact: ``bucket_index(2**i) == i``, ``bucket_index(2**i + eps) ==
+    i + 1``.
+    """
+    if value <= 1.0:
+        return 0
+    m, e = math.frexp(value)  # value == m * 2**e, m in [0.5, 1)
+    return e - 1 if m == 0.5 else e
+
+
+def bucket_upper_bound(index: int) -> float:
+    """Inclusive upper bound of bucket ``index`` (``2**index``)."""
+    return float(2 ** index)
+
+
+class Counter:
+    """Monotone event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += n
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Log-bucketed latency distribution with exact-count merge."""
+
+    __slots__ = ("buckets", "count", "total", "min", "max")
+
+    def __init__(self):
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        idx = bucket_index(value)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram in place; exact and
+        associative — merging per-seed histograms in any grouping gives
+        identical bucket counts."""
+        for idx, n in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        return self
+
+    def quantile(self, q: float, default: float | None = None) -> float | None:
+        """Nearest-rank quantile over bucket upper bounds (see module doc)."""
+        pairs = [
+            (bucket_upper_bound(i), n) for i, n in sorted(self.buckets.items())
+        ]
+        return quantile_from_counts(pairs, q, default=default)
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": (self.total / self.count) if self.count else None,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "buckets": {str(i): n for i, n in sorted(self.buckets.items())},
+        }
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _render_labels(labels: tuple, extra: tuple = ()) -> str:
+    items = list(labels) + list(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in items)
+    return "{" + body + "}"
+
+
+class MetricsRegistry:
+    """One run's (or one campaign's) metric families, keyed by
+    ``(name, sorted labels)``.
+
+    ``counter`` / ``gauge`` / ``histogram`` create-or-return the child
+    for a label set, so emit sites just call
+    ``metrics.counter("repro_x_total", op="insert").inc()`` without
+    caching handles.  A name is permanently one type — re-registering
+    it as another raises, which is what keeps the Prometheus exposition
+    coherent.
+    """
+
+    def __init__(self):
+        self._types: dict[str, str] = {}
+        self._help: dict[str, str] = {}
+        self._children: dict[str, dict[tuple, object]] = {}
+
+    def _get(self, kind: str, factory, name: str, help: str | None,
+             labels: dict):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for k in labels:
+            if not _LABEL_RE.match(k):
+                raise ValueError(f"invalid label name {k!r} on {name}")
+        seen = self._types.get(name)
+        if seen is None:
+            self._types[name] = kind
+            self._help[name] = help or name.replace("_", " ")
+            self._children[name] = {}
+        elif seen != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {seen}, not {kind}"
+            )
+        children = self._children[name]
+        key = _label_key(labels)
+        child = children.get(key)
+        if child is None:
+            child = children[key] = factory()
+        return child
+
+    def counter(self, name: str, help: str | None = None, **labels) -> Counter:
+        return self._get("counter", Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str | None = None, **labels) -> Gauge:
+        return self._get("gauge", Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str | None = None,
+                  **labels) -> Histogram:
+        return self._get("histogram", Histogram, name, help, labels)
+
+    def drop(self, name: str, **labels) -> bool:
+        """Forget one child (e.g. a retired shard's gauge); True if it
+        existed."""
+        children = self._children.get(name, {})
+        return children.pop(_label_key(labels), None) is not None
+
+    def names(self) -> list[str]:
+        return sorted(self._types)
+
+    # -- export ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able view of every metric family (run-registry artifact)."""
+        out: dict[str, dict] = {}
+        for name in self.names():
+            family: dict = {
+                "type": self._types[name],
+                "help": self._help[name],
+                "series": [],
+            }
+            for key, child in sorted(self._children[name].items()):
+                entry: dict = {"labels": dict(key)}
+                if isinstance(child, Histogram):
+                    entry.update(child.snapshot())
+                else:
+                    entry["value"] = child.value
+                family["series"].append(entry)
+            out[name] = family
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (format 0.0.4)."""
+        lines: list[str] = []
+        for name in self.names():
+            kind = self._types[name]
+            lines.append(f"# HELP {name} {self._help[name]}")
+            lines.append(f"# TYPE {name} {kind}")
+            for key, child in sorted(self._children[name].items()):
+                if kind == "histogram":
+                    cum = 0
+                    for idx, n in sorted(child.buckets.items()):
+                        cum += n
+                        le = _render_labels(
+                            key, (("le", f"{bucket_upper_bound(idx):g}"),)
+                        )
+                        lines.append(f"{name}_bucket{le} {cum}")
+                    inf = _render_labels(key, (("le", "+Inf"),))
+                    lines.append(f"{name}_bucket{inf} {child.count}")
+                    lab = _render_labels(key)
+                    lines.append(f"{name}_sum{lab} {child.total:g}")
+                    lines.append(f"{name}_count{lab} {child.count}")
+                else:
+                    lab = _render_labels(key)
+                    lines.append(f"{name}{lab} {child.value:g}")
+        return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# exposition validation (shared with scripts/check_prom_text.py)
+# ---------------------------------------------------------------------------
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+\d+)?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
+
+
+def _parse_value(text: str) -> float | None:
+    if text in ("+Inf", "-Inf", "NaN"):
+        return float(text.replace("Inf", "inf").replace("NaN", "nan"))
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Structural problems in a text exposition; empty means valid.
+
+    Checks the discipline the Prometheus scraper cares about: every
+    sample's metric has a preceding ``# TYPE``; names and label pairs
+    parse; values are floats; no duplicate (name, labels) sample; and
+    histograms are internally consistent — cumulative non-decreasing
+    ``_bucket`` counts with ascending ``le``, a ``+Inf`` bucket whose
+    count equals ``_count``, and a ``_sum`` present.
+    """
+    problems: list[str] = []
+    typed: dict[str, str] = {}
+    seen_samples: set[tuple] = set()
+    # histogram bookkeeping: (base name, labels-without-le) -> state
+    hist: dict[tuple, dict] = {}
+
+    def base_of(name: str) -> str | None:
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and typed.get(name[: -len(suffix)]) == "histogram":
+                return name[: -len(suffix)]
+        return None
+
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                mtype = parts[3] if len(parts) > 3 else ""
+                if mtype not in ("counter", "gauge", "histogram", "summary",
+                                 "untyped"):
+                    problems.append(
+                        f"line {lineno}: unknown TYPE {mtype!r} for {parts[2]}"
+                    )
+                typed[parts[2]] = mtype
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name = m.group("name")
+        labels_text = m.group("labels") or ""
+        value = _parse_value(m.group("value"))
+        if value is None:
+            problems.append(
+                f"line {lineno}: non-numeric value {m.group('value')!r}"
+            )
+            continue
+        pairs = dict(_LABEL_PAIR_RE.findall(labels_text))
+        reparse = ",".join(f'{k}="{v}"' for k, v in
+                           _LABEL_PAIR_RE.findall(labels_text))
+        if labels_text and len(reparse) != len(labels_text):
+            problems.append(f"line {lineno}: malformed labels {{{labels_text}}}")
+            continue
+        base = base_of(name)
+        family = base or name
+        if family not in typed:
+            problems.append(
+                f"line {lineno}: sample for {name} before any # TYPE {family}"
+            )
+        sample_key = (name, tuple(sorted(pairs.items())))
+        if sample_key in seen_samples:
+            problems.append(f"line {lineno}: duplicate sample {name}{pairs}")
+        seen_samples.add(sample_key)
+        if base is not None:
+            series = (base, tuple(sorted(
+                (k, v) for k, v in pairs.items() if k != "le"
+            )))
+            state = hist.setdefault(series, {
+                "last_le": None, "last_cum": None, "inf": None,
+                "sum": None, "count": None,
+            })
+            if name.endswith("_bucket"):
+                le = pairs.get("le")
+                if le is None:
+                    problems.append(
+                        f"line {lineno}: histogram bucket without le label"
+                    )
+                    continue
+                le_val = _parse_value(le)
+                if le_val is None:
+                    problems.append(f"line {lineno}: bad le value {le!r}")
+                    continue
+                if le == "+Inf":
+                    state["inf"] = value
+                else:
+                    if state["last_le"] is not None and le_val <= state["last_le"]:
+                        problems.append(
+                            f"line {lineno}: le {le} not ascending in {base}"
+                        )
+                    state["last_le"] = le_val
+                if state["last_cum"] is not None and value < state["last_cum"]:
+                    problems.append(
+                        f"line {lineno}: bucket counts not cumulative in {base}"
+                    )
+                state["last_cum"] = value
+            elif name.endswith("_sum"):
+                state["sum"] = value
+            else:
+                state["count"] = value
+    for (base, labels), state in hist.items():
+        where = f"{base}{dict(labels) if labels else ''}"
+        if state["inf"] is None:
+            problems.append(f"{where}: histogram missing +Inf bucket")
+        if state["sum"] is None:
+            problems.append(f"{where}: histogram missing _sum")
+        if state["count"] is None:
+            problems.append(f"{where}: histogram missing _count")
+        if (state["inf"] is not None and state["count"] is not None
+                and state["inf"] != state["count"]):
+            problems.append(
+                f"{where}: +Inf bucket {state['inf']:g} != _count "
+                f"{state['count']:g}"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# pure fold: EventBus stream -> registry (the "sim engine" metrics)
+# ---------------------------------------------------------------------------
+def fold_events(events: Iterable[TraceEvent],
+                registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Fold a recorded event stream into metric families.
+
+    Reuses the existing taxonomy instead of new emit sites: lock and
+    condition wait durations (the ``waited`` field on ``lock.grant`` /
+    ``lock.timeout`` / ``cond.wake``) become the engine's wait
+    histograms, ``op.begin``/``op.end`` pairs become per-op latency
+    histograms (same per-thread pairing as
+    :func:`~repro.obs.aggregate.op_latencies`), and every event type is
+    counted.  Pure fold — runs identically on a live bus or a stream
+    rebuilt from disk.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    pending: dict[str, tuple[str, float]] = {}
+    for ev in events:
+        et = ev.etype
+        reg.counter("repro_events_total",
+                    help="trace events by type", event=et).inc()
+        if et == LOCK_GRANT or et == LOCK_TIMEOUT:
+            waited = ev.get("waited")
+            if waited is not None:
+                reg.histogram(
+                    "repro_lock_wait_ns",
+                    help="simulated ns spent blocked on a lock",
+                    outcome="grant" if et == LOCK_GRANT else "timeout",
+                ).observe(float(waited))
+        elif et == COND_WAKE:
+            waited = ev.get("waited")
+            if waited is not None:
+                reg.histogram(
+                    "repro_cond_wait_ns",
+                    help="simulated ns spent blocked on a condition",
+                ).observe(float(waited))
+        elif et == OP_BEGIN:
+            pending[ev.thread] = (ev.get("op", "unknown"), ev.ts)
+        elif et == OP_END:
+            start = pending.pop(ev.thread, None)
+            if start is not None and start[0] == ev.get("op", "unknown"):
+                reg.histogram(
+                    "repro_op_latency_ns",
+                    help="simulated ns per completed queue operation",
+                    op=start[0],
+                ).observe(ev.ts - start[1])
+    return reg

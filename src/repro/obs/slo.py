@@ -1,0 +1,191 @@
+"""Service-level objectives over op-class latency streams.
+
+A relaxed-quality system is only honest if its degradation is
+*measured*: the serve path promises bounded response latency under
+admission control, and the fleet promises bounded rank error
+(``minimal_k``) under relaxed deletemin.  This module turns both into
+first-class, continuously-evaluated objectives:
+
+* :class:`SloSpec` — one objective: ops of ``op_class`` should finish
+  within ``objective_ns`` at least ``target`` of the time.
+* :class:`SloTracker` — folds ``observe(op_class, latency_ns, ts)``
+  into per-class totals plus a sliding window of good/bad indicators
+  (:class:`~repro.obs.windows.SlidingWindow`), and reports classic SRE
+  accounting: compliance, remaining error budget (the run may miss
+  ``(1 - target) * total`` ops before the objective is blown), and the
+  windowed *burn rate* — the ratio of the recent bad fraction to the
+  budgeted bad fraction, so ``burn_rate > 1`` means the budget is being
+  spent faster than it accrues.
+* :meth:`SloTracker.set_quality` — the fleet's minimal_k quality gauge
+  next to its in-flight-work budget
+  (:func:`repro.core.relaxation_budget`), reported as a budget
+  utilisation fraction.
+
+Specs default lazily: observing an op class with no spec auto-creates
+one with ``objective_ns=None`` (measure-only — counted but never
+judged), so the tracker can ride every path without pre-declaring the
+taxonomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .windows import SlidingWindow
+
+__all__ = ["SloSpec", "SloTracker"]
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One latency objective: ``op_class`` under ``objective_ns`` at
+    least ``target`` of the time.  ``objective_ns=None`` is
+    measure-only."""
+
+    op_class: str
+    objective_ns: float | None
+    target: float = 0.99
+
+    def __post_init__(self):
+        if not 0.0 < self.target <= 1.0:
+            raise ValueError("target must be in (0, 1]")
+        if self.objective_ns is not None and self.objective_ns <= 0:
+            raise ValueError("objective_ns must be > 0")
+
+
+class _ClassState:
+    __slots__ = ("spec", "total", "good", "total_ns", "window")
+
+    def __init__(self, spec: SloSpec, window_ns: float, max_samples: int):
+        self.spec = spec
+        self.total = 0
+        self.good = 0
+        self.total_ns = 0.0
+        # 1.0 per bad op, 0.0 per good op: the windowed mean is the
+        # recent bad fraction the burn rate divides by the budget rate
+        self.window = SlidingWindow(window_ns, max_samples=max_samples)
+
+
+class SloTracker:
+    """Per-op-class SLO accounting over one run (or one campaign)."""
+
+    def __init__(self, specs: list[SloSpec] | None = None,
+                 window_ns: float = 200_000.0, max_samples: int = 4096):
+        self.window_ns = float(window_ns)
+        self.max_samples = max_samples
+        self._classes: dict[str, _ClassState] = {}
+        self._quality: dict | None = None
+        self._now = 0.0
+        for spec in specs or ():
+            self._classes[spec.op_class] = _ClassState(
+                spec, self.window_ns, max_samples
+            )
+
+    def spec_for(self, op_class: str) -> SloSpec:
+        state = self._classes.get(op_class)
+        if state is None:
+            state = self._classes[op_class] = _ClassState(
+                SloSpec(op_class, None), self.window_ns, self.max_samples
+            )
+        return state.spec
+
+    def observe(self, op_class: str, latency_ns: float, ts: float = 0.0) -> None:
+        self.spec_for(op_class)
+        state = self._classes[op_class]
+        state.total += 1
+        state.total_ns += latency_ns
+        good = (state.spec.objective_ns is None
+                or latency_ns <= state.spec.objective_ns)
+        if good:
+            state.good += 1
+        state.window.observe(ts, 0.0 if good else 1.0)
+        if ts > self._now:
+            self._now = ts
+
+    def set_quality(self, minimal_k: int, budget: int) -> None:
+        """Record the fleet's measured rank quality vs its relaxation
+        budget (utilisation 1.0 means the budget is fully spent)."""
+        self._quality = {
+            "minimal_k": int(minimal_k),
+            "budget": int(budget),
+            "utilisation": (minimal_k / budget) if budget else None,
+            "ok": minimal_k <= budget,
+        }
+
+    @property
+    def quality(self) -> dict | None:
+        return self._quality
+
+    def report(self, now: float | None = None) -> dict:
+        """Full SLO report as of ``now`` (default: newest observation)."""
+        now = self._now if now is None else now
+        classes: dict[str, dict] = {}
+        for name in sorted(self._classes):
+            state = self._classes[name]
+            spec = state.spec
+            bad = state.total - state.good
+            compliance = (state.good / state.total) if state.total else None
+            budget_total = (1.0 - spec.target) * state.total
+            snap = state.window.snapshot(now)
+            bad_frac = snap.mean if snap.count else 0.0
+            budget_frac = 1.0 - spec.target
+            entry = {
+                "objective_ns": spec.objective_ns,
+                "target": spec.target,
+                "total": state.total,
+                "good": state.good,
+                "bad": bad,
+                "mean_ns": (state.total_ns / state.total) if state.total else None,
+                "compliance": compliance,
+                "error_budget": budget_total,
+                "budget_remaining": budget_total - bad,
+                "burn_rate": (
+                    (bad_frac / budget_frac) if budget_frac > 0 else None
+                ),
+                "window_count": snap.count,
+                "ok": (
+                    spec.objective_ns is None
+                    or state.total == 0
+                    or compliance >= spec.target
+                ),
+            }
+            classes[name] = entry
+        judged = [c for c in classes.values() if c["objective_ns"] is not None]
+        return {
+            "now": now,
+            "window_ns": self.window_ns,
+            "classes": classes,
+            "quality": self._quality,
+            "ok": all(c["ok"] for c in judged)
+            and (self._quality is None or self._quality["ok"]),
+        }
+
+
+def render_slo(report: dict) -> str:
+    """Terminal rendering of one SLO report."""
+    lines = [f"SLO report (window {report['window_ns']:g} ns)"]
+    for name, c in sorted(report["classes"].items()):
+        obj = ("measure-only" if c["objective_ns"] is None
+               else f"<= {c['objective_ns']:g} ns @ {c['target']:.0%}")
+        comp = "n/a" if c["compliance"] is None else f"{c['compliance']:.2%}"
+        burn = ("n/a" if c["burn_rate"] is None
+                else f"{c['burn_rate']:.2f}x")
+        verdict = "ok" if c["ok"] else "VIOLATED"
+        lines.append(
+            f"  {name:<12} {obj:<24} compliance={comp:<8} "
+            f"burn={burn:<7} budget_left={c['budget_remaining']:.1f} "
+            f"[{verdict}]"
+        )
+    q = report.get("quality")
+    if q:
+        util = "n/a" if q["utilisation"] is None else f"{q['utilisation']:.1%}"
+        lines.append(
+            f"  quality      minimal_k={q['minimal_k']} "
+            f"budget={q['budget']} utilisation={util} "
+            f"[{'ok' if q['ok'] else 'OVER BUDGET'}]"
+        )
+    lines.append(f"  overall: {'ok' if report['ok'] else 'VIOLATED'}")
+    return "\n".join(lines)
+
+
+__all__.append("render_slo")

@@ -1,0 +1,206 @@
+"""Cross-run trend series from registry summaries, with regression
+detection.
+
+Every CLI lane records a summary into the run registry
+(:mod:`repro.registry`), but until now that history was invisible — a
+slow decay of ``geomean_4shard`` across ten commits never tripped any
+single run's 20% gate.  ``repro runs trend`` folds the registry into
+per-kind, per-key numeric time series and flags the newest run when it
+regresses against the median of its predecessors.
+
+Direction is inferred from the key name so the fold needs no schema:
+
+* higher-is-better: keys containing one of ``_HIGHER`` (speedups,
+  geomeans, survival/compliance counts, throughput);
+* lower-is-better: keys containing one of ``_LOWER`` (latency
+  quantiles, makespans, failures, minimal_k);
+* everything else — and anything containing an ``_IGNORE`` fragment,
+  notably host wall time, which varies with machine load — is carried
+  as *informational*: shown in the series, never judged.
+
+The detector is deliberately conservative: it needs ``min_points``
+runs of history, compares the newest value against the *median* of the
+prior ones (robust to one outlier baseline), and only flags beyond
+``tolerance`` (default 25% — looser than the per-run bench gates, since
+cross-run series mix configs more freely).  All pure functions of the
+record list, so the tests feed synthetic histories directly.
+"""
+
+from __future__ import annotations
+
+from statistics import median
+
+__all__ = [
+    "flatten_numeric",
+    "build_series",
+    "detect_regressions",
+    "trend_report",
+    "render_trend",
+]
+
+#: key fragments judged higher-is-better
+_HIGHER = ("speedup", "geomean", "survived", "hit_ratio", "compliance",
+           "keys_per_us", "throughput")
+#: key fragments judged lower-is-better
+_LOWER = ("latency", "p50_ns", "p95_ns", "p99_ns", "makespan_ns",
+          "failed", "minimal_k", "burn_rate")
+#: key fragments never judged (host-load noise, unbounded counts)
+_IGNORE = ("wall_s", "recorded_at", "created", "updated")
+
+
+def direction_of(key: str) -> str:
+    """``"higher"`` / ``"lower"`` / ``"info"`` for one dotted key."""
+    low = key.lower()
+    if any(frag in low for frag in _IGNORE):
+        return "info"
+    if any(frag in low for frag in _LOWER):
+        return "lower"
+    if any(frag in low for frag in _HIGHER):
+        return "higher"
+    return "info"
+
+
+def flatten_numeric(obj, prefix: str = "") -> dict[str, float]:
+    """Dot-keyed numeric leaves of a nested summary dict.
+
+    Booleans become 0/1 (so pass/fail gates trend too); strings and
+    lists are skipped — a series must be a number per run.
+    """
+    out: dict[str, float] = {}
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            key = f"{prefix}.{k}" if prefix else str(k)
+            out.update(flatten_numeric(v, key))
+    elif isinstance(obj, bool):
+        out[prefix] = 1.0 if obj else 0.0
+    elif isinstance(obj, (int, float)):
+        out[prefix] = float(obj)
+    return out
+
+
+def build_series(runs: list[dict]) -> dict[str, list[dict]]:
+    """Per-key chronological series from registry run records.
+
+    ``runs`` may arrive in any order (the registry lists newest first);
+    they are sorted oldest-first by ``created_at``.  Each series point
+    carries the run id so a regression report names the culprit run.
+    Only completed/failed runs participate — a still-``running`` record
+    has no final summary.
+    """
+    series: dict[str, list[dict]] = {}
+    ordered = sorted(runs, key=lambda r: r.get("created_at", 0.0))
+    for rec in ordered:
+        if rec.get("status") == "running":
+            continue
+        flat = flatten_numeric(rec.get("summary") or {})
+        for key, value in flat.items():
+            series.setdefault(key, []).append({
+                "run_id": rec.get("run_id", "?"),
+                "created_at": rec.get("created_at", 0.0),
+                "value": value,
+            })
+    return series
+
+
+def detect_regressions(series: dict[str, list[dict]],
+                       tolerance: float = 0.25,
+                       min_points: int = 3) -> list[dict]:
+    """Flag keys whose newest value regressed vs the median of the rest.
+
+    Returns one finding per regressed key: the direction, the baseline
+    (median of all but the newest point), the newest value, the ratio,
+    and the newest run's id.  Keys with fewer than ``min_points``
+    points, info-direction keys, and near-zero baselines are skipped.
+    """
+    findings: list[dict] = []
+    for key in sorted(series):
+        points = series[key]
+        if len(points) < min_points:
+            continue
+        direction = direction_of(key)
+        if direction == "info":
+            continue
+        baseline = median(p["value"] for p in points[:-1])
+        latest = points[-1]["value"]
+        if abs(baseline) < 1e-12:
+            continue
+        ratio = latest / baseline
+        regressed = (
+            ratio < 1.0 - tolerance if direction == "higher"
+            else ratio > 1.0 + tolerance
+        )
+        if regressed:
+            findings.append({
+                "key": key,
+                "direction": direction,
+                "baseline": baseline,
+                "latest": latest,
+                "ratio": ratio,
+                "run_id": points[-1]["run_id"],
+                "points": len(points),
+            })
+    return findings
+
+
+def trend_report(runs: list[dict], tolerance: float = 0.25,
+                 min_points: int = 3) -> dict:
+    """Series + regressions for one kind's run records."""
+    series = build_series(runs)
+    return {
+        "runs": sum(1 for r in runs if r.get("status") != "running"),
+        "keys": len(series),
+        "series": series,
+        "regressions": detect_regressions(
+            series, tolerance=tolerance, min_points=min_points
+        ),
+        "tolerance": tolerance,
+        "min_points": min_points,
+    }
+
+
+def _spark(values: list[float], width: int = 12) -> str:
+    """Tiny unicode-free sparkline (dots scale min..max over 5 levels)."""
+    marks = " .:-=#"
+    tail = values[-width:]
+    lo, hi = min(tail), max(tail)
+    if hi - lo < 1e-12:
+        return "=" * len(tail)
+    return "".join(
+        marks[1 + int((v - lo) / (hi - lo) * (len(marks) - 2))] for v in tail
+    )
+
+
+def render_trend(kind: str, report: dict, max_keys: int = 40) -> str:
+    """Terminal rendering of one kind's trend report."""
+    lines = [
+        f"trend: {kind} — {report['runs']} runs, {report['keys']} series "
+        f"(tolerance {report['tolerance']:.0%}, "
+        f"min {report['min_points']} points)"
+    ]
+    shown = 0
+    regressed = {f["key"] for f in report["regressions"]}
+    for key in sorted(report["series"]):
+        if shown >= max_keys:
+            lines.append(f"  ... ({report['keys'] - shown} more series)")
+            break
+        points = report["series"][key]
+        if len(points) < 2:
+            continue
+        vals = [p["value"] for p in points]
+        direction = direction_of(key)
+        flag = "REGRESSED" if key in regressed else (
+            "" if direction == "info" else "ok"
+        )
+        lines.append(
+            f"  {key:<44} {_spark(vals)}  {vals[0]:>10.4g} -> "
+            f"{vals[-1]:>10.4g}  [{direction}{' ' + flag if flag else ''}]"
+        )
+        shown += 1
+    for f in report["regressions"]:
+        lines.append(
+            f"  !! {f['key']}: {f['latest']:.4g} vs median {f['baseline']:.4g} "
+            f"({f['ratio']:.2f}x, {f['direction']}-is-better) in {f['run_id']}"
+        )
+    if not report["regressions"]:
+        lines.append("  no regressions detected")
+    return "\n".join(lines)

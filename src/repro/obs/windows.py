@@ -1,0 +1,186 @@
+"""Windowed views over metric streams, keyed to simulated time.
+
+The controllers (admission, elastic) must not steer by raw
+instantaneous reads — a single burst or lull flips a threshold check
+and the system flaps.  This module provides the two standard smoothers,
+both exact functions of their observation stream (no wall clock, no
+RNG), so a controller that consumes them stays deterministic:
+
+* :class:`EwmaValue` / :class:`EwmaRate` — exponentially-weighted
+  moving average with *irregular-interval* decay: an observation ``dt``
+  ns after the previous one decays the old state by
+  ``2 ** (-dt / half_life_ns)``, so the estimate's memory is one half
+  life regardless of sampling cadence.  ``EwmaRate`` tracks an event
+  *rate* (events per ns): each observation adds mass that decays the
+  same way, and ``rate(now)`` divides the surviving mass by the mean
+  lifetime ``half_life_ns / ln 2`` — the closed form the hypothesis
+  oracle in ``tests/obs/test_windows.py`` checks against.
+
+* :class:`SlidingWindow` — the last ``window_ns`` of (ts, value)
+  samples, snapshotting to a frozen :class:`WindowSnapshot` whose
+  quantiles use the shared nearest-rank helper
+  (:func:`repro.obs.aggregate.percentile`), so a windowed p99 agrees
+  exactly with sorting the in-window samples by hand.
+
+Everything here is plain host state: observing and snapshotting
+changes no schedule, which is what lets the serve and fleet paths feed
+these from inside atomic steps without perturbing the run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .aggregate import percentile
+
+__all__ = ["EwmaValue", "EwmaRate", "SlidingWindow", "WindowSnapshot"]
+
+_LN2 = 0.6931471805599453
+
+
+class EwmaValue:
+    """Irregular-interval EWMA of a sampled signal.
+
+    The first observation initialises the estimate; each later
+    observation at ``ts`` blends ``value = w * value + (1 - w) * x``
+    with ``w = 2 ** (-dt / half_life_ns)``.  Between observations the
+    estimate *holds* (a sampled signal has no decay target), so
+    :attr:`value` is always the smoothed level as of the last sample.
+    """
+
+    __slots__ = ("half_life_ns", "value", "last_ts", "count")
+
+    def __init__(self, half_life_ns: float):
+        if half_life_ns <= 0:
+            raise ValueError("half_life_ns must be > 0")
+        self.half_life_ns = float(half_life_ns)
+        self.value: float | None = None
+        self.last_ts: float | None = None
+        self.count = 0
+
+    def observe(self, ts: float, x: float) -> float:
+        if self.value is None:
+            self.value = float(x)
+        else:
+            dt = max(0.0, ts - (self.last_ts or 0.0))
+            w = 2.0 ** (-dt / self.half_life_ns)
+            self.value = w * self.value + (1.0 - w) * float(x)
+        self.last_ts = ts
+        self.count += 1
+        return self.value
+
+
+class EwmaRate:
+    """Exponentially-decayed event rate (events per simulated ns)."""
+
+    __slots__ = ("half_life_ns", "_mass", "last_ts", "count")
+
+    def __init__(self, half_life_ns: float):
+        if half_life_ns <= 0:
+            raise ValueError("half_life_ns must be > 0")
+        self.half_life_ns = float(half_life_ns)
+        self._mass = 0.0
+        self.last_ts: float | None = None
+        self.count = 0
+
+    def observe(self, ts: float, n: float = 1.0) -> None:
+        if self.last_ts is not None:
+            dt = max(0.0, ts - self.last_ts)
+            self._mass *= 2.0 ** (-dt / self.half_life_ns)
+        self._mass += float(n)
+        self.last_ts = ts
+        self.count += 1
+
+    def rate(self, now: float | None = None) -> float:
+        """Events per ns as of ``now`` (default: the last observation)."""
+        mass = self._mass
+        if now is not None and self.last_ts is not None and now > self.last_ts:
+            mass *= 2.0 ** (-(now - self.last_ts) / self.half_life_ns)
+        return mass * _LN2 / self.half_life_ns
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """Frozen summary of one window: what a controller reads.
+
+    An empty window reports ``count == 0`` and ``None`` statistics —
+    the same deterministic-sentinel discipline as
+    :func:`~repro.obs.aggregate.percentile` — so callers branch on
+    ``count`` instead of catching exceptions mid-decision.
+    ``rate_per_ns`` is ``count / window_ns``.
+    """
+
+    t0: float
+    t1: float
+    window_ns: float
+    count: int
+    mean: float | None
+    min: float | None
+    p50: float | None
+    p95: float | None
+    p99: float | None
+    max: float | None
+    rate_per_ns: float
+
+
+class SlidingWindow:
+    """The last ``window_ns`` of (ts, value) samples.
+
+    ``max_samples`` bounds memory on hot paths (oldest samples beyond
+    the cap are dropped even if still inside the window — the snapshot
+    then summarises the newest ``max_samples``).  Observations must
+    arrive in non-decreasing ts order, which every caller in the tree
+    satisfies by construction (simulated clocks are monotone per
+    observer).
+    """
+
+    __slots__ = ("window_ns", "max_samples", "_samples")
+
+    def __init__(self, window_ns: float, max_samples: int = 4096):
+        if window_ns <= 0:
+            raise ValueError("window_ns must be > 0")
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self.window_ns = float(window_ns)
+        self.max_samples = max_samples
+        self._samples: deque[tuple[float, float]] = deque()
+
+    def observe(self, ts: float, value: float) -> None:
+        self._samples.append((float(ts), float(value)))
+        self._evict(ts)
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window_ns
+        samples = self._samples
+        while samples and (samples[0][0] <= cutoff
+                           or len(samples) > self.max_samples):
+            samples.popleft()
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def snapshot(self, now: float) -> WindowSnapshot:
+        """Summary of samples with ``now - window_ns < ts <= now``."""
+        self._evict(now)
+        vals = sorted(v for ts, v in self._samples if ts <= now)
+        n = len(vals)
+        if n == 0:
+            return WindowSnapshot(
+                t0=now - self.window_ns, t1=now, window_ns=self.window_ns,
+                count=0, mean=None, min=None, p50=None, p95=None, p99=None,
+                max=None, rate_per_ns=0.0,
+            )
+        return WindowSnapshot(
+            t0=now - self.window_ns,
+            t1=now,
+            window_ns=self.window_ns,
+            count=n,
+            mean=sum(vals) / n,
+            min=vals[0],
+            p50=percentile(vals, 0.50),
+            p95=percentile(vals, 0.95),
+            p99=percentile(vals, 0.99),
+            max=vals[-1],
+            rate_per_ns=n / self.window_ns,
+        )

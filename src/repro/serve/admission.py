@@ -13,11 +13,23 @@ are linearized with the queue they guard.  Crucially, admission happens
 *before* an op exists anywhere durable: a shed op was never accepted,
 so shedding can never lose an admitted key — the conservation property
 the acceptance tests pin down.
+
+With ``smoothing_half_life_ns`` set, the *global-budget* check steers
+by an EWMA of the pending count (:class:`repro.obs.windows.EwmaValue`)
+instead of the raw instantaneous value: a workload that oscillates
+around the budget between submits no longer flaps between admit and
+shed on every crossing.  The per-session window check stays raw — it
+guards a hard correctness bound (bounded reordering window), not a
+load signal.  Smoothing is deterministic (pure function of the
+observation stream) and defaults off, so existing callers see
+byte-identical behavior.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from ..obs.windows import EwmaValue, SlidingWindow, WindowSnapshot
 
 __all__ = ["AdmissionController", "RetryAfter"]
 
@@ -52,10 +64,16 @@ class AdmissionController:
     scales the hint returned with a shed; the hint grows with how far
     over budget the server is, so clients back off harder the deeper
     the overload.
+
+    ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`, optional)
+    receives admit/shed counters and a pending gauge; ``None`` means no
+    emission at all — same zero-cost discipline as ``obs``.
     """
 
     def __init__(self, window: int = 4, budget: int = 64,
-                 base_backoff_ns: float = 2_000.0):
+                 base_backoff_ns: float = 2_000.0,
+                 smoothing_half_life_ns: float | None = None,
+                 metrics=None):
         if window < 1:
             raise ValueError("per-session window must be >= 1")
         if budget < 1:
@@ -66,28 +84,83 @@ class AdmissionController:
         self.pending = 0
         self.per_session: dict[str, int] = {}
         self.stats = AdmissionStats()
+        self.metrics = metrics
+        self.smoothing_half_life_ns = smoothing_half_life_ns
+        self._ewma = (
+            EwmaValue(smoothing_half_life_ns)
+            if smoothing_half_life_ns else None
+        )
+        # windowed load history for load_snapshot(): sized to ~10 half
+        # lives (or the backoff scale when smoothing is off)
+        self._load_window = SlidingWindow(
+            10.0 * (smoothing_half_life_ns or base_backoff_ns or 2_000.0)
+        )
+
+    def observe_load(self, now: float) -> None:
+        """Record the current pending count at simulated time ``now``.
+
+        Called by the frontend at each submit; feeds both the EWMA the
+        global-budget check steers by and the sliding window that
+        ``load_snapshot`` summarises.
+        """
+        if self._ewma is not None:
+            self._ewma.observe(now, float(self.pending))
+        self._load_window.observe(now, float(self.pending))
+
+    def load_snapshot(self, now: float) -> WindowSnapshot:
+        """Windowed view of the pending-count signal (for dashboards
+        and the serve driver's registry summary)."""
+        return self._load_window.snapshot(now)
+
+    def _effective_pending(self) -> float:
+        """The load the global-budget check compares to ``budget``:
+        smoothed when smoothing is on, raw otherwise."""
+        if self._ewma is not None and self._ewma.value is not None:
+            return self._ewma.value
+        return float(self.pending)
 
     def _shed(self, reason: str) -> RetryAfter:
         self.stats.shed += 1
         self.stats.shed_by_reason[reason] = (
             self.stats.shed_by_reason.get(reason, 0) + 1
         )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_admission_shed_total",
+                help="submits shed by the admission controller",
+                reason=reason,
+            ).inc()
         # deeper overload -> larger hint (at least one base interval)
         over = max(1.0, self.pending / self.budget)
         return RetryAfter(backoff_hint_ns=self.base_backoff_ns * over,
                           reason=reason)
 
-    def try_admit(self, sid: str) -> RetryAfter | None:
-        """Admit one op for session ``sid``; None means admitted."""
+    def try_admit(self, sid: str, now: float = 0.0) -> RetryAfter | None:
+        """Admit one op for session ``sid``; None means admitted.
+
+        ``now`` is the submitting step's simulated time; it only feeds
+        the smoothing window, so callers that never enable smoothing
+        can keep passing the default.
+        """
+        self.observe_load(now)
         if self.per_session.get(sid, 0) >= self.window:
             return self._shed("session-window")
-        if self.pending >= self.budget:
+        if self._effective_pending() >= self.budget:
             return self._shed("global-budget")
         self.per_session[sid] = self.per_session.get(sid, 0) + 1
         self.pending += 1
         self.stats.admitted += 1
         if self.pending > self.stats.peak_pending:
             self.stats.peak_pending = self.pending
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_admission_admitted_total",
+                help="submits admitted past the controller",
+            ).inc()
+            self.metrics.gauge(
+                "repro_admission_pending",
+                help="ops currently in flight past admission",
+            ).set(self.pending)
         return None
 
     def complete(self, sid: str) -> None:
@@ -97,6 +170,11 @@ class AdmissionController:
             raise ValueError(f"complete() without matching admit for {sid!r}")
         self.per_session[sid] = n - 1
         self.pending -= 1
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "repro_admission_pending",
+                help="ops currently in flight past admission",
+            ).set(self.pending)
 
     def inflight(self, sid: str) -> int:
         return self.per_session.get(sid, 0)

@@ -68,6 +68,8 @@ class ServeConfig:
     max_events: int = 500_000
     max_recoveries: int = 50
     charge_device: bool = True  # attach the GPU cost model to the queue
+    admission_smoothing_ns: float | None = None  # EWMA half life for the
+    # global-budget load signal; None = raw instantaneous pending count
 
     def __post_init__(self):
         if self.backend not in ("native", "sim"):
@@ -113,7 +115,8 @@ def _fresh_queue(cfg: ServeConfig) -> NativeBGPQ:
 
 
 def _supervisor(cfg: ServeConfig, frontend: Frontend, box: dict,
-                injector: FaultInjector, counters: dict, obs=None):
+                injector: FaultInjector, counters: dict, obs=None,
+                metrics=None):
     """Fork the server, join it, and recover from disk after each crash."""
     incarnation = 0
     while True:
@@ -136,7 +139,7 @@ def _supervisor(cfg: ServeConfig, frontend: Frontend, box: dict,
         box["svc"].close()
         box["svc"] = DurableService.open(
             _fresh_queue(cfg), box["dir"],
-            checkpoint_every=cfg.checkpoint_every, obs=obs,
+            checkpoint_every=cfg.checkpoint_every, obs=obs, metrics=metrics,
         )
 
 
@@ -147,24 +150,32 @@ def _flatten_counter(lists) -> Counter:
     return c
 
 
-def _run_native(cfg: ServeConfig, data_dir: Path, obs=None) -> ServeOutcome:
+def _run_native(cfg: ServeConfig, data_dir: Path, obs=None, metrics=None,
+                slo=None) -> ServeOutcome:
     out = ServeOutcome(backend="native", plan=cfg.plan, seed=cfg.seed,
                        data_dir=str(data_dir))
-    admission = AdmissionController(window=cfg.window, budget=cfg.budget,
-                                    base_backoff_ns=cfg.base_backoff_ns)
-    frontend = Frontend(admission, obs=obs)
+    admission = AdmissionController(
+        window=cfg.window, budget=cfg.budget,
+        base_backoff_ns=cfg.base_backoff_ns,
+        smoothing_half_life_ns=cfg.admission_smoothing_ns,
+        metrics=metrics,
+    )
+    frontend = Frontend(admission, obs=obs, metrics=metrics, slo=slo)
     frontend.live_sessions = cfg.sessions
     svc = DurableService.open(
         _fresh_queue(cfg), data_dir,
-        checkpoint_every=cfg.checkpoint_every, obs=obs,
+        checkpoint_every=cfg.checkpoint_every, obs=obs, metrics=metrics,
     )
     box = {"svc": svc, "dir": data_dir}
     injector = FaultInjector(FaultPlan.preset(cfg.plan), seed=cfg.seed, obs=obs)
     engine = Engine(seed=cfg.seed, obs=obs)
+    # key admission smoothing and SLO windows to the engine's clock
+    frontend.now_fn = lambda: engine.now
     counters = {"recoveries": 0}
     records: list[dict] = [{} for _ in range(cfg.sessions)]
     engine.spawn(
-        _supervisor(cfg, frontend, box, injector, counters, obs=obs),
+        _supervisor(cfg, frontend, box, injector, counters, obs=obs,
+                    metrics=metrics),
         name="supervisor",
     )
     for i in range(cfg.sessions):
@@ -192,6 +203,12 @@ def _run_native(cfg: ServeConfig, data_dir: Path, obs=None) -> ServeOutcome:
     out.peak_pending = stats["peak_pending"]
     out.dropped = sum(r.get("dropped", 0) for r in records)
     out.queue_len = len(svc.queue)
+    if metrics is not None:
+        snap = admission.load_snapshot(engine.now)
+        metrics.gauge(
+            "repro_admission_load_p95",
+            help="p95 of the windowed pending-count signal at drain",
+        ).set(snap.p95 if snap.p95 is not None else 0.0)
     out.sim_time_ns = svc.queue.sim_time_ns
     out.digest = svc.digest()
     if out.status == "survived":
@@ -233,7 +250,8 @@ def _run_native(cfg: ServeConfig, data_dir: Path, obs=None) -> ServeOutcome:
     return out
 
 
-def _run_sim(cfg: ServeConfig, data_dir: Path, obs=None) -> ServeOutcome:
+def _run_sim(cfg: ServeConfig, data_dir: Path, obs=None, metrics=None,
+             slo=None) -> ServeOutcome:
     from ..campaign import queue_factory
 
     out = ServeOutcome(backend="sim", plan=cfg.plan, seed=cfg.seed,
@@ -241,9 +259,13 @@ def _run_sim(cfg: ServeConfig, data_dir: Path, obs=None) -> ServeOutcome:
     pq = queue_factory("bgpq")(cfg.k)
     if obs is not None and hasattr(pq, "obs"):
         pq.obs = obs
-    admission = AdmissionController(window=cfg.window, budget=cfg.budget,
-                                    base_backoff_ns=cfg.base_backoff_ns)
-    wal = WriteAheadLog.open(data_dir, obs=obs)
+    admission = AdmissionController(
+        window=cfg.window, budget=cfg.budget,
+        base_backoff_ns=cfg.base_backoff_ns,
+        smoothing_half_life_ns=cfg.admission_smoothing_ns,
+        metrics=metrics,
+    )
+    wal = WriteAheadLog.open(data_dir, obs=obs, metrics=metrics)
     injector = FaultInjector(FaultPlan.preset(cfg.plan), seed=cfg.seed, obs=obs)
     engine = Engine(seed=cfg.seed, obs=obs)
     records: list[dict] = [{} for _ in range(cfg.sessions)]
@@ -251,6 +273,7 @@ def _run_sim(cfg: ServeConfig, data_dir: Path, obs=None) -> ServeOutcome:
         gen = sim_session(
             pq, admission, wal, f"s{i}", cfg.seed, cfg.ops, cfg.k, records[i],
             key_space=cfg.key_space, base_backoff_ns=cfg.base_backoff_ns,
+            slo=slo, now_fn=lambda: engine.now,
         )
         engine.spawn(injector.wrap(gen, f"s{i}"), name=f"s{i}")
     try:
@@ -295,23 +318,33 @@ def _run_sim(cfg: ServeConfig, data_dir: Path, obs=None) -> ServeOutcome:
     return out
 
 
-def run_serve(cfg: ServeConfig, obs=None) -> ServeOutcome:
+def run_serve(cfg: ServeConfig, obs=None, metrics=None,
+              slo=None) -> ServeOutcome:
     """Run one serve cell; never raises for a cell failure — the
-    outcome carries the reproducing (backend, plan, seed) instead."""
+    outcome carries the reproducing (backend, plan, seed) instead.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) and
+    ``slo`` (a :class:`~repro.obs.slo.SloTracker`) are optional sinks;
+    ``None`` disables emission entirely, and the differential tests
+    pin down that attaching them changes no observable outcome."""
     data_dir = Path(cfg.data_dir) if cfg.data_dir else Path(
         tempfile.mkdtemp(prefix="repro-serve-")
     )
     data_dir.mkdir(parents=True, exist_ok=True)
     if cfg.backend == "native":
-        return _run_native(cfg, data_dir, obs=obs)
-    return _run_sim(cfg, data_dir, obs=obs)
+        return _run_native(cfg, data_dir, obs=obs, metrics=metrics, slo=slo)
+    return _run_sim(cfg, data_dir, obs=obs, metrics=metrics, slo=slo)
 
 
 def run_serve_campaign(cfg: ServeConfig, seeds: int = 10,
                        seed_base: int = 0, trace: bool = False,
-                       ) -> list[ServeOutcome]:
+                       metrics=None, slo=None) -> list[ServeOutcome]:
     """Seed-swept serve campaign; each seed gets its own data subdir
-    (a durable state is one history — seeds must not share a WAL)."""
+    (a durable state is one history — seeds must not share a WAL).
+
+    A single ``metrics`` registry (and ``slo`` tracker) spans the whole
+    campaign: counters sum and histograms merge across seeds, which is
+    exactly the cross-seed aggregate the registry snapshot records."""
     from dataclasses import replace
 
     outcomes = []
@@ -326,5 +359,5 @@ def run_serve_campaign(cfg: ServeConfig, seeds: int = 10,
             obs = EventBus()
         cell = replace(cfg, seed=seed_base + s,
                        data_dir=str(base_dir / f"seed-{seed_base + s}"))
-        outcomes.append(run_serve(cell, obs=obs))
+        outcomes.append(run_serve(cell, obs=obs, metrics=metrics, slo=slo))
     return outcomes

@@ -27,6 +27,7 @@ ledger :meth:`audit` feeds to :class:`~repro.core.audit.HeapAuditor`
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 
 import numpy as np
@@ -48,12 +49,13 @@ class DurableService:
     """
 
     def __init__(self, queue, wal: WriteAheadLog, checkpoints: CheckpointStore,
-                 checkpoint_every: int = 64, obs=None):
+                 checkpoint_every: int = 64, obs=None, metrics=None):
         self.queue = queue
         self.wal = wal
         self.checkpoints = checkpoints
         self.checkpoint_every = max(1, checkpoint_every)
         self._obs = obs
+        self.metrics = metrics
         self._applied: dict[tuple[str, int], dict] = {}
         self._last_ckpt_lsn = 0
         self.recovery_info: dict = {"fresh": True, "ckpt_lsn": 0, "replayed": 0}
@@ -62,7 +64,7 @@ class DurableService:
     @classmethod
     def open(cls, queue, data_dir: str | Path, *, checkpoint_every: int = 64,
              keep_checkpoints: int = 2, obs=None, fsync: bool = False,
-             ) -> "DurableService":
+             metrics=None) -> "DurableService":
         """Open (and if needed recover) the durable state in ``data_dir``.
 
         ``queue`` must be freshly constructed with the same layout
@@ -72,13 +74,17 @@ class DurableService:
         WAL begins at LSN 1.
         """
         checkpoints = CheckpointStore(data_dir, keep=keep_checkpoints, obs=obs)
-        wal = WriteAheadLog.open(data_dir, obs=obs, fsync=fsync)
+        wal = WriteAheadLog.open(data_dir, obs=obs, fsync=fsync,
+                                 metrics=metrics)
         svc = cls(queue, wal, checkpoints,
-                  checkpoint_every=checkpoint_every, obs=obs)
+                  checkpoint_every=checkpoint_every, obs=obs, metrics=metrics)
         svc._recover()
         return svc
 
     def _recover(self) -> None:
+        # host wall clock, measurement only (how long recovery took on
+        # this machine) — the value never feeds a scheduling decision
+        t0 = time.perf_counter_ns() if self.metrics is not None else 0
         loaded = self.checkpoints.load_latest()
         had_state = loaded is not None or len(self.wal) > 0
         self.queue.clear()
@@ -104,9 +110,28 @@ class DurableService:
             "replayed": replayed,
             "digest": self.digest(),
         }
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "repro_serve_recovery_host_ns",
+                help="host wall time of one recovery (load ckpt + replay)",
+            ).observe(time.perf_counter_ns() - t0)
+            if had_state:
+                self.metrics.counter(
+                    "repro_serve_recoveries_total",
+                    help="recoveries from non-empty durable state",
+                ).inc()
+            self._update_checkpoint_age()
         if had_state and self._obs is not None:
             self._obs.emit_here(SERVE_RECOVER, ckpt_lsn=ckpt_lsn,
                                 replayed=replayed)
+
+    def _update_checkpoint_age(self) -> None:
+        """Gauge: journaled ops not yet covered by a checkpoint (the
+        replay debt a crash right now would incur)."""
+        self.metrics.gauge(
+            "repro_serve_checkpoint_age_ops",
+            help="WAL records since the newest checkpoint",
+        ).set(self.wal.last_lsn - self._last_ckpt_lsn)
 
     def _replay(self, rec: WalRecord) -> None:
         q = self.queue
@@ -169,6 +194,12 @@ class DurableService:
         if self._obs is not None:
             self._obs.emit_here(SERVE_APPLY, kind="insert", session=sid,
                                 lsn=rec.lsn)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_serve_apply_total",
+                help="ops journaled and applied by the durable service",
+                kind="insert",
+            ).inc()
         self.maybe_checkpoint()
         return resp
 
@@ -192,6 +223,12 @@ class DurableService:
         if self._obs is not None:
             self._obs.emit_here(SERVE_APPLY, kind="deletemin", session=sid,
                                 lsn=rec.lsn)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_serve_apply_total",
+                help="ops journaled and applied by the durable service",
+                kind="deletemin",
+            ).inc()
         self.maybe_checkpoint()
         return resp
 
@@ -208,15 +245,24 @@ class DurableService:
     # -- checkpointing ----------------------------------------------------
     def maybe_checkpoint(self) -> bool:
         """Checkpoint when ``checkpoint_every`` ops accrued since the last."""
+        took = False
         if self.wal.last_lsn - self._last_ckpt_lsn >= self.checkpoint_every:
             self.checkpoint()
-            return True
-        return False
+            took = True
+        if self.metrics is not None:
+            self._update_checkpoint_age()
+        return took
 
     def checkpoint(self) -> Path:
         lsn = self.wal.last_lsn
         path = self.checkpoints.save(self.queue.export_state(), lsn)
         self._last_ckpt_lsn = lsn
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_serve_checkpoints_total",
+                help="checkpoints written",
+            ).inc()
+            self._update_checkpoint_age()
         return path
 
     # -- verification ------------------------------------------------------

@@ -57,7 +57,8 @@ class Frontend:
     the recovered server.
     """
 
-    def __init__(self, admission: AdmissionController, obs=None):
+    def __init__(self, admission: AdmissionController, obs=None,
+                 metrics=None, slo=None):
         self.admission = admission
         self.pending: deque[dict] = deque()
         self.responses: dict[tuple[str, int], dict] = {}
@@ -66,12 +67,17 @@ class Frontend:
         self.live_sessions = 0
         self.closed = False
         self._obs = obs
+        self.metrics = metrics
+        self.slo = slo
+        # the submitting step's simulated clock; the driver points this
+        # at the engine so admission smoothing is keyed to sim time
+        self.now_fn = lambda: 0.0
 
     # -- session side (called inside Atomic) -----------------------------
     def submit(self, request: dict) -> RetryAfter | None:
         """Admission-check and enqueue one request; None means admitted."""
         sid = request["sid"]
-        verdict = self.admission.try_admit(sid)
+        verdict = self.admission.try_admit(sid, now=self.now_fn())
         if verdict is not None:
             if self._obs is not None:
                 self._obs.emit_here(
@@ -102,6 +108,15 @@ class Frontend:
         response = service.apply(request)
         self.responses[(request["sid"], request["op_id"])] = response
         self.admission.complete(request["sid"])
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "repro_serve_apply_cost_ns",
+                help="modeled device cost of one applied request",
+                kind=request["kind"],
+            ).observe(response["cost_ns"])
+        if self.slo is not None:
+            self.slo.observe(request["kind"], response["cost_ns"],
+                             ts=self.now_fn())
         return response["cost_ns"]
 
 
@@ -238,6 +253,8 @@ def sim_session(
     key_space: int = 100_000,
     base_backoff_ns: float = 2_000.0,
     retries: int = 3,
+    slo=None,
+    now_fn=lambda: 0.0,
 ):
     """One session driving the concurrent sim BGPQ directly; generator.
 
@@ -255,7 +272,7 @@ def sim_session(
     record.setdefault("aborted", 0)
 
     def _admit():
-        verdict = admission.try_admit(sid)
+        verdict = admission.try_admit(sid, now=now_fn())
         if verdict is None:
             return None
         record["shed"] += 1
@@ -276,6 +293,7 @@ def sim_session(
                 yield Compute(delay)
                 attempt += 1
             op_id = request["op_id"]
+            t_sub = now_fn()
             if request["kind"] == "insert":
                 keys = np.asarray(request["keys"], dtype=np.int64)
                 done = False
@@ -295,6 +313,8 @@ def sim_session(
                         wal.append(sid, op_id, "insert", keys=request["keys"]),
                         record["admitted_inserts"].append(list(request["keys"])),
                     ))
+                    if slo is not None:
+                        slo.observe("insert", now_fn() - t_sub, ts=now_fn())
                 else:
                     record["aborted"] += 1
                 yield Atomic(lambda: admission.complete(sid))
@@ -320,6 +340,9 @@ def sim_session(
                                    result={"keys": got_l, "pay": []}),
                         record["received"].append(got_l),
                     ))
+                    if slo is not None:
+                        slo.observe("deletemin", now_fn() - t_sub,
+                                    ts=now_fn())
                 yield Atomic(lambda: admission.complete(sid))
     finally:
         # a crashed session must not strand its admission slot: reap

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -125,17 +126,18 @@ class WriteAheadLog:
     FILENAME = "wal.jsonl"
 
     def __init__(self, path: Path, records: list[WalRecord], obs=None,
-                 fsync: bool = False):
+                 fsync: bool = False, metrics=None):
         self.path = path
         self._records = records
         self._next_lsn = (records[-1].lsn + 1) if records else 1
         self._fh = open(path, "a", encoding="utf-8")
         self._obs = obs
         self._fsync = fsync
+        self.metrics = metrics
 
     @classmethod
     def open(cls, directory: str | Path, obs=None,
-             fsync: bool = False) -> "WriteAheadLog":
+             fsync: bool = False, metrics=None) -> "WriteAheadLog":
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / cls.FILENAME
@@ -168,7 +170,7 @@ class WriteAheadLog:
                 # truncate it so the file is clean for new appends
                 keep = "".join(line + "\n" for line in lines[:bad_at])
                 path.write_text(keep, encoding="utf-8")
-        return cls(path, records, obs=obs, fsync=fsync)
+        return cls(path, records, obs=obs, fsync=fsync, metrics=metrics)
 
     # -- append side -----------------------------------------------------
     @property
@@ -192,6 +194,9 @@ class WriteAheadLog:
             count=count,
             result=result,
         )
+        # host wall clock, measurement only: the elapsed time feeds a
+        # histogram and never a decision, so determinism is untouched
+        t0 = time.perf_counter_ns() if self.metrics is not None else 0
         self._fh.write(_encode(rec.to_body()) + "\n")
         self._fh.flush()
         if self._fsync:
@@ -201,6 +206,18 @@ class WriteAheadLog:
             os.fsync(self._fh.fileno())
         self._records.append(rec)
         self._next_lsn += 1
+        if self.metrics is not None:
+            mode = "fsync" if self._fsync else "flush"
+            self.metrics.histogram(
+                "repro_wal_append_host_ns",
+                help="host wall time of one WAL append (write+flush)",
+                mode=mode,
+            ).observe(time.perf_counter_ns() - t0)
+            self.metrics.counter(
+                "repro_wal_records_total",
+                help="records appended to the write-ahead log",
+                kind=kind,
+            ).inc()
         if self._obs is not None:
             self._obs.emit_here(WAL_APPEND, kind=kind, lsn=rec.lsn)
         return rec

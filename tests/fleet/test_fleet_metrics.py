@@ -1,0 +1,113 @@
+"""Fleet-path metrics: schedule neutrality, gauge lifecycle, and
+smoothed elasticity."""
+
+from repro.fleet import ShardedBGPQ, mixed_scripts, run_fleet
+from repro.fleet.elastic import ElasticController
+from repro.obs.metrics import MetricsRegistry, validate_prometheus_text
+
+
+def _run(metrics, *, n_shards=3, elastic=None):
+    fleet = ShardedBGPQ(n_shards=n_shards, node_capacity=16, policy="spray",
+                        seed=11, metrics=metrics)
+    scripts = mixed_scripts(5, 8, 16, seed=11)
+    res = run_fleet(fleet, scripts, imbalance_every=8, elastic=elastic)
+    return fleet, res
+
+
+def test_metrics_do_not_move_the_fleet():
+    _, bare = _run(None)
+    reg = MetricsRegistry()
+    fleet, wired = _run(reg)
+    assert wired.history == bare.history
+    assert wired.makespan_ns == bare.makespan_ns
+    assert wired.shard_sizes == bare.shard_sizes
+    assert wired.stats == bare.stats
+    # and the wired run really emitted
+    assert "repro_fleet_op_latency_ns" in reg.names()
+    assert "repro_shard_occupancy" in reg.names()
+    assert validate_prometheus_text(reg.to_prometheus()) == []
+
+
+def test_metrics_neutral_under_elastic_resharding():
+    def elastic():
+        return ElasticController(min_shards=1, max_shards=6,
+                                 grow_above=24, shrink_below=2, cooldown=1)
+
+    _, bare = _run(None, elastic=elastic())
+    reg = MetricsRegistry()
+    _, wired = _run(reg, elastic=elastic())
+    assert wired.history == bare.history
+    assert wired.makespan_ns == bare.makespan_ns
+    assert wired.shard_sizes == bare.shard_sizes
+
+
+def test_shrink_retires_ghost_shard_gauges():
+    reg = MetricsRegistry()
+    fleet = ShardedBGPQ(n_shards=4, node_capacity=8, seed=1, metrics=reg)
+    fleet.observe_gauges(at=0.0)
+    occ = reg.snapshot()["repro_shard_occupancy"]["series"]
+    assert [s["labels"]["shard"] for s in occ] == ["0", "1", "2", "3"]
+    fleet.shrink(at=1.0)
+    fleet.shrink(at=2.0)
+    fleet.observe_gauges(at=3.0)
+    snap = reg.snapshot()
+    occ = snap["repro_shard_occupancy"]["series"]
+    assert [s["labels"]["shard"] for s in occ] == ["0", "1"]
+    assert snap["repro_fleet_width"]["series"][0]["value"] == 2
+
+
+def test_probe_hit_ratio_and_reshard_counters():
+    reg = MetricsRegistry()
+    fleet, res = _run(reg)
+    fleet.observe_gauges(at=res.makespan_ns)
+    snap = reg.snapshot()
+    ratio = snap["repro_fleet_probe_hit_ratio"]["series"][0]["value"]
+    assert 0.0 <= ratio <= 1.0
+    fleet.grow(1, at=res.makespan_ns)
+    snap = reg.snapshot()
+    grows = {
+        s["labels"]["action"]: s["value"]
+        for s in snap["repro_fleet_reshard_total"]["series"]
+    }
+    assert grows.get("grow") == 1
+
+
+def test_smoothing_stops_elastic_flapping():
+    """Occupancy oscillating across the grow mark: the raw controller
+    grows on every burst and shrinks right back; the smoothed one sees
+    the average level and holds a stable width."""
+    import numpy as np
+
+    def run(smoothing):
+        fleet = ShardedBGPQ(n_shards=2, node_capacity=8, seed=2)
+        ctl = ElasticController(min_shards=1, max_shards=8,
+                                grow_above=40, shrink_below=3, cooldown=0,
+                                smoothing_half_life_ns=smoothing)
+        burst = np.arange(120, dtype=np.int64)
+        for step in range(10):
+            now = float(step * 1_000)
+            if step % 2 == 0:
+                fleet.insert(burst)  # ~60/shard: above the mark
+            else:
+                while len(fleet) > 4:  # drain to ~2/shard: below it
+                    if not len(fleet.delete_min(8)):
+                        break
+            ctl.maybe_act(fleet, now=now)
+        return [t.action for t in ctl.actions]
+
+    raw = run(None)
+    smooth = run(2_000.0)
+    assert raw != smooth  # smoothing changed real resize decisions
+    structural = lambda acts: [a for a in acts  # noqa: E731
+                               if a in ("grow", "shrink")]
+    assert len(structural(smooth)) < len(structural(raw))
+
+
+def test_op_latency_counts_match_executed(tmp_path):
+    reg = MetricsRegistry()
+    _, res = _run(reg)
+    snap = reg.snapshot()
+    observed = sum(
+        s["count"] for s in snap["repro_fleet_op_latency_ns"]["series"]
+    )
+    assert observed == len(res.history)

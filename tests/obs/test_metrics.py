@@ -1,0 +1,165 @@
+"""Metrics registry: typing, label keying, histograms, exposition."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.events import OP_BEGIN, OP_END, TraceEvent
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    bucket_index,
+    bucket_upper_bound,
+    fold_events,
+    validate_prometheus_text,
+)
+
+
+def test_counter_and_gauge_basics():
+    reg = MetricsRegistry()
+    reg.counter("repro_ops_total", op="insert").inc()
+    reg.counter("repro_ops_total", op="insert").inc(2)
+    reg.counter("repro_ops_total", op="deletemin").inc()
+    reg.gauge("repro_width").set(4)
+    snap = reg.snapshot()
+    series = {
+        tuple(sorted(s["labels"].items())): s["value"]
+        for s in snap["repro_ops_total"]["series"]
+    }
+    assert series[(("op", "insert"),)] == 3
+    assert series[(("op", "deletemin"),)] == 1
+    assert snap["repro_width"]["series"][0]["value"] == 4
+
+
+def test_label_order_does_not_fork_series():
+    reg = MetricsRegistry()
+    reg.counter("repro_x_total", a="1", b="2").inc()
+    reg.counter("repro_x_total", b="2", a="1").inc()
+    assert len(reg.snapshot()["repro_x_total"]["series"]) == 1
+
+
+def test_name_is_permanently_one_type():
+    reg = MetricsRegistry()
+    reg.counter("repro_x_total").inc()
+    with pytest.raises(ValueError, match="already registered"):
+        reg.gauge("repro_x_total")
+
+
+def test_invalid_names_rejected():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("bad name")
+    with pytest.raises(ValueError):
+        reg.counter("repro_ok_total", **{"bad-label": "x"})
+
+
+def test_drop_retires_one_series():
+    reg = MetricsRegistry()
+    reg.gauge("repro_shard_occupancy", shard="0").set(1)
+    reg.gauge("repro_shard_occupancy", shard="1").set(2)
+    assert reg.drop("repro_shard_occupancy", shard="1")
+    assert not reg.drop("repro_shard_occupancy", shard="1")
+    snap = reg.snapshot()["repro_shard_occupancy"]["series"]
+    assert [s["labels"] for s in snap] == [{"shard": "0"}]
+
+
+def test_bucket_index_bounds_each_value():
+    for v in (0.0, 0.5, 1.0, 3.0, 1024.0, 12345.6):
+        idx = bucket_index(v)
+        assert v <= bucket_upper_bound(idx)
+        if idx > 0:
+            assert v > bucket_upper_bound(idx - 1)
+
+
+def test_histogram_snapshot_quantiles():
+    h = Histogram()
+    for v in (1, 2, 3, 1000):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["count"] == 4
+    assert snap["sum"] == 1006
+    assert snap["min"] == 1 and snap["max"] == 1000
+    # quantiles agree with the shared nearest-rank helper applied to
+    # the bucket upper bounds by hand
+    from repro.obs.aggregate import quantile_from_counts
+
+    pairs = [(bucket_upper_bound(int(i)), n)
+             for i, n in snap["buckets"].items()]
+    assert snap["p50"] == quantile_from_counts(pairs, 0.50)
+    assert snap["p99"] == bucket_upper_bound(bucket_index(1000))
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1e9,
+                       allow_nan=False), max_size=30),
+    st.lists(st.floats(min_value=0.0, max_value=1e9,
+                       allow_nan=False), max_size=30),
+    st.lists(st.floats(min_value=0.0, max_value=1e9,
+                       allow_nan=False), max_size=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_histogram_merge_is_associative(xs, ys, zs):
+    def hist(vals):
+        h = Histogram()
+        for v in vals:
+            h.observe(v)
+        return h
+
+    left = hist(xs).merge(hist(ys)).merge(hist(zs))
+    right = hist(xs).merge(hist(ys).merge(hist(zs)))
+    direct = hist(xs + ys + zs)
+    for h in (left, right):
+        assert h.buckets == direct.buckets
+        assert h.count == direct.count
+        assert h.min == direct.min and h.max == direct.max
+        assert math.isclose(h.total, direct.total, rel_tol=1e-9, abs_tol=1e-6)
+
+
+def test_prometheus_exposition_validates():
+    reg = MetricsRegistry()
+    reg.counter("repro_ops_total", op="insert").inc(3)
+    reg.gauge("repro_width").set(2)
+    h = reg.histogram("repro_lat_ns", op="insert")
+    for v in (10, 20, 5000):
+        h.observe(v)
+    text = reg.to_prometheus()
+    assert validate_prometheus_text(text) == []
+    # cumulative buckets end at _count
+    assert f"repro_lat_ns_count{{op=\"insert\"}} 3" in text
+    assert 'le="+Inf"' in text
+
+
+def test_validator_rejects_malformed_text():
+    assert validate_prometheus_text("repro_x_total 1\n")  # no HELP/TYPE
+    bad = (
+        "# HELP repro_h h\n# TYPE repro_h histogram\n"
+        'repro_h_bucket{le="1"} 5\nrepro_h_bucket{le="+Inf"} 3\n'
+        "repro_h_sum 1\nrepro_h_count 3\n"
+    )
+    assert any("non-decreasing" in p or "decreas" in p or "bucket" in p
+               for p in validate_prometheus_text(bad))
+
+
+def test_fold_events_counts_and_latencies():
+    events = [
+        TraceEvent(0.0, "t0", OP_BEGIN, {"op": "insert"}),
+        TraceEvent(100.0, "t0", OP_END, {"op": "insert"}),
+        TraceEvent(50.0, "t1", OP_BEGIN, {"op": "deletemin"}),
+        TraceEvent(250.0, "t1", OP_END, {"op": "deletemin"}),
+    ]
+    reg = fold_events(events)
+    snap = reg.snapshot()
+    counts = {
+        s["labels"]["event"]: s["value"]
+        for s in snap["repro_events_total"]["series"]
+    }
+    assert counts == {"op.begin": 2, "op.end": 2}
+    lat = {
+        s["labels"]["op"]: s for s in snap["repro_op_latency_ns"]["series"]
+    }
+    assert lat["insert"]["count"] == 1
+    assert lat["insert"]["sum"] == 100.0
+    assert lat["deletemin"]["sum"] == 200.0
+    assert validate_prometheus_text(reg.to_prometheus()) == []

@@ -1,0 +1,100 @@
+"""`repro metrics` and `repro runs trend` CLI verbs."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.metrics import validate_prometheus_text
+from repro.registry import REGISTRY_ENV, RunRegistry
+
+
+@pytest.fixture(autouse=True)
+def isolated_dirs(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    monkeypatch.setenv(REGISTRY_ENV, str(tmp_path / "registry"))
+    return tmp_path
+
+
+FLEET_SMALL = ["metrics", "fleet", "--shard-k", "16",
+               "--shard-sessions", "4", "--shard-requests", "4"]
+
+
+def test_metrics_fleet_emits_validated_artifacts(isolated_dirs, capsys):
+    assert main(FLEET_SMALL) == 0
+    out = capsys.readouterr().out
+    assert "repro_fleet_op_latency_ns" in out
+    assert "SLO report" in out
+    prom = isolated_dirs / "results" / "metrics.prom"
+    assert validate_prometheus_text(prom.read_text()) == []
+    snap = json.loads((isolated_dirs / "results" / "metrics.json").read_text())
+    assert "repro_shard_occupancy" in snap["metrics"]
+    assert snap["slo"]["ok"]
+    reg = RunRegistry(isolated_dirs / "registry")
+    runs = reg.list_runs(kind="metrics")
+    assert len(runs) == 1 and runs[0]["summary"]["slo_ok"]
+    art = isolated_dirs / "registry" / runs[0]["run_id"]
+    assert (art / "metrics.prom").exists()
+
+
+def test_metrics_mixed_folds_trace_events(isolated_dirs, capsys):
+    assert main(["metrics", "--threads", "3", "--ops", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "repro_events_total" in out
+    assert "repro_op_latency_ns" in out
+
+
+def test_metrics_objective_override_can_fail_slo(isolated_dirs, capsys):
+    # a 1ns objective no real op can meet: the SLO gate must trip
+    assert main(FLEET_SMALL + ["--slo-objective-ns", "1"]) == 1
+    assert "VIOLATED" in capsys.readouterr().out
+
+
+def test_serve_metrics_artifacts(isolated_dirs, capsys):
+    assert main(["serve", "--seeds", "2", "--sessions", "2", "--ops", "4",
+                 "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "SLO report" in out
+    reg = RunRegistry(isolated_dirs / "registry")
+    runs = reg.list_runs(kind="serve")
+    art = isolated_dirs / "registry" / runs[0]["run_id"]
+    assert validate_prometheus_text((art / "metrics.prom").read_text()) == []
+    snap = json.loads((art / "metrics.json").read_text())
+    # one registry spans the campaign: both seeds' ops are in there
+    total = sum(s["value"]
+                for s in snap["metrics"]["repro_serve_apply_total"]["series"])
+    assert total >= 2 * 2 * 4 * 0.5  # at least half the submitted ops
+    assert runs[0]["summary"]["slo_ok"]
+
+
+def _seed_history(root, vals, key="geomean_4shard"):
+    reg = RunRegistry(root)
+    for v in vals:
+        reg.record("bench-shard", status="completed", config={},
+                   summary={key: v, "wall_s": 1.0})
+
+
+def test_runs_trend_clean_history_exits_zero(isolated_dirs, capsys):
+    _seed_history(isolated_dirs / "registry", [2.0, 2.1, 2.0, 2.05])
+    assert main(["runs", "trend"]) == 0
+    out = capsys.readouterr().out
+    assert "bench-shard" in out and "no cross-run regressions" in out
+
+
+def test_runs_trend_detects_injected_regression(isolated_dirs, capsys):
+    _seed_history(isolated_dirs / "registry", [2.0, 2.1, 2.0, 1.0])
+    assert main(["runs", "trend"]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSED" in out and "geomean_4shard" in out
+
+
+def test_runs_trend_kind_filter_and_unknown_kind(isolated_dirs, capsys):
+    _seed_history(isolated_dirs / "registry", [2.0, 2.0, 0.5])
+    # filtering to an unrelated recorded kind skips the regressed one
+    reg = RunRegistry(isolated_dirs / "registry")
+    for _ in range(3):
+        reg.record("serve", status="completed", config={},
+                   summary={"survived": 2})
+    assert main(["runs", "trend", "serve"]) == 0
+    capsys.readouterr()
+    assert main(["runs", "trend", "no-such-kind"]) == 2

@@ -1,0 +1,74 @@
+"""SLO tracker: compliance, error budget, burn rate, quality gauge."""
+
+import pytest
+
+from repro.obs.slo import SloSpec, SloTracker, render_slo
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        SloSpec("op", 100.0, target=0.0)
+    with pytest.raises(ValueError):
+        SloSpec("op", -1.0)
+
+
+def test_compliance_and_budget_accounting():
+    t = SloTracker([SloSpec("insert", objective_ns=100.0, target=0.9)])
+    for i in range(9):
+        t.observe("insert", 50.0, ts=float(i))
+    t.observe("insert", 500.0, ts=9.0)  # one miss out of ten
+    c = t.report()["classes"]["insert"]
+    assert c["total"] == 10 and c["good"] == 9 and c["bad"] == 1
+    assert c["compliance"] == pytest.approx(0.9)
+    # budget: 10% of 10 ops = 1 miss allowed; exactly spent
+    assert c["error_budget"] == pytest.approx(1.0)
+    assert c["budget_remaining"] == pytest.approx(0.0)
+    assert c["ok"]
+    t.observe("insert", 500.0, ts=10.0)
+    assert not t.report()["classes"]["insert"]["ok"]
+    assert not t.report()["ok"]
+
+
+def test_burn_rate_is_windowed_bad_fraction_over_budget():
+    t = SloTracker([SloSpec("op", objective_ns=10.0, target=0.9)],
+                   window_ns=100.0)
+    # old miss ages out of the window; recent traffic is all good
+    t.observe("op", 99.0, ts=0.0)
+    for i in range(1, 5):
+        t.observe("op", 1.0, ts=500.0 + i)
+    c = t.report()["classes"]["op"]
+    assert c["burn_rate"] == pytest.approx(0.0)
+    # now a recent 50% bad window burns at 5x the 10% budget rate
+    t.observe("op", 99.0, ts=506.0)
+    t.observe("op", 99.0, ts=507.0)
+    t.observe("op", 99.0, ts=508.0)
+    t.observe("op", 99.0, ts=509.0)
+    c = t.report()["classes"]["op"]
+    assert c["burn_rate"] == pytest.approx((4 / 8) / 0.1)
+
+
+def test_measure_only_class_never_violates():
+    t = SloTracker()
+    t.observe("mystery", 1e12, ts=0.0)
+    rep = t.report()
+    assert rep["classes"]["mystery"]["objective_ns"] is None
+    assert rep["classes"]["mystery"]["ok"] and rep["ok"]
+
+
+def test_quality_gauge_gates_overall_ok():
+    t = SloTracker()
+    t.observe("op", 1.0, ts=0.0)
+    t.set_quality(minimal_k=8, budget=16)
+    assert t.report()["ok"]
+    assert t.quality["utilisation"] == pytest.approx(0.5)
+    t.set_quality(minimal_k=32, budget=16)
+    assert not t.report()["ok"]
+
+
+def test_render_slo_smoke():
+    t = SloTracker([SloSpec("insert", objective_ns=100.0, target=0.95)])
+    t.observe("insert", 50.0, ts=1.0)
+    t.set_quality(minimal_k=4, budget=64)
+    text = render_slo(t.report())
+    assert "insert" in text and "minimal_k=4" in text
+    assert "overall: ok" in text

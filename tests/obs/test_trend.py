@@ -1,0 +1,93 @@
+"""Cross-run trend series and regression detection on synthetic
+histories."""
+
+from repro.obs.trend import (
+    build_series,
+    detect_regressions,
+    direction_of,
+    flatten_numeric,
+    render_trend,
+    trend_report,
+)
+
+
+def _run(i, summary, status="completed"):
+    return {
+        "run_id": f"r{i}",
+        "kind": "bench-shard",
+        "status": status,
+        "created_at": float(i),
+        "summary": summary,
+    }
+
+
+def test_direction_inference():
+    assert direction_of("geomean_4shard") == "higher"
+    assert direction_of("gate.geomean_ratios.core") == "higher"
+    assert direction_of("p95_ns") == "lower"
+    assert direction_of("minimal_k") == "lower"
+    assert direction_of("wall_s") == "info"  # host noise, never judged
+    assert direction_of("some_opaque_count") == "info"
+
+
+def test_flatten_numeric_leaves():
+    flat = flatten_numeric({
+        "a": 1,
+        "b": {"c": 2.5, "ok": True},
+        "skip": "string",
+        "lst": [1, 2],
+    })
+    assert flat == {"a": 1.0, "b.c": 2.5, "b.ok": 1.0}
+
+
+def test_build_series_orders_and_skips_running():
+    runs = [
+        _run(2, {"x": 3.0}),
+        _run(0, {"x": 1.0}),
+        _run(1, {"x": 2.0}, status="running"),
+    ]
+    series = build_series(runs)
+    assert [p["value"] for p in series["x"]] == [1.0, 3.0]
+    assert [p["run_id"] for p in series["x"]] == ["r0", "r2"]
+
+
+def test_injected_regression_is_detected():
+    runs = [_run(i, {"geomean_4shard": 2.0, "wall_s": 10.0 * i})
+            for i in range(4)]
+    runs.append(_run(4, {"geomean_4shard": 1.0, "wall_s": 99.0}))
+    rep = trend_report(runs, tolerance=0.25, min_points=3)
+    keys = {f["key"] for f in rep["regressions"]}
+    assert keys == {"geomean_4shard"}  # wall_s moved 10x but is info-only
+    f = rep["regressions"][0]
+    assert f["direction"] == "higher" and f["run_id"] == "r4"
+    assert f["ratio"] == 0.5
+
+
+def test_lower_is_better_regression():
+    runs = [_run(i, {"p95_ns": 100.0}) for i in range(3)]
+    runs.append(_run(3, {"p95_ns": 200.0}))
+    found = detect_regressions(build_series(runs))
+    assert [f["key"] for f in found] == ["p95_ns"]
+
+
+def test_tolerance_and_min_points_respected():
+    runs = [_run(i, {"geomean_4shard": 2.0}) for i in range(3)]
+    runs.append(_run(3, {"geomean_4shard": 1.7}))  # -15%: inside 25%
+    assert detect_regressions(build_series(runs), tolerance=0.25) == []
+    # only two points: never judged
+    short = [_run(0, {"speedup": 2.0}), _run(1, {"speedup": 0.1})]
+    assert detect_regressions(build_series(short), min_points=3) == []
+
+
+def test_median_baseline_shrugs_off_one_outlier():
+    vals = [2.0, 2.1, 50.0, 2.0, 1.9]  # one absurd early baseline
+    runs = [_run(i, {"speedup": v}) for i, v in enumerate(vals)]
+    assert detect_regressions(build_series(runs)) == []
+
+
+def test_render_trend_smoke():
+    runs = [_run(i, {"geomean_4shard": 2.0 - 0.6 * i}) for i in range(4)]
+    rep = trend_report(runs)
+    text = render_trend("bench-shard", rep)
+    assert "bench-shard" in text and "REGRESSED" in text
+    assert "!!" in text

@@ -1,0 +1,101 @@
+"""Windowed estimators vs exact oracles (hypothesis differentials)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.aggregate import percentile
+from repro.obs.windows import EwmaRate, EwmaValue, SlidingWindow
+
+# monotone (ts, value) streams: positive deltas keep ts non-decreasing
+_stream = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=5_000.0, allow_nan=False),
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _timestamps(deltas):
+    ts, out = 0.0, []
+    for d, v in deltas:
+        ts += d
+        out.append((ts, v))
+    return out
+
+
+@given(_stream, st.floats(min_value=10.0, max_value=20_000.0))
+@settings(max_examples=80, deadline=None)
+def test_sliding_window_matches_sorted_oracle(deltas, window_ns):
+    samples = _timestamps(deltas)
+    win = SlidingWindow(window_ns)
+    for ts, v in samples:
+        win.observe(ts, v)
+    now = samples[-1][0]
+    snap = win.snapshot(now)
+    # the documented window rule, applied by hand
+    oracle = sorted(v for ts, v in samples if now - window_ns < ts <= now)
+    assert snap.count == len(oracle)
+    if oracle:
+        assert snap.min == oracle[0] and snap.max == oracle[-1]
+        assert snap.p50 == percentile(oracle, 0.50)
+        assert snap.p95 == percentile(oracle, 0.95)
+        assert snap.p99 == percentile(oracle, 0.99)
+        assert math.isclose(snap.mean, sum(oracle) / len(oracle),
+                            rel_tol=1e-9, abs_tol=1e-9)
+    else:
+        assert snap.mean is None and snap.p95 is None
+        assert snap.rate_per_ns == 0.0
+
+
+def test_sliding_window_caps_samples():
+    win = SlidingWindow(1e12, max_samples=8)
+    for i in range(100):
+        win.observe(float(i), float(i))
+    assert len(win) == 8
+    snap = win.snapshot(99.0)
+    assert snap.min == 92.0 and snap.max == 99.0
+
+
+def test_ewma_value_half_life_semantics():
+    e = EwmaValue(100.0)
+    assert e.observe(0.0, 10.0) == 10.0  # first sample initialises
+    # one half life later the old estimate keeps exactly half its weight
+    assert e.observe(100.0, 20.0) == pytest.approx(15.0)
+    # constant input is a fixed point regardless of spacing
+    e2 = EwmaValue(50.0)
+    for ts in (0.0, 7.0, 400.0, 401.0):
+        assert e2.observe(ts, 3.5) == 3.5
+
+
+def test_ewma_value_rejects_bad_half_life():
+    with pytest.raises(ValueError):
+        EwmaValue(0.0)
+    with pytest.raises(ValueError):
+        EwmaRate(-1.0)
+
+
+@given(_stream, st.floats(min_value=10.0, max_value=20_000.0))
+@settings(max_examples=80, deadline=None)
+def test_ewma_rate_matches_closed_form(deltas, half_life):
+    samples = [(ts, abs(v) % 10.0 + 0.1) for ts, v in _timestamps(deltas)]
+    r = EwmaRate(half_life)
+    for ts, n in samples:
+        r.observe(ts, n)
+    now = samples[-1][0] + 123.0
+    # closed form: surviving mass of every observation, decayed to now
+    mass = sum(n * 2.0 ** (-(now - ts) / half_life) for ts, n in samples)
+    want = mass * math.log(2.0) / half_life
+    assert math.isclose(r.rate(now), want, rel_tol=1e-9, abs_tol=1e-12)
+
+
+def test_ewma_rate_decays_toward_zero():
+    r = EwmaRate(100.0)
+    r.observe(0.0, 1.0)
+    early, late = r.rate(10.0), r.rate(10_000.0)
+    assert early > late > 0.0
+    assert late < 1e-9
