@@ -251,6 +251,50 @@ def main() -> None:
               "kernels, so their ratios hover near 1x by design — they "
               "guard engine integration, not speedup.\n")
 
+    wbase = Path("BENCH_wall.json")
+    if wbase.exists():
+        wallb = json.loads(wbase.read_text())
+        wmeta = wallb.get("meta", {})
+        wsp = wallb.get("speedups", {})
+        floor = wallb.get("floor", {})
+        a("\n## Wall-clock fast path (`python -m repro bench native --wall`)\n")
+        a("Host wall-clock one more time, now comparing *kernel backends*: "
+          "the NumPy reference vs the compiled C core "
+          "(`repro/device/ckern.c`, built on first use; AVX-512 merge "
+          "network where the host supports it) vs the compiled backend "
+          "with the thread-pool presort, all against the legacy "
+          "`storage=\"list\"` reference. Every backend is bit-identical by "
+          "contract (`tests/primitives/test_kernel_parity.py`); only the "
+          "clock differs. `BENCH_wall.json` commits the speedup *ratios* "
+          "(machine-portable); hosts without a C compiler gate only the "
+          "numpy lanes.\n")
+        a(f"Recorded on a {wmeta.get('cpu_count')}-core host, backends "
+          f"{', '.join(wmeta.get('compiled_available', [])) or 'numpy only'}; "
+          "ratios over the list reference:\n")
+        variants = [v for v in wmeta.get("variants", []) if v != "list"]
+        wrows = []
+        for bench in ("insert", "delete", "mixed", "bulk", "build"):
+            row = {"bench": bench}
+            for variant in variants:
+                cells = {
+                    key.rsplit("=", 1)[1]: val
+                    for key, val in wsp.items()
+                    if key.startswith(f"{bench}:{variant}/")
+                }
+                if cells:
+                    row[variant] = " / ".join(
+                        f"{cells[k]:.1f}x" for k in sorted(cells, key=int)
+                    )
+            wrows.append(row)
+        a(md_table(wrows, ["bench"] + variants))
+        a(f"\nCells are speedups at k ∈ {{{', '.join(str(k) for k in wmeta.get('ks', []))}}}. "
+          "**Gate:** CI re-runs `--quick` on both backends against the "
+          "committed ratios (>20% geomean tolerance per lane), and the "
+          "full run enforces the acceptance floor — compiled-parallel "
+          f"`{floor.get('bench')}` at k={floor.get('k')} must clear "
+          f"**≥{floor.get('min_speedup', 0):.0f}x** over the list "
+          "reference.\n")
+
     sbase = Path("BENCH_shard.json")
     fbase = Path("BENCH_frontier.json")
     if sbase.exists() and fbase.exists():

@@ -42,6 +42,7 @@ import tracemalloc
 import numpy as np
 
 from ..core.native import NativeBGPQ
+from ..primitives import kernels as kernel_registry
 from .micro import _time_loop
 from .reporting import geomean as _geomean
 
@@ -106,8 +107,16 @@ def _batches(rng, n: int, k: int) -> list[np.ndarray]:
 
 def _make_pq(storage: str, k: int, payload_width: int = 0) -> NativeBGPQ:
     # no ctx: the bench times host work; device-charge accounting is
-    # identical across backends (tested) and would only add noise here
-    return NativeBGPQ(node_capacity=k, storage=storage, payload_width=payload_width)
+    # identical across backends (tested) and would only add noise here.
+    # Kernels are pinned to the NumPy reference so the committed
+    # baseline (incl. zero-alloc flags) is machine-independent; the
+    # compiled backends get their own gated lane in bench/wall.py.
+    return NativeBGPQ(
+        node_capacity=k,
+        storage=storage,
+        payload_width=payload_width,
+        kernels="numpy",
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -260,6 +269,14 @@ def run_native(
     op_iters = op_iters if op_iters is not None else (40 if quick else 150)
     e2e_iters = e2e_iters if e2e_iters is not None else (2 if quick else 4)
 
+    # the whole simulated-engine bench (incl. the knapsack/astar e2e
+    # lanes, whose queues pick the process default) runs on the NumPy
+    # reference so the committed baseline stays machine-independent
+    with kernel_registry.use("numpy"):
+        return _run_native_pinned(ks, quick, op_iters, e2e_iters)
+
+
+def _run_native_pinned(ks, quick: bool, op_iters: int, e2e_iters: int) -> dict:
     rows: list[dict] = []
     for k in ks:
         rng = np.random.default_rng(20260806 + k)

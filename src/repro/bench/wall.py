@@ -1,0 +1,328 @@
+"""Wall-clock fast-path bench: compiled kernels vs the NumPy reference.
+
+Everything else in :mod:`repro.bench` gates *simulated* device time,
+which is a pure function of the workload and therefore byte-stable
+across hosts and kernel backends.  This lane is the complement: it
+times **real host throughput** of :class:`repro.core.native.NativeBGPQ`
+under each kernel backend the host can resolve, against the
+``storage="list"`` reference implementation.
+
+Lanes (per node capacity in :data:`WALL_KS`):
+
+``insert``
+    Full k-batch inserts; every op overflows the partial buffer and
+    runs one bottom-up heapify.
+``delete``
+    ``deletemin(k)`` from a deep pre-filled heap; every op promotes the
+    last node and runs one top-down heapify.
+``mixed``
+    The steady-state pair — one full-batch insert + one ``deletemin(k)``
+    per op — and the headline: the ISSUE's acceptance floor requires
+    the compiled-parallel variant to clear :data:`FLOOR_SPEEDUP` x the
+    list reference on ``mixed`` at k=512.
+``bulk`` / ``build``
+    One :meth:`insert_bulk` / :meth:`build` of :data:`BULK_RECORDS`
+    records into a cleared queue — the lanes where the parallel
+    record presort engages.
+
+Queues are constructed without a ``GpuContext``: device-charge
+accounting is bit-identical across backends (tested), so simulating it
+here would only tax every variant equally and blur the ratios.
+
+Gating is two-layered, both machine-portable ratios:
+
+* a committed drift baseline (``BENCH_wall.json``, env override
+  ``REPRO_BENCH_WALL_BASELINE``) checked through
+  :func:`repro.bench.micro.compare_to_baseline` — speedup keys are
+  shaped ``"{bench}:{variant}/k={k}"`` so the shared geomean grouping
+  gates each (bench, variant) lane separately; hosts that cannot build
+  a compiled backend simply skip those keys and still gate the numpy
+  lanes;
+* the hard floor of :func:`wall_gate_problems` on the compiled-parallel
+  mixed lane at k=512.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..core.native import NativeBGPQ
+from ..primitives import kernels as kernel_registry
+from .micro import _time_loop
+from .reporting import geomean as _geomean
+
+__all__ = [
+    "BULK_RECORDS",
+    "FLOOR_SPEEDUP",
+    "WALL_KS",
+    "instrumented_mixed_pass",
+    "render_wall_delta",
+    "run_wall",
+    "wall_baseline_path",
+    "wall_gate_problems",
+]
+
+WALL_KS = (32, 128, 512)
+WALL_BENCHES = ("insert", "delete", "mixed", "bulk", "build")
+BULK_RECORDS = 32768
+FLOOR_SPEEDUP = 10.0
+FLOOR_KEY_BENCH = "mixed"
+FLOOR_K = 512
+
+
+def wall_baseline_path() -> Path:
+    """Committed baseline location (repo root), env-overridable."""
+    return Path(os.environ.get("REPRO_BENCH_WALL_BASELINE", "BENCH_wall.json"))
+
+
+def _variants() -> list[str]:
+    """Backend variants this host can actually run, reference first."""
+    available = kernel_registry.available_backends()
+    compiled = [b for b in ("cext", "numba") if b in available]
+    out = ["list", "numpy"] + compiled
+    if compiled:
+        out.append(f"{compiled[0]}-parallel")
+    return out
+
+
+def _make_queue(variant: str, k: int, workers: int | None) -> NativeBGPQ:
+    if variant == "list":
+        return NativeBGPQ(k, storage="list", kernels="numpy")
+    name, _, par = variant.partition("-")
+    return NativeBGPQ(
+        k,
+        storage="arena",
+        kernels=name,
+        parallel="threads" if par else "off",
+        workers=workers,
+    )
+
+
+def _batches(rng, n: int, k: int) -> list[np.ndarray]:
+    return [rng.integers(0, 1 << 30, size=k).astype(np.int64) for _ in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# lanes: each returns an op(i) closure over a primed queue
+# ---------------------------------------------------------------------------
+def _lane_insert(q: NativeBGPQ, k: int, rng, total_ops: int):
+    batches = _batches(rng, total_ops + 2, k)
+    q.insert(batches[-1])
+
+    def op(i, q=q, batches=batches):
+        q.insert(batches[i % len(batches)])
+
+    return op
+
+
+def _lane_delete(q: NativeBGPQ, k: int, rng, total_ops: int):
+    # fixed prefill depth: quick and full runs must start from the same
+    # heap (the compiled backend's edge grows with heapify depth, so a
+    # depth proportional to the iteration count would make quick-mode
+    # ratios systematically diverge from the committed full-run baseline)
+    n = max(total_ops + 4, 176) * k
+    q.insert_bulk(rng.integers(0, 1 << 30, size=n).astype(np.int64))
+
+    def op(i, q=q, k=k):
+        q.deletemin(k)
+
+    return op
+
+
+def _lane_mixed(q: NativeBGPQ, k: int, rng, total_ops: int):
+    batches = _batches(rng, 64, k)
+    for b in batches[:32]:
+        q.insert(b)
+
+    def op(i, q=q, k=k, batches=batches):
+        q.insert(batches[i % len(batches)])
+        q.deletemin(k)
+
+    return op
+
+
+def _lane_bulk(q: NativeBGPQ, k: int, rng, total_ops: int):
+    records = rng.integers(0, 1 << 30, size=BULK_RECORDS).astype(np.int64)
+
+    def op(i, q=q, records=records):
+        q.clear()
+        q.insert_bulk(records)
+
+    return op
+
+
+def _lane_build(q: NativeBGPQ, k: int, rng, total_ops: int):
+    records = rng.integers(0, 1 << 30, size=BULK_RECORDS).astype(np.int64)
+
+    def op(i, q=q, records=records):
+        q.clear()
+        q.build(records)
+
+    return op
+
+
+_LANES = {
+    "insert": _lane_insert,
+    "delete": _lane_delete,
+    "mixed": _lane_mixed,
+    "bulk": _lane_bulk,
+    "build": _lane_build,
+}
+
+
+# ---------------------------------------------------------------------------
+def run_wall(
+    ks=WALL_KS,
+    quick: bool = False,
+    op_iters: int | None = None,
+    workers: int | None = None,
+) -> dict:
+    """Run the wall-clock lanes; returns the BENCH_wall payload.
+
+    Speedup keys are ``"{bench}:{variant}/k={k}"`` — the variant's
+    ops/sec over the ``list`` reference's for the same (bench, k).
+    """
+    op_iters = op_iters if op_iters is not None else (12 if quick else 40)
+    bulk_iters = max(2, op_iters // 8)
+    variants = _variants()
+
+    provenance: dict[str, dict] = {}
+    rows: list[dict] = []
+    for k in ks:
+        for bench in WALL_BENCHES:
+            iters = bulk_iters if bench in ("bulk", "build") else op_iters
+            repeats = 2 if bench in ("bulk", "build") else 3
+            total_ops = max(1, iters // 4) + repeats * iters
+            for variant in variants:
+                rng = np.random.default_rng(20260808 + k)
+                q = _make_queue(variant, k, workers)
+                if variant not in provenance:
+                    provenance[variant] = q.kernel_provenance()
+                op = _LANES[bench](q, k, rng, total_ops)
+                ops_per_sec = _time_loop(op, iters, repeats=repeats)
+                q.close()
+                rows.append(
+                    {
+                        "bench": bench,
+                        "k": k,
+                        "variant": variant,
+                        "ops": iters,
+                        "ops_per_sec": round(ops_per_sec, 1),
+                    }
+                )
+
+    speedups: dict[str, float] = {}
+    by_cell = {(r["bench"], r["k"], r["variant"]): r for r in rows}
+    for (bench, k, variant), r in by_cell.items():
+        if variant == "list":
+            continue
+        ref = by_cell[(bench, k, "list")]
+        speedups[f"{bench}:{variant}/k={k}"] = round(
+            r["ops_per_sec"] / ref["ops_per_sec"], 3
+        )
+
+    compiled = [v for v in variants if v not in ("list", "numpy")]
+    return {
+        "benchmark": "wall",
+        "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "meta": {
+            "quick": quick,
+            "ks": list(ks),
+            "op_iters": op_iters,
+            "bulk_records": BULK_RECORDS,
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+            "variants": variants,
+            "compiled_available": compiled,
+            "kernels": provenance,
+        },
+        "rows": rows,
+        "speedups": speedups,
+        "floor": {
+            "bench": FLOOR_KEY_BENCH,
+            "k": FLOOR_K,
+            "min_speedup": FLOOR_SPEEDUP,
+        },
+    }
+
+
+def wall_gate_problems(results: dict, quick: bool = False) -> list[str]:
+    """The hard acceptance floor, separate from baseline drift.
+
+    The compiled-parallel variant must clear :data:`FLOOR_SPEEDUP` x
+    the list reference on the steady-state mixed lane at k=512.  Quick
+    runs, hosts with no compiled backend, and sweeps that skip k=512
+    report nothing — the drift baseline still covers them.
+    """
+    compiled = results["meta"].get("compiled_available") or []
+    if quick or not compiled or FLOOR_K not in results["meta"].get("ks", []):
+        return []
+    key = f"{FLOOR_KEY_BENCH}:{compiled[0]}-parallel/k={FLOOR_K}"
+    got = results.get("speedups", {}).get(key)
+    if got is None:
+        return [f"floor lane missing: no speedup recorded for {key}"]
+    if got < FLOOR_SPEEDUP:
+        return [
+            f"wall-clock floor missed: {key} = {got:.2f}x, "
+            f"required >= {FLOOR_SPEEDUP:.0f}x over the list reference"
+        ]
+    return []
+
+
+def render_wall_delta(current: dict, baseline: dict) -> str:
+    """Per-lane current-vs-baseline geomean table (the CI failure artifact)."""
+    by_lane: dict[str, list[tuple[float, float]]] = {}
+    for key, base_val in baseline.get("speedups", {}).items():
+        cur_val = current.get("speedups", {}).get(key)
+        if cur_val is not None:
+            by_lane.setdefault(key.split("/")[0], []).append((cur_val, base_val))
+    lines = [
+        "lane                    geomean(now)  geomean(baseline)  ratio",
+        "-" * 62,
+    ]
+    for lane in sorted(by_lane):
+        pairs = by_lane[lane]
+        cur = _geomean(c for c, _ in pairs)
+        base = _geomean(b for _, b in pairs)
+        lines.append(
+            f"{lane:<23} {cur:>12.3f} {base:>18.3f} {cur / base:>6.2f}"
+        )
+    for problem in wall_gate_problems(current, quick=current["meta"].get("quick")):
+        lines.append(f"floor: {problem}")
+    return "\n".join(lines)
+
+
+def instrumented_mixed_pass(
+    registry, k: int = 128, iters: int = 64, backends=None
+) -> dict:
+    """Untimed mixed-lane pass with per-kernel wall histograms.
+
+    Runs a short steady-state loop for each requested backend with
+    :func:`repro.primitives.kernels.instrument` wrapped around it, so
+    ``repro_kernel_wall_ns{kernel,backend}`` lands in ``registry``.
+    Separate from the gate loops by design: instrumentation adds a
+    timer call per kernel, which must never touch the gated numbers.
+    Returns {backend: ops} for the pass.
+    """
+    backends = list(
+        backends
+        if backends is not None
+        else [b for b in kernel_registry.available_backends()]
+    )
+    done: dict[str, int] = {}
+    for name in backends:
+        kern = kernel_registry.instrument(kernel_registry.select(name), registry)
+        rng = np.random.default_rng(97 + k)
+        q = NativeBGPQ(k, storage="arena", kernels=kern)
+        batches = _batches(rng, 32, k)
+        for b in batches[:16]:
+            q.insert(b)
+        for i in range(iters):
+            q.insert(batches[i % len(batches)])
+            q.deletemin(k)
+        done[name] = iters
+    return done

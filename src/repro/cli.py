@@ -874,6 +874,8 @@ def _print_phase_diff() -> int:
 
 def _run_bench_native(args) -> int:
     """`repro bench native`: the NativeBGPQ arena-vs-list perf gate."""
+    if args.wall:
+        return _run_bench_wall(args)
     import json
 
     from .bench.micro import compare_to_baseline
@@ -963,6 +965,128 @@ def _run_bench_native(args) -> int:
             "gate": gate_meta(rc == 0, base_file, rebaseline,
                               ratios={"core": results["geomean_core"]}),
             "wall_s": round(wall, 1),
+        },
+    )
+    return rc
+
+
+def _run_bench_wall(args) -> int:
+    """`repro bench native --wall`: the real-host-throughput gate.
+
+    Unlike the simulated lanes this one times wall-clock ops/sec per
+    kernel backend, so the committed baseline stores *ratios over the
+    list reference* (machine-portable) and a hard ``>= 10x`` floor
+    guards the compiled-parallel mixed lane at k=512.
+    """
+    import json
+
+    from .bench.micro import compare_to_baseline
+    from .bench.wall import (
+        WALL_KS,
+        instrumented_mixed_pass,
+        render_wall_delta,
+        run_wall,
+        wall_baseline_path,
+        wall_gate_problems,
+    )
+    from .bench.reporting import gate_meta, results_dir
+    from .obs.metrics import MetricsRegistry, validate_prometheus_text
+
+    ks = (
+        tuple(int(k) for k in args.bench_ks.split(","))
+        if args.bench_ks
+        else WALL_KS
+    )
+    base_file = wall_baseline_path()
+    rebaseline = args.update_baseline or not base_file.exists()
+    t0 = time.perf_counter()
+    results = run_wall(ks=ks, quick=args.quick, workers=args.workers)
+    if rebaseline:
+        # conservative elementwise minimum of two runs (see bench micro)
+        second = run_wall(ks=ks, quick=args.quick, workers=args.workers)
+        for key, val in second["speedups"].items():
+            prev = results["speedups"].get(key)
+            results["speedups"][key] = val if prev is None else min(prev, val)
+    wall_s = time.perf_counter() - t0
+    print(render_rows(
+        results["rows"], "bench wall (host ops/sec per kernel backend)"
+    ))
+    print()
+    for key, val in sorted(results["speedups"].items()):
+        print(f"  speedup vs list {key}: {val:.2f}x")
+    for variant, info in results["meta"]["kernels"].items():
+        print(f"  kernels[{variant}]: {info}")
+
+    # per-kernel wall histograms ride the PR 9 metrics registry; a
+    # separate untimed pass so the timer never taxes the gated loops
+    registry = MetricsRegistry()
+    instrumented_mixed_pass(registry)
+    prom_text = registry.to_prometheus()
+    validate_prometheus_text(prom_text)
+    prom_path = results_dir() / "bench_wall.prom"
+    prom_path.parent.mkdir(parents=True, exist_ok=True)
+    prom_path.write_text(prom_text)
+
+    path = save_results("bench_wall", results["rows"], meta={
+        **results["meta"],
+        "speedups": results["speedups"],
+        "floor": results["floor"],
+        "wall_s": round(wall_s, 1),
+    })
+    print(f"[{wall_s:.1f}s host; saved {path}; kernel histograms {prom_path}]\n")
+
+    rc = 0
+    problems: list[str] = []
+    if rebaseline:
+        base_file.write_text(json.dumps(results, indent=2, default=str) + "\n")
+        print(f"baseline written to {base_file}")
+        problems = wall_gate_problems(results, quick=args.quick)
+    else:
+        baseline = json.loads(base_file.read_text())
+        problems = compare_to_baseline(results, baseline)
+        problems += wall_gate_problems(results, quick=args.quick)
+        if not problems:
+            print(f"no regression vs {base_file} (tolerance 20%)")
+    if problems:
+        print(f"WALL-CLOCK GATE FAILED vs {base_file}:")
+        for p in problems:
+            print(f"  {p}")
+        baseline = (
+            results if rebaseline else json.loads(base_file.read_text())
+        )
+        delta = render_wall_delta(results, baseline)
+        delta_path = results_dir() / "bench_wall_delta.txt"
+        delta_path.write_text(delta + "\n")
+        print("\n" + delta)
+        print(f"\n(delta table saved to {delta_path}; re-baseline "
+              "intentionally with: python -m repro bench native --wall "
+              "--update-baseline)")
+        rc = 1
+
+    floor_key = (
+        f"mixed:{results['meta']['compiled_available'][0]}-parallel/k=512"
+        if results["meta"]["compiled_available"] else None
+    )
+    _record_registry(
+        "bench-wall",
+        config={
+            "ks": list(ks),
+            "quick": args.quick,
+            "rebaseline": rebaseline,
+            "workers": args.workers,
+        },
+        status="completed" if rc == 0 else "failed",
+        summary={
+            "speedups": results["speedups"],
+            "kernels": results["meta"]["kernels"],
+            "cpu_count": results["meta"]["cpu_count"],
+            "gate": gate_meta(
+                rc == 0, base_file, rebaseline,
+                ratios={
+                    "floor": results["speedups"].get(floor_key)
+                } if floor_key else None,
+            ),
+            "wall_s": round(wall_s, 1),
         },
     )
     return rc
@@ -1301,6 +1425,31 @@ def _run_bench(args) -> int:
     return rc
 
 
+class _VersionAction(argparse.Action):
+    """``--version`` plus kernel-backend provenance.
+
+    Computed inside ``__call__`` rather than at parser build: probing
+    backends may compile the C extension, which every other code path
+    should only pay for when it actually dispatches a kernel.
+    """
+
+    def __init__(self, option_strings, dest, version=None, **kwargs):
+        kwargs.setdefault("nargs", 0)
+        super().__init__(option_strings, dest, **kwargs)
+        self.version = version
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from .primitives import kernels as kernel_registry
+
+        info = kernel_registry.provenance()
+        backends = ",".join(kernel_registry.available_backends())
+        print(f"{parser.prog} {self.version}")
+        print(f"kernel backend: {info['backend']} "
+              f"(fused={info['fused']}, gil_free={info['releases_gil']}; "
+              f"available: {backends})")
+        parser.exit()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1346,7 +1495,10 @@ def main(argv: list[str] | None = None) -> int:
     from ._version import __version__
 
     parser.add_argument(
-        "--version", action="version", version=f"%(prog)s {__version__}"
+        "--version",
+        action=_VersionAction,
+        version=__version__,
+        help="show version and kernel-backend provenance",
     )
     parser.add_argument(
         "--sizes",
@@ -1403,6 +1555,26 @@ def main(argv: list[str] | None = None) -> int:
         "--bench-ks",
         default=None,
         help="comma-separated node capacities (default: 32,128,512)",
+    )
+    bench.add_argument(
+        "--wall",
+        action="store_true",
+        help="bench native: time real host throughput per kernel backend "
+             "instead of simulated device ns (gated vs BENCH_wall.json)",
+    )
+    bench.add_argument(
+        "--kernels",
+        choices=("auto", "numpy", "numba", "cext"),
+        default=None,
+        help="force the process-wide kernel backend "
+             "(default: auto; env REPRO_KERNELS)",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="bench native --wall: thread-pool width for the "
+             "compiled-parallel variant (default: min(4, cpu_count))",
     )
     bench.add_argument(
         "--shard-counts",
@@ -1556,6 +1728,14 @@ def main(argv: list[str] | None = None) -> int:
         help="utilization timeline buckets for `repro trace` (default: 20)",
     )
     args = parser.parse_args(argv)
+
+    if args.kernels:
+        from .primitives import kernels as kernel_registry
+
+        kern = kernel_registry.set_active(args.kernels)
+        if kern.name != args.kernels and args.kernels != "auto":
+            print(f"note: kernel backend {args.kernels!r} unavailable, "
+                  f"using {kern.name!r}", file=sys.stderr)
 
     want = args.experiment
     if want == "bench":

@@ -42,6 +42,8 @@ reference for the concurrent implementation.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from fractions import Fraction
 from functools import lru_cache
 
@@ -51,11 +53,14 @@ from ..device.costmodel import GpuCostModel
 from ..device.kernels import GpuContext
 from ..errors import ConfigurationError
 from ..primitives import merge_with_payload
-from ..primitives.inplace import ScratchLedger, sort_split_into
+from ..primitives import kernels as kernel_registry
+from ..primitives.inplace import ScratchLedger
 from .arena import NodeArena
 from .heap import left, level, parent, path_next, right
 
 __all__ = ["NativeBGPQ"]
+
+_I64 = np.dtype(np.int64)
 
 
 @lru_cache(maxsize=4096)
@@ -105,12 +110,20 @@ class NativeBGPQ:
         payload_width: int = 0,
         payload_dtype=np.int64,
         storage: str = "arena",
+        kernels=None,
+        parallel: str = "off",
+        workers: int | None = None,
+        parallel_threshold: int = 4096,
     ):
         if node_capacity < 2:
             raise ConfigurationError("node capacity must be >= 2")
         if storage not in ("arena", "list"):
             raise ConfigurationError(
                 f"unknown storage {storage!r}; choose 'arena' or 'list'"
+            )
+        if parallel not in ("off", "threads"):
+            raise ConfigurationError(
+                f"unknown parallel mode {parallel!r}; choose 'off' or 'threads'"
             )
         self.k = node_capacity
         self.key_dtype = np.dtype(key_dtype)
@@ -122,6 +135,41 @@ class NativeBGPQ:
         self._heap_size = 0
         self._sim_ns = Fraction(0)
         self.stats = {"insert_heapify": 0, "deletemin_heapify": 0, "ops": 0}
+        # kernel backend: None -> process-wide active selection; a name
+        # ("numpy"/"cext"/"numba"/"auto") -> explicit; or a KernelSet.
+        # Every backend is bit-identical, so this only moves wall-clock.
+        if isinstance(kernels, str):
+            self._kern = kernel_registry.select(kernels)
+        elif kernels is not None:
+            self._kern = kernels
+        else:
+            self._kern = kernel_registry.active()
+        self.parallel = parallel
+        self.workers = int(workers) if workers else min(4, os.cpu_count() or 1)
+        self.parallel_threshold = int(parallel_threshold)
+        self._pool: ThreadPoolExecutor | None = None
+        # true parallelism needs kernels that drop the GIL; otherwise the
+        # request degrades to serial (documented, observable via the
+        # effective_parallel property)
+        self._parallel_ok = parallel == "threads" and bool(
+            getattr(self._kern, "releases_gil", False)
+        )
+        # fused C heapify needs the arena layout and int64 keys (payload
+        # rows move as raw bytes, so any payload dtype is fine)
+        self._row_bytes = self.payload_width * self.payload_dtype.itemsize
+        self._fused = (
+            storage == "arena"
+            and bool(getattr(self._kern, "fused", False))
+            and self.key_dtype == _I64
+        )
+        if self._fused:
+            # combined scratch: [2k int64 keys][2k payload rows], int64-
+            # backed so the key half stays aligned; charge logs sized for
+            # any heap depth reachable with 64-bit node indices
+            pad = (2 * node_capacity * self._row_bytes + 7) // 8
+            self._fscratch = np.empty(2 * node_capacity + pad, dtype=np.int64)
+            self._ins_log = np.empty(256, dtype=np.int64)
+            self._del_log = np.empty(1024, dtype=np.int64)
         if storage == "arena":
             # row 0 is the partial buffer, row i is node i; rows double
             # on demand so steady-state operation never reallocates
@@ -182,6 +230,25 @@ class NativeBGPQ:
         if self.model is not None:
             self._sim_ns += _exact_ns(self.model.node_sort_split_ns(na, nb))
 
+    def _replay_log(self, log: np.ndarray, nlog: int) -> None:
+        """Replay a fused kernel's charge log, exactly as the NumPy path
+        would have charged in place: (tag, p1, p2) triples where tag 0
+        is a node SORT_SPLIT, 1 a root-extraction read, 2 a partial-
+        buffer fold (host sort_split rate), 3 the last-node move."""
+        m = self.model
+        for t in range(nlog):
+            tag = log[3 * t]
+            if tag == 0:
+                self._charge_split(int(log[3 * t + 1]), int(log[3 * t + 2]))
+            elif tag == 1:
+                self._charge(m.global_read_ns(int(log[3 * t + 1])))
+            elif tag == 2:
+                self._charge(
+                    m.sort_split_ns(int(log[3 * t + 1]), int(log[3 * t + 2]))
+                )
+            else:
+                self._charge(m.global_read_ns(self.k) + m.global_write_ns(self.k))
+
     def _charge_batch_entry(self, n: int) -> None:
         """Per-batch entry cost: coalesced read, in-block sort, root lock."""
         if self.model is not None:
@@ -197,6 +264,153 @@ class NativeBGPQ:
         if keys.ndim != 1:
             raise ValueError("keys must be 1-D")
         return keys, self._payload_for(keys, payload)
+
+    # -- kernel backend & parallel execution -------------------------------
+    @property
+    def kernel_backend(self) -> str:
+        """Name of the kernel backend this queue dispatches to."""
+        return getattr(self._kern, "name", "numpy")
+
+    @property
+    def effective_parallel(self) -> str:
+        """``"threads"`` when parallelism is actually in effect.
+
+        A ``parallel="threads"`` request over interpreter-bound kernels
+        (numpy backend holds the GIL) degrades to ``"off"``: spinning a
+        pool that serializes on the GIL would only add overhead.
+        """
+        return "threads" if self._parallel_ok else "off"
+
+    def kernel_provenance(self) -> dict:
+        """Provenance record (backend, capabilities, parallel shape)."""
+        info = kernel_registry.provenance(self._kern)
+        info["parallel"] = self.effective_parallel
+        info["workers"] = self.workers if self._parallel_ok else 1
+        info["fused_active"] = self._fused
+        return info
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-kern"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent; queue stays usable)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "NativeBGPQ":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _sort_records(self, keys: np.ndarray, pay: np.ndarray):
+        """Stable presort of a record batch (the insert_bulk/build sort).
+
+        Serial path: the backend's ``sort_records`` (bit-identical to
+        ``np.argsort(kind="stable")``).  With ``parallel="threads"`` over
+        GIL-free fused kernels and a large enough batch, the sort runs
+        as worker-chunk stable sorts followed by a Merge-Path-partitioned
+        merge tree — same permutation, because chunks are merged left-
+        to-right with ties favouring the earlier chunk.
+        """
+        if (
+            self._parallel_ok
+            and getattr(self._kern, "fused", False)
+            and keys.dtype == _I64
+            and keys.size >= max(2 * self.parallel_threshold, 2 * self.k)
+        ):
+            return self._sort_records_parallel(keys, pay)
+        return self._kern.sort_records(keys, pay)
+
+    def _sort_records_parallel(self, keys: np.ndarray, pay: np.ndarray):
+        mod = self._kern.mod
+        n = keys.size
+        rb = self._row_bytes
+        workers = max(1, min(self.workers, n // self.parallel_threshold))
+        if workers == 1:
+            return self._kern.sort_records(keys, pay)
+        pool = self._ensure_pool()
+        src_k = np.ascontiguousarray(keys).copy()
+        if rb:
+            src_p = np.ascontiguousarray(pay).copy()
+        else:
+            src_p = np.empty((n, self.payload_width), dtype=self.payload_dtype)
+        empty = np.empty(0, dtype=np.uint8)
+        bounds = [round(w * n / workers) for w in range(workers + 1)]
+        list(
+            pool.map(
+                lambda w: mod.sort_records(
+                    src_k[bounds[w] : bounds[w + 1]],
+                    src_p[bounds[w] : bounds[w + 1]] if rb else empty,
+                    rb,
+                ),
+                range(workers),
+            )
+        )
+        # merge tree over the sorted chunks; each round ping-pongs
+        # between the two buffer pairs, each merge fans out across the
+        # pool via disjoint Merge Path spans
+        dst_k = np.empty_like(src_k)
+        dst_p = np.empty_like(src_p)
+        runs = [(bounds[w], bounds[w + 1]) for w in range(workers)]
+        while len(runs) > 1:
+            next_runs = []
+            for t in range(0, len(runs), 2):
+                if t + 1 == len(runs):
+                    lo, hi = runs[t]
+                    dst_k[lo:hi] = src_k[lo:hi]
+                    if rb:
+                        dst_p[lo:hi] = src_p[lo:hi]
+                    next_runs.append((lo, hi))
+                    continue
+                (alo, ahi), (_, bhi) = runs[t], runs[t + 1]
+                self._parallel_merge_run(
+                    pool, mod, src_k, src_p, dst_k, dst_p, alo, ahi, bhi, rb
+                )
+                next_runs.append((alo, bhi))
+            src_k, dst_k = dst_k, src_k
+            src_p, dst_p = dst_p, src_p
+            runs = next_runs
+        return src_k, src_p
+
+    def _parallel_merge_run(
+        self, pool, mod, sk, sp, dk, dp, alo, ahi, bhi, rb
+    ) -> None:
+        """Merge adjacent sorted runs ``[alo:ahi)`` + ``[ahi:bhi)``.
+
+        Memory safety: span ``t`` writes exactly ``dk[d_t:d_{t+1})`` —
+        the co-rank decomposition makes worker output ranges disjoint
+        by construction, so no two threads ever touch the same bytes.
+        """
+        a = sk[alo:ahi]
+        b = sk[ahi:bhi]
+        total = bhi - alo
+        out_k = dk[alo:bhi]
+        pa = sp[alo:ahi] if rb else None
+        pb = sp[ahi:bhi] if rb else None
+        out_p = dp[alo:bhi] if rb else None
+        spans = max(1, min(self.workers, total // self.parallel_threshold))
+        if spans == 1:
+            mod.merge_into(a, b, out_k, pa, pb, out_p, rb)
+            return
+        diag = [round(t * total / spans) for t in range(spans + 1)]
+        ranks = [mod.corank(d, a, b) for d in diag]
+        futures = [
+            pool.submit(
+                mod.merge_span, a, b, out_k, pa, pb, out_p, rb,
+                ranks[t], ranks[t + 1],
+                diag[t] - ranks[t], diag[t + 1] - ranks[t + 1],
+                diag[t],
+            )
+            for t in range(spans)
+        ]
+        for f in futures:
+            f.result()
 
     # -- public API --------------------------------------------------------
     def insert(self, keys, payload=None) -> None:
@@ -222,9 +436,7 @@ class NativeBGPQ:
         keys, pay = self._normalize(keys, payload)
         if keys.size == 0:
             return
-        order = np.argsort(keys, kind="stable")
-        skeys = keys[order]
-        spay = pay[order]
+        skeys, spay = self._sort_records(keys, pay)
         for i in range(0, skeys.size, self.k):
             self._insert_sorted(skeys[i : i + self.k], spay[i : i + self.k])
 
@@ -249,9 +461,7 @@ class NativeBGPQ:
         n = keys.size
         if n == 0:
             return
-        order = np.argsort(keys, kind="stable")
-        skeys = keys[order]
-        spay = pay[order]
+        skeys, spay = self._sort_records(keys, pay)
         k = self.k
         chunks = -(-n // k)
         if self.model is not None:
@@ -379,14 +589,14 @@ class NativeBGPQ:
             if small == j and ma == nj and a.keys[j, nj - 1] < a.keys[i, 0]:
                 return
         if self.payload_width:
-            sort_split_into(
+            self._kern.sort_split_into(
                 a.keys[i, :ni], a.keys[j, :nj], ma,
                 a.keys[small], a.keys[large], s,
                 pa=a.pay[i, :ni], pb=a.pay[j, :nj],
                 x_p=a.pay[small], y_p=a.pay[large],
             )
         else:
-            sort_split_into(
+            self._kern.sort_split_into(
                 a.keys[i, :ni], a.keys[j, :nj], ma,
                 a.keys[small], a.keys[large], s,
             )
@@ -404,14 +614,14 @@ class NativeBGPQ:
         if ni and n and ma == ni and a.keys[i, ni - 1] <= ik[0]:
             return  # row already holds the ma smallest; batch unchanged
         if self.payload_width:
-            sort_split_into(
+            self._kern.sort_split_into(
                 a.keys[i, :ni], ik[:n], ma,
                 a.keys[i], ik, s,
                 pa=a.pay[i, :ni], pb=ip[:n],
                 x_p=a.pay[i], y_p=ip,
             )
         else:
-            sort_split_into(a.keys[i, :ni], ik[:n], ma, a.keys[i], ik, s)
+            self._kern.sort_split_into(a.keys[i, :ni], ik[:n], ma, a.keys[i], ik, s)
         a.counts[i] = ma
 
     def _shift_row_left(self, i: int, take: int) -> None:
@@ -443,6 +653,22 @@ class NativeBGPQ:
         ik[:n] = skeys
         if self.payload_width:
             ip[:n] = spay
+        if self._fused:
+            # one C call runs the whole insert (root split, buffer
+            # fold/detach, heapify) with the GIL released; the charge
+            # log replays the exact per-step device costs afterwards
+            self._ensure_rows(self._heap_size + 1)
+            a = self._arena
+            new_hs, nlog = self._kern.mod.insert_sorted(
+                a.keys, a.pay, a.counts, ik, ip, self._fscratch,
+                self.k, self._row_bytes, n, self._heap_size, self._ins_log,
+            )
+            if new_hs != self._heap_size:
+                self.stats["insert_heapify"] += 1
+                self._heap_size = new_hs
+            if self.model is not None:
+                self._replay_log(self._ins_log, nlog)
+            return
         nroot = int(a.counts[1])
         if nroot:
             # root keeps its nroot smallest of root ∪ items
@@ -455,14 +681,14 @@ class NativeBGPQ:
                 self._charge(self.model.sort_split_ns(nbuf, n))
             total = nbuf + n
             if self.payload_width:
-                sort_split_into(
+                self._kern.sort_split_into(
                     a.keys[0, :nbuf], ik[:n], total,
                     a.keys[0], ik, self._scratch,
                     pa=a.pay[0, :nbuf], pb=ip[:n],
                     x_p=a.pay[0], y_p=ip,
                 )
             else:
-                sort_split_into(
+                self._kern.sort_split_into(
                     a.keys[0, :nbuf], ik[:n], total, a.keys[0], ik, self._scratch
                 )
             a.counts[0] = total
@@ -471,14 +697,14 @@ class NativeBGPQ:
         # leave the rest in the buffer, heapify the full batch down
         self._charge_split(n, nbuf)
         if self.payload_width:
-            sort_split_into(
+            self._kern.sort_split_into(
                 ik[:n], a.keys[0, :nbuf], self.k,
                 ik, a.keys[0], self._scratch,
                 pa=ip[:n], pb=a.pay[0, :nbuf],
                 x_p=ip, y_p=a.pay[0],
             )
         else:
-            sort_split_into(
+            self._kern.sort_split_into(
                 ik[:n], a.keys[0, :nbuf], self.k, ik, a.keys[0], self._scratch
             )
         a.counts[0] = n + nbuf - self.k
@@ -542,6 +768,22 @@ class NativeBGPQ:
                 self._heap_size = 0
             return out_k, out_p
 
+        if self._fused:
+            # one C call runs the whole general path (root copy-out,
+            # last-node promotion, buffer fold, heapify + extraction)
+            # with the GIL released; charges replay from the log
+            self.stats["deletemin_heapify"] += 1
+            out_k = np.empty(count, dtype=self.key_dtype)
+            out_p = np.empty((count, self.payload_width), dtype=self.payload_dtype)
+            total, new_hs, nlog = self._kern.mod.deletemin(
+                a.keys, a.pay, a.counts, self._heap_size, k,
+                self._row_bytes, count, out_k, out_p,
+                self._fscratch, self._del_log,
+            )
+            self._heap_size = new_hs
+            if self.model is not None:
+                self._replay_log(self._del_log, nlog)
+            return out_k[:total], out_p[:total]
         remained = count - nroot
         out_root_k = a.keys[1, :nroot].copy()
         out_root_p = a.pay[1, :nroot].copy()
@@ -613,7 +855,9 @@ class NativeBGPQ:
     # =====================================================================
     def _split(self, a: _Slot, b: _Slot, ma: int) -> tuple[_Slot, _Slot]:
         """SORT_SPLIT with payloads; charges one node-level op."""
-        keys, payload = merge_with_payload(a.keys, a.payload, b.keys, b.payload)
+        keys, payload = merge_with_payload(
+            a.keys, a.payload, b.keys, b.payload, dtype=self.key_dtype
+        )
         self._charge_split(a.keys.size, b.keys.size)
         return (
             _Slot(keys[:ma], payload[:ma]),
@@ -637,7 +881,8 @@ class NativeBGPQ:
             self._nodes[1] = new_root
         if self._buf.keys.size + items.keys.size < self.k:
             merged_k, merged_p = merge_with_payload(
-                self._buf.keys, self._buf.payload, items.keys, items.payload
+                self._buf.keys, self._buf.payload, items.keys, items.payload,
+                dtype=self.key_dtype,
             )
             if self.model is not None:
                 self._charge(self.model.sort_split_ns(self._buf.keys.size, items.keys.size))

@@ -155,7 +155,18 @@ def to_chrome_trace(events: Sequence[TraceEvent]) -> dict:
     # each thread's B/E pairs, so an op ending at the same clock the
     # next one begins stays E-before-B and the nesting stays balanced.
     out.sort(key=lambda e: (e.get("ts", -1.0), e["tid"]))
-    return {"traceEvents": out, "displayTimeUnit": "ns"}
+    from ..primitives import kernels as kernel_registry
+
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ns",
+        # top-level keys besides traceEvents are free-form metadata in
+        # the trace-event format; viewers ignore what they don't know
+        "metadata": {
+            "producer": "repro",
+            "kernels": kernel_registry.provenance(),
+        },
+    }
 
 
 def validate_chrome_trace(payload: dict | str) -> list[str]:

@@ -1,0 +1,96 @@
+"""numba ``@njit`` kernel variants (imported only via the ``fast`` extra).
+
+Importing this module *requires* numba: :mod:`repro.primitives.kernels`
+catches the ``ImportError`` and falls back to the reference, so the
+tier-1 suite never skips or fails when the extra is absent.
+
+Semantics mirror the C core exactly — two-finger merges with ties in
+favour of the first run — and are covered by the same hypothesis parity
+suite when numba is installed.  ``nogil=True`` lets the parallel
+execution mode overlap these loops; ``cache=True`` keeps the second
+process start free of JIT cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit  # noqa: F401 - hard dependency of this module only
+
+__all__ = [
+    "merge_i64",
+    "merge_i64_pay",
+    "sort_split_i64",
+    "sort_split_i64_pay",
+]
+
+
+@njit(cache=True, nogil=True)
+def merge_i64(a, b, out):  # pragma: no cover - exercised only with numba
+    na, nb = a.shape[0], b.shape[0]
+    i = j = 0
+    o = 0
+    while i < na and j < nb:
+        if a[i] <= b[j]:
+            out[o] = a[i]
+            i += 1
+        else:
+            out[o] = b[j]
+            j += 1
+        o += 1
+    while i < na:
+        out[o] = a[i]
+        i += 1
+        o += 1
+    while j < nb:
+        out[o] = b[j]
+        j += 1
+        o += 1
+
+
+@njit(cache=True, nogil=True)
+def merge_i64_pay(a, pa, b, pb, out, out_p):  # pragma: no cover
+    na, nb = a.shape[0], b.shape[0]
+    i = j = 0
+    o = 0
+    while i < na and j < nb:
+        if a[i] <= b[j]:
+            out[o] = a[i]
+            out_p[o] = pa[i]
+            i += 1
+        else:
+            out[o] = b[j]
+            out_p[o] = pb[j]
+            j += 1
+        o += 1
+    while i < na:
+        out[o] = a[i]
+        out_p[o] = pa[i]
+        i += 1
+        o += 1
+    while j < nb:
+        out[o] = b[j]
+        out_p[o] = pb[j]
+        j += 1
+        o += 1
+
+
+@njit(cache=True, nogil=True)
+def sort_split_i64(a, b, ma, x, y, sk):  # pragma: no cover
+    total = a.shape[0] + b.shape[0]
+    merge_i64(a, b, sk)
+    for t in range(ma):
+        x[t] = sk[t]
+    for t in range(total - ma):
+        y[t] = sk[ma + t]
+
+
+@njit(cache=True, nogil=True)
+def sort_split_i64_pay(a, b, ma, x, y, sk, pa, pb, xp, yp, sp):  # pragma: no cover
+    total = a.shape[0] + b.shape[0]
+    merge_i64_pay(a, pa, b, pb, sk, sp)
+    for t in range(ma):
+        x[t] = sk[t]
+        xp[t] = sp[t]
+    for t in range(total - ma):
+        y[t] = sk[ma + t]
+        yp[t] = sp[ma + t]

@@ -1,0 +1,499 @@
+"""Kernel dispatch: NumPy reference vs optional compiled backends.
+
+Every batch primitive the queues execute per operation — ``merge_into``,
+``sort_split_into``, the bitonic network, scan and compaction — exists
+in (up to) three implementations:
+
+``numpy``
+    The reference implementations in this package.  Always present and
+    always the semantic source of truth.
+``cext``
+    A small C core (``repro/device/ckern.c``) compiled on first use
+    with whatever C compiler the host has, exposing the same kernels
+    plus *fused* whole-heapify entry points.  All of its loops run with
+    the GIL released.
+``numba``
+    ``@njit(nogil=True, cache=True)`` variants, available when the
+    optional ``fast`` extra (``pip install .[fast]``) is installed.
+
+The contract for every compiled kernel is **bit-identical output** to
+the reference — same values, same tie resolution, same payload
+permutation — enforced by the hypothesis differential suite in
+``tests/primitives/test_kernel_parity.py``.  Compiled backends restrict
+themselves to the shapes they compile for (int64 keys, C-contiguous
+rows) and transparently fall back to the reference per call otherwise,
+so a caller can never observe a behaviour difference, only a wall-clock
+one.
+
+Selection is lazy: the first :func:`active` call resolves the backend
+from ``REPRO_KERNELS`` (``auto`` | ``numpy`` | ``cext`` | ``numba``)
+and caches it.  ``auto`` prefers the fastest available backend — cext
+(fused heapify) over numba over numpy.  The CLI ``--kernels`` flag and
+tests use :func:`set_active` / :func:`use` to override explicitly.
+Simulated-time accounting never depends on the backend: charges are
+derived from batch *sizes*, which every backend reports identically.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+from . import bitonic as _bitonic
+from . import compaction as _compaction
+from . import inplace as _inplace
+from . import scan as _scan
+
+__all__ = [
+    "BACKENDS",
+    "KernelSet",
+    "active",
+    "available_backends",
+    "instrument",
+    "provenance",
+    "select",
+    "set_active",
+    "use",
+]
+
+log = logging.getLogger("repro.kernels")
+
+_ENV = "REPRO_KERNELS"
+_CHOICES = ("auto", "numpy", "cext", "numba")
+BACKENDS = _CHOICES[1:]
+_I64 = np.dtype(np.int64)
+
+_active: "KernelSet | None" = None
+_notices: set[str] = set()
+
+
+def _notice_once(msg: str) -> None:
+    if msg not in _notices:
+        _notices.add(msg)
+        log.info(msg)
+
+
+def _row_bytes(p: np.ndarray | None) -> int:
+    """Bytes per payload row, 0 when there is no payload to move."""
+    if p is None or p.ndim < 2 or p.shape[1] == 0:
+        return 0
+    return p.shape[1] * p.dtype.itemsize
+
+
+def _c_i64(*arrs: np.ndarray) -> bool:
+    for x in arrs:
+        if x.dtype != _I64 or not x.flags.c_contiguous:
+            return False
+    return True
+
+
+def _c_contig(*arrs) -> bool:
+    for x in arrs:
+        if x is not None and not x.flags.c_contiguous:
+            return False
+    return True
+
+
+class KernelSet:
+    """The NumPy reference backend; compiled backends subclass this and
+    override what they accelerate, falling back per call otherwise."""
+
+    name = "numpy"
+    #: kernels drop the GIL while computing (enables parallel="threads")
+    releases_gil = False
+    #: offers fused whole-heapify entry points over a NodeArena
+    fused = False
+
+    # -- per-node primitives (signatures match repro.primitives) -------
+    def merge_into(self, a, b, out_k, pa=None, pb=None, out_p=None, iota=None):
+        return _inplace.merge_into(a, b, out_k, pa, pb, out_p, iota)
+
+    def sort_split_into(self, a, b, ma, x_k, y_k, scratch,
+                        pa=None, pb=None, x_p=None, y_p=None):
+        return _inplace.sort_split_into(
+            a, b, ma, x_k, y_k, scratch, pa, pb, x_p, y_p
+        )
+
+    def bitonic_sort(self, keys, payload=None):
+        return _bitonic.bitonic_sort(keys, payload)
+
+    def exclusive_scan(self, values):
+        return _scan.exclusive_scan(values)
+
+    def compact(self, values, keep):
+        return _compaction.compact(values, keep)
+
+    def sort_records(self, keys, pay):
+        """Stable sort records by key; returns new (keys, payload) arrays.
+
+        The bulk-insert presort.  Reference: one stable argsort applied
+        to both columns — compiled backends must reproduce exactly this
+        permutation.  With no payload columns the permutation is
+        unobservable, so a direct value sort (same output values, no
+        index indirection) is used on every backend.
+        """
+        if pay.ndim == 2 and pay.shape[1] == 0:
+            return np.sort(keys), pay
+        order = np.argsort(keys, kind="stable")
+        return keys[order], pay[order]
+
+    # -- introspection -------------------------------------------------
+    def provenance(self) -> dict:
+        """Where results produced under this backend came from."""
+        return {
+            "backend": self.name,
+            "releases_gil": self.releases_gil,
+            "fused": self.fused,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<KernelSet {self.name}>"
+
+
+class CExtKernels(KernelSet):
+    """C-extension backend: int64 keys, raw-byte payload rows, GIL-free.
+
+    Shapes outside the compiled contract (non-int64 keys, non-contiguous
+    views) take the reference path for that call — bit-identical either
+    way, so the dispatch is invisible to callers.
+    """
+
+    name = "cext"
+    releases_gil = True
+    fused = True
+
+    def __init__(self, mod):
+        self.mod = mod
+
+    def merge_into(self, a, b, out_k, pa=None, pb=None, out_p=None, iota=None):
+        rb = _row_bytes(out_p)
+        if not _c_i64(a, b, out_k) or (rb and not _c_contig(pa, pb, out_p)):
+            return _inplace.merge_into(a, b, out_k, pa, pb, out_p, iota)
+        if rb:
+            self.mod.merge_into(a, b, out_k, pa, pb, out_p, rb)
+        else:
+            self.mod.merge_into(a, b, out_k, None, None, None, 0)
+        return a.shape[0] + b.shape[0]
+
+    def sort_split_into(self, a, b, ma, x_k, y_k, scratch,
+                        pa=None, pb=None, x_p=None, y_p=None):
+        with_pay = x_p is not None and scratch.pay.shape[1] > 0
+        rb = _row_bytes(x_p) if with_pay else 0
+        if (
+            not _c_i64(a, b, x_k, y_k, scratch.keys)
+            or (rb and not _c_contig(pa, pb, x_p, y_p, scratch.pay))
+        ):
+            return _inplace.sort_split_into(
+                a, b, ma, x_k, y_k, scratch, pa, pb, x_p, y_p
+            )
+        total = a.shape[0] + b.shape[0]
+        if not 0 <= ma <= total:
+            raise ValueError(f"split point {ma} outside [0, {total}]")
+        if total > scratch.keys.shape[0]:
+            raise ValueError(
+                f"{total} keys exceed scratch capacity {scratch.keys.shape[0]}"
+            )
+        if rb:
+            self.mod.sort_split_into(
+                a, b, ma, x_k, y_k, scratch.keys, pa, pb, x_p, y_p,
+                scratch.pay, rb,
+            )
+        else:
+            self.mod.sort_split_into(
+                a, b, ma, x_k, y_k, scratch.keys,
+                None, None, None, None, None, 0,
+            )
+        return ma, total - ma
+
+    def bitonic_sort(self, keys, payload=None):
+        keys = np.asarray(keys)
+        if keys.ndim != 1:
+            raise ValueError("bitonic_sort expects a 1-D array")
+        if keys.dtype != _I64 or not keys.flags.c_contiguous:
+            return _bitonic.bitonic_sort(keys, payload)
+        # A stable record sort yields the network's key output (same
+        # multiset, ascending) and exactly the reference's stable-argsort
+        # payload permutation.
+        out_k = keys.copy()
+        if payload is None:
+            self.mod.sort_records(out_k, np.empty(0, np.uint8), 0)
+            return out_k
+        pay = np.asarray(payload)
+        pay2 = pay.reshape(pay.shape[0], -1) if pay.ndim > 1 else pay.reshape(-1, 1)
+        if not pay2.flags.c_contiguous:
+            return _bitonic.bitonic_sort(keys, payload)
+        out_p = pay2.copy()
+        self.mod.sort_records(out_k, out_p, _row_bytes(out_p))
+        return out_k, out_p.reshape(pay.shape)
+
+    def exclusive_scan(self, values):
+        values = np.asarray(values)
+        # integer addition is associative, so the serial C scan matches
+        # the Blelloch tree bit-for-bit; floats would not (rounding
+        # depends on summation order), so they stay on the reference
+        if values.dtype != _I64 or not values.flags.c_contiguous:
+            return _scan.exclusive_scan(values)
+        out = np.empty_like(values)
+        self.mod.exclusive_scan_i64(values, out)
+        return out
+
+    def compact(self, values, keep):
+        values = np.asarray(values)
+        keep = np.asarray(keep, dtype=bool)
+        if values.shape[0] != keep.shape[0]:
+            raise ValueError("mask length mismatch")
+        if (
+            values.ndim not in (1, 2)
+            or not values.flags.c_contiguous
+            or not keep.flags.c_contiguous
+            or values.dtype.hasobject
+        ):
+            return _compaction.compact(values, keep)
+        rb = values.dtype.itemsize * (values.shape[1] if values.ndim == 2 else 1)
+        if rb == 0:
+            return _compaction.compact(values, keep)
+        out = np.empty_like(values)
+        kept = self.mod.compact(values, keep.view(np.uint8), out, rb)
+        return out[:kept].copy()
+
+    def sort_records(self, keys, pay):
+        keys = np.ascontiguousarray(keys)
+        rb = _row_bytes(pay if pay.ndim == 2 else pay.reshape(-1, 1))
+        if keys.dtype != _I64 or not rb:
+            # non-int64 keys, or keys-only: the reference (numpy's own
+            # sort) already wins — the C mergesort only pays off when a
+            # payload permutation must ride along with the keys
+            return super().sort_records(keys, pay)
+        pay = np.ascontiguousarray(pay)
+        out_k = keys.copy()
+        out_p = pay.copy()
+        self.mod.sort_records(out_k, out_p, rb)
+        return out_k, out_p
+
+
+class NumbaKernels(KernelSet):
+    """numba ``@njit(nogil=True, cache=True)`` backend (``fast`` extra).
+
+    Accelerates the two-finger merge family for int64 keys with int64
+    payload matrices; everything else takes the reference path.  No
+    fused heapify — that is the C core's territory.
+    """
+
+    name = "numba"
+    releases_gil = True
+    fused = False
+
+    def __init__(self, impl):
+        self.impl = impl
+
+    def merge_into(self, a, b, out_k, pa=None, pb=None, out_p=None, iota=None):
+        rb = _row_bytes(out_p)
+        if not _c_i64(a, b, out_k):
+            return _inplace.merge_into(a, b, out_k, pa, pb, out_p, iota)
+        if rb == 0:
+            self.impl.merge_i64(a, b, out_k)
+            return a.shape[0] + b.shape[0]
+        if _c_i64(pa, pb, out_p):
+            self.impl.merge_i64_pay(a, pa, b, pb, out_k, out_p)
+            return a.shape[0] + b.shape[0]
+        return _inplace.merge_into(a, b, out_k, pa, pb, out_p, iota)
+
+    def sort_split_into(self, a, b, ma, x_k, y_k, scratch,
+                        pa=None, pb=None, x_p=None, y_p=None):
+        with_pay = x_p is not None and scratch.pay.shape[1] > 0
+        eligible = _c_i64(a, b, x_k, y_k, scratch.keys) and (
+            not with_pay or _c_i64(pa, pb, x_p, y_p, scratch.pay)
+        )
+        if not eligible:
+            return _inplace.sort_split_into(
+                a, b, ma, x_k, y_k, scratch, pa, pb, x_p, y_p
+            )
+        total = a.shape[0] + b.shape[0]
+        if not 0 <= ma <= total:
+            raise ValueError(f"split point {ma} outside [0, {total}]")
+        if total > scratch.keys.shape[0]:
+            raise ValueError(
+                f"{total} keys exceed scratch capacity {scratch.keys.shape[0]}"
+            )
+        if with_pay:
+            self.impl.sort_split_i64_pay(
+                a, b, ma, x_k, y_k, scratch.keys, pa, pb, x_p, y_p,
+                scratch.pay,
+            )
+        else:
+            self.impl.sort_split_i64(a, b, ma, x_k, y_k, scratch.keys)
+        return ma, total - ma
+
+
+# ---------------------------------------------------------------------
+# backend construction & selection
+# ---------------------------------------------------------------------
+
+def _make_numpy() -> KernelSet:
+    return KernelSet()
+
+
+def _make_cext() -> KernelSet | None:
+    from ..device import cbuild
+
+    mod = cbuild.load_ckern()
+    if mod is None:
+        _notice_once(
+            "compiled kernels unavailable "
+            f"({cbuild.build_error() or 'no build attempted'}); "
+            "using the NumPy reference"
+        )
+        return None
+    return CExtKernels(mod)
+
+
+def _make_numba() -> KernelSet | None:
+    try:
+        from . import _numba_kernels as impl
+    except Exception as exc:  # numba missing or jit failure
+        _notice_once(
+            "numba kernels unavailable "
+            f"({type(exc).__name__}: {exc}); install the 'fast' extra "
+            "(pip install .[fast]) to enable them"
+        )
+        return None
+    return NumbaKernels(impl)
+
+
+_FACTORIES = {"numpy": _make_numpy, "cext": _make_cext, "numba": _make_numba}
+
+
+def select(name: str) -> KernelSet:
+    """Build the named backend, falling back to numpy when unavailable.
+
+    ``auto`` picks the fastest available: cext (fused, GIL-free) over
+    numba over the reference.
+    """
+    if name not in _CHOICES:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; choose one of {_CHOICES}"
+        )
+    if name == "auto":
+        for candidate in ("cext", "numba"):
+            kern = _FACTORIES[candidate]()
+            if kern is not None:
+                return kern
+        return _make_numpy()
+    kern = _FACTORIES[name]()
+    if kern is None:
+        _notice_once(f"kernel backend {name!r} unavailable; using numpy")
+        return _make_numpy()
+    return kern
+
+
+def active() -> KernelSet:
+    """The process-wide backend (lazy; honours ``REPRO_KERNELS``)."""
+    global _active
+    if _active is None:
+        _active = select(os.environ.get(_ENV, "auto"))
+    return _active
+
+
+def set_active(name: str | None) -> KernelSet:
+    """Explicitly (re)select the process-wide backend (CLI ``--kernels``)."""
+    global _active
+    _active = select(name if name is not None else os.environ.get(_ENV, "auto"))
+    return _active
+
+
+@contextmanager
+def use(name: str):
+    """Temporarily switch the active backend (tests, bench lanes)."""
+    global _active
+    prev = _active
+    _active = select(name)
+    try:
+        yield _active
+    finally:
+        _active = prev
+
+
+def available_backends() -> list[str]:
+    """Backends that would actually resolve on this host (probes each)."""
+    out = ["numpy"]
+    for name in ("cext", "numba"):
+        kern = _FACTORIES[name]()
+        if kern is not None:
+            out.append(name)
+    return out
+
+
+def provenance(kern: KernelSet | None = None) -> dict:
+    """Provenance record for results produced under ``kern`` (or active)."""
+    return (kern or active()).provenance()
+
+
+# ---------------------------------------------------------------------
+# instrumentation
+# ---------------------------------------------------------------------
+
+_TIMED = (
+    "merge_into",
+    "sort_split_into",
+    "bitonic_sort",
+    "exclusive_scan",
+    "compact",
+    "sort_records",
+)
+
+
+class InstrumentedKernels:
+    """Wrap a backend so each kernel call lands in a wall-ns histogram.
+
+    One histogram per kernel, labelled with the backend — the metrics
+    feed of the ``--wall`` bench lane.  Wall timing is real time, so
+    this wrapper is only used in explicitly-instrumented passes, never
+    in the deterministic DES paths.
+    """
+
+    def __init__(self, base: KernelSet, registry):
+        self._base = base
+        self.name = base.name
+        self.releases_gil = base.releases_gil
+        # instrumentation needs per-kernel call boundaries, so the
+        # whole-op fused path (one opaque C call per queue op) is
+        # disabled here; results are bit-identical either way
+        self.fused = False
+        self._hists = {
+            op: registry.histogram(
+                "repro_kernel_wall_ns",
+                "per-call kernel wall time (ns)",
+                kernel=op,
+                backend=base.name,
+            )
+            for op in _TIMED
+        }
+        for op in _TIMED:
+            setattr(self, op, self._timed(op))
+
+    def _timed(self, op: str):
+        fn = getattr(self._base, op)
+        hist = self._hists[op]
+        def call(*args, **kwargs):
+            t0 = time.perf_counter_ns()
+            out = fn(*args, **kwargs)
+            hist.observe(time.perf_counter_ns() - t0)
+            return out
+        return call
+
+    def provenance(self) -> dict:
+        info = self._base.provenance()
+        info["instrumented"] = True
+        return info
+
+    def __getattr__(self, item):
+        return getattr(self._base, item)
+
+
+def instrument(base: KernelSet, registry) -> InstrumentedKernels:
+    """Instrumented view of ``base`` reporting into ``registry``."""
+    return InstrumentedKernels(base, registry)

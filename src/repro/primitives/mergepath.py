@@ -28,19 +28,21 @@ import numpy as np
 __all__ = ["merge", "merge_with_payload", "merge_path_diagonals", "merge_path_partitions"]
 
 
-def merge(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def merge(a: np.ndarray, b: np.ndarray, dtype=None) -> np.ndarray:
     """Merge two individually sorted 1-D arrays into one sorted array.
 
     Ties are broken in favour of ``a`` (stable with respect to the
     concatenation order), matching ``searchsorted``'s left/right
     asymmetry below.  Inputs follow the module contract (sorted
-    ndarrays, unvalidated).
+    ndarrays, unvalidated).  ``dtype`` fixes the output dtype; callers
+    whose key dtype is set once at construction (every queue) pass it
+    to keep the per-call ``result_type`` promotion off the hot path.
     """
     if a.size == 0:
         return b.copy()
     if b.size == 0:
         return a.copy()
-    out = np.empty(a.size + b.size, dtype=np.result_type(a, b))
+    out = np.empty(a.size + b.size, dtype=dtype if dtype is not None else np.result_type(a, b))
     # rank of a[i] in output: i + (# of b's strictly before it)
     pos_a = np.arange(a.size) + np.searchsorted(b, a, side="left")
     # rank of b[j] in output: j + (# of a's at or before it)
@@ -55,17 +57,19 @@ def merge_with_payload(
     pa: np.ndarray,
     b: np.ndarray,
     pb: np.ndarray,
+    dtype=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Merge (keys, payload) pairs from two sorted runs.
 
     Payload rows follow their keys through the same scatter.  Payload
     arrays may be multi-dimensional with the leading axis matching the
     keys (e.g. knapsack node records).  Inputs follow the module
-    contract (sorted key ndarrays, unvalidated).
+    contract (sorted key ndarrays, unvalidated).  ``dtype`` plays the
+    same hot-path role as in :func:`merge`.
     """
     if a.shape[0] != pa.shape[0] or b.shape[0] != pb.shape[0]:
         raise ValueError("payload length must match key length")
-    keys = np.empty(a.size + b.size, dtype=np.result_type(a, b))
+    keys = np.empty(a.size + b.size, dtype=dtype if dtype is not None else np.result_type(a, b))
     out_shape = (a.shape[0] + b.shape[0],) + pa.shape[1:]
     payload = np.empty(out_shape, dtype=pa.dtype)
     pos_a = np.arange(a.size) + np.searchsorted(b, a, side="left")

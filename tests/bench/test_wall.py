@@ -1,0 +1,153 @@
+"""Wall-clock bench lane: payload shape, gates, delta, CLI round trip."""
+
+import json
+
+import pytest
+
+from repro.bench import wall
+from repro.bench.micro import compare_to_baseline
+from repro.obs.metrics import MetricsRegistry, validate_prometheus_text
+
+
+@pytest.fixture(scope="module")
+def results():
+    """One tiny-iteration run shared by the shape/gate tests."""
+    return wall.run_wall(ks=(4,), quick=True, op_iters=2)
+
+
+def test_payload_shape(results):
+    assert results["benchmark"] == "wall"
+    variants = results["meta"]["variants"]
+    assert variants[0] == "list" and variants[1] == "numpy"
+    assert len(results["rows"]) == len(wall.WALL_BENCHES) * len(variants)
+    for variant in variants:
+        assert variant in results["meta"]["kernels"]
+        assert "backend" in results["meta"]["kernels"][variant]
+
+
+def test_speedup_keys_group_by_lane(results):
+    """Keys must group as bench:variant under compare_to_baseline's
+    ``key.split("/")[0]`` convention — one gate per (bench, variant)."""
+    for key in results["speedups"]:
+        lane, _, kpart = key.partition("/")
+        bench, _, variant = lane.partition(":")
+        assert bench in wall.WALL_BENCHES
+        assert variant in results["meta"]["variants"] and variant != "list"
+        assert kpart == "k=4"
+
+
+def test_baseline_comparison_round_trip(results):
+    assert compare_to_baseline(results, results) == []
+    slower = json.loads(json.dumps(results))
+    for key in slower["speedups"]:
+        slower["speedups"][key] = results["speedups"][key] * 4 + 1
+    assert compare_to_baseline(results, slower) != []
+
+
+def test_floor_gate_logic(results):
+    # quick runs and sweeps without k=512 never trip the floor
+    assert wall.wall_gate_problems(results, quick=True) == []
+    assert wall.wall_gate_problems(results, quick=False) == []
+
+    fake = {
+        "meta": {"compiled_available": ["cext"], "ks": [512]},
+        "speedups": {"mixed:cext-parallel/k=512": 3.0},
+    }
+    problems = wall.wall_gate_problems(fake, quick=False)
+    assert len(problems) == 1 and "floor missed" in problems[0]
+    fake["speedups"]["mixed:cext-parallel/k=512"] = 12.5
+    assert wall.wall_gate_problems(fake, quick=False) == []
+    fake["speedups"] = {}
+    assert "missing" in wall.wall_gate_problems(fake, quick=False)[0]
+    fake["meta"]["compiled_available"] = []
+    assert wall.wall_gate_problems(fake, quick=False) == []
+
+
+def test_render_wall_delta(results):
+    text = wall.render_wall_delta(results, results)
+    assert "geomean(now)" in text
+    for variant in results["meta"]["variants"][1:]:
+        assert f"insert:{variant}" in text
+
+
+def test_delta_skips_lanes_missing_from_current(results):
+    """A numpy-only host gating against a compiled baseline must only
+    compare the lanes it actually ran."""
+    current = json.loads(json.dumps(results))
+    current["speedups"] = {
+        key: val
+        for key, val in current["speedups"].items()
+        if ":numpy/" in key
+    }
+    assert compare_to_baseline(current, results) == []
+    text = wall.render_wall_delta(current, results)
+    assert "numpy" in text and "cext" not in text
+
+
+def test_instrumented_pass_feeds_histograms():
+    registry = MetricsRegistry()
+    done = wall.instrumented_mixed_pass(registry, k=4, iters=4,
+                                        backends=["numpy"])
+    assert done == {"numpy": 4}
+    text = registry.to_prometheus()
+    validate_prometheus_text(text)
+    assert "repro_kernel_wall_ns" in text
+    assert 'backend="numpy"' in text
+
+
+def test_cli_wall_lane(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+
+    monkeypatch.setenv("REPRO_BENCH_WALL_BASELINE",
+                       str(tmp_path / "BENCH_wall.json"))
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    monkeypatch.setenv("REPRO_REGISTRY_DIR", str(tmp_path / "runs"))
+    rc = main(["bench", "native", "--wall", "--quick", "--bench-ks", "4"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "baseline written" in out
+    base_path = tmp_path / "BENCH_wall.json"
+    assert base_path.is_file()
+    assert (tmp_path / "results" / "bench_wall.prom").is_file()
+
+    # gate vs an easy baseline must pass; timing noise can't flip these
+    # (the re-run is compared against deliberately skewed ratios, not
+    # against its own jittery first run)
+    baseline = json.loads(base_path.read_text())
+    easy = json.loads(json.dumps(baseline))
+    for key in easy["speedups"]:
+        easy["speedups"][key] = 0.01
+    base_path.write_text(json.dumps(easy))
+    rc = main(["bench", "native", "--wall", "--quick", "--bench-ks", "4"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "no regression" in out
+
+    # gate vs an impossible baseline must fail and ship the delta table
+    hard = json.loads(json.dumps(baseline))
+    for key in hard["speedups"]:
+        hard["speedups"][key] = 1e9
+    base_path.write_text(json.dumps(hard))
+    rc = main(["bench", "native", "--wall", "--quick", "--bench-ks", "4"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "WALL-CLOCK GATE FAILED" in out
+    assert (tmp_path / "results" / "bench_wall_delta.txt").is_file()
+
+
+def test_cli_kernels_flag(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+    from repro.primitives import kernels as kr
+
+    monkeypatch.setenv("REPRO_BENCH_WALL_BASELINE",
+                       str(tmp_path / "BENCH_wall.json"))
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    monkeypatch.setenv("REPRO_REGISTRY_DIR", str(tmp_path / "runs"))
+    prev = kr._active
+    try:
+        rc = main(["bench", "native", "--wall", "--quick", "--bench-ks", "4",
+                   "--kernels", "numpy"])
+        assert rc == 0
+        assert kr.active().name == "numpy"
+    finally:
+        kr._active = prev

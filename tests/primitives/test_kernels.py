@@ -1,0 +1,112 @@
+"""Kernel registry: selection, fallback, env override, instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.device import cbuild
+from repro.obs.metrics import MetricsRegistry
+from repro.primitives import kernels
+from repro.primitives.inplace import ScratchLedger
+
+
+@pytest.fixture(autouse=True)
+def _isolate_active(monkeypatch):
+    """Each test starts with no process-wide backend resolved."""
+    monkeypatch.setattr(kernels, "_active", None)
+    monkeypatch.delenv("REPRO_KERNELS", raising=False)
+
+
+def test_numpy_always_available():
+    kern = kernels.select("numpy")
+    assert kern.name == "numpy"
+    assert not kern.releases_gil and not kern.fused
+
+
+def test_select_unknown_backend_raises():
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        kernels.select("cuda")
+
+
+def test_auto_prefers_compiled_when_available():
+    kern = kernels.select("auto")
+    assert kern.name in kernels.available_backends()
+    if "cext" in kernels.available_backends():
+        assert kern.name == "cext"
+
+
+def test_available_backends_starts_with_reference():
+    avail = kernels.available_backends()
+    assert avail[0] == "numpy"
+    assert set(avail) <= {"numpy", "cext", "numba"}
+
+
+def test_unavailable_backend_falls_back_to_numpy(monkeypatch):
+    monkeypatch.setitem(kernels._FACTORIES, "cext", lambda: None)
+    monkeypatch.setitem(kernels._FACTORIES, "numba", lambda: None)
+    assert kernels.select("cext").name == "numpy"
+    assert kernels.select("numba").name == "numpy"
+    assert kernels.select("auto").name == "numpy"
+    assert kernels.available_backends() == ["numpy"]
+
+
+def test_env_var_drives_lazy_selection(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS", "numpy")
+    assert kernels.active().name == "numpy"
+
+
+def test_set_active_and_use_restore():
+    kernels.set_active("numpy")
+    assert kernels.active().name == "numpy"
+    with kernels.use("auto") as kern:
+        assert kernels.active() is kern
+    assert kernels.active().name == "numpy"
+
+
+def test_provenance_shape():
+    info = kernels.provenance(kernels.select("numpy"))
+    assert info == {"backend": "numpy", "releases_gil": False, "fused": False}
+
+
+def test_cext_build_failure_is_graceful(monkeypatch, tmp_path):
+    cbuild.reset_for_tests()
+    try:
+        monkeypatch.setattr(cbuild, "_compiler", lambda: None)
+        monkeypatch.setenv("REPRO_CKERN_CACHE", str(tmp_path / "cache"))
+        assert cbuild.load_ckern() is None
+        assert "compiler" in (cbuild.build_error() or "")
+        assert kernels.select("cext").name == "numpy"
+    finally:
+        cbuild.reset_for_tests()
+
+
+def test_instrumented_kernels_record_and_match(monkeypatch):
+    registry = MetricsRegistry()
+    kern = kernels.instrument(kernels.select("numpy"), registry)
+    assert kern.provenance()["instrumented"] is True
+    assert kern.fused is False  # forces per-kernel (unfused) dispatch
+
+    a = np.array([1, 3, 5], dtype=np.int64)
+    b = np.array([2, 4], dtype=np.int64)
+    out = np.empty(5, dtype=np.int64)
+    kern.merge_into(a, b, out)
+    assert list(out) == [1, 2, 3, 4, 5]
+
+    scratch = ScratchLedger(4)
+    x_k = np.empty(2, dtype=np.int64)
+    y_k = np.empty(3, dtype=np.int64)
+    kern.sort_split_into(a, b, 2, x_k, y_k, scratch)
+    assert list(x_k) == [1, 2] and list(y_k) == [3, 4, 5]
+
+    text = registry.to_prometheus()
+    assert 'kernel="merge_into"' in text
+    assert 'kernel="sort_split_into"' in text
+    assert 'backend="numpy"' in text
+
+
+@pytest.mark.parametrize("name", ["cext", "numba"])
+def test_compiled_backend_provenance_if_present(name):
+    if name not in kernels.available_backends():
+        pytest.skip(f"{name} not available on this host")
+    kern = kernels.select(name)
+    assert kern.name == name
+    assert kern.releases_gil is True
